@@ -1,0 +1,148 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * split-ratio sweep — how the recomputation time responds to the
+//!   split factor (the paper fixes 8/59; this shows the knee);
+//! * persisted-output reuse on/off — the value of RCMP's across-job
+//!   persistence in isolation;
+//! * hot-spot mitigation comparison — splitting vs the rejected
+//!   spread-output alternative vs nothing (§IV-B2);
+//! * detection-timeout sensitivity — how the 30 s timeout contributes
+//!   to total recovery cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcmp_core::Strategy;
+use rcmp_model::SlotConfig;
+use rcmp_sim::jobsim::RecomputeSpec;
+use rcmp_sim::{
+    simulate_chain, ChainSimConfig, FailureAt, HwProfile, JobSim, SimState, WorkloadCfg,
+};
+
+fn quick_wl() -> WorkloadCfg {
+    let mut wl = WorkloadCfg::stic(SlotConfig::ONE_ONE);
+    wl.per_node_input = wl.per_node_input / 8;
+    wl
+}
+
+/// Split-ratio sweep: recomputation duration for one lost partition.
+fn ablation_split_ratio(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_split_ratio");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(5));
+    let wl = quick_wl();
+    let js = JobSim::new(HwProfile::stic(), wl.clone());
+    let mut base = SimState::new(&wl);
+    js.run_full(&mut base, 1, 1, true);
+    base.fail_node(wl.nodes - 1);
+    let lost = base.files[&1].lost_partitions(&base);
+    for split in [1u32, 2, 4, 8, 9] {
+        g.bench_with_input(BenchmarkId::from_parameter(split), &split, |b, &split| {
+            b.iter_with_setup(
+                || base.clone(),
+                |mut st| {
+                    js.run_recompute(
+                        &mut st,
+                        1,
+                        &RecomputeSpec::new(lost.iter().copied(), split),
+                        true,
+                    )
+                },
+            )
+        });
+    }
+    g.finish();
+}
+
+/// Reuse on/off: the value of persisted map outputs.
+fn ablation_reuse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_map_output_reuse");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(5));
+    let wl = quick_wl();
+    let js = JobSim::new(HwProfile::stic(), wl.clone());
+    let mut base = SimState::new(&wl);
+    js.run_full(&mut base, 1, 1, true);
+    base.fail_node(wl.nodes - 1);
+    let lost = base.files[&1].lost_partitions(&base);
+    for (name, reuse) in [("reuse", true), ("no_reuse", false)] {
+        g.bench_function(name, |b| {
+            b.iter_with_setup(
+                || base.clone(),
+                |mut st| {
+                    let mut spec = RecomputeSpec::new(lost.iter().copied(), 1);
+                    spec.reuse_map_outputs = reuse;
+                    js.run_recompute(&mut st, 1, &spec, true)
+                },
+            )
+        });
+    }
+    g.finish();
+}
+
+/// Hot-spot mitigations under a late failure: none vs spread-output vs
+/// splitting (§IV-B2's analysis).
+fn ablation_hotspot_mitigation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_hotspot_mitigation");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(5));
+    let wl = quick_wl();
+    use rcmp_core::strategy::{HotspotMitigation, SplitPolicy};
+    let variants: [(&str, Strategy); 3] = [
+        ("none", Strategy::rcmp_no_split()),
+        (
+            "spread_output",
+            Strategy::Rcmp {
+                split: SplitPolicy::None,
+                hotspot: HotspotMitigation::SpreadOutput,
+            },
+        ),
+        ("split", Strategy::rcmp_split(8)),
+    ];
+    for (name, strategy) in variants {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let cfg = ChainSimConfig::new(HwProfile::stic(), wl.clone(), strategy)
+                    .with_failures(vec![FailureAt::at_job(7, wl.nodes - 1)]);
+                simulate_chain(std::hint::black_box(&cfg))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Detection-timeout sensitivity.
+fn ablation_detect_timeout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_detect_timeout");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(5));
+    let wl = quick_wl();
+    for timeout in [10.0f64, 30.0, 90.0] {
+        let mut hw = HwProfile::stic();
+        hw.detect_timeout = timeout;
+        g.bench_with_input(
+            BenchmarkId::from_parameter(timeout as u64),
+            &hw,
+            |b, hw| {
+                b.iter(|| {
+                    let cfg =
+                        ChainSimConfig::new(hw.clone(), wl.clone(), Strategy::rcmp_split(8))
+                            .with_failures(vec![FailureAt::at_job(4, wl.nodes - 1)]);
+                    simulate_chain(std::hint::black_box(&cfg))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_split_ratio,
+    ablation_reuse,
+    ablation_hotspot_mitigation,
+    ablation_detect_timeout
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benches: one target per paper figure.
+//!
+//! Each bench runs the corresponding experiment harness at reduced
+//! scale (`--quick` semantics) so `cargo bench` completes in minutes;
+//! the `fig_runner` binary runs the same harnesses at paper scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcmp_bench::figures::*;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(8));
+
+    g.bench_function("fig02_failure_cdf", |b| {
+        b.iter(|| fig02::run(std::hint::black_box(42)))
+    });
+    g.bench_function("fig08a_no_failure", |b| {
+        let scen = quick_scenarios();
+        b.iter(|| fig08::run_with(fig08::FailCase::None, std::hint::black_box(&scen)))
+    });
+    g.bench_function("fig08b_fail_early", |b| {
+        let scen = quick_scenarios();
+        b.iter(|| fig08::run_with(fig08::FailCase::Early, std::hint::black_box(&scen)))
+    });
+    g.bench_function("fig08c_fail_late", |b| {
+        let scen = quick_scenarios();
+        b.iter(|| fig08::run_with(fig08::FailCase::Late, std::hint::black_box(&scen)))
+    });
+    g.bench_function("fig09_double_failures", |b| {
+        b.iter(|| fig09::run_scaled(std::hint::black_box(8)))
+    });
+    g.bench_function("fig10_chain_length", |b| {
+        b.iter(|| fig10::run_scaled(std::hint::black_box(8)))
+    });
+    g.bench_function("fig11_split_scaling", |b| {
+        b.iter(|| fig11::run_scaled(std::hint::black_box(8)))
+    });
+    g.bench_function("fig12_hotspot_cdf", |b| {
+        b.iter(|| fig12::run_scaled(std::hint::black_box(8)))
+    });
+    g.bench_function("fig13_reducer_waves", |b| {
+        b.iter(|| fig13::run_scaled(std::hint::black_box(4)))
+    });
+    g.bench_function("fig14_mapper_waves", |b| {
+        b.iter(|| fig14::run_scaled(std::hint::black_box(1)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! Micro-benchmarks of the hot building blocks: partitioning, record
+//! codec, MD5, the persisted map-output store, recovery planning, and a
+//! small end-to-end engine job.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rcmp_core::{plan_recovery, JobGraph, SplitPolicy};
+use rcmp_core::strategy::HotspotMitigation;
+use rcmp_engine::{Cluster, JobRun, JobTracker, NoFailures};
+use rcmp_model::hash::hash_bytes;
+use rcmp_model::{
+    ClusterConfig, HashPartitioner, NodeId, Record, RecordReader, RecordWriter, SplitPartitioner,
+};
+use rcmp_workloads::md5::md5;
+use rcmp_workloads::{generate_input, ChainBuilder, DataGenConfig};
+use std::sync::Arc;
+
+fn bench_partitioners(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partitioner");
+    g.throughput(Throughput::Elements(10_000));
+    let hp = HashPartitioner::new(60);
+    g.bench_function("hash_partition_10k", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for k in 0..10_000u64 {
+                acc ^= hp.partition_of(std::hint::black_box(k)).raw();
+            }
+            acc
+        })
+    });
+    let sp = SplitPartitioner::new(59);
+    g.bench_function("split_partition_10k", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for k in 0..10_000u64 {
+                acc ^= sp.split_of(std::hint::black_box(k)).raw();
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    let records: Vec<Record> = (0..1000)
+        .map(|i| Record::new(i, vec![i as u8; 100]))
+        .collect();
+    g.throughput(Throughput::Bytes(1000 * 112));
+    g.bench_function("encode_1k_records", |b| {
+        b.iter(|| {
+            let mut w = RecordWriter::new();
+            for r in &records {
+                w.push(std::hint::black_box(r));
+            }
+            w.finish()
+        })
+    });
+    let encoded = {
+        let mut w = RecordWriter::new();
+        for r in &records {
+            w.push(r);
+        }
+        w.finish()
+    };
+    g.bench_function("decode_1k_records", |b| {
+        b.iter(|| RecordReader::decode_all(std::hint::black_box(encoded.clone())).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hashing");
+    let data = vec![0xabu8; 64 * 1024];
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("md5_64k", |b| b.iter(|| md5(std::hint::black_box(&data))));
+    g.bench_function("fingerprint_64k", |b| {
+        b.iter(|| hash_bytes(std::hint::black_box(&data)))
+    });
+    g.finish();
+}
+
+fn bench_engine_job(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    g.bench_function("small_job_end_to_end", |b| {
+        b.iter_with_setup(
+            || {
+                let cluster = Cluster::new(ClusterConfig::small_test(4));
+                generate_input(cluster.dfs(), &DataGenConfig::test("input", 4, 20_000))
+                    .unwrap();
+                cluster
+            },
+            |cluster| {
+                let chain = ChainBuilder::new(1, 4).build();
+                let tracker = JobTracker::new(&cluster, Arc::new(NoFailures));
+                tracker.run(&JobRun::full(chain.job(1).clone()), 1).unwrap()
+            },
+        )
+    });
+    g.finish();
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let mut g = c.benchmark_group("planner");
+    // Build a completed 5-job chain state, kill a node, then measure
+    // planning time.
+    let cluster = Cluster::new(ClusterConfig::small_test(6));
+    generate_input(cluster.dfs(), &DataGenConfig::test("input", 6, 30_000)).unwrap();
+    let chain = ChainBuilder::new(5, 6).build();
+    let tracker = JobTracker::new(&cluster, Arc::new(NoFailures));
+    for (i, spec) in chain.jobs.iter().enumerate() {
+        tracker
+            .run(&JobRun::full(spec.clone()), (i + 1) as u64)
+            .unwrap();
+    }
+    cluster.fail_node(NodeId(2));
+    let graph = JobGraph::new(chain.jobs.iter().cloned()).unwrap();
+    g.bench_function("plan_recovery_5_job_chain", |b| {
+        b.iter(|| {
+            plan_recovery(
+                &cluster,
+                &graph,
+                rcmp_model::JobId(5),
+                SplitPolicy::Fixed(5),
+                HotspotMitigation::SplitReducers,
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_partitioners,
+    bench_codec,
+    bench_hashing,
+    bench_engine_job,
+    bench_planner
+);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! The experiment harness: regenerates every figure of the RCMP paper.
+//!
+//! Each `figures::figXX` module runs the corresponding experiment
+//! (simulator-based at paper scale; real-engine based where data-path
+//! fidelity matters), returns a serializable result, and renders the
+//! same rows/series the paper reports. The `fig_runner` binary drives
+//! them; `EXPERIMENTS.md` records paper-vs-measured for each.
+//!
+//! | Figure | Module | What it shows |
+//! |--------|--------|----------------|
+//! | Fig. 2 | [`figures::fig02`] | CDF of new failures/day (STIC, SUG@R) |
+//! | Fig. 8a | [`figures::fig08`] | No-failure slowdowns (RCMP vs REPL-2/3) |
+//! | Fig. 8b | [`figures::fig08`] | Single failure early (job 2) |
+//! | Fig. 8c | [`figures::fig08`] | Single failure late (job 7) |
+//! | Fig. 9 | [`figures::fig09`] | Double failures vs Hadoop REPL-3 |
+//! | Fig. 10 | [`figures::fig10`] | Chain-length extrapolation |
+//! | Fig. 11 | [`figures::fig11`] | Split speed-up vs node count |
+//! | Fig. 12 | [`figures::fig12`] | Hot-spot mapper-time CDF |
+//! | Fig. 13 | [`figures::fig13`] | Speed-up vs reducer waves |
+//! | Fig. 14 | [`figures::fig14`] | Speed-up vs mapper waves |
+
+pub mod figures;
+pub mod numerical;
+pub mod table;

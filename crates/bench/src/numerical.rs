@@ -1,0 +1,103 @@
+//! The paper's numerical analysis (Fig. 10 and OPTIMISTIC).
+//!
+//! "For any chain length, for RCMP, the running time is a combination
+//! of jobs running with 10 nodes before the failure, with 9 nodes for
+//! recomputation and with 9 nodes after the recomputation finishes"
+//! (§V-B). These formulas extrapolate measured per-job averages to
+//! arbitrary chain lengths.
+
+use serde::{Deserialize, Serialize};
+
+/// Measured per-job averages feeding the extrapolation.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MeasuredAverages {
+    /// Average job time with all N nodes.
+    pub job_full_nodes: f64,
+    /// Average job time with N−1 nodes (after the failure).
+    pub job_reduced_nodes: f64,
+    /// Time of one recomputation run (regenerating the lost part of one
+    /// job's output) with N−1 nodes.
+    pub recompute_run: f64,
+    /// Failure overhead: injection offset + detection timeout (≈45 s).
+    pub failure_overhead: f64,
+}
+
+/// Total chain time for RCMP with a single failure at job `fail_at` of a
+/// `len`-job chain: jobs before the failure run on N nodes, the failed
+/// job's partial work is wasted, `fail_at − 1` recomputation runs
+/// regenerate the lost lineage, and the rest of the chain runs on N−1
+/// nodes.
+pub fn rcmp_chain_time(m: &MeasuredAverages, len: u32, fail_at: u32) -> f64 {
+    assert!(fail_at >= 1 && fail_at <= len);
+    let before = (fail_at - 1) as f64 * m.job_full_nodes;
+    let recovery = (fail_at - 1) as f64 * m.recompute_run;
+    let after = (len - fail_at + 1) as f64 * m.job_reduced_nodes;
+    before + m.failure_overhead + recovery + after
+}
+
+/// Total chain time for a replication strategy (REPL-2/3): no
+/// recomputation, but every job pays replication (folded into the
+/// measured averages) and the failed job restarts on N−1 nodes.
+pub fn replication_chain_time(m: &MeasuredAverages, len: u32, fail_at: u32) -> f64 {
+    assert!(fail_at >= 1 && fail_at <= len);
+    let before = (fail_at - 1) as f64 * m.job_full_nodes;
+    let after = (len - fail_at + 1) as f64 * m.job_reduced_nodes;
+    before + m.failure_overhead + after
+}
+
+/// Total chain time for OPTIMISTIC: everything before (and including)
+/// the failure is wasted; the whole chain restarts on N−1 nodes.
+pub fn optimistic_chain_time(m: &MeasuredAverages, len: u32, fail_at: u32) -> f64 {
+    assert!(fail_at >= 1 && fail_at <= len);
+    let wasted = (fail_at - 1) as f64 * m.job_full_nodes + m.failure_overhead;
+    wasted + len as f64 * m.job_reduced_nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> MeasuredAverages {
+        MeasuredAverages {
+            job_full_nodes: 100.0,
+            job_reduced_nodes: 110.0,
+            recompute_run: 20.0,
+            failure_overhead: 45.0,
+        }
+    }
+
+    #[test]
+    fn rcmp_early_failure() {
+        // len 10, fail at 2: 1 job full + 45 + 1 recompute + 9 reduced.
+        let t = rcmp_chain_time(&m(), 10, 2);
+        assert!((t - (100.0 + 45.0 + 20.0 + 9.0 * 110.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimistic_late_failure_doubles_work() {
+        // Fail at the last job: nearly the whole chain runs twice.
+        let t = optimistic_chain_time(&m(), 7, 7);
+        let clean = 7.0 * 100.0;
+        assert!(t / clean > 1.9, "late OPTIMISTIC ≈ 2x: {}", t / clean);
+    }
+
+    #[test]
+    fn slowdowns_stable_across_chain_length() {
+        // The paper's Fig.-10 observation: with an early failure, the
+        // REPL/RCMP ratio converges as length grows.
+        let mm = m();
+        let mut repl = mm;
+        repl.job_full_nodes *= 1.6; // REPL-3 per-job penalty
+        repl.job_reduced_nodes *= 1.6;
+        let r10 = replication_chain_time(&repl, 10, 2) / rcmp_chain_time(&mm, 10, 2);
+        let r100 = replication_chain_time(&repl, 100, 2) / rcmp_chain_time(&mm, 100, 2);
+        assert!((r10 - r100).abs() < 0.1, "{r10} vs {r100}");
+        assert!(r100 > 1.4);
+    }
+
+    #[test]
+    fn longer_chains_cost_more() {
+        let mm = m();
+        assert!(rcmp_chain_time(&mm, 20, 2) > rcmp_chain_time(&mm, 10, 2));
+    }
+}

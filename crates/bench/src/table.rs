@@ -1,0 +1,77 @@
+//! Minimal ASCII table rendering for figure output.
+
+/// Renders rows as an aligned ASCII table. The first row is the header.
+pub fn render(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in rows.iter().enumerate() {
+        for (i, w) in widths.iter().enumerate() {
+            let cell = row.get(i).map(String::as_str).unwrap_or("");
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(cell);
+            out.push_str(&" ".repeat(w - cell.len()));
+        }
+        // Trim trailing padding.
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+        if ri == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Formats a slowdown/speed-up factor.
+pub fn factor(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats seconds.
+pub fn secs(x: f64) -> String {
+    format!("{x:.1}s")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let t = render(&[
+            vec!["name".into(), "value".into()],
+            vec!["a".into(), "1.00".into()],
+            vec!["longer".into(), "2".into()],
+        ]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        assert!(render(&[]).is_empty());
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(factor(1.2345), "1.23");
+        assert_eq!(secs(61.23), "61.2s");
+    }
+}

@@ -1,0 +1,234 @@
+//! Storage-budget enforcement for persisted outputs.
+//!
+//! RCMP "effectively trad[es] off storage space for recomputation
+//! speed-up" (§IV-A) and notes that "in storage-constrained
+//! environments, RCMP may need to more aggressively reclaim storage
+//! space even in-between replications" (§IV-C). This module implements
+//! that: when the persisted map outputs exceed a byte budget, evict at
+//! wave granularity (the paper's sketched policy) until back under.
+//!
+//! Eviction order: oldest jobs first, their last waves first. Rationale:
+//! a failure's cascade reaches old jobs only through long chains of
+//! invalidated mappers, so old persisted outputs deliver the least
+//! expected speed-up per byte; within a job, evicting whole waves means
+//! recovery pays whole extra map waves rather than straggler tasks.
+
+use crate::dag::JobGraph;
+use crate::reclaim::evict_last_waves;
+use rcmp_engine::Cluster;
+use rcmp_model::Result;
+
+/// A byte budget over persisted map outputs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StorageBudget {
+    /// Maximum persisted map-output payload bytes.
+    pub max_persisted_bytes: u64,
+}
+
+/// What an enforcement pass evicted.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvictionStats {
+    pub entries_evicted: usize,
+    pub bytes_before: u64,
+    pub bytes_after: u64,
+}
+
+/// Evicts persisted map outputs (oldest job first, last waves first)
+/// until the store fits the budget. `tasks_per_wave` is the cluster's
+/// concurrent mapper capacity (nodes × map slots).
+pub fn enforce_budget(
+    cluster: &Cluster,
+    graph: &JobGraph,
+    budget: StorageBudget,
+    tasks_per_wave: usize,
+) -> Result<EvictionStats> {
+    let store = cluster.map_outputs();
+    let mut stats = EvictionStats {
+        bytes_before: store.total_bytes(),
+        ..EvictionStats::default()
+    };
+    stats.bytes_after = stats.bytes_before;
+    if stats.bytes_before <= budget.max_persisted_bytes {
+        return Ok(stats);
+    }
+    let order = graph.submission_order()?;
+    'outer: for job in order {
+        // Wave by wave from this job until it is empty or we fit.
+        loop {
+            if store.total_bytes() <= budget.max_persisted_bytes {
+                break 'outer;
+            }
+            let evicted = evict_last_waves(cluster, job, tasks_per_wave.max(1), 1);
+            stats.entries_evicted += evicted;
+            if evicted == 0 {
+                break; // job exhausted, move to the next
+            }
+        }
+    }
+    stats.bytes_after = store.total_bytes();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcmp_dfs::PlacementPolicy;
+    use rcmp_engine::{IdentityMapper, IdentityReducer, JobSpec, MapInputKey};
+    use rcmp_model::{ClusterConfig, JobId, NodeId, PartitionId, ReduceTaskId};
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    fn spec(job: u32, input: &str, output: &str) -> JobSpec {
+        JobSpec {
+            job: JobId(job),
+            input: input.into(),
+            output: output.into(),
+            num_reducers: 1,
+            output_replication: 1,
+            placement: PlacementPolicy::WriterLocal,
+            mapper: Arc::new(IdentityMapper),
+            reducer: Arc::new(IdentityReducer),
+            splittable: true,
+        }
+    }
+
+    fn graph() -> JobGraph {
+        JobGraph::new([spec(1, "input", "out/1"), spec(2, "out/1", "out/2")]).unwrap()
+    }
+
+    fn fill(cluster: &Cluster, job: u32, entries: u32, bytes_each: usize) {
+        for idx in 0..entries {
+            let mut buckets = HashMap::new();
+            buckets.insert(
+                ReduceTaskId::whole(JobId(job), PartitionId(0)),
+                bytes::Bytes::from(vec![0u8; bytes_each]),
+            );
+            cluster.map_outputs().insert(
+                MapInputKey::new(JobId(job), PartitionId(0), idx),
+                NodeId(0),
+                0,
+                buckets,
+            );
+        }
+    }
+
+    #[test]
+    fn under_budget_is_a_no_op() {
+        let cluster = Cluster::new(ClusterConfig::small_test(2));
+        fill(&cluster, 1, 4, 100);
+        let stats = enforce_budget(
+            &cluster,
+            &graph(),
+            StorageBudget {
+                max_persisted_bytes: 10_000,
+            },
+            2,
+        )
+        .unwrap();
+        assert_eq!(stats.entries_evicted, 0);
+        assert_eq!(cluster.map_outputs().len(), 4);
+    }
+
+    #[test]
+    fn evicts_oldest_job_waves_first() {
+        let cluster = Cluster::new(ClusterConfig::small_test(2));
+        fill(&cluster, 1, 6, 100); // oldest job: 600 bytes
+        fill(&cluster, 2, 6, 100); // newest job: 600 bytes
+        let stats = enforce_budget(
+            &cluster,
+            &graph(),
+            StorageBudget {
+                max_persisted_bytes: 800,
+            },
+            2, // waves of 2 entries
+        )
+        .unwrap();
+        assert!(stats.entries_evicted >= 4);
+        assert!(cluster.map_outputs().total_bytes() <= 800);
+        // Job 2's outputs survive; job 1 was drained first.
+        assert_eq!(cluster.map_outputs().keys_for_job(JobId(2)).len(), 6);
+        assert!(cluster.map_outputs().keys_for_job(JobId(1)).len() <= 2);
+    }
+
+    #[test]
+    fn drains_multiple_jobs_when_needed() {
+        let cluster = Cluster::new(ClusterConfig::small_test(2));
+        fill(&cluster, 1, 4, 100);
+        fill(&cluster, 2, 4, 100);
+        let stats = enforce_budget(
+            &cluster,
+            &graph(),
+            StorageBudget {
+                max_persisted_bytes: 100,
+            },
+            4,
+        )
+        .unwrap();
+        assert!(cluster.map_outputs().total_bytes() <= 100);
+        assert_eq!(stats.bytes_before, 800);
+        assert!(stats.bytes_after <= 100);
+    }
+
+    #[test]
+    fn eviction_only_slows_recovery_never_breaks_it() {
+        // End-to-end: run a chain, evict EVERYTHING, then recover from a
+        // failure — the planner simply re-runs more mappers.
+        use crate::driver::ChainDriver;
+        use crate::strategy::Strategy;
+        use rcmp_engine::{ScriptedInjector, TriggerPoint};
+
+        let cluster = Cluster::new(ClusterConfig::small_test(4));
+        cluster.dfs().create_file("input", 3, 4).unwrap();
+        for p in 0..4u32 {
+            let mut w = rcmp_model::RecordWriter::new();
+            for i in 0..50u64 {
+                w.push(&rcmp_model::Record::new(
+                    rcmp_model::partition::mix64(p as u64 * 100 + i),
+                    vec![p as u8; 20],
+                ));
+            }
+            cluster
+                .dfs()
+                .write_partition_chunks(
+                    "input",
+                    PartitionId(p),
+                    vec![w.finish()],
+                    NodeId(p % 4),
+                    PlacementPolicy::WriterLocal,
+                )
+                .unwrap();
+        }
+        let specs = vec![spec(1, "input", "out/1"), spec(2, "out/1", "out/2")];
+        let g = JobGraph::new(specs.iter().cloned()).unwrap();
+        let injector = Arc::new(ScriptedInjector::single(
+            2,
+            TriggerPoint::JobStart,
+            NodeId(1),
+        ));
+        // Run job 1, evict all persisted outputs, then let the failure
+        // at job 2 force recovery with an empty store.
+        let tracker = rcmp_engine::JobTracker::new(&cluster, injector.clone());
+        tracker
+            .run(&rcmp_engine::JobRun::full(specs[0].clone()), 1)
+            .unwrap();
+        enforce_budget(
+            &cluster,
+            &g,
+            StorageBudget {
+                max_persisted_bytes: 0,
+            },
+            4,
+        )
+        .unwrap();
+        assert_eq!(cluster.map_outputs().total_bytes(), 0);
+
+        let outcome = ChainDriver::new(&cluster, Strategy::rcmp_no_split())
+            .with_injector(injector)
+            .run(&specs)
+            .unwrap();
+        // Recovery happened (if the kill broke job 2's input) or the
+        // chain just completed; either way the final file is complete.
+        assert!(cluster.dfs().file_meta("out/2").unwrap().is_complete());
+        let _ = outcome;
+    }
+}

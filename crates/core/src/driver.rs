@@ -1,0 +1,415 @@
+//! The middleware driver: runs a multi-job computation under a strategy.
+//!
+//! This is the paper's "middleware program" (§IV-A): it submits jobs in
+//! dependency order, watches for irreversible data loss, cancels broken
+//! jobs, plans and executes cascading recomputation (RCMP), restarts the
+//! chain (OPTIMISTIC / exhausted replication), and places replication
+//! points (hybrid). Nested failures — new losses during recovery — are
+//! handled by replanning from current cluster state, exactly as §IV-A
+//! describes ("If a new failure occurs while RCMP is recovering from a
+//! previous one, RCMP's behavior remains unchanged").
+
+use crate::dag::JobGraph;
+use crate::events::{ChainEvent, EventLog};
+use crate::planner::plan_recovery;
+use crate::reclaim::reclaim_before;
+use crate::strategy::{HotspotMitigation, SplitPolicy, Strategy};
+use rcmp_engine::{
+    Cluster, FailureInjector, JobReport, JobRun, JobSpec, JobTracker, NoFailures,
+    RecomputeInstructions, RunMode,
+};
+use rcmp_model::{Error, JobId, Result};
+use std::sync::Arc;
+
+/// Bound on chain restarts and nested-recovery replans.
+const MAX_ATTEMPTS: u32 = 100;
+
+/// How a cancelled job is re-run once its input is restored.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RestartMode {
+    /// Re-run the whole job, discarding partial results — the paper's
+    /// implementation ("for simplicity, for the job during which the
+    /// failure occurs, RCMP currently discards the partial results").
+    Discard,
+    /// Resume: re-run only the lost/unfinished partitions, reusing the
+    /// job's surviving persisted map outputs — the improvement the paper
+    /// describes as the ideal behaviour (§V-A).
+    ResumePartial,
+}
+
+/// Result of driving a chain to completion.
+#[derive(Debug, Default)]
+pub struct ChainOutcome {
+    /// Every job run executed, in submission order (including
+    /// recomputations and restarts).
+    pub runs: Vec<JobReport>,
+    pub events: EventLog,
+    /// Total job runs started — the paper's job numbering (§V-A: a
+    /// 7-job chain with a late failure starts 14 jobs).
+    pub jobs_started: u64,
+    /// Whole-chain restarts (OPTIMISTIC, exhausted replication).
+    pub restarts: u32,
+}
+
+impl ChainOutcome {
+    /// Sum of mapper tasks actually executed across all runs.
+    pub fn total_map_tasks(&self) -> usize {
+        self.runs.iter().map(|r| r.map_tasks_run).sum()
+    }
+
+    /// Sum of reduce tasks actually executed across all runs.
+    pub fn total_reduce_tasks(&self) -> usize {
+        self.runs.iter().map(|r| r.reduce_tasks_run).sum()
+    }
+
+    /// Aggregated I/O over all runs.
+    pub fn total_io(&self) -> rcmp_engine::IoBytes {
+        let mut io = rcmp_engine::IoBytes::default();
+        for r in &self.runs {
+            io.add(&r.io);
+        }
+        io
+    }
+}
+
+/// Drives one multi-job computation on a cluster.
+pub struct ChainDriver<'a> {
+    cluster: &'a Cluster,
+    injector: Arc<dyn FailureInjector>,
+    strategy: Strategy,
+    restart_mode: RestartMode,
+}
+
+impl<'a> ChainDriver<'a> {
+    pub fn new(cluster: &'a Cluster, strategy: Strategy) -> Self {
+        Self {
+            cluster,
+            injector: Arc::new(NoFailures),
+            strategy,
+            restart_mode: RestartMode::Discard,
+        }
+    }
+
+    pub fn with_injector(mut self, injector: Arc<dyn FailureInjector>) -> Self {
+        self.injector = injector;
+        self
+    }
+
+    pub fn with_restart_mode(mut self, mode: RestartMode) -> Self {
+        self.restart_mode = mode;
+        self
+    }
+
+    /// Runs the computation to completion.
+    pub fn run(&self, specs: &[JobSpec]) -> Result<ChainOutcome> {
+        let graph = JobGraph::new(specs.iter().cloned())?;
+        let order = graph.submission_order()?;
+        let tracker = JobTracker::new(self.cluster, self.injector.clone());
+        let mut outcome = ChainOutcome::default();
+        let replication = self.strategy.output_replication();
+        let persist = self.strategy.persists_outputs();
+
+        let mut attempts = 0u32;
+        'chain: loop {
+            attempts += 1;
+            if attempts > MAX_ATTEMPTS {
+                return Err(Error::JobFailed {
+                    job: *order.last().expect("non-empty chain"),
+                    reason: "too many chain restarts".into(),
+                });
+            }
+            let mut idx = 0usize;
+            let mut resume_job: Option<JobId> = None;
+            let mut jobs_since_point = 0u32;
+            while idx < order.len() {
+                let job = order[idx];
+                let mut spec = graph.spec(job).expect("job in graph").clone();
+                spec.output_replication = replication;
+
+                outcome.jobs_started += 1;
+                let seq = outcome.jobs_started;
+                let run = self.build_run(&spec, resume_job == Some(job), persist)?;
+                outcome.events.push(ChainEvent::JobStarted {
+                    seq,
+                    job,
+                    recompute: run.mode.is_recompute(),
+                });
+                resume_job = None;
+
+                let live_before = self.cluster.live_nodes();
+                match tracker.run(&run, seq) {
+                    Ok(report) => {
+                        self.record_losses(seq, &report, &mut outcome);
+                        outcome.events.push(ChainEvent::JobCompleted {
+                            seq,
+                            job,
+                            map_tasks_run: report.map_tasks_run,
+                            map_tasks_reused: report.map_tasks_reused,
+                            reduce_tasks_run: report.reduce_tasks_run,
+                        });
+                        outcome.runs.push(report);
+                        self.maybe_replicate(&graph, &order, idx, &mut jobs_since_point, &mut outcome)?;
+                        idx += 1;
+                    }
+                    Err(Error::JobInputLost { .. }) => {
+                        self.record_losses_by_diff(seq, &live_before, &graph, &mut outcome);
+                        outcome.events.push(ChainEvent::JobCancelled { seq, job });
+                        match self.strategy {
+                            Strategy::Optimistic | Strategy::Replication { .. } => {
+                                // OPTIMISTIC discards everything and
+                                // restarts; exhausted replication has no
+                                // choice but the same (§V-B "More
+                                // failures").
+                                self.wipe_outputs(&graph, &order)?;
+                                outcome.restarts += 1;
+                                outcome.events.push(ChainEvent::ChainRestarted);
+                                continue 'chain;
+                            }
+                            Strategy::Rcmp { split, hotspot } => {
+                                self.recover(
+                                    &tracker, &graph, job, split, hotspot, persist,
+                                    &mut outcome,
+                                )?;
+                                resume_job = Some(job);
+                            }
+                            Strategy::Hybrid { split, .. }
+                            | Strategy::DynamicHybrid { split, .. } => {
+                                self.recover(
+                                    &tracker,
+                                    &graph,
+                                    job,
+                                    split,
+                                    HotspotMitigation::SplitReducers,
+                                    persist,
+                                    &mut outcome,
+                                )?;
+                                resume_job = Some(job);
+                            }
+                        }
+                        // retry same idx
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            return Ok(outcome);
+        }
+    }
+
+    /// Builds the submission for a (re)run of a job at the head of the
+    /// chain loop.
+    fn build_run(&self, spec: &JobSpec, retry: bool, persist: bool) -> Result<JobRun> {
+        let mode = if retry
+            && self.restart_mode == RestartMode::ResumePartial
+            && self.cluster.dfs().file_exists(&spec.output)
+        {
+            // Resume: only the partitions that are lost or were never
+            // written, reusing surviving persisted map outputs.
+            let meta = self.cluster.dfs().file_meta(&spec.output)?;
+            let partitions: Vec<_> = meta
+                .partitions
+                .iter()
+                .filter(|p| p.is_lost() || !p.is_written())
+                .map(|p| p.id)
+                .collect();
+            if partitions.is_empty() {
+                // Everything survived; nothing to do, but Full would
+                // wipe it. Run a no-op recompute of zero partitions.
+                RunMode::Recompute(RecomputeInstructions::new([], None))
+            } else {
+                RunMode::Recompute(RecomputeInstructions::new(partitions, None))
+            }
+        } else {
+            RunMode::Full
+        };
+        Ok(JobRun {
+            spec: spec.clone(),
+            mode,
+            persist_map_outputs: persist,
+        })
+    }
+
+    fn record_losses(&self, seq: u64, report: &JobReport, outcome: &mut ChainOutcome) {
+        for loss in &report.losses {
+            outcome.events.push(ChainEvent::LossObserved {
+                seq,
+                node: loss.node,
+                lost_partitions: loss.lost_partition_count(),
+            });
+        }
+    }
+
+    /// A cancelled run's report (and its loss records) is consumed by
+    /// the error path, so losses behind a cancellation are recovered by
+    /// diffing node liveness around the run. `lost_partitions` reports
+    /// the *currently* lost partitions across the computation's files.
+    fn record_losses_by_diff(
+        &self,
+        seq: u64,
+        live_before: &[rcmp_model::NodeId],
+        graph: &JobGraph,
+        outcome: &mut ChainOutcome,
+    ) {
+        let lost_now: usize = graph
+            .jobs()
+            .filter_map(|(_, spec)| self.cluster.dfs().file_meta(&spec.output).ok())
+            .map(|m| m.lost_partitions().len())
+            .sum();
+        for &node in live_before {
+            if !self.cluster.is_alive(node) {
+                outcome.events.push(ChainEvent::LossObserved {
+                    seq,
+                    node: Some(node),
+                    lost_partitions: lost_now,
+                });
+            }
+        }
+    }
+
+    /// Hybrid replication points: static modulus (§IV-C) or the
+    /// dynamic expected-cost policy (§IV-C future work).
+    fn maybe_replicate(
+        &self,
+        graph: &JobGraph,
+        order: &[JobId],
+        idx: usize,
+        jobs_since_point: &mut u32,
+        outcome: &mut ChainOutcome,
+    ) -> Result<()> {
+        let (factor, reclaim, due) = match self.strategy {
+            Strategy::Hybrid {
+                every_k,
+                factor,
+                reclaim,
+                ..
+            } => {
+                let position = idx as u32 + 1;
+                (factor, reclaim, every_k != 0 && position.is_multiple_of(every_k))
+            }
+            Strategy::DynamicHybrid {
+                factor,
+                policy,
+                reclaim,
+                ..
+            } => {
+                *jobs_since_point += 1;
+                (factor, reclaim, policy.should_replicate(*jobs_since_point))
+            }
+            _ => return Ok(()),
+        };
+        if !due {
+            return Ok(());
+        }
+        *jobs_since_point = 0;
+        let job = order[idx];
+        let spec = graph.spec(job).expect("job in graph");
+        self.cluster.dfs().replicate_file(&spec.output, factor)?;
+        outcome
+            .events
+            .push(ChainEvent::ReplicationPoint { job, factor });
+        if reclaim {
+            let stats = reclaim_before(self.cluster, graph, job)?;
+            outcome.events.push(ChainEvent::StorageReclaimed {
+                files_deleted: stats.files_deleted,
+                map_entries_dropped: stats.map_entries_dropped,
+            });
+        }
+        Ok(())
+    }
+
+    /// Executes cascading recomputation until `target`'s input is whole,
+    /// replanning after nested failures.
+    #[allow(clippy::too_many_arguments)]
+    fn recover(
+        &self,
+        tracker: &JobTracker<'_>,
+        graph: &JobGraph,
+        target: JobId,
+        split: SplitPolicy,
+        hotspot: HotspotMitigation,
+        persist: bool,
+        outcome: &mut ChainOutcome,
+    ) -> Result<()> {
+        for _attempt in 0..MAX_ATTEMPTS {
+            let plan = plan_recovery(self.cluster, graph, target, split, hotspot)?;
+            outcome.events.push(ChainEvent::RecoveryPlanned {
+                target,
+                steps: plan.steps.len(),
+                partitions: plan.partition_count(),
+            });
+            if plan.is_empty() {
+                return Ok(());
+            }
+            let mut nested = false;
+            for step in plan.steps {
+                let mut spec = graph.spec(step.job).expect("job in graph").clone();
+                spec.output_replication = 1;
+                if let Some(p) = step.placement_override {
+                    spec.placement = p;
+                }
+                outcome.jobs_started += 1;
+                let seq = outcome.jobs_started;
+                outcome.events.push(ChainEvent::JobStarted {
+                    seq,
+                    job: step.job,
+                    recompute: true,
+                });
+                let run = JobRun {
+                    spec,
+                    mode: RunMode::Recompute(step.instructions),
+                    persist_map_outputs: persist,
+                };
+                let live_before = self.cluster.live_nodes();
+                match tracker.run(&run, seq) {
+                    Ok(report) => {
+                        let had_losses = !report.losses.is_empty();
+                        self.record_losses(seq, &report, outcome);
+                        outcome.events.push(ChainEvent::JobCompleted {
+                            seq,
+                            job: step.job,
+                            map_tasks_run: report.map_tasks_run,
+                            map_tasks_reused: report.map_tasks_reused,
+                            reduce_tasks_run: report.reduce_tasks_run,
+                        });
+                        outcome.runs.push(report);
+                        if had_losses {
+                            // A nested failure may have invalidated the
+                            // rest of the plan: replan from state.
+                            nested = true;
+                            break;
+                        }
+                    }
+                    Err(Error::JobInputLost { .. }) => {
+                        self.record_losses_by_diff(seq, &live_before, graph, outcome);
+                        outcome.events.push(ChainEvent::JobCancelled {
+                            seq,
+                            job: step.job,
+                        });
+                        nested = true;
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            if !nested {
+                return Ok(());
+            }
+        }
+        Err(Error::JobFailed {
+            job: target,
+            reason: "nested-failure recovery did not converge".into(),
+        })
+    }
+
+    /// OPTIMISTIC restart: drop every produced output and persisted map
+    /// output; the chain starts over from the (replicated) input.
+    fn wipe_outputs(&self, graph: &JobGraph, order: &[JobId]) -> Result<()> {
+        for &job in order {
+            let spec = graph.spec(job).expect("job in graph");
+            if self.cluster.dfs().file_exists(&spec.output) {
+                self.cluster.dfs().delete_file(&spec.output)?;
+            }
+            self.cluster.map_outputs().clear_job(job);
+        }
+        Ok(())
+    }
+}

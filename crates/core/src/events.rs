@@ -1,0 +1,120 @@
+//! Structured event log of middleware activity.
+
+use rcmp_model::{JobId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Everything the middleware does while driving a multi-job computation.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChainEvent {
+    /// A job run was submitted (`seq` is the paper's global run number).
+    JobStarted {
+        seq: u64,
+        job: JobId,
+        recompute: bool,
+    },
+    JobCompleted {
+        seq: u64,
+        job: JobId,
+        map_tasks_run: usize,
+        map_tasks_reused: usize,
+        reduce_tasks_run: usize,
+    },
+    /// A node death caused irreversible loss during run `seq`.
+    LossObserved {
+        seq: u64,
+        node: Option<NodeId>,
+        lost_partitions: usize,
+    },
+    /// The running job could not continue; recovery begins.
+    JobCancelled { seq: u64, job: JobId },
+    RecoveryPlanned {
+        target: JobId,
+        steps: usize,
+        partitions: usize,
+    },
+    /// Hybrid mode replicated a job's output (§IV-C).
+    ReplicationPoint { job: JobId, factor: u32 },
+    /// Storage reclaimed behind a replication point.
+    StorageReclaimed {
+        files_deleted: usize,
+        map_entries_dropped: usize,
+    },
+    /// OPTIMISTIC (or exhausted replication) restarted the whole chain.
+    ChainRestarted,
+}
+
+/// Append-only event log.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventLog {
+    events: Vec<ChainEvent>,
+}
+
+impl EventLog {
+    pub fn push(&mut self, e: ChainEvent) {
+        self.events.push(e);
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &ChainEvent> {
+        self.events.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of recomputation runs submitted.
+    pub fn recompute_runs(&self) -> usize {
+        self.iter()
+            .filter(|e| matches!(e, ChainEvent::JobStarted { recompute: true, .. }))
+            .count()
+    }
+
+    /// Number of chain restarts.
+    pub fn restarts(&self) -> usize {
+        self.iter()
+            .filter(|e| matches!(e, ChainEvent::ChainRestarted))
+            .count()
+    }
+
+    /// Number of loss events observed.
+    pub fn losses(&self) -> usize {
+        self.iter()
+            .filter(|e| matches!(e, ChainEvent::LossObserved { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters() {
+        let mut log = EventLog::default();
+        assert!(log.is_empty());
+        log.push(ChainEvent::JobStarted {
+            seq: 1,
+            job: JobId(1),
+            recompute: false,
+        });
+        log.push(ChainEvent::JobStarted {
+            seq: 2,
+            job: JobId(1),
+            recompute: true,
+        });
+        log.push(ChainEvent::ChainRestarted);
+        log.push(ChainEvent::LossObserved {
+            seq: 2,
+            node: Some(NodeId(1)),
+            lost_partitions: 3,
+        });
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.recompute_runs(), 1);
+        assert_eq!(log.restarts(), 1);
+        assert_eq!(log.losses(), 1);
+    }
+}

@@ -1,0 +1,156 @@
+//! The failure-resilience strategies compared in the evaluation (§V-A).
+
+use crate::dynamic::DynamicPolicy;
+use serde::{Deserialize, Serialize};
+
+/// How many ways to split recomputed reducers (§IV-B1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SplitPolicy {
+    /// No splitting — the paper's "RCMP NO-SPLIT".
+    None,
+    /// Split every recomputed reducer `k` ways (the paper uses 8 on
+    /// STIC, 59 on DCO).
+    Fixed(u32),
+    /// Split by the number of surviving nodes at plan time, so every
+    /// survivor gets reducer work (the paper's "N−1" rule of Fig. 11).
+    Survivors,
+}
+
+impl SplitPolicy {
+    /// Resolves the split factor given the current survivor count.
+    /// Returns `None` when no splitting should be instructed.
+    pub fn factor(&self, survivors: usize) -> Option<u32> {
+        match self {
+            SplitPolicy::None => None,
+            SplitPolicy::Fixed(k) if *k <= 1 => None,
+            SplitPolicy::Fixed(k) => Some(*k),
+            SplitPolicy::Survivors => {
+                let k = survivors as u32;
+                (k > 1).then_some(k)
+            }
+        }
+    }
+}
+
+/// How recomputation runs mitigate the hot-spots of §IV-B2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HotspotMitigation {
+    /// No mitigation: recomputed reducers write locally, the following
+    /// job's mappers converge on that node.
+    None,
+    /// Reducer splitting (the paper's choice): splitting spreads the
+    /// reducer output implicitly. Selected by using a [`SplitPolicy`]
+    /// other than `None`.
+    SplitReducers,
+    /// The alternative the paper analyzes and rejects: unsplit
+    /// recomputed reducers scatter their output blocks over many nodes.
+    /// Balances the next map phase but not the reduce/shuffle work.
+    SpreadOutput,
+}
+
+/// A failure-resilience strategy for a multi-job computation.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// RCMP: replication factor 1, persisted task outputs, cascading
+    /// minimum recomputation on data loss.
+    Rcmp {
+        split: SplitPolicy,
+        hotspot: HotspotMitigation,
+    },
+    /// Hadoop with data replication: every job output written `factor`
+    /// times; resubmissions (never needed unless more than `factor − 1`
+    /// failures hit) re-execute entire jobs.
+    Replication { factor: u32 },
+    /// Assumes failures never happen: factor 1, nothing persisted;
+    /// on any data loss the whole computation restarts from job 1.
+    Optimistic,
+    /// RCMP plus a replication point every `every_k` jobs (§IV-C):
+    /// cascades stop at the last replicated output, and storage for
+    /// older persisted outputs can be reclaimed.
+    Hybrid {
+        split: SplitPolicy,
+        every_k: u32,
+        factor: u32,
+        /// Reclaim persisted outputs behind each replication point.
+        reclaim: bool,
+    },
+    /// The paper's §IV-C future work: hybrid with replication points
+    /// placed by an expected-cost model instead of a static modulus.
+    DynamicHybrid {
+        split: SplitPolicy,
+        factor: u32,
+        policy: DynamicPolicy,
+        reclaim: bool,
+    },
+}
+
+impl Strategy {
+    /// The paper's RCMP SPLIT with a fixed ratio.
+    pub fn rcmp_split(k: u32) -> Self {
+        Strategy::Rcmp {
+            split: SplitPolicy::Fixed(k),
+            hotspot: HotspotMitigation::SplitReducers,
+        }
+    }
+
+    /// The paper's RCMP NO-SPLIT.
+    pub fn rcmp_no_split() -> Self {
+        Strategy::Rcmp {
+            split: SplitPolicy::None,
+            hotspot: HotspotMitigation::None,
+        }
+    }
+
+    /// Replication factor each job's output is written with.
+    pub fn output_replication(&self) -> u32 {
+        match self {
+            Strategy::Replication { factor } => *factor,
+            _ => 1,
+        }
+    }
+
+    /// Whether task outputs persist across jobs.
+    pub fn persists_outputs(&self) -> bool {
+        matches!(
+            self,
+            Strategy::Rcmp { .. } | Strategy::Hybrid { .. } | Strategy::DynamicHybrid { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_policy_resolution() {
+        assert_eq!(SplitPolicy::None.factor(9), None);
+        assert_eq!(SplitPolicy::Fixed(8).factor(9), Some(8));
+        assert_eq!(SplitPolicy::Fixed(1).factor(9), None);
+        assert_eq!(SplitPolicy::Survivors.factor(9), Some(9));
+        assert_eq!(SplitPolicy::Survivors.factor(1), None);
+    }
+
+    #[test]
+    fn strategy_properties() {
+        assert_eq!(Strategy::Replication { factor: 3 }.output_replication(), 3);
+        assert_eq!(Strategy::rcmp_split(8).output_replication(), 1);
+        assert!(Strategy::rcmp_no_split().persists_outputs());
+        assert!(!Strategy::Optimistic.persists_outputs());
+        assert!(!Strategy::Replication { factor: 2 }.persists_outputs());
+        assert!(Strategy::Hybrid {
+            split: SplitPolicy::None,
+            every_k: 5,
+            factor: 2,
+            reclaim: true
+        }
+        .persists_outputs());
+        assert!(Strategy::DynamicHybrid {
+            split: SplitPolicy::None,
+            factor: 2,
+            policy: DynamicPolicy::from_trace_stats(0.17, 10.0, 10, 1),
+            reclaim: false,
+        }
+        .persists_outputs());
+    }
+}

@@ -1,0 +1,77 @@
+//! Block metadata.
+
+use rcmp_model::{BlockId, ByteSize, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Metadata for one replicated block.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockInfo {
+    pub id: BlockId,
+    pub size: ByteSize,
+    /// Fingerprint of the block's contents (see `rcmp_model::hash`).
+    /// RCMP's planner compares it against the fingerprint recorded with
+    /// a persisted map output to decide whether that output may be
+    /// reused — the mechanism behind the paper's Fig.-5 rule.
+    pub content_hash: u64,
+    /// Nodes currently holding a replica. Order is placement order (the
+    /// first entry was the writer-local replica if the policy was
+    /// writer-local).
+    pub replicas: Vec<NodeId>,
+}
+
+impl BlockInfo {
+    /// True once every replica is gone: the block is irreversibly lost.
+    pub fn is_lost(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// Drops `node` from the replica set; returns true if it held one.
+    pub fn drop_replica(&mut self, node: NodeId) -> bool {
+        let before = self.replicas.len();
+        self.replicas.retain(|&n| n != node);
+        self.replicas.len() != before
+    }
+}
+
+/// A block plus where it lives, handed to schedulers for locality
+/// decisions (a mapper input split is one block).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockLocation {
+    pub id: BlockId,
+    pub size: ByteSize,
+    /// Content fingerprint (see [`BlockInfo::content_hash`]).
+    pub content_hash: u64,
+    pub replicas: Vec<NodeId>,
+}
+
+impl From<&BlockInfo> for BlockLocation {
+    fn from(b: &BlockInfo) -> Self {
+        Self {
+            id: b.id,
+            size: b.size,
+            content_hash: b.content_hash,
+            replicas: b.replicas.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_replica_tracks_loss() {
+        let mut b = BlockInfo {
+            id: BlockId(1),
+            size: ByteSize::mib(1),
+            content_hash: 0,
+            replicas: vec![NodeId(0), NodeId(2)],
+        };
+        assert!(!b.is_lost());
+        assert!(b.drop_replica(NodeId(0)));
+        assert!(!b.drop_replica(NodeId(0)));
+        assert!(!b.is_lost());
+        assert!(b.drop_replica(NodeId(2)));
+        assert!(b.is_lost());
+    }
+}

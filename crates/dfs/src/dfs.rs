@@ -1,0 +1,789 @@
+//! The DFS master: namespace + per-node stores + failure handling.
+
+use crate::block::{BlockInfo, BlockLocation};
+use crate::namespace::{FileMeta, PartitionMeta, SegmentMeta};
+use crate::placement::{place_block, PlacementPolicy};
+use crate::report::LossReport;
+use crate::storage::{NodeAccessStats, NodeStore};
+use crate::topology::RackTopology;
+use bytes::{Bytes, BytesMut};
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rcmp_model::rng::rng_for;
+use rcmp_model::{BlockId, ByteSize, Error, NodeId, PartitionId, Result};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Configuration of the DFS substrate.
+#[derive(Clone, Debug)]
+pub struct DfsConfig {
+    /// Number of storage nodes (collocated with compute).
+    pub nodes: u32,
+    /// Block size; writes are chunked to this size.
+    pub block_size: ByteSize,
+    /// Seed for placement randomness.
+    pub seed: u64,
+    /// Optional artificial per-MiB read latency, used by hot-spot
+    /// experiments on the real engine so concurrent reads genuinely
+    /// overlap in wall-clock time. `None` (default) reads at memory
+    /// speed.
+    pub read_delay: Option<Duration>,
+    /// Optional rack topology; when present, remote replicas are placed
+    /// rack-aware (HDFS-style), protecting against single rack failures
+    /// (§III-A).
+    pub topology: Option<RackTopology>,
+}
+
+impl DfsConfig {
+    pub fn new(nodes: u32, block_size: ByteSize) -> Self {
+        Self {
+            nodes,
+            block_size,
+            seed: 0xd5f5,
+            read_delay: None,
+            topology: None,
+        }
+    }
+
+    /// Adds a rack topology (rack-aware remote-replica placement).
+    pub fn with_topology(mut self, topology: RackTopology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+}
+
+/// The distributed file system.
+///
+/// Thread-safe: the engine's node executors read and write concurrently.
+/// The namespace lock is never held while block payloads are copied.
+pub struct Dfs {
+    cfg: DfsConfig,
+    namespace: RwLock<HashMap<String, FileMeta>>,
+    stores: Vec<NodeStore>,
+    alive: Vec<AtomicBool>,
+    next_block: AtomicU64,
+    rng: Mutex<SmallRng>,
+}
+
+impl Dfs {
+    pub fn new(cfg: DfsConfig) -> Self {
+        assert!(cfg.nodes > 0, "DFS needs at least one node");
+        assert!(!cfg.block_size.is_zero(), "block size must be positive");
+        let stores = (0..cfg.nodes).map(|_| NodeStore::new()).collect();
+        let alive = (0..cfg.nodes).map(|_| AtomicBool::new(true)).collect();
+        let rng = Mutex::new(rng_for(cfg.seed, "dfs-placement"));
+        Self {
+            cfg,
+            namespace: RwLock::new(HashMap::new()),
+            stores,
+            alive,
+            next_block: AtomicU64::new(1),
+            rng,
+        }
+    }
+
+    pub fn config(&self) -> &DfsConfig {
+        &self.cfg
+    }
+
+    /// Nodes currently alive.
+    pub fn live_nodes(&self) -> Vec<NodeId> {
+        (0..self.cfg.nodes)
+            .map(NodeId)
+            .filter(|n| self.is_alive(*n))
+            .collect()
+    }
+
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.alive
+            .get(node.index())
+            .map(|a| a.load(Ordering::SeqCst))
+            .unwrap_or(false)
+    }
+
+    // ---------------------------------------------------------------- files
+
+    /// Creates an empty partitioned file.
+    pub fn create_file(
+        &self,
+        path: &str,
+        replication: u32,
+        num_partitions: u32,
+    ) -> Result<()> {
+        if replication == 0 {
+            return Err(Error::Config("replication factor must be >= 1".into()));
+        }
+        let mut ns = self.namespace.write();
+        if ns.contains_key(path) {
+            return Err(Error::FileExists(path.to_string()));
+        }
+        ns.insert(
+            path.to_string(),
+            FileMeta::new(path, replication, num_partitions),
+        );
+        Ok(())
+    }
+
+    pub fn file_exists(&self, path: &str) -> bool {
+        self.namespace.read().contains_key(path)
+    }
+
+    /// A snapshot of the file's metadata.
+    pub fn file_meta(&self, path: &str) -> Result<FileMeta> {
+        self.namespace
+            .read()
+            .get(path)
+            .cloned()
+            .ok_or_else(|| Error::FileNotFound(path.to_string()))
+    }
+
+    /// Deletes a file and frees its blocks from every store.
+    pub fn delete_file(&self, path: &str) -> Result<()> {
+        let meta = {
+            let mut ns = self.namespace.write();
+            ns.remove(path)
+                .ok_or_else(|| Error::FileNotFound(path.to_string()))?
+        };
+        for p in &meta.partitions {
+            self.free_blocks(p);
+        }
+        Ok(())
+    }
+
+    fn free_blocks(&self, p: &PartitionMeta) {
+        for b in p.blocks() {
+            for &n in &b.replicas {
+                if let Some(store) = self.stores.get(n.index()) {
+                    store.remove(b.id);
+                }
+            }
+        }
+    }
+
+    // ----------------------------------------------------------- partitions
+
+    /// Appends one writer's segment to a partition, chunked into blocks
+    /// at `block_size` boundaries and replicated per the file's
+    /// replication factor.
+    ///
+    /// An unsplit reducer calls this once; `k` splits of a reducer call
+    /// it once each, which distributes the partition over their nodes.
+    ///
+    /// Note: chunking here is byte-oriented. Writers whose data is a
+    /// record stream that downstream mappers will read block-by-block
+    /// must use [`Dfs::write_partition_chunks`] with record-aligned
+    /// chunks instead, or records would straddle block boundaries.
+    pub fn write_partition_segment(
+        &self,
+        path: &str,
+        pid: PartitionId,
+        data: Bytes,
+        writer: NodeId,
+        policy: PlacementPolicy,
+    ) -> Result<()> {
+        let bs = self.cfg.block_size.as_u64() as usize;
+        let mut chunks = Vec::new();
+        let mut off = 0usize;
+        while off < data.len() {
+            let end = (off + bs).min(data.len());
+            chunks.push(data.slice(off..end));
+            off = end;
+        }
+        self.write_partition_chunks(path, pid, chunks, writer, policy)
+    }
+
+    /// Appends one writer's segment whose blocks are exactly the given
+    /// chunks (callers guarantee record alignment; chunks may be smaller
+    /// than the block size but must not be larger).
+    pub fn write_partition_chunks(
+        &self,
+        path: &str,
+        pid: PartitionId,
+        chunks: Vec<Bytes>,
+        writer: NodeId,
+        policy: PlacementPolicy,
+    ) -> Result<()> {
+        if !self.is_alive(writer) {
+            return Err(Error::NodeUnavailable(writer));
+        }
+        let bs = self.cfg.block_size.as_u64() as usize;
+        if let Some(oversize) = chunks.iter().find(|c| c.len() > bs) {
+            return Err(Error::Config(format!(
+                "chunk of {} bytes exceeds block size {}",
+                oversize.len(),
+                self.cfg.block_size
+            )));
+        }
+        let replication = {
+            let ns = self.namespace.read();
+            let meta = ns
+                .get(path)
+                .ok_or_else(|| Error::FileNotFound(path.to_string()))?;
+            if pid.index() >= meta.partitions.len() {
+                return Err(Error::Config(format!(
+                    "partition {pid} out of range for {path} ({} partitions)",
+                    meta.partitions.len()
+                )));
+            }
+            meta.replication
+        };
+
+        // Place blocks without holding the namespace lock (payload
+        // copies happen here). Feasibility is checked up front so a
+        // failing write never leaves earlier chunks orphaned in stores.
+        let live = self.live_nodes();
+        if (replication as usize) > live.len() {
+            return Err(Error::InsufficientReplicaTargets {
+                wanted: replication as usize,
+                alive: live.len(),
+            });
+        }
+        let mut blocks = Vec::with_capacity(chunks.len());
+        for chunk in chunks {
+            let id = BlockId(self.next_block.fetch_add(1, Ordering::Relaxed));
+            let targets = {
+                let mut rng = self.rng.lock();
+                place_block(
+                    policy,
+                    writer,
+                    replication,
+                    &live,
+                    self.cfg.topology.as_ref(),
+                    &mut *rng,
+                )?
+            };
+            let content_hash = rcmp_model::hash::hash_bytes(&chunk);
+            for &t in &targets {
+                self.stores[t.index()].put(id, chunk.clone());
+            }
+            blocks.push(BlockInfo {
+                id,
+                size: ByteSize::bytes(chunk.len() as u64),
+                content_hash,
+                replicas: targets,
+            });
+        }
+
+        let segment = SegmentMeta { writer, blocks };
+        let mut ns = self.namespace.write();
+        let meta = ns
+            .get_mut(path)
+            .ok_or_else(|| Error::FileNotFound(path.to_string()))?;
+        meta.partitions[pid.index()].segments.push(segment);
+        Ok(())
+    }
+
+    /// Removes all segments of a partition (before recomputing it), so
+    /// stale surviving blocks can never be double-counted downstream.
+    pub fn clear_partition(&self, path: &str, pid: PartitionId) -> Result<()> {
+        let old = {
+            let mut ns = self.namespace.write();
+            let meta = ns
+                .get_mut(path)
+                .ok_or_else(|| Error::FileNotFound(path.to_string()))?;
+            if pid.index() >= meta.partitions.len() {
+                return Err(Error::Config(format!("partition {pid} out of range")));
+            }
+            std::mem::replace(
+                &mut meta.partitions[pid.index()],
+                PartitionMeta::new(pid),
+            )
+        };
+        self.free_blocks(&old);
+        Ok(())
+    }
+
+    /// Block locations of one partition (one mapper input split per
+    /// block), in segment order.
+    pub fn partition_locations(&self, path: &str, pid: PartitionId) -> Result<Vec<BlockLocation>> {
+        let ns = self.namespace.read();
+        let meta = ns
+            .get(path)
+            .ok_or_else(|| Error::FileNotFound(path.to_string()))?;
+        let p = meta
+            .partitions
+            .get(pid.index())
+            .ok_or_else(|| Error::Config(format!("partition {pid} out of range")))?;
+        Ok(p.block_locations())
+    }
+
+    /// Reads one block, preferring a replica on `reader` (data
+    /// locality), falling back to a random live replica.
+    ///
+    /// Returns which node served the read alongside the data, so callers
+    /// can account remote transfers.
+    pub fn read_block(&self, loc: &BlockLocation, reader: NodeId) -> Result<(Bytes, NodeId)> {
+        let live_replicas: Vec<NodeId> = loc
+            .replicas
+            .iter()
+            .copied()
+            .filter(|&n| self.is_alive(n))
+            .collect();
+        if live_replicas.is_empty() {
+            return Err(Error::DataLoss {
+                path: format!("block {}", loc.id),
+                partition: None,
+            });
+        }
+        let source = if live_replicas.contains(&reader) {
+            reader
+        } else {
+            let mut rng = self.rng.lock();
+            *live_replicas.choose(&mut *rng).expect("non-empty")
+        };
+        let data = self.stores[source.index()]
+            .get(loc.id, self.cfg.read_delay)
+            .ok_or_else(|| Error::DataLoss {
+                path: format!("block {} on {source}", loc.id),
+                partition: None,
+            })?;
+        Ok((data, source))
+    }
+
+    /// Reads a whole partition (all segments concatenated).
+    pub fn read_partition(&self, path: &str, pid: PartitionId, reader: NodeId) -> Result<Bytes> {
+        let locs = self.partition_locations(path, pid)?;
+        let total: usize = locs.iter().map(|l| l.size.as_u64() as usize).sum();
+        let mut buf = BytesMut::with_capacity(total);
+        for loc in &locs {
+            let (data, _src) = self.read_block(loc, reader).map_err(|e| match e {
+                Error::DataLoss { .. } => Error::DataLoss {
+                    path: path.to_string(),
+                    partition: Some(pid),
+                },
+                other => other,
+            })?;
+            buf.extend_from_slice(&data);
+        }
+        Ok(buf.freeze())
+    }
+
+    /// Raises a file's replication to `factor` by copying existing
+    /// blocks to additional live nodes (hybrid mode, §IV-C: replicate
+    /// the output of every k-th job).
+    ///
+    /// Plan-then-commit: every block's source and targets are validated
+    /// *before* any data is copied, so a lost block or a too-small
+    /// cluster fails the whole call without orphaning copies in node
+    /// stores (a leak the property suite caught).
+    pub fn replicate_file(&self, path: &str, factor: u32) -> Result<()> {
+        if factor == 0 {
+            return Err(Error::Config("replication factor must be >= 1".into()));
+        }
+        // Phase 1: plan. No mutation; all errors surface here.
+        let meta = self.file_meta(path)?;
+        let live = self.live_nodes();
+        let mut plan: Vec<(BlockId, NodeId, Vec<NodeId>)> = Vec::new();
+        for p in &meta.partitions {
+            for b in p.blocks() {
+                let have: Vec<NodeId> =
+                    b.replicas.iter().copied().filter(|&n| self.is_alive(n)).collect();
+                if have.is_empty() {
+                    return Err(Error::DataLoss {
+                        path: path.to_string(),
+                        partition: Some(p.id),
+                    });
+                }
+                if have.len() >= factor as usize {
+                    continue;
+                }
+                let need = factor as usize - have.len();
+                let mut candidates: Vec<NodeId> = live
+                    .iter()
+                    .copied()
+                    .filter(|n| !have.contains(n))
+                    .collect();
+                if candidates.len() < need {
+                    return Err(Error::InsufficientReplicaTargets {
+                        wanted: factor as usize,
+                        alive: live.len(),
+                    });
+                }
+                {
+                    let mut rng = self.rng.lock();
+                    candidates.shuffle(&mut *rng);
+                }
+                let targets: Vec<NodeId> = candidates.into_iter().take(need).collect();
+                plan.push((b.id, have[0], targets));
+            }
+        }
+        // Phase 2: copy data per the validated plan.
+        let mut added: Vec<(BlockId, Vec<NodeId>)> = Vec::new();
+        for (id, source, targets) in plan {
+            let data = self.stores[source.index()]
+                .get(id, None)
+                .ok_or_else(|| Error::DataLoss {
+                    path: path.to_string(),
+                    partition: None,
+                })?;
+            for &t in &targets {
+                self.stores[t.index()].put(id, data.clone());
+            }
+            added.push((id, targets));
+        }
+        // Commit metadata updates.
+        let mut ns = self.namespace.write();
+        let meta = ns
+            .get_mut(path)
+            .ok_or_else(|| Error::FileNotFound(path.to_string()))?;
+        meta.replication = meta.replication.max(factor);
+        let mut by_block: HashMap<BlockId, Vec<NodeId>> = added.into_iter().collect();
+        for p in &mut meta.partitions {
+            for s in &mut p.segments {
+                for b in &mut s.blocks {
+                    if let Some(extra) = by_block.remove(&b.id) {
+                        b.replicas.extend(extra);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // -------------------------------------------------------------- failure
+
+    /// Kills a node: wipes its store and reports every partition that
+    /// lost all replicas (irreversible data loss) or some replicas
+    /// (under-replication). Idempotent for an already-dead node.
+    pub fn fail_node(&self, node: NodeId) -> LossReport {
+        let mut report = LossReport {
+            node: Some(node),
+            ..Default::default()
+        };
+        if node.index() >= self.stores.len() {
+            return report;
+        }
+        let was_alive = self.alive[node.index()].swap(false, Ordering::SeqCst);
+        self.stores[node.index()].wipe();
+        if !was_alive {
+            return report;
+        }
+        let mut ns = self.namespace.write();
+        for (path, meta) in ns.iter_mut() {
+            let mut lost = Vec::new();
+            let mut under = Vec::new();
+            for p in &mut meta.partitions {
+                let mut touched = false;
+                for s in &mut p.segments {
+                    for b in &mut s.blocks {
+                        touched |= b.drop_replica(node);
+                    }
+                }
+                if !touched {
+                    continue;
+                }
+                if p.is_lost() {
+                    lost.push(p.id);
+                } else {
+                    under.push(p.id);
+                }
+            }
+            if !lost.is_empty() {
+                report.lost.insert(path.clone(), lost);
+            }
+            if !under.is_empty() {
+                report.under_replicated.insert(path.clone(), under);
+            }
+        }
+        report
+    }
+
+    // -------------------------------------------------------------- metrics
+
+    /// Access counters for one node's store.
+    pub fn node_stats(&self, node: NodeId) -> NodeAccessStats {
+        self.stores
+            .get(node.index())
+            .map(|s| s.stats())
+            .unwrap_or_default()
+    }
+
+    /// Bytes currently stored on one node.
+    pub fn node_used(&self, node: NodeId) -> ByteSize {
+        self.stores
+            .get(node.index())
+            .map(|s| s.used())
+            .unwrap_or(ByteSize::ZERO)
+    }
+
+    /// Bytes currently stored across the cluster.
+    pub fn total_used(&self) -> ByteSize {
+        self.stores.iter().map(|s| s.used()).sum()
+    }
+
+    /// Number of block replicas currently stored on one node.
+    pub fn node_block_count(&self, node: NodeId) -> usize {
+        self.stores
+            .get(node.index())
+            .map(|s| s.block_count())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dfs(nodes: u32) -> Dfs {
+        Dfs::new(DfsConfig::new(nodes, ByteSize::bytes(64)))
+    }
+
+    fn payload(n: usize, fill: u8) -> Bytes {
+        Bytes::from(vec![fill; n])
+    }
+
+    #[test]
+    fn create_write_read_roundtrip() {
+        let d = dfs(4);
+        d.create_file("out/1", 1, 2).unwrap();
+        let data = payload(200, 7); // 4 blocks of 64 (3 full + remainder)
+        d.write_partition_segment("out/1", PartitionId(0), data.clone(), NodeId(1), PlacementPolicy::WriterLocal)
+            .unwrap();
+        let got = d.read_partition("out/1", PartitionId(0), NodeId(0)).unwrap();
+        assert_eq!(got, data);
+        let meta = d.file_meta("out/1").unwrap();
+        assert_eq!(meta.partitions[0].size(), ByteSize::bytes(200));
+        assert!(!meta.is_complete()); // partition 1 unwritten
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let d = dfs(2);
+        d.create_file("f", 1, 1).unwrap();
+        assert!(matches!(d.create_file("f", 1, 1), Err(Error::FileExists(_))));
+    }
+
+    #[test]
+    fn writer_local_blocks_live_on_writer() {
+        let d = dfs(4);
+        d.create_file("f", 1, 1).unwrap();
+        d.write_partition_segment("f", PartitionId(0), payload(128, 1), NodeId(2), PlacementPolicy::WriterLocal)
+            .unwrap();
+        let meta = d.file_meta("f").unwrap();
+        for b in meta.partitions[0].blocks() {
+            assert_eq!(b.replicas, vec![NodeId(2)]);
+        }
+        assert_eq!(d.node_used(NodeId(2)), ByteSize::bytes(128));
+    }
+
+    #[test]
+    fn replication_places_distinct_nodes() {
+        let d = dfs(5);
+        d.create_file("f", 3, 1).unwrap();
+        d.write_partition_segment("f", PartitionId(0), payload(64, 1), NodeId(0), PlacementPolicy::WriterLocal)
+            .unwrap();
+        let meta = d.file_meta("f").unwrap();
+        let b = meta.partitions[0].blocks().next().unwrap();
+        assert_eq!(b.replicas.len(), 3);
+        let mut r = b.replicas.clone();
+        r.sort();
+        r.dedup();
+        assert_eq!(r.len(), 3);
+        assert_eq!(d.total_used(), ByteSize::bytes(64 * 3));
+    }
+
+    #[test]
+    fn single_replica_failure_is_data_loss() {
+        let d = dfs(3);
+        d.create_file("f", 1, 2).unwrap();
+        d.write_partition_segment("f", PartitionId(0), payload(64, 1), NodeId(0), PlacementPolicy::WriterLocal)
+            .unwrap();
+        d.write_partition_segment("f", PartitionId(1), payload(64, 2), NodeId(1), PlacementPolicy::WriterLocal)
+            .unwrap();
+        let report = d.fail_node(NodeId(0));
+        assert_eq!(report.node, Some(NodeId(0)));
+        assert_eq!(report.lost_in("f"), &[PartitionId(0)]);
+        assert!(report.under_replicated.is_empty());
+        // Partition 1 still readable, 0 is not.
+        assert!(d.read_partition("f", PartitionId(1), NodeId(2)).is_ok());
+        let err = d.read_partition("f", PartitionId(0), NodeId(2)).unwrap_err();
+        assert!(matches!(err, Error::DataLoss { partition: Some(p), .. } if p == PartitionId(0)));
+    }
+
+    #[test]
+    fn replicated_file_survives_single_failure() {
+        let d = dfs(4);
+        d.create_file("f", 2, 1).unwrap();
+        let data = payload(300, 9);
+        d.write_partition_segment("f", PartitionId(0), data.clone(), NodeId(0), PlacementPolicy::WriterLocal)
+            .unwrap();
+        let report = d.fail_node(NodeId(0));
+        assert!(report.is_benign());
+        assert_eq!(report.under_replicated["f"], vec![PartitionId(0)]);
+        assert_eq!(d.read_partition("f", PartitionId(0), NodeId(1)).unwrap(), data);
+    }
+
+    #[test]
+    fn fail_node_is_idempotent() {
+        let d = dfs(3);
+        d.create_file("f", 1, 1).unwrap();
+        d.write_partition_segment("f", PartitionId(0), payload(64, 1), NodeId(0), PlacementPolicy::WriterLocal)
+            .unwrap();
+        let first = d.fail_node(NodeId(0));
+        assert!(!first.is_benign());
+        let second = d.fail_node(NodeId(0));
+        assert!(second.is_benign(), "second failure of same node reports nothing new");
+        assert_eq!(d.live_nodes(), vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn dead_writer_rejected() {
+        let d = dfs(2);
+        d.create_file("f", 1, 1).unwrap();
+        d.fail_node(NodeId(0));
+        let err = d
+            .write_partition_segment("f", PartitionId(0), payload(10, 0), NodeId(0), PlacementPolicy::WriterLocal)
+            .unwrap_err();
+        assert!(matches!(err, Error::NodeUnavailable(_)));
+    }
+
+    #[test]
+    fn clear_partition_frees_storage() {
+        let d = dfs(2);
+        d.create_file("f", 1, 1).unwrap();
+        d.write_partition_segment("f", PartitionId(0), payload(128, 1), NodeId(0), PlacementPolicy::WriterLocal)
+            .unwrap();
+        assert_eq!(d.total_used(), ByteSize::bytes(128));
+        d.clear_partition("f", PartitionId(0)).unwrap();
+        assert_eq!(d.total_used(), ByteSize::ZERO);
+        assert!(!d.file_meta("f").unwrap().partitions[0].is_written());
+    }
+
+    #[test]
+    fn delete_file_frees_storage() {
+        let d = dfs(2);
+        d.create_file("f", 1, 1).unwrap();
+        d.write_partition_segment("f", PartitionId(0), payload(64, 1), NodeId(0), PlacementPolicy::WriterLocal)
+            .unwrap();
+        d.delete_file("f").unwrap();
+        assert_eq!(d.total_used(), ByteSize::ZERO);
+        assert!(!d.file_exists("f"));
+        assert!(matches!(d.delete_file("f"), Err(Error::FileNotFound(_))));
+    }
+
+    #[test]
+    fn multi_segment_partition_reads_in_order() {
+        let d = dfs(4);
+        d.create_file("f", 1, 1).unwrap();
+        // Two split writers contribute segments.
+        d.write_partition_segment("f", PartitionId(0), payload(64, 1), NodeId(1), PlacementPolicy::WriterLocal)
+            .unwrap();
+        d.write_partition_segment("f", PartitionId(0), payload(64, 2), NodeId(2), PlacementPolicy::WriterLocal)
+            .unwrap();
+        let got = d.read_partition("f", PartitionId(0), NodeId(0)).unwrap();
+        assert_eq!(&got[..64], &[1u8; 64][..]);
+        assert_eq!(&got[64..], &[2u8; 64][..]);
+        // The partition's bytes live on two different nodes.
+        assert_eq!(d.node_used(NodeId(1)), ByteSize::bytes(64));
+        assert_eq!(d.node_used(NodeId(2)), ByteSize::bytes(64));
+    }
+
+    #[test]
+    fn replicate_file_raises_factor() {
+        let d = dfs(4);
+        d.create_file("f", 1, 1).unwrap();
+        let data = payload(150, 3);
+        d.write_partition_segment("f", PartitionId(0), data.clone(), NodeId(0), PlacementPolicy::WriterLocal)
+            .unwrap();
+        d.replicate_file("f", 2).unwrap();
+        let meta = d.file_meta("f").unwrap();
+        for b in meta.partitions[0].blocks() {
+            assert_eq!(b.replicas.len(), 2);
+        }
+        // Now survives losing the original writer.
+        let report = d.fail_node(NodeId(0));
+        assert!(report.is_benign());
+        assert_eq!(d.read_partition("f", PartitionId(0), NodeId(1)).unwrap(), data);
+    }
+
+    #[test]
+    fn read_prefers_local_replica() {
+        let d = dfs(3);
+        d.create_file("f", 2, 1).unwrap();
+        d.write_partition_segment("f", PartitionId(0), payload(64, 1), NodeId(1), PlacementPolicy::WriterLocal)
+            .unwrap();
+        let loc = &d.partition_locations("f", PartitionId(0)).unwrap()[0];
+        let (_, src) = d.read_block(loc, NodeId(1)).unwrap();
+        assert_eq!(src, NodeId(1), "local replica must be preferred");
+    }
+
+    #[test]
+    fn spread_policy_distributes_first_replicas() {
+        let d = dfs(8);
+        d.create_file("f", 1, 1).unwrap();
+        // 16 blocks written with Spread: first replicas should span nodes.
+        d.write_partition_segment(
+            "f",
+            PartitionId(0),
+            payload(64 * 16, 5),
+            NodeId(0),
+            PlacementPolicy::Spread,
+        )
+        .unwrap();
+        let meta = d.file_meta("f").unwrap();
+        let mut holders: Vec<NodeId> = meta.partitions[0]
+            .blocks()
+            .map(|b| b.replicas[0])
+            .collect();
+        holders.sort();
+        holders.dedup();
+        assert!(holders.len() > 2, "spread placement used {holders:?}");
+    }
+
+    #[test]
+    fn replication_factor_too_high_fails() {
+        let d = dfs(2);
+        d.create_file("f", 3, 1).unwrap();
+        let err = d
+            .write_partition_segment("f", PartitionId(0), payload(64, 1), NodeId(0), PlacementPolicy::WriterLocal)
+            .unwrap_err();
+        assert!(matches!(err, Error::InsufficientReplicaTargets { .. }));
+    }
+
+    #[test]
+    fn content_hash_reflects_block_contents() {
+        let d = dfs(2);
+        d.create_file("f", 1, 1).unwrap();
+        d.write_partition_chunks(
+            "f",
+            PartitionId(0),
+            vec![payload(10, 1), payload(10, 1), payload(10, 2)],
+            NodeId(0),
+            PlacementPolicy::WriterLocal,
+        )
+        .unwrap();
+        let meta = d.file_meta("f").unwrap();
+        let hashes: Vec<u64> = meta.partitions[0].blocks().map(|b| b.content_hash).collect();
+        assert_eq!(hashes.len(), 3);
+        assert_eq!(hashes[0], hashes[1], "identical chunks hash identically");
+        assert_ne!(hashes[0], hashes[2], "different chunks hash differently");
+    }
+
+    #[test]
+    fn oversized_chunk_rejected() {
+        let d = dfs(2);
+        d.create_file("f", 1, 1).unwrap();
+        let err = d
+            .write_partition_chunks(
+                "f",
+                PartitionId(0),
+                vec![payload(65, 0)], // block size is 64 in tests
+                NodeId(0),
+                PlacementPolicy::WriterLocal,
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::Config(_)));
+    }
+
+    #[test]
+    fn out_of_range_partition_rejected() {
+        let d = dfs(2);
+        d.create_file("f", 1, 1).unwrap();
+        assert!(d
+            .write_partition_segment("f", PartitionId(5), payload(1, 0), NodeId(0), PlacementPolicy::WriterLocal)
+            .is_err());
+        assert!(d.partition_locations("f", PartitionId(5)).is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Data-loss reports emitted when a node fails.
+
+use rcmp_model::{NodeId, PartitionId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// What a node failure destroyed, as seen by the DFS master.
+///
+/// This is the message the Master forwards to the RCMP middleware
+/// (§IV-A): "which files (job outputs) were affected and also which
+/// specific reducer outputs were affected".
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LossReport {
+    /// The failed node.
+    pub node: Option<NodeId>,
+    /// Partitions that lost *all* replicas, per file: irreversible loss.
+    pub lost: BTreeMap<String, Vec<PartitionId>>,
+    /// Partitions that lost *some* replicas but still have at least one:
+    /// readable, merely under-replicated.
+    pub under_replicated: BTreeMap<String, Vec<PartitionId>>,
+}
+
+impl LossReport {
+    /// True if no partition was irreversibly lost (replication absorbed
+    /// the failure).
+    pub fn is_benign(&self) -> bool {
+        self.lost.is_empty()
+    }
+
+    /// Total number of irreversibly lost partitions across all files.
+    pub fn lost_partition_count(&self) -> usize {
+        self.lost.values().map(Vec::len).sum()
+    }
+
+    /// Lost partitions of one file, if any.
+    pub fn lost_in(&self, file: &str) -> &[PartitionId] {
+        self.lost.get(file).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Merges another report into this one (for multiple failures
+    /// serviced by a single recomputation, §IV-A: "RCMP only needs to
+    /// be careful and tag the submitted recomputation job with the
+    /// reducer outputs damaged by all failures").
+    pub fn merge(&mut self, other: &LossReport) {
+        for (f, parts) in &other.lost {
+            let entry = self.lost.entry(f.clone()).or_default();
+            for p in parts {
+                if !entry.contains(p) {
+                    entry.push(*p);
+                }
+            }
+            entry.sort();
+        }
+        for (f, parts) in &other.under_replicated {
+            let entry = self.under_replicated.entry(f.clone()).or_default();
+            for p in parts {
+                if !entry.contains(p) {
+                    entry.push(*p);
+                }
+            }
+            entry.sort();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benign_report() {
+        let mut r = LossReport::default();
+        assert!(r.is_benign());
+        r.under_replicated
+            .insert("out/1".into(), vec![PartitionId(0)]);
+        assert!(r.is_benign());
+        r.lost.insert("out/2".into(), vec![PartitionId(3)]);
+        assert!(!r.is_benign());
+        assert_eq!(r.lost_partition_count(), 1);
+        assert_eq!(r.lost_in("out/2"), &[PartitionId(3)]);
+        assert_eq!(r.lost_in("nope"), &[] as &[PartitionId]);
+    }
+
+    #[test]
+    fn merge_dedups_and_sorts() {
+        let mut a = LossReport {
+            node: Some(NodeId(1)),
+            ..Default::default()
+        };
+        a.lost.insert("f".into(), vec![PartitionId(2)]);
+        let mut b = LossReport::default();
+        b.lost
+            .insert("f".into(), vec![PartitionId(0), PartitionId(2)]);
+        b.lost.insert("g".into(), vec![PartitionId(1)]);
+        a.merge(&b);
+        assert_eq!(a.lost["f"], vec![PartitionId(0), PartitionId(2)]);
+        assert_eq!(a.lost["g"], vec![PartitionId(1)]);
+        assert_eq!(a.lost_partition_count(), 3);
+    }
+}

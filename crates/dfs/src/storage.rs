@@ -1,0 +1,169 @@
+//! Per-node block stores with access accounting.
+//!
+//! A node's "disk" is an in-memory map from block id to bytes. Besides
+//! holding data, each store counts concurrent readers and total bytes
+//! served — that is how the real engine *observes* the hot-spot effect
+//! of §IV-B2 (many recomputed mappers converging on the one node that
+//! recomputed their input reducer) without needing wall-clock timing.
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use rcmp_model::{BlockId, ByteSize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Snapshot of one node's access counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeAccessStats {
+    /// Bytes ever read from this node's store (local + remote readers).
+    pub bytes_read: u64,
+    /// Bytes ever written to this node's store.
+    pub bytes_written: u64,
+    /// Number of read operations served.
+    pub reads: u64,
+    /// Highest number of overlapping read operations observed.
+    pub max_concurrent_reads: u64,
+}
+
+/// One node's block store.
+pub(crate) struct NodeStore {
+    blocks: Mutex<HashMap<BlockId, Bytes>>,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    reads: AtomicU64,
+    current_reads: AtomicU64,
+    max_concurrent_reads: AtomicU64,
+}
+
+impl NodeStore {
+    pub(crate) fn new() -> Self {
+        Self {
+            blocks: Mutex::new(HashMap::new()),
+            bytes_read: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
+            current_reads: AtomicU64::new(0),
+            max_concurrent_reads: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn put(&self, id: BlockId, data: Bytes) {
+        self.bytes_written
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.blocks.lock().insert(id, data);
+    }
+
+    /// Reads a block, updating concurrency accounting. The optional
+    /// `read_delay` models a slow disk so that concurrent readers truly
+    /// overlap (used by hot-spot tests).
+    pub(crate) fn get(&self, id: BlockId, read_delay: Option<std::time::Duration>) -> Option<Bytes> {
+        let in_flight = self.current_reads.fetch_add(1, Ordering::SeqCst) + 1;
+        self.max_concurrent_reads
+            .fetch_max(in_flight, Ordering::SeqCst);
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        // Fetch the bytes while counted as in-flight.
+        let data = self.blocks.lock().get(&id).cloned();
+        if let Some(d) = &data {
+            self.bytes_read.fetch_add(d.len() as u64, Ordering::Relaxed);
+            if let Some(delay) = read_delay {
+                // Scale the delay with the block size so bigger reads
+                // hold the "disk" longer, like a real drive.
+                let per_mib = delay.as_secs_f64();
+                let secs = per_mib * (d.len() as f64 / (1024.0 * 1024.0)).max(0.01);
+                std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+            }
+        }
+        self.current_reads.fetch_sub(1, Ordering::SeqCst);
+        data
+    }
+
+    pub(crate) fn remove(&self, id: BlockId) -> Option<Bytes> {
+        self.blocks.lock().remove(&id)
+    }
+
+    /// Drops every block (node death).
+    pub(crate) fn wipe(&self) {
+        self.blocks.lock().clear();
+    }
+
+    pub(crate) fn used(&self) -> ByteSize {
+        ByteSize::bytes(self.blocks.lock().values().map(|b| b.len() as u64).sum())
+    }
+
+    pub(crate) fn block_count(&self) -> usize {
+        self.blocks.lock().len()
+    }
+
+    pub(crate) fn stats(&self) -> NodeAccessStats {
+        NodeAccessStats {
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            max_concurrent_reads: self.max_concurrent_reads.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn put_get_remove() {
+        let s = NodeStore::new();
+        s.put(BlockId(1), Bytes::from_static(b"hello"));
+        assert_eq!(s.get(BlockId(1), None).unwrap(), Bytes::from_static(b"hello"));
+        assert_eq!(s.used(), ByteSize::bytes(5));
+        assert_eq!(s.block_count(), 1);
+        assert!(s.remove(BlockId(1)).is_some());
+        assert!(s.get(BlockId(1), None).is_none());
+    }
+
+    #[test]
+    fn wipe_clears_everything() {
+        let s = NodeStore::new();
+        for i in 0..10 {
+            s.put(BlockId(i), Bytes::from(vec![0u8; 16]));
+        }
+        s.wipe();
+        assert_eq!(s.block_count(), 0);
+        assert_eq!(s.used(), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn stats_account_io() {
+        let s = NodeStore::new();
+        s.put(BlockId(1), Bytes::from(vec![1u8; 100]));
+        s.get(BlockId(1), None);
+        s.get(BlockId(1), None);
+        let st = s.stats();
+        assert_eq!(st.bytes_written, 100);
+        assert_eq!(st.bytes_read, 200);
+        assert_eq!(st.reads, 2);
+        assert!(st.max_concurrent_reads >= 1);
+    }
+
+    #[test]
+    fn concurrent_reads_observed() {
+        let s = Arc::new(NodeStore::new());
+        s.put(BlockId(1), Bytes::from(vec![1u8; 1024 * 1024]));
+        let delay = std::time::Duration::from_millis(30);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    s.get(BlockId(1), Some(delay));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(
+            s.stats().max_concurrent_reads >= 2,
+            "expected overlapping reads, got {:?}",
+            s.stats()
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! The collocated cluster: DFS + map-output store + liveness.
+
+use crate::mapstore::MapOutputStore;
+use rcmp_dfs::{Dfs, DfsConfig, LossReport};
+use rcmp_model::{ClusterConfig, NodeId};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A collocated cluster (§II): every node is both a storage node (DFS
+/// blocks + persisted map outputs) and a compute node (task slots).
+/// Killing a node therefore loses computation *and* data — the scenario
+/// that makes recomputation-based resilience challenging.
+pub struct Cluster {
+    cfg: ClusterConfig,
+    dfs: Arc<Dfs>,
+    map_outputs: MapOutputStore,
+}
+
+impl Cluster {
+    pub fn new(cfg: ClusterConfig) -> Self {
+        cfg.validate().expect("invalid cluster config");
+        let dfs_cfg = DfsConfig {
+            nodes: cfg.nodes,
+            block_size: cfg.block_size,
+            seed: cfg.seed,
+            read_delay: None,
+            topology: None,
+        };
+        Self {
+            cfg,
+            dfs: Arc::new(Dfs::new(dfs_cfg)),
+            map_outputs: MapOutputStore::new(),
+        }
+    }
+
+    /// Like [`Cluster::new`] but with a rack topology: remote replicas
+    /// are placed rack-aware (HDFS-style, §III-A).
+    pub fn with_topology(cfg: ClusterConfig, topology: rcmp_dfs::RackTopology) -> Self {
+        cfg.validate().expect("invalid cluster config");
+        let dfs_cfg = DfsConfig {
+            nodes: cfg.nodes,
+            block_size: cfg.block_size,
+            seed: cfg.seed,
+            read_delay: None,
+            topology: Some(topology),
+        };
+        Self {
+            cfg,
+            dfs: Arc::new(Dfs::new(dfs_cfg)),
+            map_outputs: MapOutputStore::new(),
+        }
+    }
+
+    /// Like [`Cluster::new`] but with an artificial per-MiB DFS read
+    /// latency so concurrent reads overlap in wall-clock time (hot-spot
+    /// experiments on the real engine).
+    pub fn with_read_delay(cfg: ClusterConfig, delay: Duration) -> Self {
+        cfg.validate().expect("invalid cluster config");
+        let dfs_cfg = DfsConfig {
+            nodes: cfg.nodes,
+            block_size: cfg.block_size,
+            seed: cfg.seed,
+            read_delay: Some(delay),
+            topology: None,
+        };
+        Self {
+            cfg,
+            dfs: Arc::new(Dfs::new(dfs_cfg)),
+            map_outputs: MapOutputStore::new(),
+        }
+    }
+
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    pub fn dfs(&self) -> &Arc<Dfs> {
+        &self.dfs
+    }
+
+    pub fn map_outputs(&self) -> &MapOutputStore {
+        &self.map_outputs
+    }
+
+    pub fn live_nodes(&self) -> Vec<NodeId> {
+        self.dfs.live_nodes()
+    }
+
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.dfs.is_alive(node)
+    }
+
+    /// Kills a node: DFS blocks *and* persisted map outputs on it are
+    /// gone. Returns the DFS loss report (irreversibly lost partitions
+    /// per file).
+    pub fn fail_node(&self, node: NodeId) -> LossReport {
+        let report = self.dfs.fail_node(node);
+        self.map_outputs.drop_node(node);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapstore::MapInputKey;
+    use bytes::Bytes;
+    use rcmp_dfs::PlacementPolicy;
+    use rcmp_model::{ByteSize, JobId, PartitionId, ReduceTaskId};
+    use std::collections::HashMap;
+
+    #[test]
+    fn failure_hits_both_stores() {
+        let cl = Cluster::new(ClusterConfig::small_test(3));
+        cl.dfs().create_file("f", 1, 1).unwrap();
+        cl.dfs()
+            .write_partition_segment(
+                "f",
+                PartitionId(0),
+                Bytes::from(vec![1u8; 100]),
+                NodeId(1),
+                PlacementPolicy::WriterLocal,
+            )
+            .unwrap();
+        let key = MapInputKey::new(JobId(1), PartitionId(0), 0);
+        let mut buckets = HashMap::new();
+        buckets.insert(
+            ReduceTaskId::whole(JobId(1), PartitionId(0)),
+            Bytes::from_static(b""),
+        );
+        cl.map_outputs().insert(key, NodeId(1), 0, buckets);
+
+        let report = cl.fail_node(NodeId(1));
+        assert_eq!(report.lost_in("f"), &[PartitionId(0)]);
+        assert!(cl.map_outputs().lookup(&key).is_none());
+        assert_eq!(cl.live_nodes(), vec![NodeId(0), NodeId(2)]);
+        assert!(!cl.is_alive(NodeId(1)));
+    }
+
+    #[test]
+    fn config_accessible() {
+        let cl = Cluster::new(ClusterConfig::small_test(2));
+        assert_eq!(cl.config().nodes, 2);
+        assert_eq!(cl.config().block_size, ByteSize::mib(1));
+    }
+}

@@ -1,0 +1,175 @@
+//! Failure injection.
+//!
+//! The paper injects failures by killing a node's TaskTracker and
+//! DataNode processes 15 s into a job (§V-A). The engine's equivalent
+//! is an injector consulted at deterministic execution points — job
+//! start and wave boundaries — that names the nodes to kill there.
+//! Deterministic injection points make every failure experiment exactly
+//! reproducible, which the paper's wall-clock injection is not.
+
+use parking_lot::Mutex;
+use rcmp_model::{JobId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Where in a job's execution the injector is consulted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TriggerPoint {
+    /// Right after JobInit, before the first map wave (the paper's
+    /// "15 s after the start of some job" lands here or in the first
+    /// map wave for our workloads).
+    JobStart,
+    /// After the given map wave (0-based) completes.
+    AfterMapWave(u32),
+    /// After the given reduce wave (0-based) completes. The paper's
+    /// "just before the job completes" (Fig. 1) is the last reduce wave.
+    AfterReduceWave(u32),
+}
+
+/// Execution-progress event reported to the injector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProgressEvent {
+    /// Global run sequence number (the paper's job numbering: every run,
+    /// initial or recomputation, gets the next integer).
+    pub seq: u64,
+    /// The logical job being run.
+    pub job: JobId,
+    pub point: TriggerPoint,
+}
+
+/// Decides which nodes die at a given execution point.
+pub trait FailureInjector: Send + Sync {
+    /// Returns the nodes to kill at this point (usually empty).
+    fn poll(&self, event: &ProgressEvent) -> Vec<NodeId>;
+}
+
+/// Injector that never fails anything.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoFailures;
+
+impl FailureInjector for NoFailures {
+    fn poll(&self, _event: &ProgressEvent) -> Vec<NodeId> {
+        Vec::new()
+    }
+}
+
+/// One scripted kill.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Trigger {
+    /// Fire during the run with this sequence number.
+    pub seq: u64,
+    pub point: TriggerPoint,
+    pub node: NodeId,
+}
+
+/// Kills scripted (seq, point) → node. Each trigger fires at most once.
+///
+/// Triggers at a point the run never reaches (e.g. `AfterMapWave(5)` of
+/// a 3-wave job) simply never fire; tests assert on `unfired()` to catch
+/// mis-scripted scenarios.
+#[derive(Debug, Default)]
+pub struct ScriptedInjector {
+    triggers: Mutex<Vec<Trigger>>,
+}
+
+impl ScriptedInjector {
+    pub fn new(triggers: impl IntoIterator<Item = Trigger>) -> Self {
+        Self {
+            triggers: Mutex::new(triggers.into_iter().collect()),
+        }
+    }
+
+    /// Convenience: kill `node` at `point` of run `seq`.
+    pub fn single(seq: u64, point: TriggerPoint, node: NodeId) -> Self {
+        Self::new([Trigger { seq, point, node }])
+    }
+
+    /// Adds another trigger (e.g. a second failure scheduled later).
+    pub fn add(&self, trigger: Trigger) {
+        self.triggers.lock().push(trigger);
+    }
+
+    /// Triggers that have not fired yet.
+    pub fn unfired(&self) -> Vec<Trigger> {
+        self.triggers.lock().clone()
+    }
+}
+
+impl FailureInjector for ScriptedInjector {
+    fn poll(&self, event: &ProgressEvent) -> Vec<NodeId> {
+        let mut triggers = self.triggers.lock();
+        let mut fired = Vec::new();
+        triggers.retain(|t| {
+            if t.seq == event.seq && t.point == event.point {
+                fired.push(t.node);
+                false
+            } else {
+                true
+            }
+        });
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, point: TriggerPoint) -> ProgressEvent {
+        ProgressEvent {
+            seq,
+            job: JobId(1),
+            point,
+        }
+    }
+
+    #[test]
+    fn no_failures_is_silent() {
+        assert!(NoFailures.poll(&ev(1, TriggerPoint::JobStart)).is_empty());
+    }
+
+    #[test]
+    fn scripted_fires_once_at_exact_point() {
+        let inj = ScriptedInjector::single(2, TriggerPoint::AfterMapWave(1), NodeId(3));
+        assert!(inj.poll(&ev(1, TriggerPoint::AfterMapWave(1))).is_empty());
+        assert!(inj.poll(&ev(2, TriggerPoint::AfterMapWave(0))).is_empty());
+        assert_eq!(
+            inj.poll(&ev(2, TriggerPoint::AfterMapWave(1))),
+            vec![NodeId(3)]
+        );
+        assert!(inj.poll(&ev(2, TriggerPoint::AfterMapWave(1))).is_empty());
+        assert!(inj.unfired().is_empty());
+    }
+
+    #[test]
+    fn multiple_triggers_same_point() {
+        let inj = ScriptedInjector::new([
+            Trigger {
+                seq: 1,
+                point: TriggerPoint::JobStart,
+                node: NodeId(0),
+            },
+            Trigger {
+                seq: 1,
+                point: TriggerPoint::JobStart,
+                node: NodeId(1),
+            },
+        ]);
+        let killed = inj.poll(&ev(1, TriggerPoint::JobStart));
+        assert_eq!(killed, vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn add_appends_trigger() {
+        let inj = ScriptedInjector::default();
+        inj.add(Trigger {
+            seq: 4,
+            point: TriggerPoint::AfterReduceWave(0),
+            node: NodeId(2),
+        });
+        assert_eq!(inj.unfired().len(), 1);
+        assert_eq!(
+            inj.poll(&ev(4, TriggerPoint::AfterReduceWave(0))),
+            vec![NodeId(2)]
+        );
+    }
+}

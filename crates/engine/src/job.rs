@@ -1,0 +1,149 @@
+//! Job specifications and run modes.
+
+use crate::udf::{Mapper, Reducer};
+use rcmp_dfs::PlacementPolicy;
+use rcmp_model::{JobId, PartitionId};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// Static description of one MapReduce job in a multi-job computation.
+#[derive(Clone)]
+pub struct JobSpec {
+    /// Position in the chain/DAG (stable across recomputations).
+    pub job: JobId,
+    /// DFS path of the (partitioned) input file.
+    pub input: String,
+    /// DFS path of the output file; one partition per reducer.
+    pub output: String,
+    /// Number of reducers (= output partitions) in a full run.
+    pub num_reducers: u32,
+    /// Replication factor for the output file (1 for RCMP, 2–3 for the
+    /// Hadoop baselines, k-th jobs raised post-hoc in hybrid mode).
+    pub output_replication: u32,
+    /// Where reducer output blocks are placed ([`PlacementPolicy::Spread`]
+    /// is the paper's alternative hot-spot mitigation).
+    pub placement: PlacementPolicy,
+    pub mapper: Arc<dyn Mapper>,
+    pub reducer: Arc<dyn Reducer>,
+    /// Whether the application logic permits reducer splitting (§IV-B1:
+    /// e.g. a top-k reducer may not be split).
+    pub splittable: bool,
+}
+
+impl fmt::Debug for JobSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JobSpec")
+            .field("job", &self.job)
+            .field("input", &self.input)
+            .field("output", &self.output)
+            .field("num_reducers", &self.num_reducers)
+            .field("output_replication", &self.output_replication)
+            .field("splittable", &self.splittable)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Instructions for a recomputation run, produced by the RCMP planner
+/// (`rcmp-core`) and tagged onto the resubmitted job (§IV-A: the
+/// middleware "tags it with the reducer outputs that need to be
+/// recomputed").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecomputeInstructions {
+    /// Output partitions to regenerate (the lost reducer outputs,
+    /// possibly merged across several data-loss events).
+    pub partitions: BTreeSet<PartitionId>,
+    /// Split each recomputed reducer this many ways (`None` = no
+    /// splitting, the paper's RCMP NO-SPLIT).
+    pub split: Option<u32>,
+    /// Reuse persisted map outputs whose input fingerprints still match
+    /// (RCMP behaviour). `false` re-runs every mapper — used by the
+    /// paper's Fig.-13 isolation experiment and the OPTIMISTIC baseline.
+    pub reuse_map_outputs: bool,
+    /// DANGEROUS, test/ablation only: reuse persisted map outputs even
+    /// when the input fingerprint no longer matches. Reproduces the
+    /// incorrect-reuse bug of Fig. 5 (duplicated and missing keys).
+    pub unsafe_ignore_fingerprints: bool,
+}
+
+impl RecomputeInstructions {
+    /// Recompute the given partitions with optional splitting, reusing
+    /// persisted map outputs (the standard RCMP recomputation).
+    pub fn new(partitions: impl IntoIterator<Item = PartitionId>, split: Option<u32>) -> Self {
+        Self {
+            partitions: partitions.into_iter().collect(),
+            split,
+            reuse_map_outputs: true,
+            unsafe_ignore_fingerprints: false,
+        }
+    }
+
+    /// Effective number of reduce tasks this run will execute.
+    pub fn reduce_task_count(&self) -> usize {
+        self.partitions.len() * self.split.unwrap_or(1).max(1) as usize
+    }
+}
+
+/// How a submitted job should be executed.
+#[derive(Clone, Debug)]
+pub enum RunMode {
+    /// Run everything (initial runs, and Hadoop's treatment of any
+    /// resubmission: "it treats each job submitted to the system as a
+    /// brand new job and re-executes it entirely").
+    Full,
+    /// RCMP recomputation: run only the minimum necessary tasks.
+    Recompute(RecomputeInstructions),
+}
+
+impl RunMode {
+    pub fn is_recompute(&self) -> bool {
+        matches!(self, RunMode::Recompute(_))
+    }
+}
+
+/// One submission of a job to the tracker.
+#[derive(Clone, Debug)]
+pub struct JobRun {
+    pub spec: JobSpec,
+    pub mode: RunMode,
+    /// Keep map outputs in the store after the job completes (RCMP
+    /// persists across jobs; the Hadoop baselines discard).
+    pub persist_map_outputs: bool,
+}
+
+impl JobRun {
+    pub fn full(spec: JobSpec) -> Self {
+        Self {
+            spec,
+            mode: RunMode::Full,
+            persist_map_outputs: true,
+        }
+    }
+
+    pub fn recompute(spec: JobSpec, instructions: RecomputeInstructions) -> Self {
+        Self {
+            spec,
+            mode: RunMode::Recompute(instructions),
+            persist_map_outputs: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_task_count_accounts_splits() {
+        let r = RecomputeInstructions::new([PartitionId(0), PartitionId(3)], Some(4));
+        assert_eq!(r.reduce_task_count(), 8);
+        let r = RecomputeInstructions::new([PartitionId(0)], None);
+        assert_eq!(r.reduce_task_count(), 1);
+    }
+
+    #[test]
+    fn run_mode_predicates() {
+        assert!(!RunMode::Full.is_recompute());
+        assert!(RunMode::Recompute(RecomputeInstructions::new([], None)).is_recompute());
+    }
+}

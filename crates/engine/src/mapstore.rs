@@ -1,0 +1,321 @@
+//! The persisted map-output store.
+//!
+//! Hadoop stores mapper outputs on the mapper's local disk for the
+//! duration of the job. RCMP's key extension is to **persist them across
+//! jobs** (§IV-A), so a recomputation run can reuse them instead of
+//! re-running mappers.
+//!
+//! Entries are keyed by the mapper's *input block position* (job, input
+//! partition, block index) and carry the input block's content
+//! fingerprint. A persisted output is reusable only while the current
+//! block at that position has the same fingerprint — regenerating an
+//! input partition with split reducers redistributes records across
+//! blocks, changes the fingerprints, and thereby invalidates exactly the
+//! map outputs the paper's Fig.-5 rule says must not be reused.
+//!
+//! Each entry lives on the node that computed the mapper (map outputs
+//! are "stored outside of the distributed file system, on the node that
+//! computed the mapper", §II) — killing a node drops its entries.
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use rcmp_model::{
+    JobId, NodeId, PartitionId, Record, RecordReader, RecordWriter, ReduceTaskId, Result,
+    SplitPartitioner,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// Position of a mapper's input block within a job's input file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MapInputKey {
+    /// The job whose mapper consumed this block.
+    pub job: JobId,
+    /// Input-file partition the block belongs to.
+    pub pid: PartitionId,
+    /// Block index within that partition.
+    pub block_idx: u32,
+}
+
+impl MapInputKey {
+    pub fn new(job: JobId, pid: PartitionId, block_idx: u32) -> Self {
+        Self {
+            job,
+            pid,
+            block_idx,
+        }
+    }
+}
+
+/// Metadata of a stored map output (no payload).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MapOutputMeta {
+    /// Node holding the output.
+    pub node: NodeId,
+    /// Fingerprint of the input block the mapper consumed.
+    pub input_hash: u64,
+    /// Encoded size per bucket.
+    pub bucket_sizes: BTreeMap<ReduceTaskId, u64>,
+}
+
+struct StoredMapOutput {
+    node: NodeId,
+    input_hash: u64,
+    buckets: HashMap<ReduceTaskId, Bytes>,
+}
+
+/// Cluster-wide registry + payload store for map outputs.
+#[derive(Default)]
+pub struct MapOutputStore {
+    inner: Mutex<HashMap<MapInputKey, StoredMapOutput>>,
+}
+
+impl MapOutputStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores (replacing) the output of one mapper.
+    pub fn insert(
+        &self,
+        key: MapInputKey,
+        node: NodeId,
+        input_hash: u64,
+        buckets: HashMap<ReduceTaskId, Bytes>,
+    ) {
+        self.inner.lock().insert(
+            key,
+            StoredMapOutput {
+                node,
+                input_hash,
+                buckets,
+            },
+        );
+    }
+
+    /// Metadata lookup (for the planner / tracker reuse decision).
+    pub fn lookup(&self, key: &MapInputKey) -> Option<MapOutputMeta> {
+        self.inner.lock().get(key).map(|s| MapOutputMeta {
+            node: s.node,
+            input_hash: s.input_hash,
+            bucket_sizes: s
+                .buckets
+                .iter()
+                .map(|(k, v)| (*k, v.len() as u64))
+                .collect(),
+        })
+    }
+
+    /// Fetches the bucket a reduce task needs from one map output.
+    ///
+    /// For a *split* reduce task whose exact bucket is absent (the map
+    /// output was persisted from a run without splitting), the whole
+    /// bucket of the task's partition is filtered by the second-level
+    /// hash **at the serving side**, so only matching records count as
+    /// transferred — mirroring a map-side serve that filters segments.
+    ///
+    /// Returns `(payload, serving_node)`; `None` only if the map output
+    /// entry itself does not exist (mapper never ran, or its node died).
+    /// An existing entry without a bucket for `reduce` means the mapper
+    /// emitted no record for that reducer: an **empty** bucket.
+    pub fn fetch_bucket(
+        &self,
+        key: &MapInputKey,
+        reduce: ReduceTaskId,
+    ) -> Option<(Bytes, NodeId)> {
+        let inner = self.inner.lock();
+        let stored = inner.get(key)?;
+        if let Some(b) = stored.buckets.get(&reduce) {
+            return Some((b.clone(), stored.node));
+        }
+        // Split task falling back to the persisted whole bucket.
+        if let Some((split_id, split_of)) = reduce.split {
+            let whole = ReduceTaskId::whole(reduce.job, reduce.partition);
+            if let Some(bucket) = stored.buckets.get(&whole) {
+                let part = SplitPartitioner::new(split_of);
+                let mut w = RecordWriter::new();
+                for rec in RecordReader::new(bucket.clone()) {
+                    let rec = rec.expect("stored buckets are well-formed");
+                    if part.split_of(rec.key) == split_id {
+                        w.push(&rec);
+                    }
+                }
+                return Some((w.finish(), stored.node));
+            }
+        }
+        // Entry exists but the mapper produced nothing for this reducer.
+        Some((Bytes::new(), stored.node))
+    }
+
+    /// Decodes a fetched bucket into records (helper for reducers).
+    pub fn decode(bucket: Bytes) -> Result<Vec<Record>> {
+        RecordReader::decode_all(bucket)
+    }
+
+    /// Removes one entry (storage reclamation / eviction). Returns true
+    /// if it existed.
+    pub fn remove(&self, key: &MapInputKey) -> bool {
+        self.inner.lock().remove(key).is_some()
+    }
+
+    /// Drops every map output stored on a failed node; returns how many
+    /// entries were lost.
+    pub fn drop_node(&self, node: NodeId) -> usize {
+        let mut inner = self.inner.lock();
+        let before = inner.len();
+        inner.retain(|_, s| s.node != node);
+        before - inner.len()
+    }
+
+    /// Drops every map output of one job (Hadoop's end-of-job cleanup,
+    /// and RCMP's storage reclamation after a replication point, §IV-C).
+    pub fn clear_job(&self, job: JobId) -> usize {
+        let mut inner = self.inner.lock();
+        let before = inner.len();
+        inner.retain(|k, _| k.job != job);
+        before - inner.len()
+    }
+
+    /// All keys currently stored for one job.
+    pub fn keys_for_job(&self, job: JobId) -> Vec<MapInputKey> {
+        let mut v: Vec<MapInputKey> = self
+            .inner
+            .lock()
+            .keys()
+            .filter(|k| k.job == job)
+            .copied()
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Total payload bytes currently persisted.
+    pub fn total_bytes(&self) -> u64 {
+        self.inner
+            .lock()
+            .values()
+            .map(|s| s.buckets.values().map(|b| b.len() as u64).sum::<u64>())
+            .sum()
+    }
+
+    /// Number of stored map outputs.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcmp_model::SplitId;
+
+    fn bucket(recs: &[(u64, &[u8])]) -> Bytes {
+        let mut w = RecordWriter::new();
+        for &(k, v) in recs {
+            w.push(&Record::new(k, v.to_vec()));
+        }
+        w.finish()
+    }
+
+    fn store_one(store: &MapOutputStore, job: u32, node: u32, hash: u64) -> MapInputKey {
+        let key = MapInputKey::new(JobId(job), PartitionId(0), 0);
+        let whole = ReduceTaskId::whole(JobId(job), PartitionId(1));
+        let mut buckets = HashMap::new();
+        buckets.insert(whole, bucket(&[(1, b"a"), (2, b"b"), (3, b"c"), (4, b"d")]));
+        store.insert(key, NodeId(node), hash, buckets);
+        key
+    }
+
+    #[test]
+    fn insert_lookup_fetch() {
+        let s = MapOutputStore::new();
+        let key = store_one(&s, 1, 2, 99);
+        let meta = s.lookup(&key).unwrap();
+        assert_eq!(meta.node, NodeId(2));
+        assert_eq!(meta.input_hash, 99);
+        let whole = ReduceTaskId::whole(JobId(1), PartitionId(1));
+        let (payload, src) = s.fetch_bucket(&key, whole).unwrap();
+        assert_eq!(src, NodeId(2));
+        assert_eq!(RecordReader::decode_all(payload).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn absent_bucket_is_empty_but_absent_entry_is_none() {
+        let s = MapOutputStore::new();
+        let key = store_one(&s, 1, 0, 0);
+        // Entry exists, bucket doesn't: the mapper emitted nothing for
+        // this reducer → empty payload, not a loss.
+        let other = ReduceTaskId::whole(JobId(1), PartitionId(7));
+        let (payload, src) = s.fetch_bucket(&key, other).unwrap();
+        assert!(payload.is_empty());
+        assert_eq!(src, NodeId(0));
+        // Entry itself missing: the map output is lost.
+        assert!(s
+            .fetch_bucket(&MapInputKey::new(JobId(9), PartitionId(0), 0), other)
+            .is_none());
+    }
+
+    #[test]
+    fn split_fetch_filters_whole_bucket() {
+        let s = MapOutputStore::new();
+        let key = store_one(&s, 1, 0, 0);
+        let k = 4u32;
+        let part = SplitPartitioner::new(k);
+        let mut seen = Vec::new();
+        for i in 0..k {
+            let split = ReduceTaskId::split(JobId(1), PartitionId(1), SplitId(i), k);
+            let (payload, _) = s.fetch_bucket(&key, split).unwrap();
+            for rec in RecordReader::decode_all(payload).unwrap() {
+                assert_eq!(part.split_of(rec.key), SplitId(i));
+                seen.push(rec.key);
+            }
+        }
+        seen.sort();
+        assert_eq!(seen, vec![1, 2, 3, 4], "splits exactly cover the bucket");
+    }
+
+    #[test]
+    fn drop_node_loses_its_outputs() {
+        let s = MapOutputStore::new();
+        store_one(&s, 1, 0, 0);
+        store_one(&s, 2, 1, 0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.drop_node(NodeId(0)), 1);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.drop_node(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn clear_job_and_keys_for_job() {
+        let s = MapOutputStore::new();
+        store_one(&s, 1, 0, 0);
+        store_one(&s, 2, 1, 0);
+        assert_eq!(s.keys_for_job(JobId(1)).len(), 1);
+        assert_eq!(s.clear_job(JobId(1)), 1);
+        assert!(s.keys_for_job(JobId(1)).is_empty());
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn total_bytes_accounts_payloads() {
+        let s = MapOutputStore::new();
+        assert!(s.is_empty());
+        store_one(&s, 1, 0, 0);
+        assert!(s.total_bytes() > 0);
+    }
+
+    #[test]
+    fn replacement_overwrites() {
+        let s = MapOutputStore::new();
+        let key = store_one(&s, 1, 0, 5);
+        store_one(&s, 1, 3, 6); // same key, new node+hash
+        let meta = s.lookup(&key).unwrap();
+        assert_eq!(meta.node, NodeId(3));
+        assert_eq!(meta.input_hash, 6);
+        assert_eq!(s.len(), 1);
+    }
+}

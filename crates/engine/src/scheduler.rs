@@ -1,0 +1,239 @@
+//! Slot-constrained wave scheduling.
+//!
+//! A node runs at most `slots` tasks of a phase concurrently; a phase
+//! with more tasks per node runs in multiple **waves** (§II). The
+//! assignment policy mirrors Hadoop's slot scheduler at the fidelity the
+//! paper's phenomena need:
+//!
+//! * tasks balance across live nodes (shortest queue first), so a
+//!   recomputation's few tasks spread over *all* survivors — unless the
+//!   caller pins them, this is what makes the hot-spot of §IV-B2 appear:
+//!   recomputed mappers land on many nodes but all read from the one
+//!   node holding the recomputed input;
+//! * among equally-loaded nodes, mappers prefer a node holding a replica
+//!   of their input block (data locality via tie-breaking, §III-A);
+//! * initial-run reducers are placed round-robin by partition id, giving
+//!   the deterministic `WR = R/(N·S)` waves of the paper's model.
+
+use crate::task::{MapTask, ReduceTask};
+use rcmp_model::NodeId;
+
+/// Tasks grouped into waves: `waves[w]` is the list of `(node, task)`
+/// pairs running concurrently in wave `w`.
+pub type Waves<T> = Vec<Vec<(NodeId, T)>>;
+
+/// How reduce tasks pick nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReduceAssignment {
+    /// Partition `p` goes to `live[p % N]` — the initial-run layout.
+    RoundRobinByPartition,
+    /// Shortest-queue balancing — used for recomputation runs, where
+    /// the task list is small and should use every survivor (Fig. 4).
+    Balance,
+}
+
+fn queues_to_waves<T>(queues: Vec<Vec<T>>, live: &[NodeId], slots: u32) -> Waves<T> {
+    let slots = slots.max(1) as usize;
+    let num_waves = queues
+        .iter()
+        .map(|q| q.len().div_ceil(slots))
+        .max()
+        .unwrap_or(0);
+    let mut waves: Vec<Vec<(NodeId, T)>> = (0..num_waves).map(|_| Vec::new()).collect();
+    for (ni, queue) in queues.into_iter().enumerate() {
+        for (ti, task) in queue.into_iter().enumerate() {
+            waves[ti / slots].push((live[ni], task));
+        }
+    }
+    waves
+}
+
+/// Assigns map tasks to waves over the live nodes, with Hadoop's
+/// slot-pull semantics: nodes claim tasks in rounds, each preferring a
+/// task whose input block it holds and stealing a non-local one
+/// otherwise. Balanced data runs (almost) fully local; a handful of
+/// recomputed tasks spreads over all nodes in one wave — the behaviours
+/// behind the paper's locality and hot-spot observations.
+pub fn assign_map_waves(tasks: Vec<MapTask>, live: &[NodeId], slots: u32) -> Waves<MapTask> {
+    assert!(!live.is_empty(), "no live nodes to schedule on");
+    let mut pending = tasks;
+    let mut queues: Vec<Vec<MapTask>> = (0..live.len()).map(|_| Vec::new()).collect();
+    while !pending.is_empty() {
+        for (i, &n) in live.iter().enumerate() {
+            if pending.is_empty() {
+                break;
+            }
+            let pos = pending
+                .iter()
+                .position(|t| t.block.replicas.contains(&n))
+                .unwrap_or(0);
+            queues[i].push(pending.remove(pos));
+        }
+    }
+    queues_to_waves(queues, live, slots)
+}
+
+/// Assigns reduce tasks to waves over the live nodes.
+pub fn assign_reduce_waves(
+    tasks: Vec<ReduceTask>,
+    live: &[NodeId],
+    slots: u32,
+    style: ReduceAssignment,
+) -> Waves<ReduceTask> {
+    assert!(!live.is_empty(), "no live nodes to schedule on");
+    let mut queues: Vec<Vec<ReduceTask>> = (0..live.len()).map(|_| Vec::new()).collect();
+    match style {
+        ReduceAssignment::RoundRobinByPartition => {
+            for task in tasks {
+                let i = task.id.partition.index() % live.len();
+                queues[i].push(task);
+            }
+        }
+        ReduceAssignment::Balance => {
+            for task in tasks {
+                let (i, _) = queues
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(i, q)| (q.len(), *i))
+                    .unwrap();
+                queues[i].push(task);
+            }
+        }
+    }
+    queues_to_waves(queues, live, slots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapstore::MapInputKey;
+    use rcmp_dfs::BlockLocation;
+    use rcmp_model::{BlockId, ByteSize, JobId, MapTaskId, PartitionId, ReduceTaskId};
+
+    fn nodes(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    fn map_task(idx: u32, replicas: &[u32]) -> MapTask {
+        MapTask {
+            id: MapTaskId::new(JobId(1), idx),
+            key: MapInputKey::new(JobId(1), PartitionId(0), idx),
+            block: BlockLocation {
+                id: BlockId(idx as u64),
+                size: ByteSize::mib(1),
+                content_hash: 0,
+                replicas: replicas.iter().map(|&n| NodeId(n)).collect(),
+            },
+        }
+    }
+
+    fn reduce_task(p: u32) -> ReduceTask {
+        ReduceTask::new(ReduceTaskId::whole(JobId(1), PartitionId(p)))
+    }
+
+    #[test]
+    fn balanced_map_tasks_prefer_local() {
+        // 4 tasks, 4 nodes, 1 replica each on its "own" node.
+        let tasks: Vec<MapTask> = (0..4).map(|i| map_task(i, &[i])).collect();
+        let waves = assign_map_waves(tasks, &nodes(4), 1);
+        assert_eq!(waves.len(), 1);
+        for (node, task) in &waves[0] {
+            assert!(
+                task.block.replicas.contains(node),
+                "task should be local: {task:?} on {node}"
+            );
+        }
+    }
+
+    #[test]
+    fn few_tasks_spread_over_nodes_not_piled_on_replica_holder() {
+        // The hot-spot scenario: 3 blocks all on node 0, 4 live nodes.
+        let tasks: Vec<MapTask> = (0..3).map(|i| map_task(i, &[0])).collect();
+        let waves = assign_map_waves(tasks, &nodes(4), 1);
+        // All three run in a single wave on three different nodes.
+        assert_eq!(waves.len(), 1);
+        let used: std::collections::HashSet<NodeId> =
+            waves[0].iter().map(|(n, _)| *n).collect();
+        assert_eq!(used.len(), 3);
+    }
+
+    #[test]
+    fn waves_respect_slots() {
+        let tasks: Vec<MapTask> = (0..8).map(|i| map_task(i, &[])).collect();
+        let waves = assign_map_waves(tasks, &nodes(2), 2);
+        // 8 tasks / (2 nodes * 2 slots) = 2 waves.
+        assert_eq!(waves.len(), 2);
+        for wave in &waves {
+            let mut per_node = std::collections::HashMap::new();
+            for (n, _) in wave {
+                *per_node.entry(*n).or_insert(0) += 1;
+            }
+            assert!(per_node.values().all(|&c| c <= 2));
+        }
+    }
+
+    #[test]
+    fn initial_reducers_round_robin() {
+        // 10 reducers, 10 nodes, 1 slot: exactly 1 wave (WR = 1).
+        let tasks: Vec<ReduceTask> = (0..10).map(reduce_task).collect();
+        let waves =
+            assign_reduce_waves(tasks, &nodes(10), 1, ReduceAssignment::RoundRobinByPartition);
+        assert_eq!(waves.len(), 1);
+        for (node, task) in &waves[0] {
+            assert_eq!(node.raw(), task.id.partition.raw() % 10);
+        }
+    }
+
+    #[test]
+    fn round_robin_gives_paper_wave_count() {
+        // 40 reducers, 10 nodes, 1 slot: WR = 4 waves.
+        let tasks: Vec<ReduceTask> = (0..40).map(reduce_task).collect();
+        let waves =
+            assign_reduce_waves(tasks, &nodes(10), 1, ReduceAssignment::RoundRobinByPartition);
+        assert_eq!(waves.len(), 4);
+    }
+
+    #[test]
+    fn balance_spreads_splits_over_all_nodes() {
+        use rcmp_model::SplitId;
+        // 1 recomputed reducer split 8 ways, 9 surviving nodes (Fig. 4b).
+        let tasks: Vec<ReduceTask> = (0..8)
+            .map(|i| {
+                ReduceTask::new(ReduceTaskId::split(
+                    JobId(1),
+                    PartitionId(0),
+                    SplitId(i),
+                    8,
+                ))
+            })
+            .collect();
+        let waves = assign_reduce_waves(tasks, &nodes(9), 1, ReduceAssignment::Balance);
+        assert_eq!(waves.len(), 1, "all splits fit one wave across nodes");
+        let used: std::collections::HashSet<NodeId> =
+            waves[0].iter().map(|(n, _)| *n).collect();
+        assert_eq!(used.len(), 8);
+    }
+
+    #[test]
+    fn no_split_recompute_uses_one_node_per_reducer() {
+        // 1 recomputed whole reducer, 9 nodes: 1 task on 1 node — the
+        // paper's under-utilization (Fig. 4a).
+        let waves = assign_reduce_waves(
+            vec![reduce_task(0)],
+            &nodes(9),
+            1,
+            ReduceAssignment::Balance,
+        );
+        assert_eq!(waves.len(), 1);
+        assert_eq!(waves[0].len(), 1);
+    }
+
+    #[test]
+    fn empty_task_list_zero_waves() {
+        let waves = assign_map_waves(Vec::new(), &nodes(2), 1);
+        assert!(waves.is_empty());
+        let waves =
+            assign_reduce_waves(Vec::new(), &nodes(2), 1, ReduceAssignment::Balance);
+        assert!(waves.is_empty());
+    }
+}

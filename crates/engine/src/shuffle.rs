@@ -1,0 +1,172 @@
+//! The shuffle: reducers fetch their buckets from every map output.
+//!
+//! Each reducer copies, from every completed mapper, the key-value pairs
+//! for the keys it is responsible for (§II). In this engine the "copy"
+//! is a fetch from the [`MapOutputStore`]; bytes served by the reducer's
+//! own node count as local, everything else as remote — the volumes the
+//! simulator's network model is validated against.
+
+use crate::mapstore::{MapInputKey, MapOutputStore};
+use bytes::Bytes;
+use rcmp_model::{NodeId, Record, RecordReader, ReduceTaskId, Result};
+
+/// Outcome of one reducer's shuffle + sort + group.
+#[derive(Debug)]
+pub struct ShuffleResult {
+    /// Key groups in ascending key order; each group's values are sorted
+    /// byte-wise so the reduce invocation is deterministic regardless of
+    /// fetch order.
+    pub groups: Vec<(u64, Vec<Bytes>)>,
+    pub local_bytes: u64,
+    pub remote_bytes: u64,
+}
+
+/// Why a shuffle could not complete.
+#[derive(Debug)]
+pub enum ShuffleFailure {
+    /// These map outputs are gone (node death); the mappers must be
+    /// re-executed before the reducer can run.
+    MissingMapOutputs(Vec<MapInputKey>),
+    /// Corrupt payload (should not happen; indicates a bug).
+    Corrupt(rcmp_model::Error),
+}
+
+/// Fetches, sorts and groups everything reduce task `reduce` needs.
+///
+/// `inputs` is the complete list of map-input keys of the job — a
+/// reducer needs a bucket from *every* mapper, including persisted ones
+/// (which is why the paper notes the shuffle stays a bottleneck even
+/// when few mappers are recomputed, §IV-B2).
+pub fn shuffle_for_reduce(
+    store: &MapOutputStore,
+    inputs: &[MapInputKey],
+    reduce: ReduceTaskId,
+    node: NodeId,
+) -> std::result::Result<ShuffleResult, ShuffleFailure> {
+    let mut missing = Vec::new();
+    let mut payloads: Vec<(Bytes, NodeId)> = Vec::with_capacity(inputs.len());
+    for key in inputs {
+        match store.fetch_bucket(key, reduce) {
+            Some(pair) => payloads.push(pair),
+            None => missing.push(*key),
+        }
+    }
+    if !missing.is_empty() {
+        return Err(ShuffleFailure::MissingMapOutputs(missing));
+    }
+
+    let mut local_bytes = 0u64;
+    let mut remote_bytes = 0u64;
+    let mut records: Vec<Record> = Vec::new();
+    for (payload, source) in payloads {
+        if source == node {
+            local_bytes += payload.len() as u64;
+        } else {
+            remote_bytes += payload.len() as u64;
+        }
+        for rec in RecordReader::new(payload) {
+            match rec {
+                Ok(r) => records.push(r),
+                Err(e) => return Err(ShuffleFailure::Corrupt(e)),
+            }
+        }
+    }
+
+    Ok(ShuffleResult {
+        groups: sort_and_group(records),
+        local_bytes,
+        remote_bytes,
+    })
+}
+
+/// Sorts records by (key, value) and groups values per key.
+pub fn sort_and_group(mut records: Vec<Record>) -> Vec<(u64, Vec<Bytes>)> {
+    records.sort_unstable_by(|a, b| a.key.cmp(&b.key).then_with(|| a.value.cmp(&b.value)));
+    let mut groups: Vec<(u64, Vec<Bytes>)> = Vec::new();
+    for rec in records {
+        match groups.last_mut() {
+            Some((k, vals)) if *k == rec.key => vals.push(rec.value),
+            _ => groups.push((rec.key, vec![rec.value])),
+        }
+    }
+    groups
+}
+
+/// Decodes a whole partition's bytes into records (used by tests and
+/// output validation).
+pub fn decode_partition(data: Bytes) -> Result<Vec<Record>> {
+    RecordReader::decode_all(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcmp_model::{JobId, PartitionId, RecordWriter};
+    use std::collections::HashMap;
+
+    fn bucket(recs: &[(u64, &[u8])]) -> Bytes {
+        let mut w = RecordWriter::new();
+        for &(k, v) in recs {
+            w.push(&Record::new(k, v.to_vec()));
+        }
+        w.finish()
+    }
+
+    #[test]
+    fn sort_and_group_orders_keys_and_values() {
+        let recs = vec![
+            Record::new(2, &b"b"[..]),
+            Record::new(1, &b"z"[..]),
+            Record::new(2, &b"a"[..]),
+            Record::new(1, &b"a"[..]),
+        ];
+        let groups = sort_and_group(recs);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, 1);
+        assert_eq!(groups[0].1, vec![Bytes::from_static(b"a"), Bytes::from_static(b"z")]);
+        assert_eq!(groups[1].0, 2);
+        assert_eq!(groups[1].1, vec![Bytes::from_static(b"a"), Bytes::from_static(b"b")]);
+    }
+
+    #[test]
+    fn shuffle_accounts_locality_and_merges() {
+        let store = MapOutputStore::new();
+        let job = JobId(1);
+        let r = ReduceTaskId::whole(job, PartitionId(0));
+        for (i, node) in [(0u32, 0u32), (1, 5)] {
+            let key = MapInputKey::new(job, PartitionId(0), i);
+            let mut buckets = HashMap::new();
+            buckets.insert(r, bucket(&[(i as u64, b"v")]));
+            store.insert(key, NodeId(node), 0, buckets);
+        }
+        let inputs = vec![
+            MapInputKey::new(job, PartitionId(0), 0),
+            MapInputKey::new(job, PartitionId(0), 1),
+        ];
+        let res = shuffle_for_reduce(&store, &inputs, r, NodeId(0)).unwrap();
+        assert_eq!(res.groups.len(), 2);
+        assert!(res.local_bytes > 0, "bucket from node 0 is local");
+        assert!(res.remote_bytes > 0, "bucket from node 5 is remote");
+    }
+
+    #[test]
+    fn missing_outputs_reported() {
+        let store = MapOutputStore::new();
+        let job = JobId(1);
+        let r = ReduceTaskId::whole(job, PartitionId(0));
+        let inputs = vec![MapInputKey::new(job, PartitionId(0), 0)];
+        match shuffle_for_reduce(&store, &inputs, r, NodeId(0)) {
+            Err(ShuffleFailure::MissingMapOutputs(m)) => assert_eq!(m, inputs),
+            other => panic!("expected missing outputs, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_inputs_empty_result() {
+        let store = MapOutputStore::new();
+        let r = ReduceTaskId::whole(JobId(1), PartitionId(0));
+        let res = shuffle_for_reduce(&store, &[], r, NodeId(0)).unwrap();
+        assert!(res.groups.is_empty());
+        assert_eq!(res.local_bytes + res.remote_bytes, 0);
+    }
+}

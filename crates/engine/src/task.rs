@@ -1,0 +1,28 @@
+//! Task descriptors.
+
+use crate::mapstore::MapInputKey;
+use rcmp_dfs::BlockLocation;
+use rcmp_model::{MapTaskId, ReduceTaskId};
+
+/// One mapper: processes one input block.
+#[derive(Clone, Debug)]
+pub struct MapTask {
+    pub id: MapTaskId,
+    /// Stable position of the input block (registry key for the
+    /// persisted output).
+    pub key: MapInputKey,
+    /// Current location/fingerprint of the input block.
+    pub block: BlockLocation,
+}
+
+/// One reducer (whole or one split of a recomputed reducer).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReduceTask {
+    pub id: ReduceTaskId,
+}
+
+impl ReduceTask {
+    pub fn new(id: ReduceTaskId) -> Self {
+        Self { id }
+    }
+}

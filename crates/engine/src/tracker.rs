@@ -1,0 +1,596 @@
+//! The Master: JobInit, wave execution, intra-job failure recovery.
+//!
+//! `run` executes one job submission to completion or to an
+//! unrecoverable data-loss error:
+//!
+//! * **JobInit** enumerates the input file's blocks (one mapper per
+//!   block) and the reduce task set. For a [`RunMode::Recompute`]
+//!   submission it readies only the minimum necessary tasks: the tagged
+//!   reducer partitions (split if instructed) and the mappers whose
+//!   persisted outputs are missing or whose input fingerprints no longer
+//!   match (§IV-A) — Hadoop, by contrast, "treats each job submitted to
+//!   the system as a brand new job and re-executes it entirely", which
+//!   is what [`RunMode::Full`] does.
+//! * **Execution** proceeds in slot-constrained waves; the failure
+//!   injector is consulted at job start and after every wave, and killed
+//!   nodes lose their DFS blocks and map outputs immediately.
+//! * **Intra-job recovery** is Hadoop-style task re-execution: lost map
+//!   outputs re-run their mappers from surviving input replicas; lost
+//!   output partitions are cleared and their reducers re-run. When a
+//!   needed input partition has lost all replicas the job cannot
+//!   continue and `run` returns [`Error::JobInputLost`] — the signal
+//!   that makes the RCMP middleware cancel the job and start cascading
+//!   recomputation.
+
+use crate::cluster::Cluster;
+use crate::codec::ChunkingWriter;
+use crate::failure::{FailureInjector, ProgressEvent, TriggerPoint};
+use crate::job::{JobRun, JobSpec, RunMode};
+use crate::mapstore::MapInputKey;
+use crate::metrics::{IoBytes, JobReport, TaskRecord};
+use crate::scheduler::{assign_map_waves, assign_reduce_waves, ReduceAssignment, Waves};
+use crate::shuffle::{shuffle_for_reduce, ShuffleFailure};
+use crate::task::{MapTask, ReduceTask};
+use rcmp_model::{
+    Error, HashPartitioner, JobId, MapTaskId, NodeId, PartitionId, Record, RecordReader,
+    RecordWriter, ReduceTaskId, Result, SplitId, SplitPartitioner,
+};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Maximum phase-recovery iterations before declaring the job stuck
+/// (defensive; real scenarios converge in a handful).
+const MAX_RECOVERY_ROUNDS: u32 = 1000;
+
+/// The per-job master.
+pub struct JobTracker<'a> {
+    cluster: &'a Cluster,
+    injector: Arc<dyn FailureInjector>,
+}
+
+enum ReduceOutcome {
+    Done(ReduceTask, TaskRecord),
+    /// Shuffle found map outputs missing (lost to a failure); the task
+    /// stays pending and the phase loop re-runs the mappers first.
+    Missing,
+    /// Execution failed for a retryable reason (e.g. writer node died);
+    /// the task stays pending and is reassigned next round.
+    Retry,
+}
+
+impl<'a> JobTracker<'a> {
+    pub fn new(cluster: &'a Cluster, injector: Arc<dyn FailureInjector>) -> Self {
+        Self { cluster, injector }
+    }
+
+    /// Runs one job submission. `seq` is the global run sequence number
+    /// (the paper's job numbering: recomputations get fresh numbers).
+    pub fn run(&self, run: &JobRun, seq: u64) -> Result<JobReport> {
+        let spec = &run.spec;
+        let started = Instant::now();
+        if spec.num_reducers == 0 {
+            return Err(Error::Config("job needs at least one reducer".into()));
+        }
+        if spec.output_replication == 0 {
+            return Err(Error::Config("output replication must be >= 1".into()));
+        }
+        let instructions = match &run.mode {
+            RunMode::Full => None,
+            RunMode::Recompute(i) => {
+                if let Some(k) = i.split {
+                    if k == 0 {
+                        return Err(Error::Config("split factor must be >= 1".into()));
+                    }
+                    if k > 1 && !spec.splittable {
+                        return Err(Error::UnsplittableJob(spec.job));
+                    }
+                }
+                if i.partitions.iter().any(|p| p.raw() >= spec.num_reducers) {
+                    return Err(Error::Config(format!(
+                        "recompute partition out of range for {} reducers",
+                        spec.num_reducers
+                    )));
+                }
+                Some(i.clone())
+            }
+        };
+
+        let mut report = JobReport {
+            job: spec.job,
+            seq,
+            ..JobReport::default()
+        };
+
+        self.fire(seq, spec.job, TriggerPoint::JobStart, &mut report);
+
+        // ----- mapper reuse decision (pre-flight) -----------------------
+        // Computed *before* any destructive output mutation (deleting a
+        // Full run's old output, clearing a recompute's target
+        // partitions): if the input is not readable the job must cancel
+        // leaving the cluster exactly as it found it — otherwise
+        // recovery planning would see partitions this run cleared
+        // itself as empty-but-not-lost.
+        let reuse = instructions.as_ref().is_some_and(|i| i.reuse_map_outputs);
+        let ignore_fp = instructions
+            .as_ref()
+            .is_some_and(|i| i.unsafe_ignore_fingerprints);
+        self.check_input_complete(spec)?;
+        let mut inputs = self.enumerate_inputs(spec)?;
+        let mut pending_maps: Vec<MapTask> = Vec::new();
+        for t in &inputs {
+            if self.map_output_ok(t, reuse, ignore_fp) {
+                report.map_tasks_reused += 1;
+            } else {
+                pending_maps.push(t.clone());
+            }
+        }
+        self.check_inputs_available(spec, &pending_maps)?;
+
+        // ----- output file + reduce task set ---------------------------
+        let dfs = self.cluster.dfs();
+        let mut pending_reduces: Vec<ReduceTask> = match &instructions {
+            None => {
+                if dfs.file_exists(&spec.output) {
+                    // A restarted job discards partial results (§V-A).
+                    dfs.delete_file(&spec.output)?;
+                }
+                self.cluster.map_outputs().clear_job(spec.job);
+                dfs.create_file(&spec.output, spec.output_replication, spec.num_reducers)?;
+                (0..spec.num_reducers)
+                    .map(|p| ReduceTask::new(ReduceTaskId::whole(spec.job, PartitionId(p))))
+                    .collect()
+            }
+            Some(i) => {
+                dfs.file_meta(&spec.output)?; // must exist
+                for &p in &i.partitions {
+                    dfs.clear_partition(&spec.output, p)?;
+                }
+                i.partitions
+                    .iter()
+                    .flat_map(|&p| -> Vec<ReduceTask> {
+                        match i.split {
+                            None | Some(1) => {
+                                vec![ReduceTask::new(ReduceTaskId::whole(spec.job, p))]
+                            }
+                            Some(k) => (0..k)
+                                .map(|s| {
+                                    ReduceTask::new(ReduceTaskId::split(
+                                        spec.job,
+                                        p,
+                                        SplitId(s),
+                                        k,
+                                    ))
+                                })
+                                .collect(),
+                        }
+                    })
+                    .collect()
+            }
+        };
+        // Partitions this run is responsible for (damage re-checks).
+        let target_partitions: BTreeSet<PartitionId> = match &instructions {
+            None => (0..spec.num_reducers).map(PartitionId).collect(),
+            Some(i) => i.partitions.clone(),
+        };
+        let split_plan: Option<(BTreeSet<PartitionId>, u32)> = instructions
+            .as_ref()
+            .and_then(|i| match i.split {
+                Some(k) if k > 1 => Some((i.partitions.clone(), k)),
+                _ => None,
+            });
+
+        // ----- phase loop ------------------------------------------------
+        let mut map_wave_counter = 0u32;
+        let mut reduce_wave_counter = 0u32;
+        for _round in 0..MAX_RECOVERY_ROUNDS {
+            // MAP PHASE: ensure every needed map output exists.
+            while !pending_maps.is_empty() {
+                self.check_inputs_available(spec, &pending_maps)?;
+                let live = self.live_or_fail(spec.job)?;
+                let waves =
+                    assign_map_waves(pending_maps.clone(), &live, self.cluster.config().slots.map);
+                let mut interrupted = false;
+                for wave in waves {
+                    let had_failures = self.execute_map_wave(
+                        wave,
+                        spec,
+                        &split_plan,
+                        map_wave_counter,
+                        &mut report,
+                    );
+                    let point = TriggerPoint::AfterMapWave(map_wave_counter);
+                    map_wave_counter += 1;
+                    let kills = self.fire(seq, spec.job, point, &mut report);
+                    if had_failures || !kills.is_empty() {
+                        interrupted = true;
+                        break;
+                    }
+                }
+                // Refresh: which map outputs are still missing?
+                inputs = self.enumerate_inputs(spec)?;
+                pending_maps = inputs
+                    .iter()
+                    .filter(|t| !self.map_output_present(t, ignore_fp))
+                    .cloned()
+                    .collect();
+                if !interrupted && !pending_maps.is_empty() {
+                    // Defensive: tasks ran without interruption but
+                    // outputs still missing would mean a bug.
+                    report.task_retries += pending_maps.len();
+                }
+            }
+
+            // REDUCE PHASE.
+            if pending_reduces.is_empty() {
+                break;
+            }
+            let live = self.live_or_fail(spec.job)?;
+            let style = if run.mode.is_recompute() {
+                ReduceAssignment::Balance
+            } else {
+                ReduceAssignment::RoundRobinByPartition
+            };
+            let waves: Waves<ReduceTask> = assign_reduce_waves(
+                pending_reduces.clone(),
+                &live,
+                self.cluster.config().slots.reduce,
+                style,
+            );
+            let input_keys: Vec<MapInputKey> = inputs.iter().map(|t| t.key).collect();
+            let mut interrupted = false;
+            for wave in waves {
+                let outcomes =
+                    self.execute_reduce_wave(wave, &input_keys, spec, reduce_wave_counter);
+                let mut wave_had_failures = false;
+                for outcome in outcomes {
+                    match outcome {
+                        ReduceOutcome::Done(task, rec) => {
+                            report.io.add(&rec.io);
+                            report.tasks.push(rec);
+                            report.reduce_tasks_run += 1;
+                            pending_reduces.retain(|t| t.id != task.id);
+                        }
+                        ReduceOutcome::Missing | ReduceOutcome::Retry => {
+                            wave_had_failures = true;
+                            report.task_retries += 1;
+                        }
+                    }
+                }
+                let point = TriggerPoint::AfterReduceWave(reduce_wave_counter);
+                reduce_wave_counter += 1;
+                let kills = self.fire(seq, spec.job, point, &mut report);
+                if wave_had_failures || !kills.is_empty() {
+                    interrupted = true;
+                    break;
+                }
+            }
+
+            // Damage check: target partitions that lost blocks must be
+            // cleared and fully re-reduced.
+            let meta = dfs.file_meta(&spec.output)?;
+            for &p in &target_partitions {
+                if meta.partitions[p.index()].is_lost() {
+                    dfs.clear_partition(&spec.output, p)?;
+                    let tasks: Vec<ReduceTask> = match &split_plan {
+                        Some((set, k)) if set.contains(&p) => (0..*k)
+                            .map(|s| {
+                                ReduceTask::new(ReduceTaskId::split(spec.job, p, SplitId(s), *k))
+                            })
+                            .collect(),
+                        _ => vec![ReduceTask::new(ReduceTaskId::whole(spec.job, p))],
+                    };
+                    for t in tasks {
+                        if !pending_reduces.iter().any(|x| x.id == t.id) {
+                            pending_reduces.push(t);
+                        }
+                    }
+                }
+            }
+
+            // Refresh missing map outputs for the next round.
+            inputs = self.enumerate_inputs(spec)?;
+            pending_maps = inputs
+                .iter()
+                .filter(|t| !self.map_output_present(t, ignore_fp))
+                .cloned()
+                .collect();
+
+            if pending_reduces.is_empty() && pending_maps.is_empty() {
+                break;
+            }
+            let _ = interrupted;
+        }
+
+        if !pending_reduces.is_empty() {
+            return Err(Error::JobFailed {
+                job: spec.job,
+                reason: "recovery did not converge".into(),
+            });
+        }
+
+        if !run.persist_map_outputs {
+            self.cluster.map_outputs().clear_job(spec.job);
+        }
+        report.map_waves = map_wave_counter;
+        report.reduce_waves = reduce_wave_counter;
+        report.duration = started.elapsed();
+        Ok(report)
+    }
+
+    // ------------------------------------------------------------ helpers
+
+    fn fire(
+        &self,
+        seq: u64,
+        job: JobId,
+        point: TriggerPoint,
+        report: &mut JobReport,
+    ) -> Vec<NodeId> {
+        let kills = self.injector.poll(&ProgressEvent { seq, job, point });
+        for &node in &kills {
+            let loss = self.cluster.fail_node(node);
+            report.losses.push(loss);
+        }
+        kills
+    }
+
+    fn live_or_fail(&self, job: JobId) -> Result<Vec<NodeId>> {
+        let live = self.cluster.live_nodes();
+        if live.is_empty() {
+            return Err(Error::JobFailed {
+                job,
+                reason: "no live nodes".into(),
+            });
+        }
+        Ok(live)
+    }
+
+    /// One mapper per input block, enumerated from current metadata.
+    fn enumerate_inputs(&self, spec: &JobSpec) -> Result<Vec<MapTask>> {
+        let meta = self.cluster.dfs().file_meta(&spec.input)?;
+        let mut tasks = Vec::new();
+        let mut index = 0u32;
+        for p in &meta.partitions {
+            for (bi, loc) in p.block_locations().into_iter().enumerate() {
+                tasks.push(MapTask {
+                    id: MapTaskId::new(spec.job, index),
+                    key: MapInputKey::new(spec.job, p.id, bi as u32),
+                    block: loc,
+                });
+                index += 1;
+            }
+        }
+        Ok(tasks)
+    }
+
+    /// Does a valid persisted output exist for this mapper (reuse path)?
+    fn map_output_ok(&self, task: &MapTask, reuse: bool, ignore_fp: bool) -> bool {
+        reuse && self.map_output_present(task, ignore_fp)
+    }
+
+    /// Does the store hold an output for this mapper matching the
+    /// current input block fingerprint?
+    fn map_output_present(&self, task: &MapTask, ignore_fp: bool) -> bool {
+        match self.cluster.map_outputs().lookup(&task.key) {
+            Some(meta) => ignore_fp || meta.input_hash == task.block.content_hash,
+            None => false,
+        }
+    }
+
+    /// Errors with [`Error::JobInputLost`] if any input partition was
+    /// never (re)written — e.g. cleared by a recomputation run that a
+    /// nested failure cancelled. Such a partition has no blocks, so it
+    /// would otherwise be silently skipped, dropping its records from
+    /// every downstream job.
+    fn check_input_complete(&self, spec: &JobSpec) -> Result<()> {
+        let meta = self.cluster.dfs().file_meta(&spec.input)?;
+        let unwritten: Vec<PartitionId> = meta
+            .partitions
+            .iter()
+            .filter(|p| !p.is_written())
+            .map(|p| p.id)
+            .collect();
+        if unwritten.is_empty() {
+            Ok(())
+        } else {
+            Err(Error::JobInputLost {
+                job: spec.job,
+                lost_partitions: unwritten,
+            })
+        }
+    }
+
+    /// Errors with [`Error::JobInputLost`] if any pending mapper's input
+    /// block has no live replica.
+    fn check_inputs_available(&self, spec: &JobSpec, pending: &[MapTask]) -> Result<()> {
+        let mut lost: Vec<PartitionId> = pending
+            .iter()
+            .filter(|t| !t.block.replicas.iter().any(|&n| self.cluster.is_alive(n)))
+            .map(|t| t.key.pid)
+            .collect();
+        if lost.is_empty() {
+            Ok(())
+        } else {
+            lost.sort();
+            lost.dedup();
+            Err(Error::JobInputLost {
+                job: spec.job,
+                lost_partitions: lost,
+            })
+        }
+    }
+
+    /// Runs one wave of mappers on scoped threads (one per occupied
+    /// slot). Returns whether any task failed (triggering reassignment).
+    fn execute_map_wave(
+        &self,
+        wave: Vec<(NodeId, MapTask)>,
+        spec: &JobSpec,
+        split_plan: &Option<(BTreeSet<PartitionId>, u32)>,
+        wave_idx: u32,
+        report: &mut JobReport,
+    ) -> bool {
+        let outcomes: Vec<std::result::Result<TaskRecord, Error>> = std::thread::scope(|s| {
+            let handles: Vec<_> = wave
+                .into_iter()
+                .map(|(node, task)| {
+                    s.spawn(move || self.run_map_task(node, task, spec, split_plan, wave_idx))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("map task panicked")).collect()
+        });
+        let mut had_failures = false;
+        for outcome in outcomes {
+            match outcome {
+                Ok(rec) => {
+                    report.io.add(&rec.io);
+                    report.tasks.push(rec);
+                    report.map_tasks_run += 1;
+                }
+                Err(_) => {
+                    had_failures = true;
+                    report.task_retries += 1;
+                }
+            }
+        }
+        had_failures
+    }
+
+    fn run_map_task(
+        &self,
+        node: NodeId,
+        task: MapTask,
+        spec: &JobSpec,
+        split_plan: &Option<(BTreeSet<PartitionId>, u32)>,
+        wave_idx: u32,
+    ) -> std::result::Result<TaskRecord, Error> {
+        let t0 = Instant::now();
+        let (data, source) = self.cluster.dfs().read_block(&task.block, node)?;
+        let input_bytes = data.len() as u64;
+        let hp = HashPartitioner::new(spec.num_reducers);
+        let sp = split_plan
+            .as_ref()
+            .map(|(set, k)| (set, SplitPartitioner::new(*k), *k));
+        let mut writers: HashMap<ReduceTaskId, RecordWriter> = HashMap::new();
+        let job = spec.job;
+        for rec in RecordReader::new(data) {
+            let rec = rec?;
+            spec.mapper.map(rec, &mut |out: Record| {
+                let pid = hp.partition_of(out.key);
+                let rtid = match &sp {
+                    Some((set, part, k)) if set.contains(&pid) => {
+                        ReduceTaskId::split(job, pid, part.split_of(out.key), *k)
+                    }
+                    _ => ReduceTaskId::whole(job, pid),
+                };
+                writers.entry(rtid).or_default().push(&out);
+            });
+        }
+        let output_bytes: u64 = writers.values().map(|w| w.byte_len() as u64).sum();
+        let buckets: HashMap<ReduceTaskId, bytes::Bytes> = writers
+            .into_iter()
+            .map(|(k, w)| (k, w.finish()))
+            .collect();
+        // Storing on a node that died mid-wave is pointless but harmless:
+        // the kill's drop_node already ran or will never run again for
+        // this node; re-check liveness to keep semantics crisp.
+        if !self.cluster.is_alive(node) {
+            return Err(Error::NodeUnavailable(node));
+        }
+        self.cluster
+            .map_outputs()
+            .insert(task.key, node, task.block.content_hash, buckets);
+        let mut io = IoBytes::default();
+        if source == node {
+            io.map_input_local = input_bytes;
+        } else {
+            io.map_input_remote = input_bytes;
+        }
+        let _ = output_bytes; // map outputs are not DFS writes; not in IoBytes
+        Ok(TaskRecord {
+            id: task.id.into(),
+            node,
+            wave: wave_idx,
+            io,
+            duration: t0.elapsed(),
+            input_source: Some(source),
+        })
+    }
+
+    /// Runs one wave of reducers on scoped threads.
+    fn execute_reduce_wave(
+        &self,
+        wave: Vec<(NodeId, ReduceTask)>,
+        input_keys: &[MapInputKey],
+        spec: &JobSpec,
+        wave_idx: u32,
+    ) -> Vec<ReduceOutcome> {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = wave
+                .into_iter()
+                .map(|(node, task)| {
+                    s.spawn(move || self.run_reduce_task(node, task, input_keys, spec, wave_idx))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("reduce task panicked"))
+                .collect()
+        })
+    }
+
+    fn run_reduce_task(
+        &self,
+        node: NodeId,
+        task: ReduceTask,
+        input_keys: &[MapInputKey],
+        spec: &JobSpec,
+        wave_idx: u32,
+    ) -> ReduceOutcome {
+        let t0 = Instant::now();
+        let store = self.cluster.map_outputs();
+        let shuffled = match shuffle_for_reduce(store, input_keys, task.id, node) {
+            Ok(r) => r,
+            Err(ShuffleFailure::MissingMapOutputs(_)) => return ReduceOutcome::Missing,
+            Err(ShuffleFailure::Corrupt(_)) => return ReduceOutcome::Retry,
+        };
+        let block_size = self.cluster.config().block_size.as_u64() as usize;
+        let mut out = ChunkingWriter::new(block_size);
+        for (key, values) in &shuffled.groups {
+            spec.reducer.reduce(*key, values, &mut |rec: Record| {
+                out.push(&rec);
+            });
+        }
+        let output_bytes = out.byte_count();
+        let chunks = out.finish();
+        match self.cluster.dfs().write_partition_chunks(
+            &spec.output,
+            task.id.partition,
+            chunks,
+            node,
+            spec.placement,
+        ) {
+            Ok(()) => {}
+            Err(_) => return ReduceOutcome::Retry,
+        }
+        let io = IoBytes {
+            shuffle_local: shuffled.local_bytes,
+            shuffle_remote: shuffled.remote_bytes,
+            output_written: output_bytes,
+            replication_written: output_bytes * (spec.output_replication as u64 - 1),
+            ..IoBytes::default()
+        };
+        ReduceOutcome::Done(
+            task,
+            TaskRecord {
+                id: task.id.into(),
+                node,
+                wave: wave_idx,
+                io,
+                duration: t0.elapsed(),
+                input_source: None,
+            },
+        )
+    }
+}

@@ -1,0 +1,154 @@
+//! Cluster-level configuration shared by the engine and the simulator.
+
+use crate::error::{Error, Result};
+use crate::units::ByteSize;
+use serde::{Deserialize, Serialize};
+
+/// Mapper/reducer slots per node ("SLOTS X-Y" in the paper's figures).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotConfig {
+    /// Concurrent mapper tasks per node.
+    pub map: u32,
+    /// Concurrent reducer tasks per node.
+    pub reduce: u32,
+}
+
+impl SlotConfig {
+    pub const fn new(map: u32, reduce: u32) -> Self {
+        Self { map, reduce }
+    }
+
+    /// The paper's "SLOTS 1-1".
+    pub const ONE_ONE: SlotConfig = SlotConfig::new(1, 1);
+    /// The paper's "SLOTS 2-2".
+    pub const TWO_TWO: SlotConfig = SlotConfig::new(2, 2);
+}
+
+impl Default for SlotConfig {
+    fn default() -> Self {
+        SlotConfig::ONE_ONE
+    }
+}
+
+/// Static description of a collocated cluster (every node both computes
+/// and stores, §II).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of compute/storage nodes.
+    pub nodes: u32,
+    /// Slots per node.
+    pub slots: SlotConfig,
+    /// DFS block size (the paper uses 256 MB).
+    pub block_size: ByteSize,
+    /// Seconds after a node stops heart-beating before it is declared
+    /// dead (the paper configures 30 s for both Hadoop and RCMP).
+    pub failure_detection_secs: f64,
+    /// Seed for all placement/scheduling randomness.
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// A small default suitable for tests: 4 nodes, slots 1-1, 1 MiB blocks.
+    pub fn small_test(nodes: u32) -> Self {
+        Self {
+            nodes,
+            slots: SlotConfig::ONE_ONE,
+            block_size: ByteSize::mib(1),
+            failure_detection_secs: 30.0,
+            seed: 0xc0ffee,
+        }
+    }
+
+    /// STIC-like config from the paper: 10 nodes, 256 MB blocks.
+    pub fn stic(slots: SlotConfig) -> Self {
+        Self {
+            nodes: 10,
+            slots,
+            block_size: ByteSize::mib(256),
+            failure_detection_secs: 30.0,
+            seed: 0x57_1c,
+        }
+    }
+
+    /// DCO-like config from the paper: 60 nodes, 256 MB blocks.
+    pub fn dco() -> Self {
+        Self {
+            nodes: 60,
+            slots: SlotConfig::ONE_ONE,
+            block_size: ByteSize::mib(256),
+            failure_detection_secs: 30.0,
+            seed: 0xdc0,
+        }
+    }
+
+    /// Sanity-checks the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.nodes == 0 {
+            return Err(Error::Config("cluster needs at least one node".into()));
+        }
+        if self.slots.map == 0 || self.slots.reduce == 0 {
+            return Err(Error::Config("slots per node must be positive".into()));
+        }
+        if self.block_size.is_zero() {
+            return Err(Error::Config("block size must be positive".into()));
+        }
+        if self.failure_detection_secs <= 0.0 || self.failure_detection_secs.is_nan() {
+            return Err(Error::Config(
+                "failure detection timeout must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Total mapper slots across the cluster.
+    pub fn total_map_slots(&self) -> u32 {
+        self.nodes * self.slots.map
+    }
+
+    /// Total reducer slots across the cluster.
+    pub fn total_reduce_slots(&self) -> u32 {
+        self.nodes * self.slots.reduce
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper() {
+        let stic = ClusterConfig::stic(SlotConfig::ONE_ONE);
+        assert_eq!(stic.nodes, 10);
+        assert_eq!(stic.block_size, ByteSize::mib(256));
+        let dco = ClusterConfig::dco();
+        assert_eq!(dco.nodes, 60);
+        assert!(stic.validate().is_ok());
+        assert!(dco.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_degenerate() {
+        let mut c = ClusterConfig::small_test(0);
+        assert!(c.validate().is_err());
+        c.nodes = 2;
+        c.slots = SlotConfig::new(0, 1);
+        assert!(c.validate().is_err());
+        c.slots = SlotConfig::ONE_ONE;
+        c.block_size = ByteSize::ZERO;
+        assert!(c.validate().is_err());
+        c.block_size = ByteSize::mib(1);
+        c.failure_detection_secs = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn slot_totals() {
+        let c = ClusterConfig {
+            nodes: 10,
+            slots: SlotConfig::TWO_TWO,
+            ..ClusterConfig::small_test(10)
+        };
+        assert_eq!(c.total_map_slots(), 20);
+        assert_eq!(c.total_reduce_slots(), 20);
+    }
+}

@@ -1,0 +1,120 @@
+//! The workspace-wide error type.
+//!
+//! One flat enum keeps error plumbing simple across the DFS, engine and
+//! planner crates; variants carry enough context to render a useful
+//! message without borrowing.
+
+use crate::ids::{JobId, NodeId, PartitionId, TaskId};
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the DFS, the engine and the RCMP middleware.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// A DFS path does not exist in the namespace.
+    FileNotFound(String),
+    /// A DFS path already exists and overwrite was not requested.
+    FileExists(String),
+    /// All replicas of a block (or a whole partition) are gone.
+    DataLoss {
+        path: String,
+        partition: Option<PartitionId>,
+    },
+    /// A node id is unknown or the node is dead.
+    NodeUnavailable(NodeId),
+    /// Not enough live nodes to place the requested number of replicas.
+    InsufficientReplicaTargets { wanted: usize, alive: usize },
+    /// A task failed (node death mid-task, or a UDF error).
+    TaskFailed { task: TaskId, reason: String },
+    /// A job cannot continue: some of its input was irreversibly lost.
+    /// Carries what the middleware needs to plan recovery.
+    JobInputLost {
+        job: JobId,
+        lost_partitions: Vec<PartitionId>,
+    },
+    /// The whole job failed for a non-recoverable reason.
+    JobFailed { job: JobId, reason: String },
+    /// A job was cancelled by the middleware (e.g. to start recovery).
+    JobCancelled(JobId),
+    /// The user asked to split a reducer of a job marked unsplittable
+    /// (e.g. the paper's top-k example, §IV-B1).
+    UnsplittableJob(JobId),
+    /// Malformed record stream (codec error).
+    Codec(String),
+    /// Invalid configuration (zero nodes, zero slots, …).
+    Config(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::FileNotFound(p) => write!(f, "file not found: {p}"),
+            Error::FileExists(p) => write!(f, "file already exists: {p}"),
+            Error::DataLoss { path, partition } => match partition {
+                Some(pt) => write!(f, "irreversible data loss: {path} partition {pt}"),
+                None => write!(f, "irreversible data loss: {path}"),
+            },
+            Error::NodeUnavailable(n) => write!(f, "node unavailable: {n}"),
+            Error::InsufficientReplicaTargets { wanted, alive } => write!(
+                f,
+                "cannot place {wanted} replicas: only {alive} live nodes"
+            ),
+            Error::TaskFailed { task, reason } => write!(f, "task {task} failed: {reason}"),
+            Error::JobInputLost {
+                job,
+                lost_partitions,
+            } => write!(
+                f,
+                "job {job} input lost ({} partitions)",
+                lost_partitions.len()
+            ),
+            Error::JobFailed { job, reason } => write!(f, "job {job} failed: {reason}"),
+            Error::JobCancelled(j) => write!(f, "job {j} cancelled"),
+            Error::UnsplittableJob(j) => write!(f, "job {j} does not allow reducer splitting"),
+            Error::Codec(m) => write!(f, "record codec error: {m}"),
+            Error::Config(m) => write!(f, "invalid configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::MapTaskId;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            Error::FileNotFound("out/1".into()).to_string(),
+            "file not found: out/1"
+        );
+        assert_eq!(
+            Error::NodeUnavailable(NodeId(2)).to_string(),
+            "node unavailable: n2"
+        );
+        let e = Error::TaskFailed {
+            task: MapTaskId::new(JobId(1), 3).into(),
+            reason: "node died".into(),
+        };
+        assert_eq!(e.to_string(), "task j1/M3 failed: node died");
+    }
+
+    #[test]
+    fn data_loss_with_partition() {
+        let e = Error::DataLoss {
+            path: "out/2".into(),
+            partition: Some(PartitionId(5)),
+        };
+        assert!(e.to_string().contains("partition p5"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&Error::JobCancelled(JobId(1)));
+    }
+}

@@ -1,0 +1,201 @@
+//! Hash partitioning, including RCMP's second-level split partitioner.
+//!
+//! A job's reducers are chosen by `hash1(key) % num_reducers`
+//! ([`HashPartitioner`]). During a recomputation run, RCMP may *split*
+//! a recomputed reducer `k` ways: split `i` handles the keys of that
+//! reducer with `hash2(key) % k == i` ([`SplitPartitioner`]). The two
+//! hash functions must be distinct: if `hash2 == hash1`, all keys of
+//! reducer `r` in an `N`-reducer job satisfy `hash1(key) % N == r`, and
+//! for split counts sharing factors with `N` the second-level modulus
+//! would distribute them pathologically. We use two differently-seeded
+//! finalizers of the same 64-bit mixer.
+//!
+//! The Fig.-5 correctness subtlety lives here too: a *persisted* map
+//! output is bucketed with the first-level partitioner only. When a
+//! reducer is split, the map-side buckets feeding it must be produced
+//! with the second-level partitioner as well — so persisted map outputs
+//! for split reducers cannot be reused. The planner enforces this; this
+//! module provides the primitive both sides agree on.
+
+use crate::ids::{PartitionId, SplitId};
+
+/// Mixes a 64-bit key (SplitMix64 finalizer). Good avalanche, cheap,
+/// deterministic across platforms — exactly what a partitioner needs.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Something that maps a record key to a bucket in `0..buckets()`.
+pub trait Partitioner: Send + Sync {
+    fn buckets(&self) -> u32;
+    fn bucket_of(&self, key: u64) -> u32;
+}
+
+/// First-level partitioner: key → reducer partition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HashPartitioner {
+    num_partitions: u32,
+}
+
+impl HashPartitioner {
+    pub fn new(num_partitions: u32) -> Self {
+        assert!(num_partitions > 0, "need at least one partition");
+        Self { num_partitions }
+    }
+
+    /// The reducer partition responsible for `key`.
+    #[inline]
+    pub fn partition_of(&self, key: u64) -> PartitionId {
+        PartitionId((mix64(key) % self.num_partitions as u64) as u32)
+    }
+}
+
+impl Partitioner for HashPartitioner {
+    fn buckets(&self) -> u32 {
+        self.num_partitions
+    }
+
+    #[inline]
+    fn bucket_of(&self, key: u64) -> u32 {
+        self.partition_of(key).raw()
+    }
+}
+
+/// Seed offsetting the split-level hash from the partition-level hash.
+const SPLIT_SEED: u64 = 0xa076_1d64_78bd_642f;
+
+/// Second-level partitioner: key → split of one (recomputed) reducer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SplitPartitioner {
+    num_splits: u32,
+}
+
+impl SplitPartitioner {
+    pub fn new(num_splits: u32) -> Self {
+        assert!(num_splits > 0, "need at least one split");
+        Self { num_splits }
+    }
+
+    /// The split responsible for `key` among the splits of its reducer.
+    ///
+    /// All values of one key land in the same split, preserving reduce
+    /// semantics (§IV-B1: "each split still is responsible for all the
+    /// values belonging to one key").
+    #[inline]
+    pub fn split_of(&self, key: u64) -> SplitId {
+        SplitId((mix64(key ^ SPLIT_SEED) % self.num_splits as u64) as u32)
+    }
+}
+
+impl Partitioner for SplitPartitioner {
+    fn buckets(&self) -> u32 {
+        self.num_splits
+    }
+
+    #[inline]
+    fn bucket_of(&self, key: u64) -> u32 {
+        self.split_of(key).raw()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn partition_in_range() {
+        let p = HashPartitioner::new(10);
+        for k in 0..10_000u64 {
+            assert!(p.partition_of(k).raw() < 10);
+        }
+    }
+
+    #[test]
+    fn split_in_range() {
+        let s = SplitPartitioner::new(8);
+        for k in 0..10_000u64 {
+            assert!(s.split_of(k).raw() < 8);
+        }
+    }
+
+    #[test]
+    fn single_bucket_is_total() {
+        let p = HashPartitioner::new(1);
+        let s = SplitPartitioner::new(1);
+        for k in [0, 1, u64::MAX, 12345] {
+            assert_eq!(p.partition_of(k), PartitionId(0));
+            assert_eq!(s.split_of(k), SplitId(0));
+        }
+    }
+
+    #[test]
+    fn partitions_reasonably_balanced() {
+        let p = HashPartitioner::new(16);
+        let mut counts = [0u32; 16];
+        for k in 0..160_000u64 {
+            counts[p.partition_of(k).index()] += 1;
+        }
+        let (min, max) = (
+            *counts.iter().min().unwrap(),
+            *counts.iter().max().unwrap(),
+        );
+        // Within 5% of perfect balance for sequential keys.
+        assert!(max - min < 10_000 / 2, "imbalance {min}..{max}");
+    }
+
+    /// The crux of Fig. 5: the split-level hash must not be degenerate
+    /// on the key set of one first-level partition.
+    #[test]
+    fn split_hash_independent_of_partition_hash() {
+        let p = HashPartitioner::new(10);
+        let s = SplitPartitioner::new(2);
+        // Keys all belonging to partition 3 of 10.
+        let keys: Vec<u64> = (0..1_000_000u64)
+            .filter(|&k| p.partition_of(k) == PartitionId(3))
+            .take(10_000)
+            .collect();
+        let ones = keys.iter().filter(|&&k| s.split_of(k) == SplitId(1)).count();
+        let frac = ones as f64 / keys.len() as f64;
+        assert!(
+            (frac - 0.5).abs() < 0.05,
+            "split hash correlated with partition hash: {frac}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = HashPartitioner::new(7);
+        let s = SplitPartitioner::new(3);
+        assert_eq!(p.partition_of(99), p.partition_of(99));
+        assert_eq!(s.split_of(99), s.split_of(99));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_partition_in_range(key in any::<u64>(), n in 1u32..100) {
+            let p = HashPartitioner::new(n);
+            prop_assert!(p.partition_of(key).raw() < n);
+        }
+
+        #[test]
+        fn prop_split_stable_for_key(key in any::<u64>(), k in 1u32..64) {
+            let s = SplitPartitioner::new(k);
+            prop_assert_eq!(s.split_of(key), s.split_of(key));
+        }
+
+        /// Union of split buckets over all splits covers every key exactly once.
+        #[test]
+        fn prop_splits_partition_the_keyspace(key in any::<u64>(), k in 1u32..64) {
+            let s = SplitPartitioner::new(k);
+            let owner = s.split_of(key);
+            let owners = (0..k).filter(|&i| s.split_of(key) == SplitId(i)).count();
+            prop_assert_eq!(owners, 1);
+            prop_assert!(owner.raw() < k);
+        }
+    }
+}

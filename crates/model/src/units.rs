@@ -1,0 +1,187 @@
+//! Byte-size arithmetic.
+//!
+//! The evaluation deals in block sizes (256 MB), per-node inputs
+//! (4 GB / 20 GB) and cluster totals (40 GB / 1.2 TB). [`ByteSize`]
+//! keeps those quantities typed and readable in configs and reports.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A number of bytes.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ByteSize(pub u64);
+
+pub const KIB: u64 = 1024;
+pub const MIB: u64 = 1024 * KIB;
+pub const GIB: u64 = 1024 * MIB;
+pub const TIB: u64 = 1024 * GIB;
+
+impl ByteSize {
+    pub const ZERO: ByteSize = ByteSize(0);
+
+    pub const fn bytes(n: u64) -> Self {
+        Self(n)
+    }
+    pub const fn kib(n: u64) -> Self {
+        Self(n * KIB)
+    }
+    pub const fn mib(n: u64) -> Self {
+        Self(n * MIB)
+    }
+    pub const fn gib(n: u64) -> Self {
+        Self(n * GIB)
+    }
+    pub const fn tib(n: u64) -> Self {
+        Self(n * TIB)
+    }
+
+    #[inline]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Bytes as `f64` (for bandwidth/time arithmetic in the simulator).
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Number of whole blocks of `block` needed to hold `self`
+    /// (ceiling division). Zero bytes take zero blocks.
+    pub fn blocks_of(self, block: ByteSize) -> u64 {
+        assert!(block.0 > 0, "block size must be positive");
+        self.0.div_ceil(block.0)
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0.saturating_sub(rhs.0))
+    }
+
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for ByteSize {
+    type Output = ByteSize;
+    fn add(self, rhs: Self) -> Self {
+        ByteSize(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for ByteSize {
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for ByteSize {
+    type Output = ByteSize;
+    fn sub(self, rhs: Self) -> Self {
+        ByteSize(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for ByteSize {
+    type Output = ByteSize;
+    fn mul(self, rhs: u64) -> Self {
+        ByteSize(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for ByteSize {
+    type Output = ByteSize;
+    fn div(self, rhs: u64) -> Self {
+        ByteSize(self.0 / rhs)
+    }
+}
+
+impl Div<ByteSize> for ByteSize {
+    type Output = f64;
+    fn div(self, rhs: ByteSize) -> f64 {
+        self.0 as f64 / rhs.0 as f64
+    }
+}
+
+impl Sum for ByteSize {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(ByteSize::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        if b >= TIB && b.is_multiple_of(GIB) {
+            write!(f, "{:.1}TiB", b as f64 / TIB as f64)
+        } else if b >= GIB {
+            write!(f, "{:.1}GiB", b as f64 / GIB as f64)
+        } else if b >= MIB {
+            write!(f, "{:.1}MiB", b as f64 / MIB as f64)
+        } else if b >= KIB {
+            write!(f, "{:.1}KiB", b as f64 / KIB as f64)
+        } else {
+            write!(f, "{b}B")
+        }
+    }
+}
+
+impl fmt::Debug for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_scale() {
+        assert_eq!(ByteSize::kib(1).as_u64(), 1024);
+        assert_eq!(ByteSize::mib(1).as_u64(), 1024 * 1024);
+        assert_eq!(ByteSize::gib(2), ByteSize::mib(2048));
+        assert_eq!(ByteSize::tib(1), ByteSize::gib(1024));
+    }
+
+    #[test]
+    fn blocks_of_rounds_up() {
+        let blk = ByteSize::mib(256);
+        assert_eq!(ByteSize::gib(4).blocks_of(blk), 16); // STIC: 16 mappers/node
+        assert_eq!(ByteSize::gib(20).blocks_of(blk), 80); // DCO: ~80 mappers/node
+        assert_eq!(ByteSize::bytes(1).blocks_of(blk), 1);
+        assert_eq!(ByteSize::ZERO.blocks_of(blk), 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = ByteSize::mib(100);
+        let b = ByteSize::mib(28);
+        assert_eq!(a + b, ByteSize::mib(128));
+        assert_eq!(a - b, ByteSize::mib(72));
+        assert_eq!(a * 2, ByteSize::mib(200));
+        assert_eq!(a / 4, ByteSize::mib(25));
+        assert!((a / b - 100.0 / 28.0).abs() < 1e-12);
+        assert_eq!(b.saturating_sub(a), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: ByteSize = (0..4).map(|_| ByteSize::mib(10)).sum();
+        assert_eq!(total, ByteSize::mib(40));
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(ByteSize::bytes(5).to_string(), "5B");
+        assert_eq!(ByteSize::kib(3).to_string(), "3.0KiB");
+        assert_eq!(ByteSize::mib(256).to_string(), "256.0MiB");
+        assert_eq!(ByteSize::gib(40).to_string(), "40.0GiB");
+        assert_eq!((ByteSize::tib(1) + ByteSize::gib(205)).to_string(), "1.2TiB");
+    }
+}

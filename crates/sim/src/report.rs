@@ -1,0 +1,139 @@
+//! Simulation reports.
+
+use crate::speculate::SpeculationStats;
+use serde::{Deserialize, Serialize};
+
+/// Byte volumes of one simulated job run (mirrors the engine's
+/// `IoBytes`, validated against it on matched configurations).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimIo {
+    pub map_input_local: u64,
+    pub map_input_remote: u64,
+    pub shuffle_local: u64,
+    pub shuffle_remote: u64,
+    pub output_written: u64,
+    pub replication_written: u64,
+}
+
+impl SimIo {
+    pub fn add(&mut self, o: &SimIo) {
+        self.map_input_local += o.map_input_local;
+        self.map_input_remote += o.map_input_remote;
+        self.shuffle_local += o.shuffle_local;
+        self.shuffle_remote += o.shuffle_remote;
+        self.output_written += o.output_written;
+        self.replication_written += o.replication_written;
+    }
+}
+
+/// Outcome of one simulated job run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SimJobReport {
+    /// Logical job (1-based position in the chain).
+    pub job: u32,
+    /// Global run sequence number.
+    pub seq: u64,
+    /// Simulated wall-clock duration, seconds.
+    pub duration: f64,
+    pub map_waves: u32,
+    pub reduce_waves: u32,
+    pub mappers_run: usize,
+    pub mappers_reused: usize,
+    pub reduce_tasks_run: usize,
+    /// Per-mapper durations (seconds) — the Fig. 12 CDF data.
+    pub mapper_durations: Vec<f64>,
+    /// Per-reduce-task durations (seconds).
+    pub reducer_durations: Vec<f64>,
+    pub io: SimIo,
+    /// True for recomputation runs.
+    pub recompute: bool,
+    /// Speculative-execution statistics (zero unless enabled).
+    #[serde(default)]
+    pub speculation: SpeculationStats,
+}
+
+/// Timeline entry of the chain simulation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SimEvent {
+    JobCompleted { seq: u64, job: u32, at: f64 },
+    FailureInjected { at: f64, node: u32 },
+    FailureDetected { at: f64, node: u32 },
+    RecoveryPlanned { steps: usize, partitions: usize },
+    ChainRestarted { at: f64 },
+    ReplicationPoint { job: u32, at: f64 },
+}
+
+/// Outcome of one simulated chain execution.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SimChainReport {
+    /// Total simulated time, seconds.
+    pub total_time: f64,
+    pub runs: Vec<SimJobReport>,
+    pub events: Vec<SimEvent>,
+    pub jobs_started: u64,
+}
+
+impl SimChainReport {
+    /// Job runs that were recomputations.
+    pub fn recompute_runs(&self) -> impl Iterator<Item = &SimJobReport> {
+        self.runs.iter().filter(|r| r.recompute)
+    }
+
+    /// Average duration of the initial (non-recompute) runs of jobs that
+    /// completed before any failure — the per-job baseline used by the
+    /// paper's numerical analysis (Fig. 10).
+    pub fn mean_initial_job_time(&self) -> f64 {
+        let initial: Vec<f64> = self
+            .runs
+            .iter()
+            .filter(|r| !r.recompute)
+            .map(|r| r.duration)
+            .collect();
+        if initial.is_empty() {
+            0.0
+        } else {
+            initial.iter().sum::<f64>() / initial.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_aggregation() {
+        let mut a = SimIo {
+            map_input_local: 1,
+            shuffle_remote: 2,
+            ..Default::default()
+        };
+        a.add(&SimIo {
+            map_input_local: 3,
+            output_written: 4,
+            ..Default::default()
+        });
+        assert_eq!(a.map_input_local, 4);
+        assert_eq!(a.output_written, 4);
+    }
+
+    #[test]
+    fn mean_initial_time_ignores_recomputes() {
+        let mut r = SimChainReport::default();
+        r.runs.push(SimJobReport {
+            duration: 10.0,
+            ..Default::default()
+        });
+        r.runs.push(SimJobReport {
+            duration: 99.0,
+            recompute: true,
+            ..Default::default()
+        });
+        r.runs.push(SimJobReport {
+            duration: 20.0,
+            ..Default::default()
+        });
+        assert!((r.mean_initial_job_time() - 15.0).abs() < 1e-9);
+        assert_eq!(r.recompute_runs().count(), 1);
+    }
+}

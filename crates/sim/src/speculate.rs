@@ -1,0 +1,208 @@
+//! Speculative execution (§II, §III-A).
+//!
+//! Hadoop's task-level straggler defence: when a task runs much slower
+//! than its wave's median, a duplicate is launched elsewhere and the
+//! first finisher wins. The paper is skeptical of its value —
+//! "studies show that up to 90% of speculatively executed tasks provide
+//! no benefits" (§III-A) — and notes replication only helps speculation
+//! when the slowness comes from *reading input* (a duplicate can use a
+//! different replica).
+//!
+//! This module models exactly that mechanism for the simulator's map
+//! waves: a duplicate launched at the median completion time, reading
+//! from the least-loaded *other* replica; it wins only if
+//! `median + duplicate_read` beats the straggler. The statistics let
+//! the harness reproduce the paper's "mostly futile" observation and
+//! its corollary: with single-replicated data (RCMP's regime) there is
+//! no alternate replica, so input-bound speculation cannot win at all.
+
+use serde::{Deserialize, Serialize};
+
+/// Speculation policy.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SpeculationCfg {
+    /// A task is a straggler if its duration exceeds
+    /// `slow_factor ×` its expected uncontended duration. (Hadoop
+    /// detects stragglers by progress *rate*, which is exactly a
+    /// comparison against the rate the task would sustain uncontended —
+    /// a wave-median criterion would be blind to the uniformly-slow
+    /// hot-spot waves of §IV-B2, which Hadoop does speculate on.)
+    pub slow_factor: f64,
+}
+
+impl Default for SpeculationCfg {
+    fn default() -> Self {
+        Self { slow_factor: 1.5 }
+    }
+}
+
+/// Outcome of speculating on one wave.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SpeculationStats {
+    /// Duplicates launched.
+    pub speculated: usize,
+    /// Duplicates that finished before their original.
+    pub wins: usize,
+    /// Wall-clock seconds saved on the wave (max-duration reduction).
+    pub saved: f64,
+}
+
+impl SpeculationStats {
+    pub fn add(&mut self, other: &SpeculationStats) {
+        self.speculated += other.speculated;
+        self.wins += other.wins;
+        self.saved += other.saved;
+    }
+
+    /// Fraction of speculations that provided no benefit (the paper's
+    /// ~90% claim).
+    pub fn futile_fraction(&self) -> f64 {
+        if self.speculated == 0 {
+            0.0
+        } else {
+            1.0 - self.wins as f64 / self.speculated as f64
+        }
+    }
+}
+
+/// One wave task as the speculator sees it.
+#[derive(Clone, Copy, Debug)]
+pub struct WaveTask {
+    /// Duration without speculation.
+    pub duration: f64,
+    /// The duration the task would have uncontended (full disk stream,
+    /// no sharing) — the progress-rate baseline.
+    pub uncontended: f64,
+    /// Read time of a duplicate on the best *alternate* replica
+    /// (`None` when no alternate replica exists — single-replicated
+    /// input, RCMP's regime — or the slowness is not input-bound).
+    pub alt_duration: Option<f64>,
+}
+
+/// Applies speculation to one wave: returns the effective per-task
+/// durations and the statistics.
+pub fn speculate_wave(cfg: &SpeculationCfg, tasks: &[WaveTask]) -> (Vec<f64>, SpeculationStats) {
+    let mut stats = SpeculationStats::default();
+    if tasks.is_empty() {
+        return (Vec::new(), stats);
+    }
+    let mut sorted: Vec<f64> = tasks.iter().map(|t| t.duration).collect();
+    sorted.sort_by(f64::total_cmp);
+    let median = sorted[sorted.len() / 2];
+    let before_max = sorted.last().copied().unwrap_or(0.0);
+
+    let effective: Vec<f64> = tasks
+        .iter()
+        .map(|t| {
+            if t.duration <= t.uncontended * cfg.slow_factor {
+                return t.duration;
+            }
+            stats.speculated += 1;
+            // The duplicate starts once the straggler is detected; the
+            // earliest meaningful moment is when typical (median) tasks
+            // finish and the straggler's lag is evident.
+            let detect_at = median.min(t.duration);
+            match t.alt_duration {
+                Some(alt) if detect_at + alt < t.duration => {
+                    stats.wins += 1;
+                    detect_at + alt
+                }
+                _ => t.duration,
+            }
+        })
+        .collect();
+    let after_max = effective.iter().copied().fold(0.0f64, f64::max);
+    stats.saved = (before_max - after_max).max(0.0);
+    (effective, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(duration: f64, uncontended: f64, alt: Option<f64>) -> WaveTask {
+        WaveTask {
+            duration,
+            uncontended,
+            alt_duration: alt,
+        }
+    }
+
+    #[test]
+    fn no_stragglers_no_speculation() {
+        let tasks = vec![task(10.0, 9.0, Some(10.0)); 5];
+        let (eff, stats) = speculate_wave(&SpeculationCfg::default(), &tasks);
+        assert_eq!(stats.speculated, 0);
+        assert_eq!(eff, vec![10.0; 5]);
+    }
+
+    #[test]
+    fn input_bound_straggler_rescued_by_alternate_replica() {
+        let mut tasks = vec![task(10.0, 10.0, Some(10.0)); 4];
+        tasks.push(task(60.0, 10.0, Some(12.0))); // slow read; fast elsewhere
+        let (eff, stats) = speculate_wave(&SpeculationCfg::default(), &tasks);
+        assert_eq!(stats.speculated, 1);
+        assert_eq!(stats.wins, 1);
+        // Effective: detected at the median (10) + alt read (12).
+        assert!((eff[4] - 22.0).abs() < 1e-9);
+        assert!((stats.saved - 38.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniformly_slow_wave_still_detected() {
+        // The §IV-B2 hot-spot: every task in the wave reads the same
+        // disk and is ~4x its uncontended time. A wave-median criterion
+        // would see nothing; the progress-rate criterion speculates.
+        let tasks = vec![task(40.0, 10.0, None); 4];
+        let (_, stats) = speculate_wave(&SpeculationCfg::default(), &tasks);
+        assert_eq!(stats.speculated, 4);
+        assert_eq!(stats.wins, 0, "no alternate replica → futile");
+    }
+
+    #[test]
+    fn single_replica_speculation_is_futile() {
+        // RCMP's regime: no alternate replica → the duplicate re-reads
+        // the same contended source and never wins.
+        let mut tasks = vec![task(10.0, 10.0, None); 4];
+        tasks.push(task(60.0, 10.0, None));
+        let (eff, stats) = speculate_wave(&SpeculationCfg::default(), &tasks);
+        assert_eq!(stats.speculated, 1);
+        assert_eq!(stats.wins, 0);
+        assert_eq!(stats.futile_fraction(), 1.0);
+        assert!((eff[4] - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_bound_straggler_not_rescued() {
+        // Alternate replica exists but the duplicate is just as slow
+        // (the slowness is not input-bound): futile speculation.
+        let mut tasks = vec![task(10.0, 10.0, Some(55.0)); 4];
+        tasks.push(task(60.0, 10.0, Some(55.0)));
+        let (_, stats) = speculate_wave(&SpeculationCfg::default(), &tasks);
+        assert_eq!(stats.speculated, 1);
+        assert_eq!(stats.wins, 0);
+    }
+
+    #[test]
+    fn stats_aggregate() {
+        let mut a = SpeculationStats {
+            speculated: 8,
+            wins: 1,
+            saved: 5.0,
+        };
+        a.add(&SpeculationStats {
+            speculated: 2,
+            wins: 0,
+            saved: 0.0,
+        });
+        assert_eq!(a.speculated, 10);
+        assert!((a.futile_fraction() - 0.9).abs() < 1e-9, "the paper's 90%");
+    }
+
+    #[test]
+    fn empty_wave() {
+        let (eff, stats) = speculate_wave(&SpeculationCfg::default(), &[]);
+        assert!(eff.is_empty());
+        assert_eq!(stats.speculated, 0);
+    }
+}

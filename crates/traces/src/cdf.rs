@@ -1,0 +1,148 @@
+//! Empirical CDFs (the Fig. 2 rendering).
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over non-negative integer observations.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    /// Sorted distinct values.
+    values: Vec<u32>,
+    /// `cum[i]` = fraction of observations ≤ `values[i]`.
+    cum: Vec<f64>,
+    n: usize,
+}
+
+impl Cdf {
+    pub fn from_observations(obs: &[u32]) -> Self {
+        let mut sorted = obs.to_vec();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let mut values = Vec::new();
+        let mut cum = Vec::new();
+        let mut i = 0usize;
+        while i < n {
+            let v = sorted[i];
+            let mut j = i;
+            while j < n && sorted[j] == v {
+                j += 1;
+            }
+            values.push(v);
+            cum.push(j as f64 / n as f64);
+            i = j;
+        }
+        Self { values, cum, n }
+    }
+
+    /// P(X ≤ x).
+    pub fn at(&self, x: u32) -> f64 {
+        match self.values.binary_search(&x) {
+            Ok(i) => self.cum[i],
+            Err(0) => 0.0,
+            Err(i) => self.cum[i - 1],
+        }
+    }
+
+    /// Smallest value with CDF ≥ q (q in (0, 1]).
+    pub fn quantile(&self, q: f64) -> u32 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        for (v, c) in self.values.iter().zip(&self.cum) {
+            if *c >= q {
+                return *v;
+            }
+        }
+        self.values.last().copied().unwrap_or(0)
+    }
+
+    /// `(value, cumulative_fraction)` points for plotting/printing.
+    pub fn points(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.values.iter().copied().zip(self.cum.iter().copied())
+    }
+
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+/// CDF over f64 observations (mapper durations, Fig. 12).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CdfF64 {
+    sorted: Vec<f64>,
+}
+
+impl CdfF64 {
+    pub fn from_observations(obs: &[f64]) -> Self {
+        let mut sorted = obs.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        Self { sorted }
+    }
+
+    /// P(X ≤ x).
+    pub fn at(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len().max(1) as f64
+    }
+
+    /// Value at quantile q (nearest-rank).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize)
+            .clamp(1, self.sorted.len())
+            - 1;
+        self.sorted[idx]
+    }
+
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_cdf_basics() {
+        let c = Cdf::from_observations(&[0, 0, 0, 1, 2, 2, 5]);
+        assert_eq!(c.len(), 7);
+        assert!((c.at(0) - 3.0 / 7.0).abs() < 1e-12);
+        assert!((c.at(1) - 4.0 / 7.0).abs() < 1e-12);
+        assert!((c.at(4) - 6.0 / 7.0).abs() < 1e-12);
+        assert!((c.at(5) - 1.0).abs() < 1e-12);
+        assert_eq!(c.at(99), 1.0);
+        assert_eq!(c.quantile(0.5), 1);
+        assert_eq!(c.quantile(1.0), 5);
+    }
+
+    #[test]
+    fn float_cdf_median() {
+        let c = CdfF64::from_observations(&[1.0, 2.0, 3.0, 4.0, 100.0]);
+        assert_eq!(c.median(), 3.0);
+        assert!((c.at(3.5) - 0.6).abs() < 1e-9);
+        assert_eq!(c.quantile(1.0), 100.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let c = Cdf::from_observations(&[]);
+        assert!(c.is_empty());
+        assert_eq!(c.at(0), 0.0);
+        let f = CdfF64::from_observations(&[]);
+        assert_eq!(f.median(), 0.0);
+    }
+
+    #[test]
+    fn points_are_monotone() {
+        let c = Cdf::from_observations(&[3, 1, 4, 1, 5, 9, 2, 6]);
+        let pts: Vec<_> = c.points().collect();
+        for w in pts.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Failure-trace synthesis and analysis (paper Fig. 2, §III-A).
+//!
+//! The paper analyzes machine-unavailability traces from two Rice
+//! University clusters — STIC (218 nodes, Sept 2009 – Sept 2012) and
+//! SUG@R (121 nodes, Jan 2009 – Sept 2012) — to argue that at moderate
+//! cluster sizes failures are occasional, not ubiquitous: only 17%
+//! (STIC) / 12% (SUG@R) of days see any new failure, most failure days
+//! see one or two machines, and the rare heavy days (tens of nodes) are
+//! scheduler/file-system outages rather than independent hardware
+//! faults. The original trace link is dead, so [`synth`] generates
+//! traces calibrated to those published summary statistics, and [`cdf`]
+//! computes the Fig.-2 distribution from any trace.
+
+pub mod cdf;
+pub mod stats;
+pub mod synth;
+
+pub use cdf::Cdf;
+pub use stats::TraceStats;
+pub use synth::{synthesize, TraceProfile};

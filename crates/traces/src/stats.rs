@@ -1,0 +1,96 @@
+//! Summary statistics of a failure trace (the §III-A argument).
+
+use crate::cdf::Cdf;
+use serde::{Deserialize, Serialize};
+
+/// Summary of a daily new-failure trace.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    pub days: usize,
+    pub failure_days: usize,
+    /// Fraction of days with ≥ 1 new failure.
+    pub failure_day_fraction: f64,
+    pub total_failures: u64,
+    /// Mean failures per day (over all days).
+    pub mean_per_day: f64,
+    /// Mean time between failure days, in days — the paper's
+    /// "at this moderate scale node failures are expected only at an
+    /// interval of days".
+    pub mean_days_between_failures: f64,
+    pub max_in_one_day: u32,
+}
+
+impl TraceStats {
+    pub fn from_trace(trace: &[u32]) -> Self {
+        let days = trace.len();
+        let failure_days = trace.iter().filter(|&&c| c > 0).count();
+        let total: u64 = trace.iter().map(|&c| c as u64).sum();
+        Self {
+            days,
+            failure_days,
+            failure_day_fraction: if days == 0 {
+                0.0
+            } else {
+                failure_days as f64 / days as f64
+            },
+            total_failures: total,
+            mean_per_day: if days == 0 {
+                0.0
+            } else {
+                total as f64 / days as f64
+            },
+            mean_days_between_failures: if failure_days == 0 {
+                f64::INFINITY
+            } else {
+                days as f64 / failure_days as f64
+            },
+            max_in_one_day: trace.iter().copied().max().unwrap_or(0),
+        }
+    }
+
+    /// The Fig.-2 CDF of the trace.
+    pub fn cdf(trace: &[u32]) -> Cdf {
+        Cdf::from_observations(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_from_known_trace() {
+        let trace = [0, 0, 1, 0, 3, 0, 0, 0, 2, 0];
+        let s = TraceStats::from_trace(&trace);
+        assert_eq!(s.days, 10);
+        assert_eq!(s.failure_days, 3);
+        assert!((s.failure_day_fraction - 0.3).abs() < 1e-12);
+        assert_eq!(s.total_failures, 6);
+        assert!((s.mean_days_between_failures - 10.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.max_in_one_day, 3);
+    }
+
+    #[test]
+    fn empty_and_failure_free() {
+        let s = TraceStats::from_trace(&[]);
+        assert_eq!(s.days, 0);
+        let s = TraceStats::from_trace(&[0, 0, 0]);
+        assert_eq!(s.failure_days, 0);
+        assert!(s.mean_days_between_failures.is_infinite());
+    }
+
+    #[test]
+    fn synthesized_traces_support_the_papers_argument() {
+        use crate::synth::{synthesize, TraceProfile};
+        for p in [TraceProfile::stic(), TraceProfile::sugar()] {
+            let s = TraceStats::from_trace(&synthesize(&p, 99));
+            // Failures only every several days on average.
+            assert!(
+                s.mean_days_between_failures > 4.0,
+                "{}: failures too frequent ({})",
+                p.name,
+                s.mean_days_between_failures
+            );
+        }
+    }
+}

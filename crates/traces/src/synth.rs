@@ -1,0 +1,122 @@
+//! Synthetic failure-trace generation.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Statistical profile of a cluster's daily new-failure counts.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceProfile {
+    pub name: String,
+    /// Nodes in the cluster (caps burst sizes).
+    pub nodes: u32,
+    /// Days covered by the trace.
+    pub days: u32,
+    /// Probability that a day sees at least one new failure.
+    pub p_failure_day: f64,
+    /// Given a failure day, probability it is a burst (outage) day.
+    pub p_burst: f64,
+    /// Geometric parameter for ordinary failure days (mean ≈ 1/p).
+    pub geo_p: f64,
+    /// Burst-day size range (uniform), e.g. scheduler/FS outages taking
+    /// out tens of machines.
+    pub burst_range: (u32, u32),
+}
+
+impl TraceProfile {
+    /// STIC-like: 218 nodes, ~3 years of daily checks, 17% failure days.
+    pub fn stic() -> Self {
+        Self {
+            name: "STIC".into(),
+            nodes: 218,
+            days: 1096,
+            p_failure_day: 0.17,
+            p_burst: 0.04,
+            geo_p: 0.65,
+            burst_range: (8, 40),
+        }
+    }
+
+    /// SUG@R-like: 121 nodes, ~3.7 years, 12% failure days.
+    pub fn sugar() -> Self {
+        Self {
+            name: "SUG@R".into(),
+            nodes: 121,
+            days: 1370,
+            p_failure_day: 0.12,
+            p_burst: 0.03,
+            geo_p: 0.7,
+            burst_range: (5, 25),
+        }
+    }
+}
+
+/// Generates a daily new-failure-count series for the profile.
+pub fn synthesize(profile: &TraceProfile, seed: u64) -> Vec<u32> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x7ace);
+    (0..profile.days)
+        .map(|_| {
+            if rng.gen::<f64>() >= profile.p_failure_day {
+                return 0;
+            }
+            if rng.gen::<f64>() < profile.p_burst {
+                let (lo, hi) = profile.burst_range;
+                rng.gen_range(lo..=hi).min(profile.nodes)
+            } else {
+                // Geometric, shifted to ≥ 1.
+                let mut k = 1u32;
+                while rng.gen::<f64>() > profile.geo_p && k < profile.nodes {
+                    k += 1;
+                }
+                k
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let p = TraceProfile::stic();
+        assert_eq!(synthesize(&p, 1), synthesize(&p, 1));
+        assert_ne!(synthesize(&p, 1), synthesize(&p, 2));
+    }
+
+    #[test]
+    fn matches_failure_day_fraction() {
+        for (p, expect) in [(TraceProfile::stic(), 0.17), (TraceProfile::sugar(), 0.12)] {
+            let trace = synthesize(&p, 42);
+            let frac = trace.iter().filter(|&&c| c > 0).count() as f64 / trace.len() as f64;
+            assert!(
+                (frac - expect).abs() < 0.03,
+                "{}: failure-day fraction {frac} vs target {expect}",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn most_failure_days_are_small() {
+        let trace = synthesize(&TraceProfile::stic(), 7);
+        let failure_days: Vec<u32> = trace.into_iter().filter(|&c| c > 0).collect();
+        let small = failure_days.iter().filter(|&&c| c <= 3).count();
+        assert!(
+            small as f64 / failure_days.len() as f64 > 0.8,
+            "most failure days lose at most a few nodes"
+        );
+        let max = failure_days.iter().max().copied().unwrap_or(0);
+        assert!(max >= 8, "occasional burst days exist (got max {max})");
+    }
+
+    #[test]
+    fn counts_bounded_by_cluster_size() {
+        let mut p = TraceProfile::stic();
+        p.nodes = 10;
+        p.burst_range = (8, 40);
+        let trace = synthesize(&p, 3);
+        assert!(trace.iter().all(|&c| c <= 10));
+    }
+}

@@ -1,0 +1,291 @@
+//! The n-job chain computation (the paper's 7-job workload).
+//!
+//! Every job reads the previous job's output ("out/<j-1>") and writes
+//! "out/<j>"; job 1 reads the generated input. UDFs do the paper's
+//! per-record work — MD5 of the value and sum of value bytes — and the
+//! mapper scatters keys for load balance. All "randomness" is a
+//! deterministic function of record content, because recomputed tasks
+//! must regenerate byte-identical data.
+
+use crate::md5::md5_u64;
+use bytes::Bytes;
+use rcmp_dfs::PlacementPolicy;
+use rcmp_engine::udf::{Emit, Mapper, Reducer};
+use rcmp_engine::JobSpec;
+use rcmp_model::partition::mix64;
+use rcmp_model::{JobId, Record};
+use std::sync::Arc;
+
+/// Deterministic pseudo-random bytes for a seed (shared with datagen).
+pub fn value_of(seed: u64, len: usize) -> Bytes {
+    let mut out = Vec::with_capacity(len);
+    let mut s = seed;
+    while out.len() < len {
+        s = mix64(s.wrapping_add(0x9e37_79b9_7f4a_7c15));
+        let w = s.to_le_bytes();
+        let take = (len - out.len()).min(8);
+        out.extend_from_slice(&w[..take]);
+    }
+    Bytes::from(out)
+}
+
+/// Deterministically resizes a value to `new_len` by cycling its bytes
+/// (ratio knobs for input:shuffle:output experiments; identity when the
+/// length is unchanged).
+pub fn resize_value(v: &Bytes, new_len: usize) -> Bytes {
+    if new_len == v.len() {
+        return v.clone();
+    }
+    if v.is_empty() {
+        return Bytes::from(vec![0u8; new_len]);
+    }
+    let mut out = Vec::with_capacity(new_len);
+    while out.len() < new_len {
+        let take = (new_len - out.len()).min(v.len());
+        out.extend_from_slice(&v[..take]);
+    }
+    Bytes::from(out)
+}
+
+/// The chain's map UDF: per record, MD5 + byte-sum "work", key
+/// scattering, optional value resize (map output ratio).
+pub struct ChainMapper {
+    /// Salt so each job scatters keys differently.
+    salt: u64,
+    /// Output bytes per input byte (1.0 = the paper's 1:1).
+    ratio: f64,
+}
+
+impl Mapper for ChainMapper {
+    fn map(&self, record: Record, emit: Emit<'_>) {
+        // The paper's correctness computations.
+        let digest = md5_u64(&record.value);
+        let byte_sum: u64 = record.value.iter().map(|&b| b as u64).sum();
+        // Deterministic key scatter: a function of record content only.
+        let new_key = mix64(record.key ^ digest ^ byte_sum ^ self.salt);
+        let new_len = ((record.value.len() as f64) * self.ratio).round() as usize;
+        let value = resize_value(&record.value, new_len);
+        emit(Record::new(new_key, value));
+    }
+}
+
+/// The chain's reduce UDF: re-emits each value under its key after the
+/// same MD5 + byte-sum work, optionally resized (output ratio).
+pub struct ChainReducer {
+    ratio: f64,
+}
+
+impl Reducer for ChainReducer {
+    fn reduce(&self, key: u64, values: &[Bytes], emit: Emit<'_>) {
+        for v in values {
+            let _digest = md5_u64(v);
+            let _sum: u64 = v.iter().map(|&b| b as u64).sum();
+            let new_len = ((v.len() as f64) * self.ratio).round() as usize;
+            emit(Record::new(key, resize_value(v, new_len)));
+        }
+    }
+}
+
+/// Builder for an n-job chain.
+#[derive(Clone, Debug)]
+pub struct ChainBuilder {
+    pub jobs: u32,
+    pub num_reducers: u32,
+    pub output_replication: u32,
+    pub placement: PlacementPolicy,
+    pub splittable: bool,
+    /// Shuffle bytes per input byte (the paper's ratio middle term).
+    pub map_ratio: f64,
+    /// Output bytes per shuffle byte (the paper's ratio last term).
+    pub reduce_ratio: f64,
+    pub input_path: String,
+}
+
+impl ChainBuilder {
+    /// The paper's default: 7 jobs, 1/1/1 ratios.
+    pub fn new(jobs: u32, num_reducers: u32) -> Self {
+        Self {
+            jobs,
+            num_reducers,
+            output_replication: 1,
+            placement: PlacementPolicy::WriterLocal,
+            splittable: true,
+            map_ratio: 1.0,
+            reduce_ratio: 1.0,
+            input_path: "input".to_string(),
+        }
+    }
+
+    pub fn replication(mut self, factor: u32) -> Self {
+        self.output_replication = factor;
+        self
+    }
+
+    pub fn ratios(mut self, map_ratio: f64, reduce_ratio: f64) -> Self {
+        self.map_ratio = map_ratio;
+        self.reduce_ratio = reduce_ratio;
+        self
+    }
+
+    pub fn splittable(mut self, yes: bool) -> Self {
+        self.splittable = yes;
+        self
+    }
+
+    pub fn build(&self) -> ChainSpec {
+        assert!(self.jobs >= 1);
+        let jobs = (1..=self.jobs)
+            .map(|j| {
+                let input = if j == 1 {
+                    self.input_path.clone()
+                } else {
+                    output_path(j - 1)
+                };
+                JobSpec {
+                    job: JobId(j),
+                    input,
+                    output: output_path(j),
+                    num_reducers: self.num_reducers,
+                    output_replication: self.output_replication,
+                    placement: self.placement,
+                    mapper: Arc::new(ChainMapper {
+                        salt: 0xc4a1_0000 + j as u64,
+                        ratio: self.map_ratio,
+                    }),
+                    reducer: Arc::new(ChainReducer {
+                        ratio: self.reduce_ratio,
+                    }),
+                    splittable: self.splittable,
+                }
+            })
+            .collect();
+        ChainSpec { jobs }
+    }
+}
+
+/// DFS path of job `j`'s output.
+pub fn output_path(j: u32) -> String {
+    format!("out/{j}")
+}
+
+/// A built chain: `jobs[0]` is job 1.
+#[derive(Clone, Debug)]
+pub struct ChainSpec {
+    pub jobs: Vec<JobSpec>,
+}
+
+impl ChainSpec {
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Spec of job `j` (1-based, matching [`JobId`]).
+    pub fn job(&self, j: u32) -> &JobSpec {
+        &self.jobs[(j - 1) as usize]
+    }
+
+    /// DFS path of the final output.
+    pub fn final_output(&self) -> &str {
+        &self.jobs.last().expect("non-empty chain").output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_of_deterministic_and_sized() {
+        assert_eq!(value_of(1, 10), value_of(1, 10));
+        assert_ne!(value_of(1, 10), value_of(2, 10));
+        assert_eq!(value_of(3, 13).len(), 13);
+        assert_eq!(value_of(3, 0).len(), 0);
+    }
+
+    #[test]
+    fn resize_identity_and_cycling() {
+        let v = Bytes::from_static(b"abcd");
+        assert_eq!(resize_value(&v, 4), v);
+        assert_eq!(resize_value(&v, 2), Bytes::from_static(b"ab"));
+        assert_eq!(resize_value(&v, 10), Bytes::from_static(b"abcdabcdab"));
+        assert_eq!(resize_value(&Bytes::new(), 3).len(), 3);
+    }
+
+    #[test]
+    fn mapper_is_deterministic_and_conserves_bytes() {
+        let m = ChainMapper {
+            salt: 7,
+            ratio: 1.0,
+        };
+        let rec = Record::new(42, value_of(9, 50));
+        let mut out1 = Vec::new();
+        m.map(rec.clone(), &mut |r| out1.push(r));
+        let mut out2 = Vec::new();
+        m.map(rec.clone(), &mut |r| out2.push(r));
+        assert_eq!(out1, out2);
+        assert_eq!(out1.len(), 1);
+        assert_eq!(out1[0].value, rec.value, "1:1 ratio keeps the value");
+        assert_ne!(out1[0].key, rec.key, "key is scattered");
+    }
+
+    #[test]
+    fn mapper_ratio_changes_volume() {
+        let m = ChainMapper {
+            salt: 7,
+            ratio: 2.0,
+        };
+        let mut out = Vec::new();
+        m.map(Record::new(1, value_of(1, 40)), &mut |r| out.push(r));
+        assert_eq!(out[0].value.len(), 80);
+    }
+
+    #[test]
+    fn reducer_emits_every_value() {
+        let r = ChainReducer { ratio: 1.0 };
+        let values = vec![value_of(1, 10), value_of(2, 10)];
+        let mut out = Vec::new();
+        r.reduce(5, &values, &mut |rec| out.push(rec));
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|rec| rec.key == 5));
+    }
+
+    #[test]
+    fn chain_wiring() {
+        let chain = ChainBuilder::new(7, 10).build();
+        assert_eq!(chain.len(), 7);
+        assert_eq!(chain.job(1).input, "input");
+        assert_eq!(chain.job(1).output, "out/1");
+        assert_eq!(chain.job(7).input, "out/6");
+        assert_eq!(chain.final_output(), "out/7");
+        for spec in &chain.jobs {
+            assert_eq!(spec.num_reducers, 10);
+            assert_eq!(spec.output_replication, 1);
+        }
+    }
+
+    #[test]
+    fn builder_knobs() {
+        let chain = ChainBuilder::new(2, 4)
+            .replication(3)
+            .splittable(false)
+            .ratios(2.0, 0.5)
+            .build();
+        assert_eq!(chain.job(1).output_replication, 3);
+        assert!(!chain.job(2).splittable);
+    }
+
+    #[test]
+    fn different_jobs_scatter_differently() {
+        let chain = ChainBuilder::new(2, 4).build();
+        let rec = Record::new(1, value_of(1, 20));
+        let mut k1 = Vec::new();
+        chain.job(1).mapper.map(rec.clone(), &mut |r| k1.push(r.key));
+        let mut k2 = Vec::new();
+        chain.job(2).mapper.map(rec.clone(), &mut |r| k2.push(r.key));
+        assert_ne!(k1, k2, "per-job salt must differ");
+    }
+}

@@ -1,0 +1,32 @@
+//! The paper's evaluation workload (§V-A).
+//!
+//! "We built a custom 7-job, I/O-intensive, chain computation. Each
+//! mapper and reducer, for every input record, performs two computations
+//! which help us check correctness. One is based on the MD5 hash of a
+//! record's value while the other is based on the sum of all bytes in a
+//! record value. In addition, each mapper randomizes the key of each
+//! record to ensure load balancing […] Our job has a ratio of
+//! input/shuffle/output size of 1/1/1."
+//!
+//! This crate reproduces that workload exactly:
+//!
+//! * [`md5`] — an MD5 implementation written from scratch (no external
+//!   crypto crates are in the approved dependency set);
+//! * [`checksum`] — order-independent aggregates over record multisets
+//!   (MD5-XOR + byte-sum + counts) used as the golden-output equivalence
+//!   check in every failure experiment;
+//! * [`datagen`] — deterministic random binary input, written to the DFS
+//!   triple-replicated like the paper's job input;
+//! * [`chain`] — the n-job chain builder with the paper's map/reduce
+//!   UDFs. Key "randomization" is derived from record *content* so UDFs
+//!   stay deterministic — a hard requirement for recomputation-based
+//!   resilience (recomputed tasks must regenerate identical data).
+
+pub mod chain;
+pub mod checksum;
+pub mod datagen;
+pub mod md5;
+
+pub use chain::{ChainBuilder, ChainSpec};
+pub use checksum::OutputDigest;
+pub use datagen::{generate_input, DataGenConfig};

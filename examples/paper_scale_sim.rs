@@ -1,0 +1,50 @@
+//! Simulates the paper's DCO experiment at full scale — 60 nodes,
+//! 1.2 TB of input, 7 I/O-intensive jobs — under a late failure, and
+//! prints the per-run timeline for each strategy.
+//!
+//! ```text
+//! cargo run --release --example paper_scale_sim
+//! ```
+
+use rcmp::core::Strategy;
+use rcmp::sim::{simulate_chain, ChainSimConfig, FailureAt, HwProfile, WorkloadCfg};
+
+fn main() {
+    let wl = WorkloadCfg::dco();
+    println!(
+        "DCO-scale simulation: {} nodes × {} = {} input, {} jobs, failure 15 s into job 7\n",
+        wl.nodes,
+        wl.per_node_input,
+        wl.total_input(),
+        wl.jobs
+    );
+
+    for (label, strategy) in [
+        ("RCMP SPLIT (59)", Strategy::rcmp_split(59)),
+        ("RCMP NO-SPLIT", Strategy::rcmp_no_split()),
+        ("HADOOP REPL-3", Strategy::Replication { factor: 3 }),
+        ("OPTIMISTIC", Strategy::Optimistic),
+    ] {
+        let cfg = ChainSimConfig::new(HwProfile::dco(), wl.clone(), strategy)
+            .with_failures(vec![FailureAt::at_job(7, wl.nodes - 1)]);
+        let rep = simulate_chain(&cfg);
+        println!(
+            "{label}: total {:.0} s over {} job runs",
+            rep.total_time, rep.jobs_started
+        );
+        for run in &rep.runs {
+            let kind = if run.recompute { "recompute" } else { "run      " };
+            println!(
+                "    #{:<2} {kind} job {}: {:>7.1} s  ({} map waves, {} reduce tasks, {} mappers run / {} reused)",
+                run.seq, run.job, run.duration, run.map_waves, run.reduce_tasks_run,
+                run.mappers_run, run.mappers_reused
+            );
+        }
+        println!();
+    }
+    println!(
+        "Shapes to notice (paper Fig. 8c): recomputation runs are a small\n\
+         fraction of a full job; splitting shrinks them further by using\n\
+         all 59 survivors; OPTIMISTIC pays for the whole chain twice."
+    );
+}

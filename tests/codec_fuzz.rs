@@ -1,0 +1,108 @@
+//! Fuzz-style property tests of the record codec and digests: no input
+//! may panic the decoder, round-trips are exact, digests are sound.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use rcmp::model::hash::hash_bytes;
+use rcmp::model::{Record, RecordReader, RecordWriter};
+use rcmp::workloads::md5::{md5, to_hex};
+use rcmp::workloads::OutputDigest;
+
+fn record_strategy() -> impl Strategy<Value = Record> {
+    (any::<u64>(), prop::collection::vec(any::<u8>(), 0..200))
+        .prop_map(|(k, v)| Record::new(k, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 256,
+        ..ProptestConfig::default()
+    })]
+
+    /// Encode → decode is the identity for any record sequence.
+    #[test]
+    fn roundtrip_exact(records in prop::collection::vec(record_strategy(), 0..50)) {
+        let mut w = RecordWriter::new();
+        for r in &records {
+            w.push(r);
+        }
+        let decoded = RecordReader::decode_all(w.finish()).unwrap();
+        prop_assert_eq!(decoded, records);
+    }
+
+    /// The decoder never panics on arbitrary bytes — it returns records
+    /// or a codec error.
+    #[test]
+    fn decoder_never_panics(garbage in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = RecordReader::decode_all(Bytes::from(garbage));
+    }
+
+    /// Truncating a valid stream anywhere inside the payload yields an
+    /// error, never silent truncation of a record.
+    #[test]
+    fn truncation_is_detected(
+        records in prop::collection::vec(record_strategy(), 1..10),
+        cut_back in 1usize..12,
+    ) {
+        let mut w = RecordWriter::new();
+        for r in &records {
+            w.push(r);
+        }
+        let full = w.finish();
+        let cut = full.len().saturating_sub(cut_back);
+        if cut == 0 {
+            return Ok(());
+        }
+        match RecordReader::decode_all(full.slice(0..cut)) {
+            // Either an explicit codec error…
+            Err(_) => {}
+            // …or the cut landed exactly on a record boundary, in which
+            // case we get a strict prefix of the records.
+            Ok(decoded) => {
+                prop_assert!(decoded.len() < records.len());
+                prop_assert_eq!(&decoded[..], &records[..decoded.len()]);
+            }
+        }
+    }
+
+    /// Digest soundness: permutations agree, any single-record mutation
+    /// disagrees.
+    #[test]
+    fn digest_permutation_invariant_and_mutation_sensitive(
+        mut records in prop::collection::vec(record_strategy(), 1..20),
+        flip in any::<u64>(),
+    ) {
+        let d1 = OutputDigest::of_records(&records);
+        records.reverse();
+        prop_assert_eq!(d1, OutputDigest::of_records(&records));
+        // Mutate one record's key.
+        let i = (flip % records.len() as u64) as usize;
+        records[i].key = records[i].key.wrapping_add(1);
+        prop_assert_ne!(d1, OutputDigest::of_records(&records));
+    }
+
+    /// Fingerprints: equal bytes → equal hash; an appended byte changes it.
+    #[test]
+    fn fingerprint_consistency(data in prop::collection::vec(any::<u8>(), 0..300)) {
+        let h = hash_bytes(&data);
+        prop_assert_eq!(h, hash_bytes(&data.clone()));
+        let mut longer = data.clone();
+        longer.push(0);
+        prop_assert_ne!(h, hash_bytes(&longer));
+    }
+
+    /// MD5 matches itself and differs under mutation (full RFC vectors
+    /// are covered in the unit suite).
+    #[test]
+    fn md5_sanity(data in prop::collection::vec(any::<u8>(), 0..300), pos in any::<prop::sample::Index>()) {
+        let d = md5(&data);
+        prop_assert_eq!(to_hex(&d).len(), 32);
+        prop_assert_eq!(d, md5(&data.clone()));
+        if !data.is_empty() {
+            let mut mutated = data.clone();
+            let i = pos.index(mutated.len());
+            mutated[i] ^= 0x01;
+            prop_assert_ne!(md5(&mutated), d);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Property-based failure testing: under *any* scripted failure pattern
+//! and strategy, the chain's final output digest must equal the
+//! failure-free reference, and RCMP must never restart the chain.
+
+use proptest::prelude::*;
+use rcmp::core::{ChainDriver, SplitPolicy, Strategy};
+use rcmp::core::strategy::HotspotMitigation;
+use rcmp::engine::failure::Trigger;
+use rcmp::engine::{Cluster, ScriptedInjector, TriggerPoint};
+use rcmp::model::{ClusterConfig, NodeId, SlotConfig};
+use rcmp::workloads::checksum::{digest_file, OutputDigest};
+use rcmp::workloads::{generate_input, ChainBuilder, DataGenConfig};
+use std::sync::Arc;
+
+const NODES: u32 = 5;
+const JOBS: u32 = 3;
+
+fn cluster() -> Cluster {
+    Cluster::new(ClusterConfig {
+        nodes: NODES,
+        slots: SlotConfig::ONE_ONE,
+        block_size: rcmp::model::ByteSize::kib(4),
+        failure_detection_secs: 30.0,
+        seed: 11,
+    })
+}
+
+fn setup(cl: &Cluster) -> rcmp::workloads::ChainSpec {
+    generate_input(cl.dfs(), &DataGenConfig::test("input", NODES, 15_000)).unwrap();
+    ChainBuilder::new(JOBS, NODES).build()
+}
+
+fn reference() -> OutputDigest {
+    let cl = cluster();
+    let chain = setup(&cl);
+    ChainDriver::new(&cl, Strategy::rcmp_no_split())
+        .run(&chain.jobs)
+        .unwrap();
+    digest_file(cl.dfs(), chain.final_output(), cl.live_nodes()[0])
+        .unwrap()
+        .0
+}
+
+fn point_from(code: u8) -> TriggerPoint {
+    match code % 3 {
+        0 => TriggerPoint::JobStart,
+        1 => TriggerPoint::AfterMapWave(0),
+        _ => TriggerPoint::AfterReduceWave(0),
+    }
+}
+
+fn strategy_from(code: u8) -> Strategy {
+    match code % 5 {
+        0 => Strategy::rcmp_no_split(),
+        1 => Strategy::rcmp_split(3),
+        2 => Strategy::Rcmp {
+            split: SplitPolicy::Survivors,
+            hotspot: HotspotMitigation::SplitReducers,
+        },
+        3 => Strategy::Rcmp {
+            split: SplitPolicy::None,
+            hotspot: HotspotMitigation::SpreadOutput,
+        },
+        _ => Strategy::Optimistic,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        max_shrink_iters: 20,
+        ..ProptestConfig::default()
+    })]
+
+    /// One failure at a random point under a random strategy.
+    #[test]
+    fn single_random_failure_preserves_output(
+        seq in 1u64..=JOBS as u64,
+        point_code in 0u8..3,
+        node in 0u32..NODES,
+        strat_code in 0u8..5,
+    ) {
+        let expected = reference();
+        let cl = cluster();
+        let chain = setup(&cl);
+        let injector = Arc::new(ScriptedInjector::single(
+            seq,
+            point_from(point_code),
+            NodeId(node),
+        ));
+        let strategy = strategy_from(strat_code);
+        let outcome = ChainDriver::new(&cl, strategy)
+            .with_injector(injector)
+            .run(&chain.jobs)
+            .unwrap();
+        if !matches!(strategy, Strategy::Optimistic) {
+            prop_assert_eq!(outcome.restarts, 0, "RCMP never restarts the chain");
+        }
+        let digest = digest_file(cl.dfs(), chain.final_output(), cl.live_nodes()[0])
+            .unwrap()
+            .0;
+        prop_assert_eq!(digest, expected);
+    }
+
+    /// Two failures (possibly nested, possibly the same job) under RCMP.
+    #[test]
+    fn double_random_failure_preserves_output(
+        seq1 in 1u64..=JOBS as u64,
+        seq2 in 1u64..=(JOBS as u64 + 3),
+        p1 in 0u8..3,
+        p2 in 0u8..3,
+        nodes in prop::sample::subsequence((0..NODES).collect::<Vec<u32>>(), 2),
+        split in prop::bool::ANY,
+    ) {
+        let expected = reference();
+        let cl = cluster();
+        let chain = setup(&cl);
+        let injector = Arc::new(ScriptedInjector::new([
+            Trigger { seq: seq1, point: point_from(p1), node: NodeId(nodes[0]) },
+            Trigger { seq: seq1 + seq2, point: point_from(p2), node: NodeId(nodes[1]) },
+        ]));
+        let strategy = if split {
+            Strategy::rcmp_split(3)
+        } else {
+            Strategy::rcmp_no_split()
+        };
+        let outcome = ChainDriver::new(&cl, strategy)
+            .with_injector(injector)
+            .run(&chain.jobs)
+            .unwrap();
+        prop_assert_eq!(outcome.restarts, 0);
+        let digest = digest_file(cl.dfs(), chain.final_output(), cl.live_nodes()[0])
+            .unwrap()
+            .0;
+        prop_assert_eq!(digest, expected);
+    }
+}
+
+/// Planner sufficiency + minimality, checked against live state: every
+/// planned partition is currently lost (no spurious work), and after
+/// executing the plan the target job completes.
+#[test]
+fn planned_partitions_are_exactly_lost_ones() {
+    use rcmp::core::planner::plan_recovery;
+    use rcmp::core::JobGraph;
+
+    let cl = cluster();
+    let chain = setup(&cl);
+    let driver = ChainDriver::new(&cl, Strategy::rcmp_no_split());
+    // Run first two jobs, then kill a node.
+    let graph = JobGraph::new(chain.jobs.iter().cloned()).unwrap();
+    let _ = driver; // driver not used further; run jobs manually
+    let tracker = rcmp::engine::JobTracker::new(&cl, Arc::new(rcmp::engine::NoFailures));
+    for (i, spec) in chain.jobs.iter().take(2).enumerate() {
+        tracker
+            .run(&rcmp::engine::JobRun::full(spec.clone()), (i + 1) as u64)
+            .unwrap();
+    }
+    cl.fail_node(NodeId(1));
+
+    let plan = plan_recovery(
+        &cl,
+        &graph,
+        rcmp::model::JobId(3),
+        SplitPolicy::None,
+        HotspotMitigation::None,
+    )
+    .unwrap();
+
+    for step in &plan.steps {
+        let spec = graph.spec(step.job).unwrap();
+        let lost: std::collections::BTreeSet<_> = cl
+            .dfs()
+            .file_meta(&spec.output)
+            .unwrap()
+            .lost_partitions()
+            .into_iter()
+            .collect();
+        for p in &step.instructions.partitions {
+            assert!(
+                lost.contains(p),
+                "planned partition {p} of {} is not lost",
+                spec.output
+            );
+        }
+    }
+}

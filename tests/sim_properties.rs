@@ -1,0 +1,119 @@
+//! Property-based sanity of the simulator's cost model: the qualitative
+//! relations the paper's argument depends on must hold for arbitrary
+//! (reasonable) configurations.
+
+use proptest::prelude::*;
+use rcmp::core::Strategy;
+use rcmp::model::{ByteSize, SlotConfig};
+use rcmp::sim::{simulate_chain, ChainSimConfig, FailureAt, HwProfile, WorkloadCfg};
+
+fn wl(nodes: u32, jobs: u32, mib_per_node: u64, slots: u32) -> WorkloadCfg {
+    WorkloadCfg {
+        nodes,
+        slots: SlotConfig::new(slots, slots),
+        jobs,
+        per_node_input: ByteSize::mib(mib_per_node),
+        block_size: ByteSize::mib(128),
+        num_reducers: nodes * slots,
+        map_ratio: 1.0,
+        reduce_ratio: 1.0,
+        input_replication: 3,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// Higher replication factors never make a failure-free chain
+    /// faster — replication is pure overhead without failures (§III).
+    #[test]
+    fn replication_is_monotone_overhead(
+        nodes in 4u32..12,
+        jobs in 2u32..6,
+        mib in 256u64..1024,
+    ) {
+        let w = wl(nodes, jobs, mib, 1);
+        let t1 = simulate_chain(&ChainSimConfig::new(
+            HwProfile::stic(), w.clone(), Strategy::rcmp_no_split())).total_time;
+        let t2 = simulate_chain(&ChainSimConfig::new(
+            HwProfile::stic(), w.clone(), Strategy::Replication { factor: 2 })).total_time;
+        let t3 = simulate_chain(&ChainSimConfig::new(
+            HwProfile::stic(), w.clone(), Strategy::Replication { factor: 3 })).total_time;
+        prop_assert!(t1 < t2, "factor 1 {t1} !< factor 2 {t2}");
+        prop_assert!(t2 < t3, "factor 2 {t2} !< factor 3 {t3}");
+    }
+
+    /// More data never takes less time.
+    #[test]
+    fn time_monotone_in_input_size(nodes in 4u32..10, jobs in 2u32..5) {
+        let small = simulate_chain(&ChainSimConfig::new(
+            HwProfile::stic(), wl(nodes, jobs, 256, 1), Strategy::rcmp_no_split())).total_time;
+        let large = simulate_chain(&ChainSimConfig::new(
+            HwProfile::stic(), wl(nodes, jobs, 1024, 1), Strategy::rcmp_no_split())).total_time;
+        prop_assert!(large > small, "{large} !> {small}");
+    }
+
+    /// A failure never makes the chain faster, for any strategy.
+    #[test]
+    fn failures_never_speed_things_up(
+        nodes in 5u32..10,
+        fail_seq in 1u64..5,
+        strat in 0u8..4,
+    ) {
+        let strategy = match strat {
+            0 => Strategy::rcmp_no_split(),
+            1 => Strategy::rcmp_split(4),
+            2 => Strategy::Replication { factor: 2 },
+            _ => Strategy::Optimistic,
+        };
+        let w = wl(nodes, 5, 512, 1);
+        let clean = simulate_chain(&ChainSimConfig::new(
+            HwProfile::stic(), w.clone(), strategy)).total_time;
+        let failed = simulate_chain(&ChainSimConfig::new(
+            HwProfile::stic(), w.clone(), strategy)
+            .with_failures(vec![FailureAt::at_job(fail_seq, nodes - 1)])).total_time;
+        prop_assert!(
+            failed >= clean,
+            "{strategy:?}: failure at {fail_seq} sped up {clean} -> {failed}"
+        );
+    }
+
+    /// RCMP with splitting is never slower than without, under a
+    /// single failure (it strictly helps or ties).
+    #[test]
+    fn splitting_never_hurts(nodes in 5u32..10, fail_seq in 2u64..6) {
+        let w = wl(nodes, 5, 512, 1);
+        let no_split = simulate_chain(&ChainSimConfig::new(
+            HwProfile::stic(), w.clone(), Strategy::rcmp_no_split())
+            .with_failures(vec![FailureAt::at_job(fail_seq, nodes - 1)])).total_time;
+        let split = simulate_chain(&ChainSimConfig::new(
+            HwProfile::stic(), w.clone(), Strategy::rcmp_split(nodes - 1))
+            .with_failures(vec![FailureAt::at_job(fail_seq, nodes - 1)])).total_time;
+        prop_assert!(
+            split <= no_split * 1.02,
+            "split {split} should not exceed no-split {no_split}"
+        );
+    }
+
+    /// Volume conservation: with 1:1:1 ratios, map input = shuffle =
+    /// output, and nothing is replicated at factor 1.
+    #[test]
+    fn volume_conservation(nodes in 4u32..10, jobs in 1u32..4, mib in 256u64..768) {
+        let w = wl(nodes, jobs, mib, 1);
+        let rep = simulate_chain(&ChainSimConfig::new(
+            HwProfile::stic(), w.clone(), Strategy::rcmp_no_split()));
+        for run in &rep.runs {
+            let input = run.io.map_input_local + run.io.map_input_remote;
+            let shuffle = run.io.shuffle_local + run.io.shuffle_remote;
+            prop_assert_eq!(input, w.total_input().as_u64());
+            prop_assert_eq!(shuffle, input);
+            // Reducer integer division may shave at most one byte per task.
+            let out = run.io.output_written;
+            prop_assert!(input - out <= run.reduce_tasks_run as u64 * w.num_reducers as u64);
+            prop_assert_eq!(run.io.replication_written, 0);
+        }
+    }
+}
