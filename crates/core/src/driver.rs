@@ -21,9 +21,6 @@ use rcmp_engine::{
 use rcmp_model::{Error, JobId, Result};
 use std::sync::Arc;
 
-/// Bound on chain restarts and nested-recovery replans.
-const MAX_ATTEMPTS: u32 = 100;
-
 /// How a cancelled job is re-run once its input is restored.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RestartMode {
@@ -109,18 +106,25 @@ impl<'a> ChainDriver<'a> {
         let replication = self.strategy.output_replication();
         let persist = self.strategy.persists_outputs();
 
+        let max_attempts = self.cluster.config().max_recovery_attempts;
         let mut attempts = 0u32;
         'chain: loop {
             attempts += 1;
-            if attempts > MAX_ATTEMPTS {
-                return Err(Error::JobFailed {
+            if attempts > max_attempts {
+                return Err(Error::RecoveryExhausted {
                     job: *order.last().expect("non-empty chain"),
+                    attempts,
                     reason: "too many chain restarts".into(),
                 });
             }
             let mut idx = 0usize;
             let mut resume_job: Option<JobId> = None;
             let mut jobs_since_point = 0u32;
+            // Bounds the cancel → recover → retry-same-job cycle: a
+            // scenario where recovery keeps "succeeding" but the job
+            // keeps losing its input again must end in a typed error,
+            // not a livelock.
+            let mut job_recoveries = 0u32;
             while idx < order.len() {
                 let job = order[idx];
                 let mut spec = graph.spec(job).expect("job in graph").clone();
@@ -154,6 +158,14 @@ impl<'a> ChainDriver<'a> {
                     Err(Error::JobInputLost { .. }) => {
                         self.record_losses_by_diff(seq, &live_before, &graph, &mut outcome);
                         outcome.events.push(ChainEvent::JobCancelled { seq, job });
+                        job_recoveries += 1;
+                        if job_recoveries > max_attempts {
+                            return Err(Error::RecoveryExhausted {
+                                job,
+                                attempts: job_recoveries,
+                                reason: "job kept losing its input after recovery".into(),
+                            });
+                        }
                         match self.strategy {
                             Strategy::Optimistic | Strategy::Replication { .. } => {
                                 // OPTIMISTIC discards everything and
@@ -190,6 +202,11 @@ impl<'a> ChainDriver<'a> {
                     }
                     Err(e) => return Err(e),
                 }
+            }
+            // A strict injector surfaces scripted triggers that never
+            // fired — a scenario that silently tested nothing.
+            if let Err(msg) = self.injector.finish() {
+                return Err(Error::Config(format!("failure injector: {msg}")));
             }
             return Ok(outcome);
         }
@@ -329,7 +346,8 @@ impl<'a> ChainDriver<'a> {
         persist: bool,
         outcome: &mut ChainOutcome,
     ) -> Result<()> {
-        for _attempt in 0..MAX_ATTEMPTS {
+        let max_attempts = self.cluster.config().max_recovery_attempts;
+        for _attempt in 0..max_attempts {
             let plan = plan_recovery(self.cluster, graph, target, split, hotspot)?;
             outcome.events.push(ChainEvent::RecoveryPlanned {
                 target,
@@ -394,8 +412,9 @@ impl<'a> ChainDriver<'a> {
                 return Ok(());
             }
         }
-        Err(Error::JobFailed {
+        Err(Error::RecoveryExhausted {
             job: target,
+            attempts: max_attempts,
             reason: "nested-failure recovery did not converge".into(),
         })
     }

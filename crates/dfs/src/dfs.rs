@@ -312,6 +312,15 @@ impl Dfs {
     /// Reads one block, preferring a replica on `reader` (data
     /// locality), falling back to a random live replica.
     ///
+    /// Every read is verified against the block's recorded content hash.
+    /// A replica that fails verification is **demoted**: its payload is
+    /// dropped from the serving store and the node is removed from the
+    /// block's replica set — exactly the state a node death leaves
+    /// behind, so corruption flows into the same loss accounting and
+    /// recovery planning as replica loss. The read then falls back to
+    /// the remaining replicas; only when all are gone or corrupt does it
+    /// fail with [`Error::DataLoss`].
+    ///
     /// Returns which node served the read alongside the data, so callers
     /// can account remote transfers.
     pub fn read_block(&self, loc: &BlockLocation, reader: NodeId) -> Result<(Bytes, NodeId)> {
@@ -327,19 +336,75 @@ impl Dfs {
                 partition: None,
             });
         }
-        let source = if live_replicas.contains(&reader) {
+        let preferred = if live_replicas.contains(&reader) {
             reader
         } else {
             let mut rng = self.rng.lock();
             *live_replicas.choose(&mut *rng).expect("non-empty")
         };
-        let data = self.stores[source.index()]
-            .get(loc.id, self.cfg.read_delay)
-            .ok_or_else(|| Error::DataLoss {
-                path: format!("block {} on {source}", loc.id),
-                partition: None,
-            })?;
-        Ok((data, source))
+        let mut candidates = vec![preferred];
+        candidates.extend(live_replicas.into_iter().filter(|&n| n != preferred));
+        for source in candidates {
+            let Some(data) = self.stores[source.index()].get(loc.id, self.cfg.read_delay) else {
+                continue;
+            };
+            if rcmp_model::hash::hash_bytes(&data) == loc.content_hash {
+                return Ok((data, source));
+            }
+            self.demote_replica(loc.id, source);
+        }
+        Err(Error::DataLoss {
+            path: format!("block {}", loc.id),
+            partition: None,
+        })
+    }
+
+    /// Drops one replica of a block everywhere: the payload from the
+    /// node's store and the node from the block's replica set in the
+    /// namespace. Checksum-failed replicas go through here, making a
+    /// corrupt copy indistinguishable downstream from one lost to a node
+    /// death (`lost_partitions`, loss reports, recovery planning).
+    fn demote_replica(&self, id: BlockId, node: NodeId) {
+        if let Some(store) = self.stores.get(node.index()) {
+            store.remove(id);
+        }
+        let mut ns = self.namespace.write();
+        for meta in ns.values_mut() {
+            for p in &mut meta.partitions {
+                for s in &mut p.segments {
+                    for b in &mut s.blocks {
+                        if b.id == id {
+                            b.drop_replica(node);
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fault injection: silently corrupts the payload of one block
+    /// replica stored on `node` — the *highest* block id present, i.e.
+    /// the most recently written block, which in a running chain is a
+    /// job output rather than the (better-replicated) chain input.
+    /// Deterministic for a given store state. Namespace metadata —
+    /// including the recorded checksum — is untouched; the damage is
+    /// discovered by the next verified read. Returns the victim block,
+    /// or `None` when the node stores nothing corruptible.
+    pub fn corrupt_replica_on(&self, node: NodeId) -> Option<BlockId> {
+        let store = self.stores.get(node.index())?;
+        store
+            .block_ids()
+            .into_iter()
+            .rev()
+            .find(|&id| store.corrupt(id))
+    }
+
+    /// Fault injection: corrupts a specific block replica on `node`.
+    /// Returns false when that node does not store the block (or the
+    /// payload is empty).
+    pub fn corrupt_block_replica(&self, id: BlockId, node: NodeId) -> bool {
+        self.stores.get(node.index()).is_some_and(|s| s.corrupt(id))
     }
 
     /// Reads a whole partition (all segments concatenated).
@@ -375,7 +440,7 @@ impl Dfs {
         // Phase 1: plan. No mutation; all errors surface here.
         let meta = self.file_meta(path)?;
         let live = self.live_nodes();
-        let mut plan: Vec<(BlockId, NodeId, Vec<NodeId>)> = Vec::new();
+        let mut plan: Vec<(BlockId, u64, Vec<NodeId>, Vec<NodeId>)> = Vec::new();
         for p in &meta.partitions {
             for b in p.blocks() {
                 let have: Vec<NodeId> =
@@ -406,18 +471,29 @@ impl Dfs {
                     candidates.shuffle(&mut *rng);
                 }
                 let targets: Vec<NodeId> = candidates.into_iter().take(need).collect();
-                plan.push((b.id, have[0], targets));
+                plan.push((b.id, b.content_hash, have, targets));
             }
         }
-        // Phase 2: copy data per the validated plan.
+        // Phase 2: copy data per the validated plan, taking the payload
+        // from any replica that passes verification (a corrupt source is
+        // demoted, never propagated).
         let mut added: Vec<(BlockId, Vec<NodeId>)> = Vec::new();
-        for (id, source, targets) in plan {
-            let data = self.stores[source.index()]
-                .get(id, None)
-                .ok_or_else(|| Error::DataLoss {
-                    path: path.to_string(),
-                    partition: None,
-                })?;
+        for (id, content_hash, have, targets) in plan {
+            let mut data = None;
+            for source in have {
+                let Some(d) = self.stores[source.index()].get(id, None) else {
+                    continue;
+                };
+                if rcmp_model::hash::hash_bytes(&d) == content_hash {
+                    data = Some(d);
+                    break;
+                }
+                self.demote_replica(id, source);
+            }
+            let data = data.ok_or_else(|| Error::DataLoss {
+                path: path.to_string(),
+                partition: None,
+            })?;
             for &t in &targets {
                 self.stores[t.index()].put(id, data.clone());
             }
@@ -759,6 +835,68 @@ mod tests {
         assert_eq!(hashes.len(), 3);
         assert_eq!(hashes[0], hashes[1], "identical chunks hash identically");
         assert_ne!(hashes[0], hashes[2], "different chunks hash differently");
+    }
+
+    #[test]
+    fn corrupt_replica_demoted_and_read_from_survivor() {
+        let d = dfs(3);
+        d.create_file("f", 2, 1).unwrap();
+        let data = payload(100, 7); // 2 blocks of 64
+        d.write_partition_segment("f", PartitionId(0), data.clone(), NodeId(0), PlacementPolicy::WriterLocal)
+            .unwrap();
+        let victim = d.corrupt_replica_on(NodeId(0)).unwrap();
+        // The reader prefers its local (corrupt) replica, detects the
+        // mismatch, and transparently falls back to the survivor.
+        let got = d.read_partition("f", PartitionId(0), NodeId(0)).unwrap();
+        assert_eq!(got, data);
+        // The corrupt replica was demoted like a lost one.
+        let meta = d.file_meta("f").unwrap();
+        let b = meta.partitions[0].blocks().find(|b| b.id == victim).unwrap();
+        assert!(!b.replicas.contains(&NodeId(0)), "corrupt replica demoted");
+        assert!(!meta.partitions[0].is_lost(), "survivor keeps the data live");
+    }
+
+    #[test]
+    fn all_replicas_corrupt_is_data_loss() {
+        let d = dfs(2);
+        d.create_file("f", 1, 1).unwrap();
+        d.write_partition_segment("f", PartitionId(0), payload(64, 3), NodeId(0), PlacementPolicy::WriterLocal)
+            .unwrap();
+        let id = d.partition_locations("f", PartitionId(0)).unwrap()[0].id;
+        assert!(d.corrupt_block_replica(id, NodeId(0)));
+        let err = d.read_partition("f", PartitionId(0), NodeId(1)).unwrap_err();
+        assert!(matches!(err, Error::DataLoss { partition: Some(p), .. } if p == PartitionId(0)));
+        // Demotion is durable: the partition now counts as lost, so
+        // recovery planning sees the corruption as replica loss.
+        let meta = d.file_meta("f").unwrap();
+        assert!(meta.partitions[0].is_lost());
+        assert_eq!(meta.lost_partitions(), vec![PartitionId(0)]);
+    }
+
+    #[test]
+    fn replicate_file_skips_corrupt_source() {
+        let d = dfs(4);
+        d.create_file("f", 2, 1).unwrap();
+        let data = payload(64, 9);
+        d.write_partition_segment("f", PartitionId(0), data.clone(), NodeId(0), PlacementPolicy::WriterLocal)
+            .unwrap();
+        let id = d.partition_locations("f", PartitionId(0)).unwrap()[0].id;
+        assert!(d.corrupt_block_replica(id, NodeId(0)));
+        d.replicate_file("f", 3).unwrap();
+        // Every surviving replica serves verified bytes.
+        for _ in 0..4 {
+            assert_eq!(d.read_partition("f", PartitionId(0), NodeId(3)).unwrap(), data);
+        }
+        let meta = d.file_meta("f").unwrap();
+        let b = meta.partitions[0].blocks().next().unwrap();
+        assert!(!b.replicas.contains(&NodeId(0)), "corrupt source demoted");
+    }
+
+    #[test]
+    fn corrupt_on_empty_node_is_none() {
+        let d = dfs(2);
+        assert!(d.corrupt_replica_on(NodeId(1)).is_none());
+        assert!(!d.corrupt_block_replica(BlockId(42), NodeId(0)));
     }
 
     #[test]

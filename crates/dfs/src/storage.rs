@@ -81,6 +81,31 @@ impl NodeStore {
         self.blocks.lock().remove(&id)
     }
 
+    /// Flips bits in a stored block's payload (fault injection: silent
+    /// on-disk corruption). The namespace checksum is untouched, so the
+    /// next verified read of this replica fails. Returns false when the
+    /// block is absent or empty (nothing to corrupt).
+    pub(crate) fn corrupt(&self, id: BlockId) -> bool {
+        let mut blocks = self.blocks.lock();
+        match blocks.get(&id) {
+            Some(data) if !data.is_empty() => {
+                let mut flipped = data.to_vec();
+                flipped[0] ^= 0xff;
+                blocks.insert(id, Bytes::from(flipped));
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Ids of the blocks currently stored, in ascending order (used to
+    /// pick a deterministic corruption victim).
+    pub(crate) fn block_ids(&self) -> Vec<BlockId> {
+        let mut ids: Vec<BlockId> = self.blocks.lock().keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
     /// Drops every block (node death).
     pub(crate) fn wipe(&self) {
         self.blocks.lock().clear();

@@ -40,7 +40,10 @@ pub mod tracker;
 pub mod udf;
 
 pub use cluster::Cluster;
-pub use failure::{FailureInjector, NoFailures, ProgressEvent, ScriptedInjector, TriggerPoint};
+pub use failure::{
+    Fault, FaultTrigger, FailureInjector, NoFailures, ProgressEvent, RandomizedInjector,
+    ScriptedInjector, TriggerPoint,
+};
 pub use job::{JobRun, JobSpec, RecomputeInstructions, RunMode};
 pub use mapstore::{MapInputKey, MapOutputStore};
 pub use metrics::{IoBytes, JobReport, TaskRecord};

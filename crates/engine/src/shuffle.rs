@@ -27,8 +27,17 @@ pub enum ShuffleFailure {
     /// These map outputs are gone (node death); the mappers must be
     /// re-executed before the reducer can run.
     MissingMapOutputs(Vec<MapInputKey>),
-    /// Corrupt payload (should not happen; indicates a bug).
-    Corrupt(rcmp_model::Error),
+    /// This map output's payload failed to decode. Permanent for the
+    /// stored copy: retrying the fetch returns the same bytes. The
+    /// tracker drops the entry and re-runs the mapper.
+    Corrupt {
+        key: MapInputKey,
+        source: rcmp_model::Error,
+    },
+    /// The fetch failed transiently (flaky network path, serving node
+    /// briefly unreachable). Retrying the shuffle is expected to
+    /// succeed.
+    Transient { node: NodeId },
 }
 
 /// Fetches, sorts and groups everything reduce task `reduce` needs.
@@ -43,11 +52,15 @@ pub fn shuffle_for_reduce(
     reduce: ReduceTaskId,
     node: NodeId,
 ) -> std::result::Result<ShuffleResult, ShuffleFailure> {
+    if store.take_flake(node) {
+        return Err(ShuffleFailure::Transient { node });
+    }
+
     let mut missing = Vec::new();
-    let mut payloads: Vec<(Bytes, NodeId)> = Vec::with_capacity(inputs.len());
+    let mut payloads: Vec<(MapInputKey, Bytes, NodeId)> = Vec::with_capacity(inputs.len());
     for key in inputs {
         match store.fetch_bucket(key, reduce) {
-            Some(pair) => payloads.push(pair),
+            Some((payload, source)) => payloads.push((*key, payload, source)),
             None => missing.push(*key),
         }
     }
@@ -58,7 +71,7 @@ pub fn shuffle_for_reduce(
     let mut local_bytes = 0u64;
     let mut remote_bytes = 0u64;
     let mut records: Vec<Record> = Vec::new();
-    for (payload, source) in payloads {
+    for (key, payload, source) in payloads {
         if source == node {
             local_bytes += payload.len() as u64;
         } else {
@@ -67,7 +80,7 @@ pub fn shuffle_for_reduce(
         for rec in RecordReader::new(payload) {
             match rec {
                 Ok(r) => records.push(r),
-                Err(e) => return Err(ShuffleFailure::Corrupt(e)),
+                Err(e) => return Err(ShuffleFailure::Corrupt { key, source: e }),
             }
         }
     }
@@ -158,6 +171,37 @@ mod tests {
         match shuffle_for_reduce(&store, &inputs, r, NodeId(0)) {
             Err(ShuffleFailure::MissingMapOutputs(m)) => assert_eq!(m, inputs),
             other => panic!("expected missing outputs, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn armed_flake_fails_transiently_then_clears() {
+        let store = MapOutputStore::new();
+        let job = JobId(1);
+        let r = ReduceTaskId::whole(job, PartitionId(0));
+        store.arm_flake(NodeId(0), 1);
+        match shuffle_for_reduce(&store, &[], r, NodeId(0)) {
+            Err(ShuffleFailure::Transient { node }) => assert_eq!(node, NodeId(0)),
+            other => panic!("expected transient failure, got {other:?}"),
+        }
+        // The flake is consumed; the retry succeeds.
+        assert!(shuffle_for_reduce(&store, &[], r, NodeId(0)).is_ok());
+        // Other nodes were never affected.
+        assert!(shuffle_for_reduce(&store, &[], r, NodeId(1)).is_ok());
+    }
+
+    #[test]
+    fn corrupt_payload_names_the_map_output() {
+        let store = MapOutputStore::new();
+        let job = JobId(1);
+        let r = ReduceTaskId::whole(job, PartitionId(0));
+        let key = MapInputKey::new(job, PartitionId(0), 0);
+        let mut buckets = HashMap::new();
+        buckets.insert(r, Bytes::from_static(&[0xde, 0xad])); // truncated frame
+        store.insert(key, NodeId(2), 0, buckets);
+        match shuffle_for_reduce(&store, &[key], r, NodeId(0)) {
+            Err(ShuffleFailure::Corrupt { key: k, .. }) => assert_eq!(k, key),
+            other => panic!("expected corrupt failure, got {other:?}"),
         }
     }
 

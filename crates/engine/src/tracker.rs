@@ -24,13 +24,15 @@
 
 use crate::cluster::Cluster;
 use crate::codec::ChunkingWriter;
-use crate::failure::{FailureInjector, ProgressEvent, TriggerPoint};
+use crate::failure::{FailureInjector, Fault, ProgressEvent, TriggerPoint};
 use crate::job::{JobRun, JobSpec, RunMode};
 use crate::mapstore::MapInputKey;
 use crate::metrics::{IoBytes, JobReport, TaskRecord};
 use crate::scheduler::{assign_map_waves, assign_reduce_waves, ReduceAssignment, Waves};
 use crate::shuffle::{shuffle_for_reduce, ShuffleFailure};
 use crate::task::{MapTask, ReduceTask};
+use parking_lot::Mutex;
+use rcmp_dfs::LossReport;
 use rcmp_model::{
     Error, HashPartitioner, JobId, MapTaskId, NodeId, PartitionId, Record, RecordReader,
     RecordWriter, ReduceTaskId, Result, SplitId, SplitPartitioner,
@@ -43,25 +45,48 @@ use std::time::Instant;
 /// (defensive; real scenarios converge in a handful).
 const MAX_RECOVERY_ROUNDS: u32 = 1000;
 
+/// Transient shuffle failures absorbed per reduce-task execution before
+/// the attempt is abandoned and the task rescheduled.
+const MAX_SHUFFLE_ATTEMPTS: u32 = 4;
+
+/// Times a single reduce task may come back retryable before the job
+/// gives up with [`Error::RecoveryExhausted`] — a task that fails this
+/// often is not suffering transient bad luck.
+const MAX_TASK_RETRIES: u32 = 8;
+
 /// The per-job master.
 pub struct JobTracker<'a> {
     cluster: &'a Cluster,
     injector: Arc<dyn FailureInjector>,
+    /// Nodes armed for a torn write: their next partition write commits
+    /// only a strict prefix of its chunks and the node dies mid-write.
+    torn: Mutex<BTreeSet<NodeId>>,
 }
 
 enum ReduceOutcome {
     Done(ReduceTask, TaskRecord),
-    /// Shuffle found map outputs missing (lost to a failure); the task
-    /// stays pending and the phase loop re-runs the mappers first.
+    /// Shuffle found map outputs missing (lost to a failure, or dropped
+    /// because their payload failed to decode); the task stays pending
+    /// and the phase loop re-runs the mappers first.
     Missing,
-    /// Execution failed for a retryable reason (e.g. writer node died);
+    /// Execution failed for a retryable reason (e.g. writer node died,
+    /// or transient shuffle failures exhausted their attempt budget);
     /// the task stays pending and is reassigned next round.
-    Retry,
+    Retry(ReduceTaskId),
+    /// The writer died mid-write leaving a strict prefix of the
+    /// partition's chunks committed. The partition may look healthy
+    /// (written, replicated) while silently missing records, so the
+    /// phase loop must clear and fully re-reduce it.
+    Torn { task: ReduceTask, loss: LossReport },
 }
 
 impl<'a> JobTracker<'a> {
     pub fn new(cluster: &'a Cluster, injector: Arc<dyn FailureInjector>) -> Self {
-        Self { cluster, injector }
+        Self {
+            cluster,
+            injector,
+            torn: Mutex::new(BTreeSet::new()),
+        }
     }
 
     /// Runs one job submission. `seq` is the global run sequence number
@@ -183,6 +208,7 @@ impl<'a> JobTracker<'a> {
         // ----- phase loop ------------------------------------------------
         let mut map_wave_counter = 0u32;
         let mut reduce_wave_counter = 0u32;
+        let mut reduce_retry_counts: HashMap<ReduceTaskId, u32> = HashMap::new();
         for _round in 0..MAX_RECOVERY_ROUNDS {
             // MAP PHASE: ensure every needed map output exists.
             while !pending_maps.is_empty() {
@@ -192,6 +218,14 @@ impl<'a> JobTracker<'a> {
                     assign_map_waves(pending_maps.clone(), &live, self.cluster.config().slots.map);
                 let mut interrupted = false;
                 for wave in waves {
+                    // Mid-wave kills land after assignment, before
+                    // execution: tasks placed on the victim fail with it.
+                    let mid_kills = self.fire(
+                        seq,
+                        spec.job,
+                        TriggerPoint::MidMapWave(map_wave_counter),
+                        &mut report,
+                    );
                     let had_failures = self.execute_map_wave(
                         wave,
                         spec,
@@ -202,7 +236,7 @@ impl<'a> JobTracker<'a> {
                     let point = TriggerPoint::AfterMapWave(map_wave_counter);
                     map_wave_counter += 1;
                     let kills = self.fire(seq, spec.job, point, &mut report);
-                    if had_failures || !kills.is_empty() {
+                    if had_failures || !kills.is_empty() || !mid_kills.is_empty() {
                         interrupted = true;
                         break;
                     }
@@ -239,7 +273,14 @@ impl<'a> JobTracker<'a> {
             );
             let input_keys: Vec<MapInputKey> = inputs.iter().map(|t| t.key).collect();
             let mut interrupted = false;
+            let mut torn_partitions: BTreeSet<PartitionId> = BTreeSet::new();
             for wave in waves {
+                let mid_kills = self.fire(
+                    seq,
+                    spec.job,
+                    TriggerPoint::MidReduceWave(reduce_wave_counter),
+                    &mut report,
+                );
                 let outcomes =
                     self.execute_reduce_wave(wave, &input_keys, spec, reduce_wave_counter);
                 let mut wave_had_failures = false;
@@ -251,26 +292,49 @@ impl<'a> JobTracker<'a> {
                             report.reduce_tasks_run += 1;
                             pending_reduces.retain(|t| t.id != task.id);
                         }
-                        ReduceOutcome::Missing | ReduceOutcome::Retry => {
+                        ReduceOutcome::Missing => {
                             wave_had_failures = true;
                             report.task_retries += 1;
+                        }
+                        ReduceOutcome::Retry(id) => {
+                            wave_had_failures = true;
+                            report.task_retries += 1;
+                            let count = reduce_retry_counts.entry(id).or_insert(0);
+                            *count += 1;
+                            if *count > MAX_TASK_RETRIES {
+                                return Err(Error::RecoveryExhausted {
+                                    job: spec.job,
+                                    attempts: *count,
+                                    reason: format!(
+                                        "reduce task {id} kept failing retryably"
+                                    ),
+                                });
+                            }
+                        }
+                        ReduceOutcome::Torn { task, loss } => {
+                            wave_had_failures = true;
+                            report.task_retries += 1;
+                            report.losses.push(loss);
+                            torn_partitions.insert(task.id.partition);
                         }
                     }
                 }
                 let point = TriggerPoint::AfterReduceWave(reduce_wave_counter);
                 reduce_wave_counter += 1;
                 let kills = self.fire(seq, spec.job, point, &mut report);
-                if wave_had_failures || !kills.is_empty() {
+                if wave_had_failures || !kills.is_empty() || !mid_kills.is_empty() {
                     interrupted = true;
                     break;
                 }
             }
 
-            // Damage check: target partitions that lost blocks must be
-            // cleared and fully re-reduced.
+            // Damage check: target partitions that lost blocks — or were
+            // left half-written by a torn write (which may look healthy:
+            // the committed prefix chunks can still be fully replicated)
+            // — must be cleared and fully re-reduced.
             let meta = dfs.file_meta(&spec.output)?;
             for &p in &target_partitions {
-                if meta.partitions[p.index()].is_lost() {
+                if meta.partitions[p.index()].is_lost() || torn_partitions.contains(&p) {
                     dfs.clear_partition(&spec.output, p)?;
                     let tasks: Vec<ReduceTask> = match &split_plan {
                         Some((set, k)) if set.contains(&p) => (0..*k)
@@ -320,6 +384,10 @@ impl<'a> JobTracker<'a> {
 
     // ------------------------------------------------------------ helpers
 
+    /// Consults the injector at an execution point and applies whatever
+    /// faults it raises. Returns the nodes that were killed (the only
+    /// fault shape the wave loop must react to immediately; the others
+    /// surface through their own detection paths).
     fn fire(
         &self,
         seq: u64,
@@ -327,10 +395,28 @@ impl<'a> JobTracker<'a> {
         point: TriggerPoint,
         report: &mut JobReport,
     ) -> Vec<NodeId> {
-        let kills = self.injector.poll(&ProgressEvent { seq, job, point });
-        for &node in &kills {
-            let loss = self.cluster.fail_node(node);
-            report.losses.push(loss);
+        let faults = self.injector.poll_faults(&ProgressEvent { seq, job, point });
+        let mut kills = Vec::new();
+        for fault in faults {
+            match fault {
+                Fault::NodeCrash(node) => {
+                    let loss = self.cluster.fail_node(node);
+                    report.losses.push(loss);
+                    kills.push(node);
+                }
+                Fault::CorruptReplica { node } => {
+                    // Silent on-disk damage: nothing observes it here.
+                    // The checksum verification on the next read of this
+                    // replica demotes it to a lost replica.
+                    let _ = self.cluster.dfs().corrupt_replica_on(node);
+                }
+                Fault::TornWrite { node } => {
+                    self.torn.lock().insert(node);
+                }
+                Fault::ShuffleFlake { node, times } => {
+                    self.cluster.map_outputs().arm_flake(node, times);
+                }
+            }
         }
         kills
     }
@@ -550,10 +636,28 @@ impl<'a> JobTracker<'a> {
     ) -> ReduceOutcome {
         let t0 = Instant::now();
         let store = self.cluster.map_outputs();
-        let shuffled = match shuffle_for_reduce(store, input_keys, task.id, node) {
-            Ok(r) => r,
-            Err(ShuffleFailure::MissingMapOutputs(_)) => return ReduceOutcome::Missing,
-            Err(ShuffleFailure::Corrupt(_)) => return ReduceOutcome::Retry,
+        let mut attempt = 0u32;
+        let shuffled = loop {
+            attempt += 1;
+            match shuffle_for_reduce(store, input_keys, task.id, node) {
+                Ok(r) => break r,
+                Err(ShuffleFailure::MissingMapOutputs(_)) => return ReduceOutcome::Missing,
+                Err(ShuffleFailure::Corrupt { key, .. }) => {
+                    // The stored copy is permanently bad: retrying the
+                    // fetch returns the same bytes. Drop the entry so
+                    // the phase loop re-runs that mapper from its input
+                    // block, then report the output as missing.
+                    store.remove(&key);
+                    return ReduceOutcome::Missing;
+                }
+                Err(ShuffleFailure::Transient { .. }) => {
+                    // Retryable in place, but not forever: a path this
+                    // flaky needs the task rescheduled elsewhere.
+                    if attempt >= MAX_SHUFFLE_ATTEMPTS {
+                        return ReduceOutcome::Retry(task.id);
+                    }
+                }
+            }
         };
         let block_size = self.cluster.config().block_size.as_u64() as usize;
         let mut out = ChunkingWriter::new(block_size);
@@ -564,6 +668,23 @@ impl<'a> JobTracker<'a> {
         }
         let output_bytes = out.byte_count();
         let chunks = out.finish();
+        if self.torn.lock().remove(&node) {
+            // Armed torn write: commit only a strict prefix of the
+            // chunks, then die mid-write. The committed prefix can look
+            // like a healthy written partition — the Torn outcome is
+            // what forces the phase loop to clear and re-reduce it.
+            let keep = chunks.len() / 2;
+            let prefix: Vec<_> = chunks.into_iter().take(keep).collect();
+            let _ = self.cluster.dfs().write_partition_chunks(
+                &spec.output,
+                task.id.partition,
+                prefix,
+                node,
+                spec.placement,
+            );
+            let loss = self.cluster.fail_node(node);
+            return ReduceOutcome::Torn { task, loss };
+        }
         match self.cluster.dfs().write_partition_chunks(
             &spec.output,
             task.id.partition,
@@ -572,7 +693,7 @@ impl<'a> JobTracker<'a> {
             spec.placement,
         ) {
             Ok(()) => {}
-            Err(_) => return ReduceOutcome::Retry,
+            Err(_) => return ReduceOutcome::Retry(task.id),
         }
         let io = IoBytes {
             shuffle_local: shuffled.local_bytes,

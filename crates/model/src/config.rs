@@ -45,6 +45,12 @@ pub struct ClusterConfig {
     pub failure_detection_secs: f64,
     /// Seed for all placement/scheduling randomness.
     pub seed: u64,
+    /// Upper bound on recovery rounds the middleware attempts before
+    /// surfacing [`Error::RecoveryExhausted`]: caps chain restarts,
+    /// job-cancellation/recovery cycles and nested-failure replanning,
+    /// so a permanently-failing scenario ends in a typed error instead
+    /// of a livelock.
+    pub max_recovery_attempts: u32,
 }
 
 impl ClusterConfig {
@@ -56,6 +62,7 @@ impl ClusterConfig {
             block_size: ByteSize::mib(1),
             failure_detection_secs: 30.0,
             seed: 0xc0ffee,
+            max_recovery_attempts: 100,
         }
     }
 
@@ -67,6 +74,7 @@ impl ClusterConfig {
             block_size: ByteSize::mib(256),
             failure_detection_secs: 30.0,
             seed: 0x57_1c,
+            max_recovery_attempts: 100,
         }
     }
 
@@ -78,6 +86,7 @@ impl ClusterConfig {
             block_size: ByteSize::mib(256),
             failure_detection_secs: 30.0,
             seed: 0xdc0,
+            max_recovery_attempts: 100,
         }
     }
 
@@ -95,6 +104,11 @@ impl ClusterConfig {
         if self.failure_detection_secs <= 0.0 || self.failure_detection_secs.is_nan() {
             return Err(Error::Config(
                 "failure detection timeout must be positive".into(),
+            ));
+        }
+        if self.max_recovery_attempts == 0 {
+            return Err(Error::Config(
+                "max recovery attempts must be at least 1".into(),
             ));
         }
         Ok(())
@@ -138,6 +152,9 @@ mod tests {
         assert!(c.validate().is_err());
         c.block_size = ByteSize::mib(1);
         c.failure_detection_secs = 0.0;
+        assert!(c.validate().is_err());
+        c.failure_detection_secs = 30.0;
+        c.max_recovery_attempts = 0;
         assert!(c.validate().is_err());
     }
 

@@ -36,6 +36,15 @@ pub enum Error {
     },
     /// The whole job failed for a non-recoverable reason.
     JobFailed { job: JobId, reason: String },
+    /// Recovery gave up: the configured retry/replanning budget
+    /// (`ClusterConfig::max_recovery_attempts`, or the engine's per-task
+    /// retry budget) was exhausted without converging. Surfaced instead
+    /// of looping forever on a permanently-failing scenario.
+    RecoveryExhausted {
+        job: JobId,
+        attempts: u32,
+        reason: String,
+    },
     /// A job was cancelled by the middleware (e.g. to start recovery).
     JobCancelled(JobId),
     /// The user asked to split a reducer of a job marked unsplittable
@@ -71,6 +80,14 @@ impl fmt::Display for Error {
                 lost_partitions.len()
             ),
             Error::JobFailed { job, reason } => write!(f, "job {job} failed: {reason}"),
+            Error::RecoveryExhausted {
+                job,
+                attempts,
+                reason,
+            } => write!(
+                f,
+                "recovery exhausted for job {job} after {attempts} attempts: {reason}"
+            ),
             Error::JobCancelled(j) => write!(f, "job {j} cancelled"),
             Error::UnsplittableJob(j) => write!(f, "job {j} does not allow reducer splitting"),
             Error::Codec(m) => write!(f, "record codec error: {m}"),
@@ -101,6 +118,19 @@ mod tests {
             reason: "node died".into(),
         };
         assert_eq!(e.to_string(), "task j1/M3 failed: node died");
+    }
+
+    #[test]
+    fn recovery_exhausted_message() {
+        let e = Error::RecoveryExhausted {
+            job: JobId(3),
+            attempts: 8,
+            reason: "reduce task kept failing".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "recovery exhausted for job j3 after 8 attempts: reduce task kept failing"
+        );
     }
 
     #[test]

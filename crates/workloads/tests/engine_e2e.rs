@@ -15,6 +15,7 @@ fn test_cluster(nodes: u32) -> Cluster {
         slots: SlotConfig::ONE_ONE,
         block_size: rcmp_model::ByteSize::kib(4),
         failure_detection_secs: 30.0,
+        max_recovery_attempts: 100,
         seed: 42,
     };
     Cluster::new(cfg)

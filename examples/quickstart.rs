@@ -21,6 +21,7 @@ fn main() {
         slots: SlotConfig::ONE_ONE,
         block_size: ByteSize::kib(4),
         failure_detection_secs: 30.0,
+        max_recovery_attempts: 100,
         seed: 1,
     });
 

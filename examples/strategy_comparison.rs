@@ -28,6 +28,7 @@ fn run(strategy: Strategy, label: &str) {
         slots: SlotConfig::ONE_ONE,
         block_size: ByteSize::kib(4),
         failure_detection_secs: 30.0,
+        max_recovery_attempts: 100,
         seed: 99,
     });
     generate_input(cluster.dfs(), &DataGenConfig::test("input", NODES, 30_000)).unwrap();

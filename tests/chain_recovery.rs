@@ -22,6 +22,7 @@ fn cluster(nodes: u32) -> Cluster {
         slots: SlotConfig::ONE_ONE,
         block_size: rcmp::model::ByteSize::kib(4),
         failure_detection_secs: 30.0,
+        max_recovery_attempts: 100,
         seed: 7,
     })
 }

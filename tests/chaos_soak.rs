@@ -1,0 +1,314 @@
+//! Chaos soak: the 7-job chain under seeded randomized fault schedules.
+//!
+//! The fault injector mixes node kills, silent replica corruption, torn
+//! partition writes and transient shuffle flakes. The contract under
+//! chaos is binary: the chain either converges to the exact golden
+//! output digest, or surfaces a typed [`Error::RecoveryExhausted`] —
+//! never a hang, a panic or a silently wrong output. Every schedule is
+//! a pure function of its seed, so any failing case replays exactly.
+
+use proptest::prelude::*;
+use rcmp::core::{ChainDriver, Strategy};
+use rcmp::engine::failure::{Fault, FaultTrigger};
+use rcmp::engine::{Cluster, RandomizedInjector, ScriptedInjector, TriggerPoint};
+use rcmp::model::{ClusterConfig, Error, NodeId, SlotConfig};
+use rcmp::workloads::checksum::{digest_file, OutputDigest};
+use rcmp::workloads::{generate_input, ChainBuilder, DataGenConfig};
+use std::sync::Arc;
+
+const NODES: u32 = 5;
+const JOBS: u32 = 7;
+
+fn cluster() -> Cluster {
+    Cluster::new(ClusterConfig {
+        nodes: NODES,
+        slots: SlotConfig::ONE_ONE,
+        block_size: rcmp::model::ByteSize::kib(4),
+        failure_detection_secs: 30.0,
+        max_recovery_attempts: 100,
+        seed: 23,
+    })
+}
+
+/// Input replicated 3× (`DataGenConfig::test` default): with kills
+/// capped at 2, no schedule can make the chain input unrecoverable, so
+/// "typed error" outcomes are genuine recovery-budget exhaustions, not
+/// unavoidable data loss.
+fn setup(cl: &Cluster) -> rcmp::workloads::ChainSpec {
+    generate_input(cl.dfs(), &DataGenConfig::test("input", NODES, 15_000)).unwrap();
+    ChainBuilder::new(JOBS, NODES).build()
+}
+
+fn golden() -> OutputDigest {
+    let cl = cluster();
+    let chain = setup(&cl);
+    ChainDriver::new(&cl, Strategy::rcmp_no_split())
+        .run(&chain.jobs)
+        .unwrap();
+    digest_file(cl.dfs(), chain.final_output(), cl.live_nodes()[0])
+        .unwrap()
+        .0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 60,
+        max_shrink_iters: 0,
+        ..ProptestConfig::default()
+    })]
+
+    /// ≥50 randomized fault schedules over the 7-job chain: every one
+    /// ends in golden-digest success or a typed recovery error.
+    #[test]
+    fn chaos_schedule_converges_or_fails_typed(chaos_seed in 0u64..1_000_000) {
+        let expected = golden();
+        let cl = cluster();
+        let chain = setup(&cl);
+        let injector = Arc::new(
+            RandomizedInjector::new(chaos_seed, NODES)
+                .kill_probability(0.08)
+                .fault_probability(0.25)
+                .max_kills(2)
+                .max_other_faults(6),
+        );
+        match ChainDriver::new(&cl, Strategy::rcmp_split(3))
+            .with_injector(injector)
+            .run(&chain.jobs)
+        {
+            Ok(_) => {
+                let digest = digest_file(cl.dfs(), chain.final_output(), cl.live_nodes()[0])
+                    .unwrap()
+                    .0;
+                prop_assert_eq!(digest, expected, "seed {} produced wrong output", chaos_seed);
+            }
+            Err(Error::RecoveryExhausted { .. }) => {
+                // Acceptable: the budget surfaced a typed error instead
+                // of livelocking.
+            }
+            Err(Error::DataLoss { ref path, .. }) if path == "input" => {
+                // Acceptable: corruption demotes replicas like losses,
+                // so kills plus corruption can destroy every replica of
+                // an external-input block — unrecoverable by
+                // recomputation, and correctly surfaced as typed loss.
+            }
+            Err(e) => {
+                return Err(TestCaseError::fail(format!(
+                    "seed {chaos_seed}: expected success or RecoveryExhausted, got {e}"
+                )));
+            }
+        }
+    }
+}
+
+/// A corrupted replica under REPL-2 is caught by the block checksum on
+/// read, demoted to a lost replica, and served from the survivor — the
+/// chain output is exact and no recomputation is needed for it.
+#[test]
+fn corrupt_replica_under_repl2_recovers_from_survivor() {
+    let expected = golden();
+    let cl = cluster();
+    let chain = setup(&cl);
+    let injector = Arc::new(ScriptedInjector::single_fault(
+        2,
+        TriggerPoint::JobStart,
+        Fault::CorruptReplica { node: NodeId(1) },
+    ));
+    let outcome = ChainDriver::new(&cl, Strategy::Replication { factor: 2 })
+        .with_injector(injector)
+        .run(&chain.jobs)
+        .unwrap();
+    assert_eq!(outcome.restarts, 0, "corruption must not force a restart");
+    assert_eq!(
+        outcome.jobs_started, JOBS as u64,
+        "the surviving replica makes recomputation unnecessary"
+    );
+    let digest = digest_file(cl.dfs(), chain.final_output(), cl.live_nodes()[0])
+        .unwrap()
+        .0;
+    assert_eq!(digest, expected);
+}
+
+/// Same fault under RCMP (replication 1): the corrupted block — the
+/// most recently written one, a job output — has no surviving replica,
+/// so the demotion makes the partition lost and the ordinary
+/// recomputation path regenerates it. Output still exact.
+#[test]
+fn corrupt_replica_under_rcmp_recomputes() {
+    let expected = golden();
+    let cl = cluster();
+    let chain = setup(&cl);
+    let injector = Arc::new(ScriptedInjector::single_fault(
+        3,
+        TriggerPoint::JobStart,
+        Fault::CorruptReplica { node: NodeId(2) },
+    ));
+    let outcome = ChainDriver::new(&cl, Strategy::rcmp_no_split())
+        .with_injector(injector)
+        .run(&chain.jobs)
+        .unwrap();
+    assert_eq!(outcome.restarts, 0, "RCMP never restarts the chain");
+    let digest = digest_file(cl.dfs(), chain.final_output(), cl.live_nodes()[0])
+        .unwrap()
+        .0;
+    assert_eq!(digest, expected);
+}
+
+/// A torn write leaves a strict prefix of the partition's chunks
+/// committed — a partition that can look healthy while silently missing
+/// records. The tracker must detect it, clear the partition and
+/// re-reduce; the final digest stays exact.
+#[test]
+fn torn_write_is_detected_and_repaired() {
+    let expected = golden();
+    let cl = cluster();
+    let chain = setup(&cl);
+    let injector = Arc::new(ScriptedInjector::single_fault(
+        2,
+        TriggerPoint::JobStart,
+        Fault::TornWrite { node: NodeId(3) },
+    ));
+    let outcome = ChainDriver::new(&cl, Strategy::rcmp_no_split())
+        .with_injector(injector)
+        .run(&chain.jobs)
+        .unwrap();
+    // The torn writer dies mid-write; its job-1 output replicas die
+    // with it, so the middleware must run recomputations.
+    assert!(
+        outcome.jobs_started > JOBS as u64,
+        "expected recovery runs after the torn writer died, got {}",
+        outcome.jobs_started
+    );
+    let digest = digest_file(cl.dfs(), chain.final_output(), cl.live_nodes()[0])
+        .unwrap()
+        .0;
+    assert_eq!(digest, expected);
+}
+
+/// Transient shuffle flakes within the retry budget are absorbed
+/// without any recovery machinery kicking in.
+#[test]
+fn transient_shuffle_flakes_are_absorbed() {
+    let expected = golden();
+    let cl = cluster();
+    let chain = setup(&cl);
+    let injector = Arc::new(ScriptedInjector::default().tolerate_unfired());
+    for (seq, node) in [(1u64, 0u32), (3, 2), (5, 4)] {
+        injector.add_fault(FaultTrigger {
+            seq,
+            point: TriggerPoint::JobStart,
+            fault: Fault::ShuffleFlake {
+                node: NodeId(node),
+                times: 2,
+            },
+        });
+    }
+    let outcome = ChainDriver::new(&cl, Strategy::rcmp_no_split())
+        .with_injector(injector)
+        .run(&chain.jobs)
+        .unwrap();
+    assert_eq!(
+        outcome.jobs_started, JOBS as u64,
+        "in-place retries must not trigger recomputation runs"
+    );
+    let digest = digest_file(cl.dfs(), chain.final_output(), cl.live_nodes()[0])
+        .unwrap()
+        .0;
+    assert_eq!(digest, expected);
+}
+
+/// A node whose shuffle path never stops failing exhausts the per-task
+/// retry budget: the run ends in `RecoveryExhausted`, not a livelock.
+#[test]
+fn permanent_shuffle_flake_exhausts_retry_budget() {
+    let cl = Cluster::new(ClusterConfig {
+        nodes: 1,
+        slots: SlotConfig::ONE_ONE,
+        block_size: rcmp::model::ByteSize::kib(4),
+        failure_detection_secs: 30.0,
+        max_recovery_attempts: 100,
+        seed: 23,
+    });
+    let mut gen = DataGenConfig::test("input", 1, 4_000);
+    gen.replication = 1;
+    generate_input(cl.dfs(), &gen).unwrap();
+    let chain = ChainBuilder::new(1, 1).build();
+    let injector = Arc::new(ScriptedInjector::single_fault(
+        1,
+        TriggerPoint::JobStart,
+        Fault::ShuffleFlake {
+            node: NodeId(0),
+            times: u32::MAX,
+        },
+    ));
+    let err = ChainDriver::new(&cl, Strategy::rcmp_no_split())
+        .with_injector(injector)
+        .run(&chain.jobs)
+        .unwrap_err();
+    assert!(
+        matches!(err, Error::RecoveryExhausted { .. }),
+        "expected RecoveryExhausted, got {err}"
+    );
+}
+
+/// When every replica of an input partition dies and the strategy can
+/// only restart, the chain-restart budget surfaces `RecoveryExhausted`
+/// instead of restarting forever.
+#[test]
+fn unrecoverable_input_exhausts_chain_restart_budget() {
+    let cl = Cluster::new(ClusterConfig {
+        nodes: NODES,
+        slots: SlotConfig::ONE_ONE,
+        block_size: rcmp::model::ByteSize::kib(4),
+        failure_detection_secs: 30.0,
+        max_recovery_attempts: 3,
+        seed: 23,
+    });
+    generate_input(cl.dfs(), &DataGenConfig::test("input", NODES, 15_000)).unwrap();
+    let chain = ChainBuilder::new(2, NODES).build();
+    // Kill exactly the nodes holding the replicas of the input's first
+    // block: that partition becomes unrecoverable, and OPTIMISTIC can
+    // only restart into the same loss again.
+    let meta = cl.dfs().file_meta("input").unwrap();
+    let victims = meta.partitions[0].block_locations()[0].replicas.clone();
+    let injector = Arc::new(ScriptedInjector::default().tolerate_unfired());
+    for node in victims {
+        injector.add_fault(FaultTrigger {
+            seq: 1,
+            point: TriggerPoint::JobStart,
+            fault: Fault::NodeCrash(node),
+        });
+    }
+    let err = ChainDriver::new(&cl, Strategy::Optimistic)
+        .with_injector(injector)
+        .run(&chain.jobs)
+        .unwrap_err();
+    match err {
+        Error::RecoveryExhausted { attempts, .. } => {
+            assert_eq!(attempts, 4, "budget of 3 restarts, failing on the 4th");
+        }
+        other => panic!("expected RecoveryExhausted, got {other}"),
+    }
+}
+
+/// The driver's strict end-of-chain injector check: a scripted trigger
+/// that never fires fails the run loudly instead of silently testing
+/// nothing.
+#[test]
+fn unfired_scripted_trigger_fails_the_run() {
+    let cl = cluster();
+    let chain = setup(&cl);
+    // Wave 40 of run 99 never happens in a failure-free 7-job chain.
+    let injector = Arc::new(ScriptedInjector::single(
+        99,
+        TriggerPoint::AfterMapWave(40),
+        NodeId(0),
+    ));
+    let err = ChainDriver::new(&cl, Strategy::rcmp_no_split())
+        .with_injector(injector)
+        .run(&chain.jobs)
+        .unwrap_err();
+    assert!(
+        matches!(err, Error::Config(ref m) if m.contains("never fired")),
+        "expected strict-injector Config error, got {err}"
+    );
+}

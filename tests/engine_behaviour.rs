@@ -14,6 +14,7 @@ fn cluster(nodes: u32, slots: SlotConfig) -> Cluster {
         slots,
         block_size: ByteSize::kib(4),
         failure_detection_secs: 30.0,
+        max_recovery_attempts: 100,
         seed: 3,
     })
 }

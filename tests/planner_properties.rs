@@ -21,6 +21,7 @@ fn setup() -> (Cluster, rcmp::workloads::ChainSpec, JobGraph) {
         slots: SlotConfig::ONE_ONE,
         block_size: rcmp::model::ByteSize::kib(4),
         failure_detection_secs: 30.0,
+        max_recovery_attempts: 100,
         seed: 77,
     });
     generate_input(cluster.dfs(), &DataGenConfig::test("input", NODES, 12_000)).unwrap();

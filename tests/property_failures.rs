@@ -21,6 +21,7 @@ fn cluster() -> Cluster {
         slots: SlotConfig::ONE_ONE,
         block_size: rcmp::model::ByteSize::kib(4),
         failure_detection_secs: 30.0,
+        max_recovery_attempts: 100,
         seed: 11,
     })
 }
@@ -115,10 +116,12 @@ proptest! {
         let expected = reference();
         let cl = cluster();
         let chain = setup(&cl);
+        // The second trigger's run may never happen (the chain can
+        // finish first), so opt out of the strict unfired check.
         let injector = Arc::new(ScriptedInjector::new([
             Trigger { seq: seq1, point: point_from(p1), node: NodeId(nodes[0]) },
             Trigger { seq: seq1 + seq2, point: point_from(p2), node: NodeId(nodes[1]) },
-        ]));
+        ]).tolerate_unfired());
         let strategy = if split {
             Strategy::rcmp_split(3)
         } else {

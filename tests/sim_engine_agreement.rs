@@ -23,6 +23,7 @@ fn engine_run() -> rcmp::engine::JobReport {
         slots: SlotConfig::ONE_ONE,
         block_size: ByteSize::bytes(BLOCK),
         failure_detection_secs: 30.0,
+        max_recovery_attempts: 100,
         seed: 5,
     });
     let cfg = DataGenConfig {
@@ -118,6 +119,7 @@ fn recompute_fractions_agree() {
         slots: SlotConfig::ONE_ONE,
         block_size: ByteSize::bytes(BLOCK),
         failure_detection_secs: 30.0,
+        max_recovery_attempts: 100,
         seed: 5,
     });
     let cfg = DataGenConfig {

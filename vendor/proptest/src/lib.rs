@@ -1,0 +1,508 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Keeps the property-test surface this workspace uses — the
+//! [`proptest!`] macro with `#![proptest_config(..)]`, `prop_assert*`,
+//! [`prop_oneof!`], `any::<T>()`, range/tuple/`prop_map` strategies,
+//! `prop::collection::vec`, `prop::sample::{subsequence, Index}` and
+//! `prop::bool::ANY` — with two simplifications: sampling is plain
+//! seeded-RNG generation (deterministic per test name and case index,
+//! so failures reproduce run-to-run), and there is **no shrinking**: a
+//! failing case reports the case index and message as a panic instead
+//! of a minimized input. `max_shrink_iters` is accepted and ignored.
+
+pub mod strategy {
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// The RNG handed to strategies (re-exported so generated code and
+    /// user helpers can name it).
+    pub type TestRng = SmallRng;
+
+    /// A generator of values. Object-safe: combinators are `Sized`-gated.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            (**self).sample(rng)
+        }
+    }
+
+    /// `prop_map` adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Self { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].sample(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($n:tt $t:ident),+))*) => {$(
+            impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+                type Value = ($($t::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (0 A)
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    }
+
+    /// Always yields a clone of the given value.
+    pub struct Just<V>(pub V);
+
+    impl<V: Clone> Strategy for Just<V> {
+        type Value = V;
+        fn sample(&self, _rng: &mut TestRng) -> V {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::{Strategy, TestRng};
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary_sample(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_sample(rng: &mut TestRng) -> Self {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+    impl Arbitrary for crate::sample::Index {
+        fn arbitrary_sample(rng: &mut TestRng) -> Self {
+            crate::sample::Index::from_raw(rng.gen())
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_sample(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod bool {
+    use crate::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    pub struct BoolAny;
+
+    /// `prop::bool::ANY`.
+    pub const ANY: BoolAny = BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.gen()
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Length bounds for sized collections: `n`, `a..b`, `a..=b`.
+    pub trait IntoSizeRange {
+        /// `(min, max_inclusive)`.
+        fn size_bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn size_bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn size_bounds(self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn size_bounds(self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        min: usize,
+        max: usize,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.size_bounds();
+        VecStrategy { elem, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.min..=self.max);
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use crate::collection::IntoSizeRange;
+    use crate::strategy::{Strategy, TestRng};
+    use rand::seq::SliceRandom;
+    use rand::Rng;
+
+    /// An index sampled independently of the collection it will address
+    /// (`any::<Index>()` then `.index(len)`).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(u64);
+
+    impl Index {
+        pub(crate) fn from_raw(raw: u64) -> Self {
+            Self(raw)
+        }
+
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    pub struct Subsequence<T> {
+        values: Vec<T>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Random subsequence of `values` (order-preserving) with a length
+    /// in `size`.
+    pub fn subsequence<T: Clone>(values: Vec<T>, size: impl IntoSizeRange) -> Subsequence<T> {
+        let (min, max) = size.size_bounds();
+        assert!(
+            max <= values.len(),
+            "subsequence: max len {max} exceeds {} values",
+            values.len()
+        );
+        Subsequence { values, min, max }
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<T> {
+            let len = rng.gen_range(self.min..=self.max);
+            let mut idx: Vec<usize> = (0..self.values.len()).collect();
+            idx.shuffle(rng);
+            idx.truncate(len);
+            idx.sort_unstable();
+            idx.into_iter().map(|i| self.values[i].clone()).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    pub use crate::strategy::TestRng;
+    use rand::SeedableRng;
+
+    /// Accepted configuration knobs. Only `cases` changes behaviour;
+    /// the rest exist so `..ProptestConfig::default()` call sites keep
+    /// their upstream shape.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+        pub max_shrink_iters: u32,
+        pub max_local_rejects: u32,
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self {
+                cases: 256,
+                max_shrink_iters: 1024,
+                max_local_rejects: 65536,
+                max_global_rejects: 1024,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            Self {
+                cases,
+                ..Self::default()
+            }
+        }
+    }
+
+    /// A failed property (what `prop_assert!` produces).
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        pub fn fail(msg: String) -> Self {
+            Self(msg)
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Deterministic per-(test, case) RNG: the same test name and case
+    /// index always replay the same inputs.
+    pub fn case_rng(test_name: &str, case: u32) -> TestRng {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng::seed_from_u64(h ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            @cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($config:expr)
+     $($(#[$meta:meta])*
+       fn $name:ident($($parm:pat in $strategy:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                #[allow(unused_imports)]
+                use $crate::strategy::Strategy as _;
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::case_rng(stringify!($name), __case);
+                    $(let $parm = $crate::strategy::Strategy::sample(&($strategy), &mut __rng);)+
+                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = __result {
+                        panic!("proptest case {}/{} failed: {}", __case, __config.cases, e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` != `{:?}`", __l, __r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "{}: `{:?}` != `{:?}`", format!($($fmt)+), __l, __r
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{:?}` == `{:?}`", __l, __r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "{}: `{:?}` == `{:?}`", format!($($fmt)+), __l, __r
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn case_rng_is_deterministic() {
+        use crate::strategy::Strategy;
+        let s = 0u32..100;
+        let a: Vec<u32> = (0..10)
+            .map(|c| s.sample(&mut crate::test_runner::case_rng("t", c)))
+            .collect();
+        let b: Vec<u32> = (0..10)
+            .map(|c| s.sample(&mut crate::test_runner::case_rng("t", c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_machinery_works(
+            x in 1u32..10,
+            v in prop::collection::vec(any::<u8>(), 0..5),
+            pick in prop_oneof![Just(1u8), Just(2u8)],
+            sub in prop::sample::subsequence(vec![1, 2, 3], 1..3),
+            flag in prop::bool::ANY,
+        ) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(v.len() < 5);
+            prop_assert!(pick == 1 || pick == 2);
+            prop_assert!(!sub.is_empty() && sub.len() <= 2);
+            let _ = flag;
+            if x == 0 {
+                return Ok(());
+            }
+        }
+    }
+}

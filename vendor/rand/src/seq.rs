@@ -1,0 +1,53 @@
+//! Slice sampling and shuffling.
+
+use crate::{Rng, RngCore};
+
+/// `choose` / `shuffle` over slices (the subset of `rand::seq` used).
+pub trait SliceRandom {
+    type Item;
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(rng.gen_range(0..self.len()))
+        }
+    }
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        // Fisher-Yates.
+        for i in (1..self.len()).rev() {
+            self.swap(i, rng.gen_range(0..=i));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let v = [1, 2, 3];
+        assert!(v.contains(v.choose(&mut rng).unwrap()));
+
+        let mut s: Vec<u32> = (0..50).collect();
+        s.shuffle(&mut rng);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+        assert_ne!(s, sorted, "50 elements virtually never shuffle to identity");
+    }
+}

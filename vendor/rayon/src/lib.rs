@@ -1,0 +1,59 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Exposes the `prelude` traits this workspace calls (`par_iter`,
+//! `into_par_iter`) but executes sequentially: the "parallel" iterator
+//! is the ordinary `std` iterator, so every adapter (`map`, `flat_map`,
+//! `collect`, …) comes from `std::iter::Iterator`. Results are
+//! bit-identical to a rayon run because all call sites are
+//! order-independent reductions; only wall-clock parallelism is lost,
+//! which the engine's own scoped-thread waves do not depend on.
+
+pub mod prelude {
+    /// `into_par_iter()` — sequential stand-in.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {}
+
+    /// `par_iter()` — sequential stand-in over `&self`.
+    pub trait IntoParallelRefIterator<'data> {
+        type Iter;
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data + ?Sized> IntoParallelRefIterator<'data> for T
+    where
+        &'data T: IntoIterator,
+    {
+        type Iter = <&'data T as IntoIterator>::IntoIter;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+/// Sequential stand-in for `rayon::join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_behaves_like_iter() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let sum: i32 = v.into_par_iter().sum();
+        assert_eq!(sum, 6);
+    }
+}

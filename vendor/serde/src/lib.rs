@@ -1,0 +1,356 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Serialization here is direct-to-value-tree: [`Serialize`] is
+//! `fn to_value(&self) -> Value` instead of the visitor-based
+//! `Serializer` API, and [`Value`] doubles as the `serde_json::Value`
+//! re-export. The workspace only ever serializes (report structs →
+//! pretty JSON via `serde_json`), so [`Deserialize`] is a marker trait
+//! that the derive implements but nothing consumes.
+
+use std::collections::{BTreeMap, HashMap};
+use std::time::Duration;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A serialized value tree (JSON data model).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    String(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered object (field order preserved in output).
+    Object(Vec<(String, Value)>),
+}
+
+/// Serialization into a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Marker for types the derive declares deserializable. No consumer in
+/// this workspace parses data back, so the trait has no methods.
+pub trait Deserialize {}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {}
+
+macro_rules! impl_ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+macro_rules! impl_ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+impl_ser_signed!(i8, i16, i32, i64, isize);
+impl_ser_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for f64 {}
+impl Deserialize for f32 {}
+impl Deserialize for bool {}
+impl Deserialize for String {}
+
+impl Serialize for Duration {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("secs".to_string(), Value::U64(self.as_secs())),
+            ("nanos".to_string(), Value::U64(u64::from(self.subsec_nanos()))),
+        ])
+    }
+}
+impl Deserialize for Duration {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T> Deserialize for Option<T> {}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T> Deserialize for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+/// Map keys become JSON object keys: strings pass through, everything
+/// else uses its `Display`-free value rendering.
+fn key_string(v: Value) -> String {
+    match v {
+        Value::String(s) => s,
+        Value::Bool(b) => b.to_string(),
+        Value::I64(n) => n.to_string(),
+        Value::U64(n) => n.to_string(),
+        Value::F64(n) => n.to_string(),
+        other => crate::json::render_compact(&other),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_string(k.to_value()), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<K, V> Deserialize for BTreeMap<K, V> {}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Deterministic output regardless of hash order.
+        let mut pairs: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_string(k.to_value()), v.to_value()))
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(pairs)
+    }
+}
+impl<K, V> Deserialize for HashMap<K, V> {}
+
+macro_rules! impl_ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t),+> Deserialize for ($($t,)+) {}
+    )*};
+}
+
+impl_ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+/// JSON rendering of a [`Value`] tree (used by the `serde_json` stub).
+pub mod json {
+    use super::Value;
+    use std::fmt::Write;
+
+    pub fn render_compact(v: &Value) -> String {
+        let mut out = String::new();
+        write_value(&mut out, v, None, 0);
+        out
+    }
+
+    pub fn render_pretty(v: &Value) -> String {
+        let mut out = String::new();
+        write_value(&mut out, v, Some(2), 0);
+        out
+    }
+
+    fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+        match v {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Value::I64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::F64(n) => {
+                if n.is_finite() {
+                    // Match serde_json: integral floats keep a ".0".
+                    if n.fract() == 0.0 && n.abs() < 1e15 {
+                        let _ = write!(out, "{n:.1}");
+                    } else {
+                        let _ = write!(out, "{n}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::String(s) => write_string(out, s),
+            Value::Array(items) => {
+                write_seq(out, items.iter(), indent, depth, ('[', ']'), |out, item, d| {
+                    write_value(out, item, indent, d)
+                });
+            }
+            Value::Object(pairs) => {
+                write_seq(out, pairs.iter(), indent, depth, ('{', '}'), |out, (k, v), d| {
+                    write_string(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    write_value(out, v, indent, d);
+                });
+            }
+        }
+    }
+
+    fn write_seq<T>(
+        out: &mut String,
+        items: impl ExactSizeIterator<Item = T>,
+        indent: Option<usize>,
+        depth: usize,
+        (open, close): (char, char),
+        mut write_item: impl FnMut(&mut String, T, usize),
+    ) {
+        out.push(open);
+        let len = items.len();
+        for (i, item) in items.enumerate() {
+            if let Some(w) = indent {
+                out.push('\n');
+                out.push_str(&" ".repeat(w * (depth + 1)));
+            }
+            write_item(out, item, depth + 1);
+            if i + 1 < len {
+                out.push(',');
+            }
+        }
+        if len > 0 {
+            if let Some(w) = indent {
+                out.push('\n');
+                out.push_str(&" ".repeat(w * depth));
+            }
+        }
+        out.push(close);
+    }
+
+    fn write_string(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_and_containers() {
+        assert_eq!(5u32.to_value(), Value::U64(5));
+        assert_eq!((-3i64).to_value(), Value::I64(-3));
+        assert_eq!("hi".to_string().to_value(), Value::String("hi".into()));
+        assert_eq!(Option::<u32>::None.to_value(), Value::Null);
+        assert_eq!(
+            vec![1u8, 2].to_value(),
+            Value::Array(vec![Value::U64(1), Value::U64(2)])
+        );
+        assert_eq!(
+            (1u32, "a").to_value(),
+            Value::Array(vec![Value::U64(1), Value::String("a".into())])
+        );
+    }
+
+    #[test]
+    fn json_rendering() {
+        let v = Value::Object(vec![
+            ("a".to_string(), Value::U64(1)),
+            ("b".to_string(), Value::Array(vec![Value::Bool(true), Value::Null])),
+        ]);
+        assert_eq!(json::render_compact(&v), r#"{"a":1,"b":[true,null]}"#);
+        let pretty = json::render_pretty(&v);
+        assert!(pretty.contains("\"a\": 1"), "pretty output: {pretty}");
+    }
+
+    #[test]
+    fn float_rendering_keeps_point() {
+        assert_eq!(json::render_compact(&Value::F64(2.0)), "2.0");
+        assert_eq!(json::render_compact(&Value::F64(2.5)), "2.5");
+    }
+}

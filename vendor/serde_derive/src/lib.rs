@@ -1,0 +1,283 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Parses the item definition directly from the [`proc_macro`] token
+//! stream (no `syn`/`quote`) and emits an implementation of this
+//! workspace's reduced `serde::Serialize` trait
+//! (`fn to_value(&self) -> serde::Value`). `Deserialize` derives a
+//! marker impl only — nothing in the workspace deserializes.
+//!
+//! Supported shapes match what the workspace actually derives:
+//! non-generic structs (named, tuple, unit) and non-generic enums with
+//! unit, tuple and struct variants. Generic items are rejected with a
+//! compile error rather than mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    item.serialize_impl().parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl ::serde::Deserialize for {} {{}}", item.name)
+        .parse()
+        .unwrap()
+}
+
+enum Body {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    body: VariantBody,
+}
+
+enum VariantBody {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    let mut kind = None;
+    // Skip attributes (`#[...]`), doc comments and visibility.
+    while let Some(tok) = toks.next() {
+        match tok {
+            TokenTree::Punct(ref p) if p.as_char() == '#' => {
+                toks.next(); // the [...] group
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    kind = Some(s);
+                    break;
+                }
+                // `pub` (possibly followed by a `(crate)` group, consumed
+                // by the group arm below as a no-op) or other modifiers.
+            }
+            TokenTree::Group(_) => {} // `(crate)` after `pub`
+            _ => {}
+        }
+    }
+    let kind = kind.expect("derive input: expected `struct` or `enum`");
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive input: expected item name, got {other:?}"),
+    };
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stub: generic items are not supported (derive on `{name}`)");
+    }
+    let body = match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            } else {
+                Body::Enum(parse_variants(g.stream()))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            assert_eq!(kind, "struct", "enum body must be brace-delimited");
+            Body::TupleStruct(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+        other => panic!("derive input: unexpected item body {other:?}"),
+    };
+    Item { name, body }
+}
+
+/// Field names of a named-field list (attributes and visibility skipped;
+/// types skipped with angle-bracket depth tracking so generic commas
+/// don't split fields).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("field list: expected field name, got {other:?}"),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("field list: expected `:` after `{name}`, got {other:?}"),
+        }
+        skip_type(&mut toks);
+        fields.push(name);
+    }
+    fields
+}
+
+/// Number of fields in a tuple-struct / tuple-variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut toks = stream.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        if toks.peek().is_none() {
+            break;
+        }
+        skip_type(&mut toks);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("enum body: expected variant name, got {other:?}"),
+        };
+        let body = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                toks.next();
+                VariantBody::Tuple(count_tuple_fields(inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                toks.next();
+                VariantBody::Named(parse_named_fields(inner))
+            }
+            _ => VariantBody::Unit,
+        };
+        // Consume up to and including the variant separator (covers
+        // explicit discriminants, which the workspace doesn't use today).
+        for tok in toks.by_ref() {
+            if matches!(tok, TokenTree::Punct(ref p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, body });
+    }
+    variants
+}
+
+fn skip_attrs_and_vis(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // [...]
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if matches!(
+                    toks.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    toks.next(); // (crate) / (super)
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skip one type, stopping after the top-level `,` (consumed) or at end.
+/// Commas inside `<...>` are part of the type; parenthesised/bracketed
+/// types are whole groups so their commas are invisible here.
+fn skip_type(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle_depth = 0i32;
+    for tok in toks.by_ref() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+impl Item {
+    fn serialize_impl(&self) -> String {
+        let name = &self.name;
+        let body = match &self.body {
+            Body::NamedStruct(fields) => object_expr(fields, "self."),
+            Body::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Body::TupleStruct(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+            }
+            Body::UnitStruct => "::serde::Value::Null".to_string(),
+            Body::Enum(variants) => {
+                let arms: Vec<String> = variants.iter().map(|v| v.arm(name)).collect();
+                format!("match self {{ {} }}", arms.join(" "))
+            }
+        };
+        format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+             }}"
+        )
+    }
+}
+
+/// `Value::Object` literal from field names; `prefix` is `self.` for
+/// struct impls and empty for match-arm bindings.
+fn object_expr(fields: &[String], prefix: &str) -> String {
+    let pairs: Vec<String> = fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&{prefix}{f}))"))
+        .collect();
+    format!("::serde::Value::Object(vec![{}])", pairs.join(", "))
+}
+
+impl Variant {
+    /// One `match self` arm using serde's externally-tagged layout:
+    /// unit → `"Name"`, newtype → `{"Name": value}`,
+    /// tuple → `{"Name": [..]}`, struct → `{"Name": {..}}`.
+    fn arm(&self, enum_name: &str) -> String {
+        let v = &self.name;
+        match &self.body {
+            VariantBody::Unit => {
+                format!("{enum_name}::{v} => ::serde::Value::String(\"{v}\".to_string()),")
+            }
+            VariantBody::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let payload = if *n == 1 {
+                    "::serde::Serialize::to_value(__f0)".to_string()
+                } else {
+                    let elems: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                };
+                format!(
+                    "{enum_name}::{v}({}) => ::serde::Value::Object(vec![(\"{v}\".to_string(), {payload})]),",
+                    binds.join(", ")
+                )
+            }
+            VariantBody::Named(fields) => {
+                let payload = object_expr(fields, "");
+                format!(
+                    "{enum_name}::{v} {{ {} }} => ::serde::Value::Object(vec![(\"{v}\".to_string(), {payload})]),",
+                    fields.join(", ")
+                )
+            }
+        }
+    }
+}

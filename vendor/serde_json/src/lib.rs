@@ -1,0 +1,47 @@
+//! Offline stand-in for `serde_json`, backed by the serde stub's
+//! value-tree model: `to_value` asks the type for its [`Value`] tree,
+//! `to_string`/`to_string_pretty` render it as JSON text.
+
+use serde::Serialize;
+
+pub use serde::Value;
+
+/// Serialization error. The value-tree model cannot fail, so this is
+/// only here to keep `serde_json`-shaped signatures (`Result` + `?` /
+/// `.unwrap()` call sites) compiling.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde_json: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+pub fn to_value<T: Serialize>(value: T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(serde::json::render_compact(&value.to_value()))
+}
+
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(serde::json::render_pretty(&value.to_value()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_value_through_api() {
+        let v = to_value(vec![1u32, 2, 3]).unwrap();
+        assert_eq!(to_string(&v).unwrap(), "[1,2,3]");
+        assert!(to_string_pretty(&v).unwrap().contains("\n  1,"));
+    }
+}
