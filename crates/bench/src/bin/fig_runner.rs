@@ -1,7 +1,7 @@
 //! Regenerates the paper's figures.
 //!
 //! ```text
-//! fig_runner [all|fig02|fig08a|fig08b|fig08c|fig09|fig10|fig11|fig12|fig13|fig14]...
+//! fig_runner [all|fig02|fig08a|fig08b|fig08c|fig09|fig10|fig11|fig12|fig13|fig14|trace]...
 //!            [--quick] [--json <dir>]
 //! ```
 //!
@@ -30,7 +30,7 @@ fn main() {
     if figs.is_empty() || figs.iter().any(|f| f == "all") {
         figs = [
             "fig02", "fig08a", "fig08b", "fig08c", "fig09", "fig10", "fig11", "fig12",
-            "fig13", "fig14", "extras",
+            "fig13", "fig14", "trace", "extras",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -102,6 +102,11 @@ fn main() {
                 let r = fig14::run_scaled(1);
                 println!("{}", r.render());
                 write_json("fig14", serde_json::to_value(&r).unwrap());
+            }
+            "trace" => {
+                let r = tracefig::run_scaled(scale);
+                println!("{}", r.render());
+                write_json("trace", serde_json::to_value(&r).unwrap());
             }
             "extras" => {
                 let loc = extras::locality_ablation(scale);

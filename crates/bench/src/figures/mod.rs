@@ -11,6 +11,7 @@ pub mod fig11;
 pub mod fig12;
 pub mod fig13;
 pub mod fig14;
+pub mod tracefig;
 
 use rcmp_model::SlotConfig;
 use rcmp_sim::{HwProfile, WorkloadCfg};

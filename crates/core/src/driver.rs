@@ -61,11 +61,7 @@ impl ChainOutcome {
 
     /// Aggregated I/O over all runs.
     pub fn total_io(&self) -> rcmp_engine::IoBytes {
-        let mut io = rcmp_engine::IoBytes::default();
-        for r in &self.runs {
-            io.add(&r.io);
-        }
-        io
+        self.runs.iter().map(|r| r.io).sum()
     }
 }
 
@@ -102,7 +98,10 @@ impl<'a> ChainDriver<'a> {
         let graph = JobGraph::new(specs.iter().cloned())?;
         let order = graph.submission_order()?;
         let tracker = JobTracker::new(self.cluster, self.injector.clone());
-        let mut outcome = ChainOutcome::default();
+        let mut outcome = ChainOutcome {
+            events: EventLog::with_tracer(self.cluster.tracer().clone()),
+            ..ChainOutcome::default()
+        };
         let replication = self.strategy.output_replication();
         let persist = self.strategy.persists_outputs();
 

@@ -1,7 +1,17 @@
 //! Structured event log of middleware activity.
+//!
+//! The log is the middleware's durable record; when built with
+//! [`EventLog::with_tracer`] every pushed event is *also* mirrored into
+//! the cluster's span tracer, so recovery planning shows up in the same
+//! causal trace as the engine's job/wave/task spans. In particular a
+//! `RecoveryPlanned` event becomes a `RecoveryPlan` span whose cause is
+//! the loss that triggered it, and which in turn becomes the cause of
+//! the recomputation runs it submits.
 
 use rcmp_model::{JobId, NodeId};
+use rcmp_obs::{SpanKind, Tracer};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Everything the middleware does while driving a multi-job computation.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -43,15 +53,86 @@ pub enum ChainEvent {
     ChainRestarted,
 }
 
-/// Append-only event log.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+/// Append-only event log, optionally mirroring into a span tracer.
+#[derive(Clone, Default)]
 pub struct EventLog {
     events: Vec<ChainEvent>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl EventLog {
+    /// A log that mirrors every pushed event into `tracer` (see the
+    /// module docs for the span mapping).
+    pub fn with_tracer(tracer: Arc<Tracer>) -> Self {
+        Self {
+            events: Vec::new(),
+            tracer: Some(tracer),
+        }
+    }
+
     pub fn push(&mut self, e: ChainEvent) {
+        if let Some(tracer) = &self.tracer {
+            Self::mirror(tracer, &e);
+        }
         self.events.push(e);
+    }
+
+    /// Mirrors one event into the tracer. `RecoveryPlanned` gets its own
+    /// span kind and participates in the causal chain (loss → plan →
+    /// recompute runs); everything else becomes a generic instant.
+    fn mirror(tracer: &Tracer, e: &ChainEvent) {
+        match e {
+            ChainEvent::RecoveryPlanned {
+                target,
+                steps,
+                partitions,
+            } => {
+                let cause = tracer.current_cause();
+                let id = tracer.instant(
+                    SpanKind::RecoveryPlan {
+                        target: *target,
+                        steps: *steps as u32,
+                        partitions: *partitions as u32,
+                    },
+                    None,
+                    cause,
+                    None,
+                );
+                tracer.mark_cause(id);
+            }
+            other => {
+                let (seq, label) = match other {
+                    ChainEvent::JobStarted {
+                        seq,
+                        job,
+                        recompute,
+                    } => {
+                        let tag = if *recompute { " recompute" } else { "" };
+                        (*seq, format!("job_started {job}{tag}"))
+                    }
+                    ChainEvent::JobCompleted { seq, job, .. } => {
+                        (*seq, format!("job_completed {job}"))
+                    }
+                    ChainEvent::LossObserved {
+                        seq,
+                        lost_partitions,
+                        ..
+                    } => (*seq, format!("loss_observed {lost_partitions} partitions")),
+                    ChainEvent::JobCancelled { seq, job } => {
+                        (*seq, format!("job_cancelled {job}"))
+                    }
+                    ChainEvent::ReplicationPoint { job, factor } => {
+                        (0, format!("replication_point {job} x{factor}"))
+                    }
+                    ChainEvent::StorageReclaimed { files_deleted, .. } => {
+                        (0, format!("storage_reclaimed {files_deleted} files"))
+                    }
+                    ChainEvent::ChainRestarted => (0, "chain_restarted".to_string()),
+                    ChainEvent::RecoveryPlanned { .. } => unreachable!("handled above"),
+                };
+                tracer.instant(SpanKind::Event { seq, label }, None, None, None);
+            }
+        }
     }
 
     pub fn iter(&self) -> impl Iterator<Item = &ChainEvent> {
@@ -86,7 +167,69 @@ impl EventLog {
             .filter(|e| matches!(e, ChainEvent::LossObserved { .. }))
             .count()
     }
+
+    /// Every event that names `job` — starts, completions, cancellations
+    /// and recovery plans targeting it.
+    pub fn events_for_job(&self, job: JobId) -> impl Iterator<Item = &ChainEvent> {
+        self.iter().filter(move |e| match e {
+            ChainEvent::JobStarted { job: j, .. }
+            | ChainEvent::JobCompleted { job: j, .. }
+            | ChainEvent::JobCancelled { job: j, .. }
+            | ChainEvent::RecoveryPlanned { target: j, .. }
+            | ChainEvent::ReplicationPoint { job: j, .. } => *j == job,
+            _ => false,
+        })
+    }
+
+    /// Recovery plans in order: `(target, steps, partitions)`.
+    pub fn recoveries(&self) -> impl Iterator<Item = (JobId, usize, usize)> + '_ {
+        self.iter().filter_map(|e| match e {
+            ChainEvent::RecoveryPlanned {
+                target,
+                steps,
+                partitions,
+            } => Some((*target, *steps, *partitions)),
+            _ => None,
+        })
+    }
+
+    /// The highest run sequence number any event carries — i.e. how many
+    /// job runs the chain started (the paper's job numbering).
+    pub fn last_seq(&self) -> Option<u64> {
+        self.iter()
+            .filter_map(|e| match e {
+                ChainEvent::JobStarted { seq, .. }
+                | ChainEvent::JobCompleted { seq, .. }
+                | ChainEvent::LossObserved { seq, .. }
+                | ChainEvent::JobCancelled { seq, .. } => Some(*seq),
+                _ => None,
+            })
+            .max()
+    }
 }
+
+// Manual impls: the `tracer` handle is runtime plumbing, not log
+// content — equality, debug output and serialization all ignore it
+// (and the vendored serde derive couldn't skip a field anyway).
+impl PartialEq for EventLog {
+    fn eq(&self, other: &Self) -> bool {
+        self.events == other.events
+    }
+}
+impl Eq for EventLog {}
+
+impl std::fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventLog").field("events", &self.events).finish()
+    }
+}
+
+impl Serialize for EventLog {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![("events".to_string(), self.events.to_value())])
+    }
+}
+impl Deserialize for EventLog {}
 
 #[cfg(test)]
 mod tests {

@@ -12,8 +12,10 @@ use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rcmp_model::rng::rng_for;
 use rcmp_model::{BlockId, ByteSize, Error, NodeId, PartitionId, Result};
+use rcmp_obs::{SpanKind, Tracer};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Configuration of the DFS substrate.
@@ -65,10 +67,19 @@ pub struct Dfs {
     alive: Vec<AtomicBool>,
     next_block: AtomicU64,
     rng: Mutex<SmallRng>,
+    tracer: Arc<Tracer>,
 }
 
 impl Dfs {
     pub fn new(cfg: DfsConfig) -> Self {
+        Self::new_traced(cfg, Arc::new(Tracer::new()))
+    }
+
+    /// Like [`Dfs::new`] but recording block-level spans (reads, writes,
+    /// checksum demotions) into a shared tracer — the engine passes its
+    /// cluster-wide tracer here so DFS activity lands in the same trace
+    /// as job/wave/task spans.
+    pub fn new_traced(cfg: DfsConfig, tracer: Arc<Tracer>) -> Self {
         assert!(cfg.nodes > 0, "DFS needs at least one node");
         assert!(!cfg.block_size.is_zero(), "block size must be positive");
         let stores = (0..cfg.nodes).map(|_| NodeStore::new()).collect();
@@ -81,11 +92,17 @@ impl Dfs {
             alive,
             next_block: AtomicU64::new(1),
             rng,
+            tracer,
         }
     }
 
     pub fn config(&self) -> &DfsConfig {
         &self.cfg
+    }
+
+    /// The tracer block-level spans are recorded into.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
     }
 
     /// Nodes currently alive.
@@ -240,8 +257,11 @@ impl Dfs {
                 alive: live.len(),
             });
         }
+        let open = self.tracer.open();
+        let mut payload_bytes = 0u64;
         let mut blocks = Vec::with_capacity(chunks.len());
         for chunk in chunks {
+            payload_bytes += chunk.len() as u64;
             let id = BlockId(self.next_block.fetch_add(1, Ordering::Relaxed));
             let targets = {
                 let mut rng = self.rng.lock();
@@ -266,6 +286,17 @@ impl Dfs {
             });
         }
 
+        self.tracer.close(
+            open,
+            SpanKind::BlockWrite {
+                bytes: payload_bytes,
+                blocks: blocks.len() as u32,
+                replicas: replication,
+            },
+            None,
+            None,
+            Some(writer),
+        );
         let segment = SegmentMeta { writer, blocks };
         let mut ns = self.namespace.write();
         let meta = ns
@@ -324,6 +355,7 @@ impl Dfs {
     /// Returns which node served the read alongside the data, so callers
     /// can account remote transfers.
     pub fn read_block(&self, loc: &BlockLocation, reader: NodeId) -> Result<(Bytes, NodeId)> {
+        let open = self.tracer.open();
         let live_replicas: Vec<NodeId> = loc
             .replicas
             .iter()
@@ -349,8 +381,24 @@ impl Dfs {
                 continue;
             };
             if rcmp_model::hash::hash_bytes(&data) == loc.content_hash {
+                self.tracer.close(
+                    open,
+                    SpanKind::BlockRead {
+                        source,
+                        bytes: data.len() as u64,
+                    },
+                    None,
+                    None,
+                    Some(reader),
+                );
                 return Ok((data, source));
             }
+            self.tracer.instant(
+                SpanKind::BlockVerifyFailed { block: loc.id.0 },
+                None,
+                None,
+                Some(source),
+            );
             self.demote_replica(loc.id, source);
         }
         Err(Error::DataLoss {

@@ -3,6 +3,7 @@
 use crate::mapstore::MapOutputStore;
 use rcmp_dfs::{Dfs, DfsConfig, LossReport};
 use rcmp_model::{ClusterConfig, NodeId};
+use rcmp_obs::{MetricsRegistry, Tracer};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -10,68 +11,73 @@ use std::time::Duration;
 /// blocks + persisted map outputs) and a compute node (task slots).
 /// Killing a node therefore loses computation *and* data — the scenario
 /// that makes recomputation-based resilience challenging.
+///
+/// The cluster owns the run's observability state: one [`Tracer`]
+/// shared with the DFS (so block spans and task spans merge into a
+/// single trace) and one [`MetricsRegistry`] the tracker registers its
+/// hot-path counters in.
 pub struct Cluster {
     cfg: ClusterConfig,
     dfs: Arc<Dfs>,
     map_outputs: MapOutputStore,
+    tracer: Arc<Tracer>,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl Cluster {
     pub fn new(cfg: ClusterConfig) -> Self {
-        cfg.validate().expect("invalid cluster config");
-        let dfs_cfg = DfsConfig {
-            nodes: cfg.nodes,
-            block_size: cfg.block_size,
-            seed: cfg.seed,
-            read_delay: None,
-            topology: None,
-        };
-        Self {
-            cfg,
-            dfs: Arc::new(Dfs::new(dfs_cfg)),
-            map_outputs: MapOutputStore::new(),
-        }
+        Self::build(cfg, None, None)
     }
 
     /// Like [`Cluster::new`] but with a rack topology: remote replicas
     /// are placed rack-aware (HDFS-style, §III-A).
     pub fn with_topology(cfg: ClusterConfig, topology: rcmp_dfs::RackTopology) -> Self {
-        cfg.validate().expect("invalid cluster config");
-        let dfs_cfg = DfsConfig {
-            nodes: cfg.nodes,
-            block_size: cfg.block_size,
-            seed: cfg.seed,
-            read_delay: None,
-            topology: Some(topology),
-        };
-        Self {
-            cfg,
-            dfs: Arc::new(Dfs::new(dfs_cfg)),
-            map_outputs: MapOutputStore::new(),
-        }
+        Self::build(cfg, None, Some(topology))
     }
 
     /// Like [`Cluster::new`] but with an artificial per-MiB DFS read
     /// latency so concurrent reads overlap in wall-clock time (hot-spot
     /// experiments on the real engine).
     pub fn with_read_delay(cfg: ClusterConfig, delay: Duration) -> Self {
+        Self::build(cfg, Some(delay), None)
+    }
+
+    fn build(
+        cfg: ClusterConfig,
+        read_delay: Option<Duration>,
+        topology: Option<rcmp_dfs::RackTopology>,
+    ) -> Self {
         cfg.validate().expect("invalid cluster config");
+        let tracer = Arc::new(Tracer::new());
         let dfs_cfg = DfsConfig {
             nodes: cfg.nodes,
             block_size: cfg.block_size,
             seed: cfg.seed,
-            read_delay: Some(delay),
-            topology: None,
+            read_delay,
+            topology,
         };
         Self {
             cfg,
-            dfs: Arc::new(Dfs::new(dfs_cfg)),
+            dfs: Arc::new(Dfs::new_traced(dfs_cfg, tracer.clone())),
             map_outputs: MapOutputStore::new(),
+            tracer,
+            metrics: Arc::new(MetricsRegistry::new()),
         }
     }
 
     pub fn config(&self) -> &ClusterConfig {
         &self.cfg
+    }
+
+    /// The cluster-wide span tracer (shared with the DFS). Snapshot it
+    /// after a run to analyze or export the trace.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
+    /// The cluster-wide metrics registry.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     pub fn dfs(&self) -> &Arc<Dfs> {

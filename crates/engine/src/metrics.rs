@@ -29,13 +29,13 @@ pub struct IoBytes {
 }
 
 impl IoBytes {
+    /// Accumulates `other` into `self`. Kept for API compatibility;
+    /// prefer `+=` ([`AddAssign`]) or summing an iterator ([`Sum`]).
+    ///
+    /// [`AddAssign`]: std::ops::AddAssign
+    /// [`Sum`]: std::iter::Sum
     pub fn add(&mut self, other: &IoBytes) {
-        self.map_input_local += other.map_input_local;
-        self.map_input_remote += other.map_input_remote;
-        self.shuffle_local += other.shuffle_local;
-        self.shuffle_remote += other.shuffle_remote;
-        self.output_written += other.output_written;
-        self.replication_written += other.replication_written;
+        *self += *other;
     }
 
     /// Total shuffle volume.
@@ -46,6 +46,37 @@ impl IoBytes {
     /// Total mapper input volume.
     pub fn map_input_total(&self) -> u64 {
         self.map_input_local + self.map_input_remote
+    }
+}
+
+impl std::ops::AddAssign for IoBytes {
+    fn add_assign(&mut self, o: IoBytes) {
+        self.map_input_local += o.map_input_local;
+        self.map_input_remote += o.map_input_remote;
+        self.shuffle_local += o.shuffle_local;
+        self.shuffle_remote += o.shuffle_remote;
+        self.output_written += o.output_written;
+        self.replication_written += o.replication_written;
+    }
+}
+
+impl std::ops::Add for IoBytes {
+    type Output = IoBytes;
+    fn add(mut self, o: IoBytes) -> IoBytes {
+        self += o;
+        self
+    }
+}
+
+impl std::iter::Sum for IoBytes {
+    fn sum<I: Iterator<Item = IoBytes>>(iter: I) -> IoBytes {
+        iter.fold(IoBytes::default(), std::ops::Add::add)
+    }
+}
+
+impl<'a> std::iter::Sum<&'a IoBytes> for IoBytes {
+    fn sum<I: Iterator<Item = &'a IoBytes>>(iter: I) -> IoBytes {
+        iter.copied().sum()
     }
 }
 
@@ -130,10 +161,41 @@ mod tests {
             output_written: 5,
             replication_written: 6,
         };
-        a.add(&a.clone());
+        a += a;
         assert_eq!(a.map_input_total(), 6);
         assert_eq!(a.shuffle_total(), 14);
         assert_eq!(a.output_written, 10);
+    }
+
+    #[test]
+    fn io_bytes_sum_matches_manual_fold() {
+        let parts = [
+            IoBytes {
+                map_input_local: 1,
+                output_written: 10,
+                ..IoBytes::default()
+            },
+            IoBytes {
+                map_input_remote: 2,
+                replication_written: 3,
+                ..IoBytes::default()
+            },
+            IoBytes {
+                shuffle_local: 4,
+                shuffle_remote: 5,
+                ..IoBytes::default()
+            },
+        ];
+        let by_value: IoBytes = parts.iter().copied().sum();
+        let by_ref: IoBytes = parts.iter().sum();
+        let mut manual = IoBytes::default();
+        for p in &parts {
+            manual.add(p);
+        }
+        assert_eq!(by_value, manual);
+        assert_eq!(by_ref, manual);
+        assert_eq!(by_value.map_input_total(), 3);
+        assert_eq!((parts[0] + parts[1]).output_written, 10);
     }
 
     #[test]

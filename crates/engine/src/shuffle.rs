@@ -19,6 +19,9 @@ pub struct ShuffleResult {
     pub groups: Vec<(u64, Vec<Bytes>)>,
     pub local_bytes: u64,
     pub remote_bytes: u64,
+    /// Bytes fetched per serving node, ascending by node — the
+    /// shuffle-source attribution behind the Fig. 6 hot-spot report.
+    pub per_source: Vec<(NodeId, u64)>,
 }
 
 /// Why a shuffle could not complete.
@@ -70,6 +73,7 @@ pub fn shuffle_for_reduce(
 
     let mut local_bytes = 0u64;
     let mut remote_bytes = 0u64;
+    let mut per_source: std::collections::BTreeMap<NodeId, u64> = std::collections::BTreeMap::new();
     let mut records: Vec<Record> = Vec::new();
     for (key, payload, source) in payloads {
         if source == node {
@@ -77,6 +81,7 @@ pub fn shuffle_for_reduce(
         } else {
             remote_bytes += payload.len() as u64;
         }
+        *per_source.entry(source).or_insert(0) += payload.len() as u64;
         for rec in RecordReader::new(payload) {
             match rec {
                 Ok(r) => records.push(r),
@@ -89,6 +94,7 @@ pub fn shuffle_for_reduce(
         groups: sort_and_group(records),
         local_bytes,
         remote_bytes,
+        per_source: per_source.into_iter().collect(),
     })
 }
 
@@ -160,6 +166,11 @@ mod tests {
         assert_eq!(res.groups.len(), 2);
         assert!(res.local_bytes > 0, "bucket from node 0 is local");
         assert!(res.remote_bytes > 0, "bucket from node 5 is remote");
+        assert_eq!(
+            res.per_source,
+            vec![(NodeId(0), res.local_bytes), (NodeId(5), res.remote_bytes)],
+            "per-source attribution matches the locality split"
+        );
     }
 
     #[test]

@@ -35,8 +35,9 @@ use parking_lot::Mutex;
 use rcmp_dfs::LossReport;
 use rcmp_model::{
     Error, HashPartitioner, JobId, MapTaskId, NodeId, PartitionId, Record, RecordReader,
-    RecordWriter, ReduceTaskId, Result, SplitId, SplitPartitioner,
+    RecordWriter, ReduceTaskId, Result, SplitId, SplitPartitioner, TaskId,
 };
+use rcmp_obs::{Counter, FaultKind, Histogram, Phase, SpanId, SpanKind, Tracer};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 use std::time::Instant;
@@ -61,6 +62,12 @@ pub struct JobTracker<'a> {
     /// Nodes armed for a torn write: their next partition write commits
     /// only a strict prefix of its chunks and the node dies mid-write.
     torn: Mutex<BTreeSet<NodeId>>,
+    tracer: Arc<Tracer>,
+    /// Hot-path metric handles, resolved once at tracker construction.
+    m_task_retries: Counter,
+    m_shuffle_transients: Counter,
+    m_shuffle_bytes: Counter,
+    m_shuffle_us: Histogram,
 }
 
 enum ReduceOutcome {
@@ -82,16 +89,61 @@ enum ReduceOutcome {
 
 impl<'a> JobTracker<'a> {
     pub fn new(cluster: &'a Cluster, injector: Arc<dyn FailureInjector>) -> Self {
+        let metrics = cluster.metrics();
         Self {
-            cluster,
             injector,
             torn: Mutex::new(BTreeSet::new()),
+            tracer: cluster.tracer().clone(),
+            m_task_retries: metrics.counter("tracker.task_retries"),
+            m_shuffle_transients: metrics.counter("tracker.shuffle_transient_failures"),
+            m_shuffle_bytes: metrics.counter("tracker.shuffle_fetch_bytes"),
+            m_shuffle_us: metrics.histogram(
+                "tracker.shuffle_fetch_us",
+                &[100, 1_000, 10_000, 100_000, 1_000_000],
+            ),
+            cluster,
         }
     }
 
     /// Runs one job submission. `seq` is the global run sequence number
     /// (the paper's job numbering: recomputations get fresh numbers).
+    ///
+    /// Wraps the whole run in a `JobRun` span. A recompute submission is
+    /// causally linked to the tracer's current cause (the recovery plan
+    /// or loss that triggered it), captured *before* execution so faults
+    /// injected during this run don't retroactively re-attribute it.
     pub fn run(&self, run: &JobRun, seq: u64) -> Result<JobReport> {
+        let cause = if run.mode.is_recompute() {
+            self.tracer.current_cause()
+        } else {
+            None
+        };
+        let live_nodes = self.cluster.live_nodes().len() as u32;
+        let open = self.tracer.open();
+        let result = self.run_inner(run, seq, open.id);
+        let slots = self.cluster.config().slots;
+        self.tracer.close(
+            open,
+            SpanKind::JobRun {
+                seq,
+                job: run.spec.job,
+                recompute: run.mode.is_recompute(),
+                live_nodes,
+                map_slots: slots.map,
+                reduce_slots: slots.reduce,
+                ok: result.is_ok(),
+            },
+            None,
+            cause,
+            None,
+        );
+        if let Ok(report) = &result {
+            self.m_task_retries.add(report.task_retries as u64);
+        }
+        result
+    }
+
+    fn run_inner(&self, run: &JobRun, seq: u64, job_span: SpanId) -> Result<JobReport> {
         let spec = &run.spec;
         let started = Instant::now();
         if spec.num_reducers == 0 {
@@ -127,7 +179,7 @@ impl<'a> JobTracker<'a> {
             ..JobReport::default()
         };
 
-        self.fire(seq, spec.job, TriggerPoint::JobStart, &mut report);
+        self.fire(seq, spec.job, TriggerPoint::JobStart, job_span, &mut report);
 
         // ----- mapper reuse decision (pre-flight) -----------------------
         // Computed *before* any destructive output mutation (deleting a
@@ -224,18 +276,29 @@ impl<'a> JobTracker<'a> {
                         seq,
                         spec.job,
                         TriggerPoint::MidMapWave(map_wave_counter),
+                        job_span,
                         &mut report,
                     );
+                    let wave_open = self.tracer.open();
+                    let wave_kind = SpanKind::Wave {
+                        phase: Phase::Map,
+                        index: map_wave_counter,
+                        tasks: wave.len() as u32,
+                        capacity: live.len() as u32 * self.cluster.config().slots.map,
+                    };
                     let had_failures = self.execute_map_wave(
                         wave,
                         spec,
                         &split_plan,
                         map_wave_counter,
+                        wave_open.id,
                         &mut report,
                     );
+                    self.tracer
+                        .close(wave_open, wave_kind, Some(job_span), None, None);
                     let point = TriggerPoint::AfterMapWave(map_wave_counter);
                     map_wave_counter += 1;
-                    let kills = self.fire(seq, spec.job, point, &mut report);
+                    let kills = self.fire(seq, spec.job, point, job_span, &mut report);
                     if had_failures || !kills.is_empty() || !mid_kills.is_empty() {
                         interrupted = true;
                         break;
@@ -279,15 +342,30 @@ impl<'a> JobTracker<'a> {
                     seq,
                     spec.job,
                     TriggerPoint::MidReduceWave(reduce_wave_counter),
+                    job_span,
                     &mut report,
                 );
-                let outcomes =
-                    self.execute_reduce_wave(wave, &input_keys, spec, reduce_wave_counter);
+                let wave_open = self.tracer.open();
+                let wave_kind = SpanKind::Wave {
+                    phase: Phase::Reduce,
+                    index: reduce_wave_counter,
+                    tasks: wave.len() as u32,
+                    capacity: live.len() as u32 * self.cluster.config().slots.reduce,
+                };
+                let outcomes = self.execute_reduce_wave(
+                    wave,
+                    &input_keys,
+                    spec,
+                    reduce_wave_counter,
+                    wave_open.id,
+                );
+                self.tracer
+                    .close(wave_open, wave_kind, Some(job_span), None, None);
                 let mut wave_had_failures = false;
                 for outcome in outcomes {
                     match outcome {
                         ReduceOutcome::Done(task, rec) => {
-                            report.io.add(&rec.io);
+                            report.io += rec.io;
                             report.tasks.push(rec);
                             report.reduce_tasks_run += 1;
                             pending_reduces.retain(|t| t.id != task.id);
@@ -314,6 +392,18 @@ impl<'a> JobTracker<'a> {
                         ReduceOutcome::Torn { task, loss } => {
                             wave_had_failures = true;
                             report.task_retries += 1;
+                            // A torn write silently damaged the output
+                            // partition — a loss in its own right.
+                            let loss_span = self.tracer.instant(
+                                SpanKind::Loss {
+                                    seq,
+                                    lost_partitions: 1,
+                                },
+                                Some(job_span),
+                                None,
+                                loss.node,
+                            );
+                            self.tracer.mark_cause(loss_span);
                             report.losses.push(loss);
                             torn_partitions.insert(task.id.partition);
                         }
@@ -321,7 +411,7 @@ impl<'a> JobTracker<'a> {
                 }
                 let point = TriggerPoint::AfterReduceWave(reduce_wave_counter);
                 reduce_wave_counter += 1;
-                let kills = self.fire(seq, spec.job, point, &mut report);
+                let kills = self.fire(seq, spec.job, point, job_span, &mut report);
                 if wave_had_failures || !kills.is_empty() || !mid_kills.is_empty() {
                     interrupted = true;
                     break;
@@ -388,19 +478,51 @@ impl<'a> JobTracker<'a> {
     /// faults it raises. Returns the nodes that were killed (the only
     /// fault shape the wave loop must react to immediately; the others
     /// surface through their own detection paths).
+    ///
+    /// Every injected fault becomes a `Fault` instant span; a node crash
+    /// that irreversibly lost partitions additionally emits a `Loss`
+    /// span caused by the fault, and marks it as the tracer's current
+    /// cause so the recomputation run it triggers is causally linked.
     fn fire(
         &self,
         seq: u64,
         job: JobId,
         point: TriggerPoint,
+        job_span: SpanId,
         report: &mut JobReport,
     ) -> Vec<NodeId> {
         let faults = self.injector.poll_faults(&ProgressEvent { seq, job, point });
         let mut kills = Vec::new();
         for fault in faults {
+            let (kind, at_node) = match &fault {
+                Fault::NodeCrash(node) => (FaultKind::NodeCrash, *node),
+                Fault::CorruptReplica { node } => (FaultKind::CorruptReplica, *node),
+                Fault::TornWrite { node } => (FaultKind::TornWrite, *node),
+                Fault::ShuffleFlake { node, .. } => (FaultKind::ShuffleFlake, *node),
+            };
+            let fault_span = self.tracer.instant(
+                SpanKind::Fault {
+                    seq,
+                    kind,
+                    at: format!("{point:?}"),
+                },
+                Some(job_span),
+                None,
+                Some(at_node),
+            );
             match fault {
                 Fault::NodeCrash(node) => {
                     let loss = self.cluster.fail_node(node);
+                    let loss_span = self.tracer.instant(
+                        SpanKind::Loss {
+                            seq,
+                            lost_partitions: loss.lost_partition_count() as u32,
+                        },
+                        Some(job_span),
+                        Some(fault_span),
+                        Some(node),
+                    );
+                    self.tracer.mark_cause(loss_span);
                     report.losses.push(loss);
                     kills.push(node);
                 }
@@ -515,13 +637,16 @@ impl<'a> JobTracker<'a> {
         spec: &JobSpec,
         split_plan: &Option<(BTreeSet<PartitionId>, u32)>,
         wave_idx: u32,
+        wave_span: SpanId,
         report: &mut JobReport,
     ) -> bool {
         let outcomes: Vec<std::result::Result<TaskRecord, Error>> = std::thread::scope(|s| {
             let handles: Vec<_> = wave
                 .into_iter()
                 .map(|(node, task)| {
-                    s.spawn(move || self.run_map_task(node, task, spec, split_plan, wave_idx))
+                    s.spawn(move || {
+                        self.run_map_task(node, task, spec, split_plan, wave_idx, wave_span)
+                    })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("map task panicked")).collect()
@@ -530,7 +655,7 @@ impl<'a> JobTracker<'a> {
         for outcome in outcomes {
             match outcome {
                 Ok(rec) => {
-                    report.io.add(&rec.io);
+                    report.io += rec.io;
                     report.tasks.push(rec);
                     report.map_tasks_run += 1;
                 }
@@ -543,7 +668,41 @@ impl<'a> JobTracker<'a> {
         had_failures
     }
 
+    /// Span wrapper around [`Self::map_task_inner`]: one `Task` span per
+    /// attempt, parented under the wave, failed attempts included.
     fn run_map_task(
+        &self,
+        node: NodeId,
+        task: MapTask,
+        spec: &JobSpec,
+        split_plan: &Option<(BTreeSet<PartitionId>, u32)>,
+        wave_idx: u32,
+        wave_span: SpanId,
+    ) -> std::result::Result<TaskRecord, Error> {
+        let tid: TaskId = task.id.into();
+        let open = self.tracer.open();
+        let result = self.map_task_inner(node, task, spec, split_plan, wave_idx);
+        let kind = match &result {
+            Ok(rec) => SpanKind::Task {
+                id: tid,
+                bytes_in: rec.io.map_input_total(),
+                bytes_out: 0,
+                input_source: rec.input_source,
+                ok: true,
+            },
+            Err(_) => SpanKind::Task {
+                id: tid,
+                bytes_in: 0,
+                bytes_out: 0,
+                input_source: None,
+                ok: false,
+            },
+        };
+        self.tracer.close(open, kind, Some(wave_span), None, Some(node));
+        result
+    }
+
+    fn map_task_inner(
         &self,
         node: NodeId,
         task: MapTask,
@@ -611,12 +770,15 @@ impl<'a> JobTracker<'a> {
         input_keys: &[MapInputKey],
         spec: &JobSpec,
         wave_idx: u32,
+        wave_span: SpanId,
     ) -> Vec<ReduceOutcome> {
         std::thread::scope(|s| {
             let handles: Vec<_> = wave
                 .into_iter()
                 .map(|(node, task)| {
-                    s.spawn(move || self.run_reduce_task(node, task, input_keys, spec, wave_idx))
+                    s.spawn(move || {
+                        self.run_reduce_task(node, task, input_keys, spec, wave_idx, wave_span)
+                    })
                 })
                 .collect();
             handles
@@ -626,6 +788,9 @@ impl<'a> JobTracker<'a> {
         })
     }
 
+    /// Span wrapper around [`Self::reduce_task_inner`]: one `Task` span
+    /// per attempt under the wave, with per-source `ShuffleFetch` child
+    /// spans emitted by the inner function.
     fn run_reduce_task(
         &self,
         node: NodeId,
@@ -633,10 +798,44 @@ impl<'a> JobTracker<'a> {
         input_keys: &[MapInputKey],
         spec: &JobSpec,
         wave_idx: u32,
+        wave_span: SpanId,
+    ) -> ReduceOutcome {
+        let tid: TaskId = task.id.into();
+        let open = self.tracer.open();
+        let outcome = self.reduce_task_inner(node, task, input_keys, spec, wave_idx, open.id);
+        let (ok, bytes_in, bytes_out) = match &outcome {
+            ReduceOutcome::Done(_, rec) => (true, rec.io.shuffle_total(), rec.io.output_written),
+            _ => (false, 0, 0),
+        };
+        self.tracer.close(
+            open,
+            SpanKind::Task {
+                id: tid,
+                bytes_in,
+                bytes_out,
+                input_source: None,
+                ok,
+            },
+            Some(wave_span),
+            None,
+            Some(node),
+        );
+        outcome
+    }
+
+    fn reduce_task_inner(
+        &self,
+        node: NodeId,
+        task: ReduceTask,
+        input_keys: &[MapInputKey],
+        spec: &JobSpec,
+        wave_idx: u32,
+        task_span: SpanId,
     ) -> ReduceOutcome {
         let t0 = Instant::now();
         let store = self.cluster.map_outputs();
         let mut attempt = 0u32;
+        let shuffle_start = self.tracer.now_us();
         let shuffled = loop {
             attempt += 1;
             match shuffle_for_reduce(store, input_keys, task.id, node) {
@@ -651,6 +850,7 @@ impl<'a> JobTracker<'a> {
                     return ReduceOutcome::Missing;
                 }
                 Err(ShuffleFailure::Transient { .. }) => {
+                    self.m_shuffle_transients.inc();
                     // Retryable in place, but not forever: a path this
                     // flaky needs the task rescheduled elsewhere.
                     if attempt >= MAX_SHUFFLE_ATTEMPTS {
@@ -659,6 +859,19 @@ impl<'a> JobTracker<'a> {
                 }
             }
         };
+        let shuffle_end = self.tracer.now_us();
+        self.m_shuffle_us.observe(shuffle_end.saturating_sub(shuffle_start));
+        for &(source, bytes) in &shuffled.per_source {
+            self.m_shuffle_bytes.add(bytes);
+            self.tracer.record(
+                SpanKind::ShuffleFetch { source, bytes },
+                Some(task_span),
+                None,
+                Some(node),
+                shuffle_start,
+                shuffle_end,
+            );
+        }
         let block_size = self.cluster.config().block_size.as_u64() as usize;
         let mut out = ChunkingWriter::new(block_size);
         for (key, values) in &shuffled.groups {

@@ -1,0 +1,471 @@
+//! Trace analyzers reproducing the paper's observability figures.
+//!
+//! * [`slot_occupancy`] — per-run wave occupancy (Fig. 4: recomputation
+//!   runs cannot fill the cluster's slots, so their average occupancy
+//!   is well below a full run's).
+//! * [`hotspot_report`] — per-node read-load concentration over a run
+//!   window (Fig. 6: after a failure, the node holding the recomputed
+//!   output serves a disproportionate share of reads), with a
+//!   Gini-style index.
+//! * [`recomputation_critical_path`] — the cascade chain (grouped by
+//!   causal lineage) whose total duration bounded recovery time.
+
+use crate::span::{Span, SpanId, SpanKind, Trace};
+use rcmp_model::{JobId, NodeId};
+use std::collections::{BTreeMap, HashMap};
+
+/// Occupancy of one scheduling wave.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WaveOccupancy {
+    /// True for map waves, false for reduce waves.
+    pub map: bool,
+    /// Wave index within its phase.
+    pub index: u32,
+    /// Tasks scheduled in the wave.
+    pub tasks: u32,
+    /// Slot capacity at assignment time.
+    pub capacity: u32,
+}
+
+impl WaveOccupancy {
+    /// Fraction of available slots this wave used.
+    pub fn occupancy(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            f64::from(self.tasks) / f64::from(self.capacity)
+        }
+    }
+}
+
+/// Slot-occupancy profile of one job run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunOccupancy {
+    /// Global run sequence number.
+    pub seq: u64,
+    /// Logical job.
+    pub job: JobId,
+    /// True for recomputation runs.
+    pub recompute: bool,
+    /// Per-wave occupancy, in execution order.
+    pub waves: Vec<WaveOccupancy>,
+}
+
+impl RunOccupancy {
+    /// Mean occupancy across the run's waves (0.0 when it ran none).
+    pub fn avg_occupancy(&self) -> f64 {
+        if self.waves.is_empty() {
+            0.0
+        } else {
+            self.waves.iter().map(WaveOccupancy::occupancy).sum::<f64>() / self.waves.len() as f64
+        }
+    }
+}
+
+/// Extracts the per-run slot-occupancy profile (Fig. 4) from `Wave`
+/// spans, ordered by run sequence number.
+pub fn slot_occupancy(trace: &Trace) -> Vec<RunOccupancy> {
+    let mut runs: BTreeMap<u64, RunOccupancy> = BTreeMap::new();
+    let mut run_ids: HashMap<SpanId, u64> = HashMap::new();
+    for s in trace.spans() {
+        if let SpanKind::JobRun {
+            seq, job, recompute, ..
+        } = s.kind
+        {
+            run_ids.insert(s.id, seq);
+            runs.insert(
+                seq,
+                RunOccupancy {
+                    seq,
+                    job,
+                    recompute,
+                    waves: Vec::new(),
+                },
+            );
+        }
+    }
+    for s in trace.spans() {
+        if let SpanKind::Wave {
+            phase,
+            index,
+            tasks,
+            capacity,
+        } = s.kind
+        {
+            let Some(seq) = s.parent.and_then(|p| run_ids.get(&p)) else {
+                continue;
+            };
+            if let Some(run) = runs.get_mut(seq) {
+                run.waves.push(WaveOccupancy {
+                    map: matches!(phase, crate::span::Phase::Map),
+                    index,
+                    tasks,
+                    capacity,
+                });
+            }
+        }
+    }
+    runs.into_values().collect()
+}
+
+/// Read load attributed to one node over a run window.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct NodeLoad {
+    /// The serving node.
+    pub node: NodeId,
+    /// Map-input reads this node served.
+    pub map_reads: u64,
+    /// Map-input bytes this node served.
+    pub map_bytes: u64,
+    /// Shuffle fetches this node served.
+    pub shuffle_fetches: u64,
+    /// Shuffle bytes this node served.
+    pub shuffle_bytes: u64,
+}
+
+impl NodeLoad {
+    /// Total bytes served (map input + shuffle).
+    pub fn total_bytes(&self) -> u64 {
+        self.map_bytes + self.shuffle_bytes
+    }
+}
+
+/// Per-node read-load concentration over a run window (Fig. 6).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HotspotReport {
+    /// Loads sorted by total bytes descending, then node ascending.
+    pub loads: Vec<NodeLoad>,
+    /// Gini-style concentration index over total bytes: 0.0 = perfectly
+    /// even, approaching 1.0 = one node serves everything.
+    pub gini: f64,
+}
+
+impl HotspotReport {
+    /// The hottest node (most total bytes served), if any load at all.
+    pub fn top(&self) -> Option<NodeId> {
+        self.loads.first().map(|l| l.node)
+    }
+
+    /// Deterministic text table of the report.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "node | map reads | map bytes | shuffle fetches | shuffle bytes | total bytes\n",
+        );
+        for l in &self.loads {
+            out.push_str(&format!(
+                "{:>4} | {:>9} | {:>9} | {:>15} | {:>13} | {:>11}\n",
+                l.node.0,
+                l.map_reads,
+                l.map_bytes,
+                l.shuffle_fetches,
+                l.shuffle_bytes,
+                l.total_bytes()
+            ));
+        }
+        out.push_str(&format!("gini = {:.3}\n", self.gini));
+        out
+    }
+}
+
+/// Builds the hot-spot report from `Task` (map-input attribution) and
+/// `ShuffleFetch` (shuffle-source attribution) spans whose enclosing
+/// run's sequence number lies in `[min_seq, max_seq]`.
+pub fn hotspot_report(trace: &Trace, min_seq: u64, max_seq: u64) -> HotspotReport {
+    fn run_seq<'a>(index: &HashMap<SpanId, &'a Span>, mut s: &'a Span) -> Option<u64> {
+        loop {
+            if let SpanKind::JobRun { seq, .. } = s.kind {
+                return Some(seq);
+            }
+            s = index.get(&s.parent?)?;
+        }
+    }
+    let index: HashMap<SpanId, &Span> = trace.spans().iter().map(|s| (s.id, s)).collect();
+    let mut loads: BTreeMap<NodeId, NodeLoad> = BTreeMap::new();
+    for s in trace.spans() {
+        let Some(seq) = run_seq(&index, s) else {
+            continue;
+        };
+        if seq < min_seq || seq > max_seq {
+            continue;
+        }
+        match &s.kind {
+            SpanKind::Task {
+                bytes_in,
+                input_source: Some(src),
+                ok: true,
+                ..
+            } => {
+                let l = loads.entry(*src).or_insert_with(|| NodeLoad {
+                    node: *src,
+                    ..NodeLoad::default()
+                });
+                l.map_reads += 1;
+                l.map_bytes += bytes_in;
+            }
+            SpanKind::ShuffleFetch { source, bytes } => {
+                let l = loads.entry(*source).or_insert_with(|| NodeLoad {
+                    node: *source,
+                    ..NodeLoad::default()
+                });
+                l.shuffle_fetches += 1;
+                l.shuffle_bytes += bytes;
+            }
+            _ => {}
+        }
+    }
+    let mut loads: Vec<NodeLoad> = loads.into_values().collect();
+    let gini = gini_index(&loads.iter().map(NodeLoad::total_bytes).collect::<Vec<_>>());
+    loads.sort_by(|a, b| {
+        b.total_bytes()
+            .cmp(&a.total_bytes())
+            .then(a.node.0.cmp(&b.node.0))
+    });
+    HotspotReport { loads, gini }
+}
+
+/// Gini concentration index of a set of non-negative values.
+fn gini_index(values: &[u64]) -> f64 {
+    let n = values.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let total: u64 = values.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut abs_diff_sum = 0.0f64;
+    for &a in values {
+        for &b in values {
+            abs_diff_sum += (a as f64 - b as f64).abs();
+        }
+    }
+    abs_diff_sum / (2.0 * (n as f64) * (n as f64) * (total as f64 / n as f64))
+}
+
+/// One step of a recomputation cascade.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PathStep {
+    /// Global run sequence number of the recomputation run.
+    pub seq: u64,
+    /// Job that was recomputed.
+    pub job: JobId,
+    /// The run's duration in microseconds.
+    pub dur_us: u64,
+}
+
+/// The cascade chain that bounded recovery time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CriticalPath {
+    /// The lineage root the cascade links to (a loss or recovery-plan
+    /// span), when causal links were recorded.
+    pub cause: Option<SpanId>,
+    /// Total duration of the cascade's runs, microseconds.
+    pub total_us: u64,
+    /// The cascade's recomputation runs in sequence order.
+    pub steps: Vec<PathStep>,
+}
+
+impl CriticalPath {
+    /// Deterministic text rendering: the step structure only (run
+    /// timings live in the exported trace files, not in this output,
+    /// which is used in byte-identical example runs).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "recomputation critical path: {} step(s)\n",
+            self.steps.len()
+        );
+        for s in &self.steps {
+            out.push_str(&format!("  seq {:>3}  recompute job {}\n", s.seq, s.job));
+        }
+        out
+    }
+}
+
+/// Groups recomputation `JobRun` spans by their causal lineage root and
+/// returns the group with the largest total duration — the cascade that
+/// bounded recovery time. Returns `None` when the trace holds no
+/// recomputation runs.
+pub fn recomputation_critical_path(trace: &Trace) -> Option<CriticalPath> {
+    let index: HashMap<SpanId, &Span> = trace.spans().iter().map(|s| (s.id, s)).collect();
+    // Resolve a recompute run's cause chain to its root (loss/fault).
+    let root_of = |mut id: SpanId| -> SpanId {
+        loop {
+            match index.get(&id).and_then(|s| s.cause) {
+                Some(up) if up != id => id = up,
+                _ => return id,
+            }
+        }
+    };
+    let mut groups: BTreeMap<Option<SpanId>, Vec<PathStep>> = BTreeMap::new();
+    for s in trace.spans() {
+        if let SpanKind::JobRun {
+            seq,
+            job,
+            recompute: true,
+            ..
+        } = s.kind
+        {
+            let root = s.cause.map(root_of);
+            groups.entry(root).or_default().push(PathStep {
+                seq,
+                job,
+                dur_us: s.duration_us(),
+            });
+        }
+    }
+    groups
+        .into_iter()
+        .map(|(cause, mut steps)| {
+            steps.sort_by_key(|s| s.seq);
+            CriticalPath {
+                cause,
+                total_us: steps.iter().map(|s| s.dur_us).sum(),
+                steps,
+            }
+        })
+        .max_by_key(|p| (p.total_us, p.steps.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Phase;
+
+    fn job_run(id: u64, seq: u64, recompute: bool, cause: Option<u64>, dur: u64) -> Span {
+        Span {
+            id: SpanId(id),
+            parent: None,
+            cause: cause.map(SpanId),
+            node: None,
+            start_us: 0,
+            end_us: dur,
+            kind: SpanKind::JobRun {
+                seq,
+                job: JobId(seq as u32),
+                recompute,
+                live_nodes: 4,
+                map_slots: 1,
+                reduce_slots: 1,
+                ok: true,
+            },
+        }
+    }
+
+    fn wave(id: u64, parent: u64, tasks: u32, capacity: u32) -> Span {
+        Span {
+            id: SpanId(id),
+            parent: Some(SpanId(parent)),
+            cause: None,
+            node: None,
+            start_us: 0,
+            end_us: 1,
+            kind: SpanKind::Wave {
+                phase: Phase::Map,
+                index: 0,
+                tasks,
+                capacity,
+            },
+        }
+    }
+
+    #[test]
+    fn occupancy_gap_between_full_and_recompute_runs() {
+        let t = Trace {
+            spans: vec![
+                job_run(1, 1, false, None, 10),
+                wave(2, 1, 4, 4),
+                wave(3, 1, 4, 4),
+                job_run(4, 2, true, None, 10),
+                wave(5, 4, 1, 4),
+            ],
+        };
+        let occ = slot_occupancy(&t);
+        assert_eq!(occ.len(), 2);
+        assert!((occ[0].avg_occupancy() - 1.0).abs() < 1e-9);
+        assert!((occ[1].avg_occupancy() - 0.25).abs() < 1e-9);
+        assert!(occ[1].recompute);
+    }
+
+    #[test]
+    fn hotspot_attributes_reads_and_window_filters() {
+        let mk_task = |id: u64, parent: u64, src: u32, bytes: u64| Span {
+            id: SpanId(id),
+            parent: Some(SpanId(parent)),
+            cause: None,
+            node: Some(NodeId(0)),
+            start_us: 0,
+            end_us: 1,
+            kind: SpanKind::Task {
+                id: rcmp_model::MapTaskId::new(JobId(1), id as u32).into(),
+                bytes_in: bytes,
+                bytes_out: 0,
+                input_source: Some(NodeId(src)),
+                ok: true,
+            },
+        };
+        let t = Trace {
+            spans: vec![
+                job_run(1, 1, false, None, 10),
+                mk_task(2, 1, 0, 100),
+                job_run(3, 2, true, None, 10),
+                mk_task(4, 3, 2, 500),
+                mk_task(5, 3, 1, 100),
+                Span {
+                    id: SpanId(6),
+                    parent: Some(SpanId(3)),
+                    cause: None,
+                    node: None,
+                    start_us: 0,
+                    end_us: 0,
+                    kind: SpanKind::ShuffleFetch {
+                        source: NodeId(2),
+                        bytes: 50,
+                    },
+                },
+            ],
+        };
+        let report = hotspot_report(&t, 2, 2);
+        assert_eq!(report.top(), Some(NodeId(2)));
+        let top = &report.loads[0];
+        assert_eq!((top.map_reads, top.map_bytes), (1, 500));
+        assert_eq!((top.shuffle_fetches, top.shuffle_bytes), (1, 50));
+        // Run 1 was outside the window.
+        assert!(report.loads.iter().all(|l| l.node != NodeId(0)));
+        assert!(report.gini > 0.0);
+        assert!(report.render().contains("gini"));
+    }
+
+    #[test]
+    fn gini_extremes() {
+        assert!(gini_index(&[]).abs() < 1e-9);
+        assert!(gini_index(&[5, 5, 5, 5]).abs() < 1e-9);
+        // All mass on one of many nodes approaches (n-1)/n.
+        let g = gini_index(&[100, 0, 0, 0]);
+        assert!((g - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critical_path_picks_longest_cascade() {
+        let t = Trace {
+            spans: vec![
+                job_run(1, 1, false, None, 100),
+                job_run(2, 5, true, Some(10), 30),
+                job_run(3, 6, true, Some(10), 40),
+                job_run(4, 7, true, Some(11), 5),
+            ],
+        };
+        let p = recomputation_critical_path(&t).unwrap();
+        assert_eq!(p.total_us, 70);
+        assert_eq!(p.steps.len(), 2);
+        assert_eq!(p.steps[0].seq, 5);
+        assert!(p.render().contains("2 step(s)"));
+    }
+
+    #[test]
+    fn critical_path_none_without_recomputes() {
+        let t = Trace {
+            spans: vec![job_run(1, 1, false, None, 100)],
+        };
+        assert!(recomputation_critical_path(&t).is_none());
+    }
+}

@@ -1,0 +1,305 @@
+//! A small metrics registry: counters, gauges and fixed-bucket
+//! histograms.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc`s over
+//! atomics — created once (typically when a component is constructed)
+//! and updated lock-free from hot paths like the wave executor and the
+//! shuffle. The registry itself is only locked on registration and
+//! snapshot.
+
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotonically increasing counter.
+#[derive(Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous signed value (e.g. busy slots on a node).
+#[derive(Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `d` (may be negative).
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Fixed-bucket histogram: `bounds[i]` is the inclusive upper bound of
+/// bucket `i`; one implicit overflow bucket catches the rest.
+#[derive(Clone)]
+pub struct Histogram {
+    bounds: Arc<Vec<u64>>,
+    counts: Arc<Vec<AtomicU64>>,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Self {
+        let mut b = bounds.to_vec();
+        b.sort_unstable();
+        b.dedup();
+        let counts = (0..=b.len()).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            bounds: Arc::new(b),
+            counts: Arc::new(counts),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Bucket upper bounds (the final overflow bucket is implicit).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts, overflow bucket last.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// Shared registry of named metrics.
+///
+/// `counter`/`gauge`/`histogram` are get-or-create: the first
+/// registration under a name wins; asking for an existing name with a
+/// different type returns a fresh *detached* handle (functional but not
+/// part of snapshots), so hot paths never panic over naming collisions.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+/// Snapshot value of one metric.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub enum SnapshotValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram: bucket upper bounds, per-bucket counts (overflow
+    /// last), and the total observation count.
+    Histogram {
+        /// Inclusive bucket upper bounds.
+        bounds: Vec<u64>,
+        /// Per-bucket counts, overflow bucket last.
+        counts: Vec<u64>,
+        /// Total observations.
+        total: u64,
+    },
+}
+
+/// A point-in-time, name-ordered view of every registered metric.
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` pairs in ascending name order.
+    pub entries: Vec<(String, SnapshotValue)>,
+}
+
+impl MetricsSnapshot {
+    /// Looks a metric up by name.
+    pub fn get(&self, name: &str) -> Option<&SnapshotValue> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Convenience: the value of a counter, or `None` when absent or of
+    /// another type.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            SnapshotValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Deterministic text rendering. Histograms render their total
+    /// observation count only — bucket spreads depend on wall-clock
+    /// timing, and this output is used in byte-identical example runs.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.entries {
+            match v {
+                SnapshotValue::Counter(c) => out.push_str(&format!("{name} = {c}\n")),
+                SnapshotValue::Gauge(g) => out.push_str(&format!("{name} = {g}\n")),
+                SnapshotValue::Histogram { total, .. } => {
+                    out.push_str(&format!("{name} = {total} observations\n"))
+                }
+            }
+        }
+        out
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Gets or creates a counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock();
+        match inner
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::default()))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => Counter::default(),
+        }
+    }
+
+    /// Gets or creates a gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock();
+        match inner
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::default()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => Gauge::default(),
+        }
+    }
+
+    /// Gets or creates a fixed-bucket histogram. `bounds` only applies
+    /// on first registration.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        let mut inner = self.inner.lock();
+        match inner
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new(bounds)))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => Histogram::new(bounds),
+        }
+    }
+
+    /// Point-in-time view of every registered metric, name-ordered.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock();
+        MetricsSnapshot {
+            entries: inner
+                .iter()
+                .map(|(name, m)| {
+                    let v = match m {
+                        Metric::Counter(c) => SnapshotValue::Counter(c.get()),
+                        Metric::Gauge(g) => SnapshotValue::Gauge(g.get()),
+                        Metric::Histogram(h) => SnapshotValue::Histogram {
+                            bounds: h.bounds().to_vec(),
+                            counts: h.bucket_counts(),
+                            total: h.count(),
+                        },
+                    };
+                    (name.clone(), v)
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_share_state_across_handles() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("c");
+        let b = reg.counter("c");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.snapshot().counter("c"), Some(3));
+
+        let g = reg.gauge("g");
+        g.set(5);
+        g.add(-2);
+        assert_eq!(reg.snapshot().get("g"), Some(&SnapshotValue::Gauge(3)));
+    }
+
+    #[test]
+    fn histogram_buckets_observations() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("h", &[10, 100]);
+        h.observe(5);
+        h.observe(10);
+        h.observe(50);
+        h.observe(1000);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.bucket_counts(), vec![2, 1, 1]);
+        match reg.snapshot().get("h").unwrap() {
+            SnapshotValue::Histogram { total, counts, .. } => {
+                assert_eq!(*total, 4);
+                assert_eq!(counts, &vec![2, 1, 1]);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn type_collision_returns_detached_handle() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("x");
+        c.inc();
+        let g = reg.gauge("x"); // wrong type: detached
+        g.set(99);
+        assert_eq!(reg.snapshot().counter("x"), Some(1));
+    }
+
+    #[test]
+    fn render_is_sorted_and_total_only_for_histograms() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b.count").add(2);
+        reg.histogram("a.lat", &[1]).observe(7);
+        let text = reg.snapshot().render();
+        assert_eq!(text, "a.lat = 1 observations\nb.count = 2\n");
+    }
+}

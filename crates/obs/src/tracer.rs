@@ -1,0 +1,258 @@
+//! The span recorder.
+//!
+//! One [`Tracer`] lives on the cluster (engine) or simulation and is
+//! shared by every thread that executes work. Recording is
+//! contention-free in the common case: each thread is assigned one of a
+//! fixed set of shards on first use and appends to it behind its own
+//! lock, so task executor threads never contend with each other or with
+//! the driver. [`Tracer::snapshot`] merges the shards into a single
+//! time-ordered [`Trace`].
+//!
+//! Lineage between failure and recovery flows through the **cause
+//! register**: when a loss is recorded the tracer remembers its span id
+//! (`mark_cause`), and when the middleware later plans recovery or
+//! submits a recomputation run it reads the register (`current_cause`)
+//! to link the new span to the loss that provoked it — without any
+//! plumbing through the `JobTracker` / `ChainDriver` call signatures.
+
+use crate::span::{Span, SpanId, SpanKind, Trace};
+use parking_lot::Mutex;
+use rcmp_model::NodeId;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Number of independent recording shards. Threads are assigned
+/// round-robin; more threads than shards only means occasional sharing.
+const SHARDS: usize = 16;
+
+thread_local! {
+    /// This thread's shard index, assigned on first record.
+    static MY_SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// Global round-robin counter for shard assignment (shared across
+/// tracers; only fairness matters, not identity).
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+/// A started-but-not-finished span: holds the id and start timestamp
+/// until [`Tracer::close`] supplies the kind and links.
+#[derive(Clone, Copy, Debug)]
+pub struct OpenSpan {
+    /// The id the finished span will carry.
+    pub id: SpanId,
+    /// Start timestamp, microseconds since the tracer epoch.
+    pub start_us: u64,
+}
+
+/// Shared, thread-safe span recorder.
+pub struct Tracer {
+    epoch: Instant,
+    next_id: AtomicU64,
+    /// Lineage register: id of the most recent loss-like span, 0 = none.
+    cause: AtomicU64,
+    shards: Vec<Mutex<Vec<Span>>>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer {
+    /// Creates an empty tracer; its epoch is the creation instant.
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+            next_id: AtomicU64::new(1),
+            cause: AtomicU64::new(0),
+            shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    /// Microseconds since the tracer epoch.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Starts a span: allocates its id and records the start time.
+    pub fn open(&self) -> OpenSpan {
+        OpenSpan {
+            id: self.alloc_id(),
+            start_us: self.now_us(),
+        }
+    }
+
+    /// Finishes a span opened with [`Tracer::open`].
+    pub fn close(
+        &self,
+        open: OpenSpan,
+        kind: SpanKind,
+        parent: Option<SpanId>,
+        cause: Option<SpanId>,
+        node: Option<NodeId>,
+    ) {
+        let end_us = self.now_us();
+        self.push(Span {
+            id: open.id,
+            parent,
+            cause,
+            node,
+            start_us: open.start_us,
+            end_us,
+            kind,
+        });
+    }
+
+    /// Records an instantaneous span at the current time.
+    pub fn instant(
+        &self,
+        kind: SpanKind,
+        parent: Option<SpanId>,
+        cause: Option<SpanId>,
+        node: Option<NodeId>,
+    ) -> SpanId {
+        let now = self.now_us();
+        self.record(kind, parent, cause, node, now, now)
+    }
+
+    /// Records a span with explicit timestamps (used for retroactive
+    /// spans like per-source shuffle fetches, and by the simulator
+    /// where time is virtual).
+    pub fn record(
+        &self,
+        kind: SpanKind,
+        parent: Option<SpanId>,
+        cause: Option<SpanId>,
+        node: Option<NodeId>,
+        start_us: u64,
+        end_us: u64,
+    ) -> SpanId {
+        let id = self.alloc_id();
+        self.push(Span {
+            id,
+            parent,
+            cause,
+            node,
+            start_us,
+            end_us,
+            kind,
+        });
+        id
+    }
+
+    /// Sets the lineage register to `id`: subsequent recovery plans and
+    /// recomputation runs will link to it via [`Tracer::current_cause`].
+    pub fn mark_cause(&self, id: SpanId) {
+        self.cause.store(id.0, Ordering::SeqCst);
+    }
+
+    /// The most recently marked cause span, if any.
+    pub fn current_cause(&self) -> Option<SpanId> {
+        match self.cause.load(Ordering::SeqCst) {
+            0 => None,
+            id => Some(SpanId(id)),
+        }
+    }
+
+    /// Total spans recorded so far.
+    pub fn span_count(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Merges all shards into a single trace ordered by
+    /// `(start_us, id)`. Non-destructive: recording can continue and a
+    /// later snapshot will include everything again.
+    pub fn snapshot(&self) -> Trace {
+        let mut spans: Vec<Span> = Vec::with_capacity(self.span_count());
+        for shard in &self.shards {
+            spans.extend(shard.lock().iter().cloned());
+        }
+        spans.sort_by_key(|s| (s.start_us, s.id));
+        Trace { spans }
+    }
+
+    fn alloc_id(&self) -> SpanId {
+        SpanId(self.next_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn push(&self, span: Span) {
+        let idx = MY_SHARD.with(|c| {
+            let mut idx = c.get();
+            if idx == usize::MAX {
+                idx = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+                c.set(idx);
+            }
+            idx
+        });
+        self.shards[idx].lock().push(span);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn ev(label: &str) -> SpanKind {
+        SpanKind::Event {
+            seq: 0,
+            label: label.to_string(),
+        }
+    }
+
+    #[test]
+    fn open_close_produces_ordered_trace() {
+        let t = Tracer::new();
+        let a = t.open();
+        let inner = t.instant(ev("inner"), Some(a.id), None, None);
+        t.close(a, ev("outer"), None, None, None);
+        let trace = t.snapshot();
+        assert_eq!(trace.len(), 2);
+        assert!(trace.spans[0].start_us <= trace.spans[1].start_us);
+        assert_eq!(trace.get(inner).unwrap().parent, Some(a.id));
+    }
+
+    #[test]
+    fn cause_register_round_trips() {
+        let t = Tracer::new();
+        assert_eq!(t.current_cause(), None);
+        let id = t.instant(ev("loss"), None, None, None);
+        t.mark_cause(id);
+        assert_eq!(t.current_cause(), Some(id));
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let t = Arc::new(Tracer::new());
+        let threads = 8;
+        let per = 200;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let t = t.clone();
+                s.spawn(move || {
+                    for i in 0..per {
+                        t.instant(ev(&format!("e{i}")), None, None, None);
+                    }
+                });
+            }
+        });
+        let trace = t.snapshot();
+        assert_eq!(trace.len(), threads * per);
+        // Ids are unique.
+        let mut ids: Vec<u64> = trace.spans.iter().map(|s| s.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), threads * per);
+    }
+
+    #[test]
+    fn snapshot_is_non_destructive() {
+        let t = Tracer::new();
+        t.instant(ev("a"), None, None, None);
+        assert_eq!(t.snapshot().len(), 1);
+        t.instant(ev("b"), None, None, None);
+        assert_eq!(t.snapshot().len(), 2);
+    }
+}

@@ -32,12 +32,14 @@ pub mod report;
 pub mod sched;
 pub mod speculate;
 pub mod state;
+pub mod trace;
 pub mod workload;
 
 pub use chainsim::{simulate_chain, ChainSimConfig, FailureAt};
 pub use hw::HwProfile;
 pub use jobsim::JobSim;
 pub use report::{SimChainReport, SimJobReport};
+pub use trace::chain_trace;
 pub use speculate::{SpeculationCfg, SpeculationStats};
 pub use state::SimState;
 pub use workload::WorkloadCfg;

@@ -1,0 +1,432 @@
+//! Converts a [`SimChainReport`] into the observability span schema.
+//!
+//! The simulator predates the tracer and keeps its own timeline
+//! ([`SimEvent`]s in seconds); this module lowers that timeline into the
+//! same [`Trace`] the real engine produces, so the analyzers and
+//! exporters in `rcmp-obs` (slot occupancy, critical path, Chrome trace
+//! export) work on simulated chains at paper scale too.
+//!
+//! Mapping notes:
+//!
+//! * Simulated seconds become microseconds (the span clock unit).
+//! * A run's `JobRun` span ends at its `JobCompleted` timestamp and
+//!   starts `duration` earlier; runs without a completion event (none
+//!   in practice) start at 0.
+//! * Per-task durations are emitted as `Task` spans starting at the
+//!   phase start — the simulator does not retain per-wave placement, so
+//!   `Wave` spans use an even split of tasks over the recorded wave
+//!   count. Wave capacity is the chain's fullest wave of that phase
+//!   (full runs fill the cluster, so this estimates the cluster's slot
+//!   capacity); recomputation runs then show Fig. 4's under-utilization.
+//! * `FailureInjected` becomes a `Fault` instant; `RecoveryPlanned`
+//!   becomes a `RecoveryPlan` span caused by the latest fault (the sim
+//!   event does not name the recovery target, so the plan's `target` is
+//!   `JobId(0)`); each recompute `JobRun` is caused by the latest plan
+//!   (or fault) at its start time — the same causal chain the engine
+//!   records live.
+
+use crate::report::{SimChainReport, SimEvent, SimJobReport};
+use rcmp_model::{JobId, NodeId, TaskId};
+use rcmp_obs::{FaultKind, Phase, Span, SpanId, SpanKind, Trace};
+
+/// Seconds → span microseconds.
+fn us(seconds: f64) -> u64 {
+    (seconds * 1e6).round().max(0.0) as u64
+}
+
+struct Builder {
+    spans: Vec<Span>,
+    next: u64,
+}
+
+impl Builder {
+    fn new() -> Self {
+        Self {
+            spans: Vec::new(),
+            next: 1,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push(
+        &mut self,
+        kind: SpanKind,
+        parent: Option<SpanId>,
+        cause: Option<SpanId>,
+        node: Option<NodeId>,
+        start_us: u64,
+        end_us: u64,
+    ) -> SpanId {
+        let id = SpanId(self.next);
+        self.next += 1;
+        self.spans.push(Span {
+            id,
+            parent,
+            cause,
+            node,
+            start_us,
+            end_us,
+            kind,
+        });
+        id
+    }
+}
+
+/// Tasks per wave under an even split.
+fn per_wave(n: usize, waves: u32) -> usize {
+    if waves == 0 {
+        0
+    } else {
+        n.div_ceil(waves as usize)
+    }
+}
+
+/// Emits `Wave` spans for one phase: `n` tasks spread evenly over
+/// `waves` waves across the run's phase window, with `capacity` slots
+/// per wave (the chain-wide estimate).
+#[allow(clippy::too_many_arguments)]
+fn emit_waves(
+    b: &mut Builder,
+    parent: SpanId,
+    phase: Phase,
+    n: usize,
+    waves: u32,
+    capacity: u32,
+    start_us: u64,
+    end_us: u64,
+) {
+    if waves == 0 || n == 0 {
+        return;
+    }
+    let per_wave = per_wave(n, waves);
+    let width = (end_us.saturating_sub(start_us)) / waves as u64;
+    let mut remaining = n;
+    for w in 0..waves {
+        let tasks = remaining.min(per_wave);
+        remaining -= tasks;
+        let ws = start_us + width * w as u64;
+        let we = if w + 1 == waves { end_us } else { ws + width };
+        b.push(
+            SpanKind::Wave {
+                phase,
+                index: w,
+                tasks: tasks as u32,
+                capacity: capacity.max(tasks as u32),
+            },
+            Some(parent),
+            None,
+            None,
+            ws,
+            we,
+        );
+    }
+}
+
+fn emit_run(
+    b: &mut Builder,
+    run: &SimJobReport,
+    end_at: Option<f64>,
+    cause: Option<SpanId>,
+    caps: (u32, u32),
+) {
+    let dur_us = us(run.duration);
+    let (start, end) = match end_at {
+        Some(at) => (us(at).saturating_sub(dur_us), us(at)),
+        None => (0, dur_us),
+    };
+    let job = JobId(run.job);
+    let job_span = b.push(
+        SpanKind::JobRun {
+            seq: run.seq,
+            job,
+            recompute: run.recompute,
+            live_nodes: 0,
+            map_slots: 0,
+            reduce_slots: 0,
+            ok: true,
+        },
+        None,
+        cause,
+        None,
+        start,
+        end,
+    );
+    // Map phase occupies the window up to the longest mapper; reducers
+    // start after it.
+    let map_end = start
+        + run
+            .mapper_durations
+            .iter()
+            .copied()
+            .fold(0u64, |m, d| m.max(us(d)));
+    emit_waves(
+        b,
+        job_span,
+        Phase::Map,
+        run.mapper_durations.len(),
+        run.map_waves,
+        caps.0,
+        start,
+        map_end.min(end),
+    );
+    emit_waves(
+        b,
+        job_span,
+        Phase::Reduce,
+        run.reducer_durations.len(),
+        run.reduce_waves,
+        caps.1,
+        map_end.min(end),
+        end,
+    );
+    for (i, d) in run.mapper_durations.iter().enumerate() {
+        b.push(
+            SpanKind::Task {
+                id: TaskId::Map(rcmp_model::MapTaskId::new(job, i as u32)),
+                bytes_in: 0,
+                bytes_out: 0,
+                input_source: None,
+                ok: true,
+            },
+            Some(job_span),
+            None,
+            None,
+            start,
+            (start + us(*d)).min(end),
+        );
+    }
+    for (i, d) in run.reducer_durations.iter().enumerate() {
+        let rs = map_end.min(end);
+        b.push(
+            SpanKind::Task {
+                id: TaskId::Reduce(rcmp_model::ReduceTaskId::whole(
+                    job,
+                    rcmp_model::PartitionId(i as u32),
+                )),
+                bytes_in: 0,
+                bytes_out: 0,
+                input_source: None,
+                ok: true,
+            },
+            Some(job_span),
+            None,
+            None,
+            rs,
+            (rs + us(*d)).min(end),
+        );
+    }
+}
+
+/// Lowers a simulated chain into the engine's span schema.
+pub fn chain_trace(report: &SimChainReport) -> Trace {
+    let mut b = Builder::new();
+
+    // Slot-capacity estimate per phase: the chain's fullest wave. Full
+    // runs fill the cluster, so this recovers the slot count without the
+    // report having to carry the workload config.
+    let caps = report.runs.iter().fold((0u32, 0u32), |acc, r| {
+        (
+            acc.0
+                .max(per_wave(r.mapper_durations.len(), r.map_waves) as u32),
+            acc.1
+                .max(per_wave(r.reducer_durations.len(), r.reduce_waves) as u32),
+        )
+    });
+
+    // Timeline events first: faults and plans carry the causal chain.
+    // `causes` is the chronological list of candidate cause spans.
+    let mut completed_at: Vec<(u64, f64)> = Vec::new();
+    let mut causes: Vec<(u64, SpanId)> = Vec::new();
+    let mut last_at = 0.0f64;
+    let mut last_fault: Option<SpanId> = None;
+    for e in &report.events {
+        match e {
+            SimEvent::JobCompleted { seq, at, .. } => {
+                completed_at.push((*seq, *at));
+                last_at = *at;
+            }
+            SimEvent::FailureInjected { at, node } => {
+                let id = b.push(
+                    SpanKind::Fault {
+                        seq: 0,
+                        kind: FaultKind::NodeCrash,
+                        at: "Simulated".to_string(),
+                    },
+                    None,
+                    None,
+                    Some(NodeId(*node)),
+                    us(*at),
+                    us(*at),
+                );
+                last_fault = Some(id);
+                causes.push((us(*at), id));
+                last_at = *at;
+            }
+            SimEvent::FailureDetected { at, node } => {
+                b.push(
+                    SpanKind::Event {
+                        seq: 0,
+                        label: format!("failure_detected node {node}"),
+                    },
+                    None,
+                    None,
+                    Some(NodeId(*node)),
+                    us(*at),
+                    us(*at),
+                );
+                last_at = *at;
+            }
+            SimEvent::RecoveryPlanned { steps, partitions } => {
+                let id = b.push(
+                    SpanKind::RecoveryPlan {
+                        target: JobId(0),
+                        steps: *steps as u32,
+                        partitions: *partitions as u32,
+                    },
+                    None,
+                    last_fault,
+                    None,
+                    us(last_at),
+                    us(last_at),
+                );
+                causes.push((us(last_at), id));
+            }
+            SimEvent::ChainRestarted { at } => {
+                b.push(
+                    SpanKind::Event {
+                        seq: 0,
+                        label: "chain_restarted".to_string(),
+                    },
+                    None,
+                    None,
+                    None,
+                    us(*at),
+                    us(*at),
+                );
+                last_at = *at;
+            }
+            SimEvent::ReplicationPoint { job, at } => {
+                b.push(
+                    SpanKind::Event {
+                        seq: 0,
+                        label: format!("replication_point job {job}"),
+                    },
+                    None,
+                    None,
+                    None,
+                    us(*at),
+                    us(*at),
+                );
+                last_at = *at;
+            }
+        }
+    }
+
+    for run in &report.runs {
+        let end_at = completed_at
+            .iter()
+            .find(|(s, _)| *s == run.seq)
+            .map(|(_, at)| *at);
+        let cause = if run.recompute {
+            let start = end_at.map(|at| us(at).saturating_sub(us(run.duration)));
+            match start {
+                // Latest cause at or before the run started (tolerance
+                // for rounding), else the earliest one.
+                Some(s) => causes
+                    .iter()
+                    .rev()
+                    .find(|(at, _)| *at <= s + 1)
+                    .or(causes.first())
+                    .map(|(_, id)| *id),
+                None => causes.last().map(|(_, id)| *id),
+            }
+        } else {
+            None
+        };
+        emit_run(&mut b, run, end_at, cause, caps);
+    }
+
+    b.spans.sort_by_key(|s| (s.start_us, s.id.0));
+    Trace { spans: b.spans }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::SimIo;
+
+    fn run(seq: u64, job: u32, dur: f64, recompute: bool) -> SimJobReport {
+        SimJobReport {
+            job,
+            seq,
+            duration: dur,
+            map_waves: 2,
+            reduce_waves: 1,
+            mappers_run: 3,
+            mappers_reused: 0,
+            reduce_tasks_run: 2,
+            mapper_durations: vec![1.0, 1.5, 0.5],
+            reducer_durations: vec![2.0, 2.5],
+            io: SimIo::default(),
+            recompute,
+            speculation: Default::default(),
+        }
+    }
+
+    #[test]
+    fn lowers_runs_waves_and_tasks() {
+        let mut rep = SimChainReport::default();
+        rep.runs.push(run(1, 1, 10.0, false));
+        rep.events.push(SimEvent::JobCompleted {
+            seq: 1,
+            job: 1,
+            at: 10.0,
+        });
+        let tr = chain_trace(&rep);
+        assert_eq!(tr.of_kind("JobRun").count(), 1);
+        assert_eq!(tr.of_kind("Wave").count(), 3, "2 map + 1 reduce");
+        assert_eq!(tr.of_kind("Task").count(), 5, "3 mappers + 2 reducers");
+        let job = tr.of_kind("JobRun").next().unwrap();
+        assert_eq!(job.start_us, 0);
+        assert_eq!(job.end_us, 10_000_000);
+        // Waves and tasks hang off the run.
+        assert!(tr
+            .spans()
+            .iter()
+            .filter(|s| s.id != job.id)
+            .all(|s| s.parent == Some(job.id)));
+    }
+
+    #[test]
+    fn recompute_run_is_caused_by_the_plan() {
+        let mut rep = SimChainReport::default();
+        rep.runs.push(run(1, 1, 10.0, false));
+        rep.runs.push(run(2, 1, 5.0, true));
+        rep.events.push(SimEvent::JobCompleted {
+            seq: 1,
+            job: 1,
+            at: 10.0,
+        });
+        rep.events.push(SimEvent::FailureInjected { at: 11.0, node: 2 });
+        rep.events.push(SimEvent::RecoveryPlanned {
+            steps: 1,
+            partitions: 4,
+        });
+        rep.events.push(SimEvent::JobCompleted {
+            seq: 2,
+            job: 1,
+            at: 17.0,
+        });
+        let tr = chain_trace(&rep);
+        let plan = tr.of_kind("RecoveryPlan").next().expect("plan span");
+        let fault = tr.of_kind("Fault").next().expect("fault span");
+        assert_eq!(plan.cause, Some(fault.id));
+        let recompute = tr
+            .spans()
+            .iter()
+            .find(|s| matches!(s.kind, SpanKind::JobRun { recompute: true, .. }))
+            .expect("recompute run span");
+        assert_eq!(recompute.cause, Some(plan.id));
+        assert_eq!(recompute.start_us, 12_000_000);
+    }
+}

@@ -14,6 +14,8 @@
 //! * [`dfs`] — the HDFS-like replicated, partitioned block store;
 //! * [`engine`] — the real multi-threaded MapReduce engine;
 //! * [`core`] — RCMP itself: planner, strategies, driver;
+//! * [`obs`] — causal span tracing, metrics, and trace analyzers
+//!   (slot occupancy, hot-spot skew, recomputation critical path);
 //! * [`sim`] — the discrete-event cluster simulator;
 //! * [`workloads`] — the paper's 7-job I/O-intensive chain;
 //! * [`traces`] — failure-trace synthesis and CDF analysis (Fig. 2).
@@ -38,6 +40,7 @@ pub use rcmp_core as core;
 pub use rcmp_dfs as dfs;
 pub use rcmp_engine as engine;
 pub use rcmp_model as model;
+pub use rcmp_obs as obs;
 pub use rcmp_sim as sim;
 pub use rcmp_traces as traces;
 pub use rcmp_workloads as workloads;

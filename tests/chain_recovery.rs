@@ -86,6 +86,11 @@ fn rcmp_cascading_recovery_preserves_output() {
 
     assert!(outcome.jobs_started > 3, "recomputation runs were needed");
     assert!(outcome.events.recompute_runs() > 0);
+    assert_eq!(
+        outcome.events.last_seq(),
+        Some(outcome.jobs_started),
+        "the event log numbers every run the driver started"
+    );
     assert_eq!(outcome.restarts, 0, "RCMP never restarts the chain");
     assert_eq!(final_digest(&cl, &chain), reference);
 }
@@ -109,9 +114,8 @@ fn recomputation_runs_are_minimal() {
     let full_reduce = 5; // num_reducers per job
     let mut saw_partial = false;
     for (i, run) in outcome.runs.iter().enumerate() {
-        let recompute = matches!(
-            outcome.events.iter().find(|e| matches!(e, ChainEvent::JobStarted { seq, .. } if *seq == run.seq)),
-            Some(ChainEvent::JobStarted { recompute: true, .. })
+        let recompute = outcome.events.iter().any(
+            |e| matches!(e, ChainEvent::JobStarted { seq, recompute: true, .. } if *seq == run.seq),
         );
         if recompute {
             assert!(
@@ -151,6 +155,10 @@ fn rcmp_survives_double_failure() {
         .run(&chain.jobs)
         .unwrap();
     assert_eq!(outcome.events.losses(), 2);
+    assert!(
+        outcome.events.recoveries().count() >= 2,
+        "each failure produced at least one recovery plan"
+    );
     assert_eq!(final_digest(&cl, &chain), reference);
 }
 
@@ -361,19 +369,11 @@ fn resume_partial_restart_is_minimal_and_correct() {
         .iter()
         .any(|e| matches!(e, ChainEvent::JobCancelled { .. }));
     if cancelled {
-        let resume = outcome
+        let resumed = outcome
             .events
-            .iter()
-            .filter_map(|e| match e {
-                ChainEvent::JobStarted {
-                    recompute: true,
-                    job,
-                    seq,
-                } if *job == JobId(2) => Some(*seq),
-                _ => None,
-            })
-            .last();
-        assert!(resume.is_some(), "job 2 retried as a resume, not Full");
+            .events_for_job(JobId(2))
+            .any(|e| matches!(e, ChainEvent::JobStarted { recompute: true, .. }));
+        assert!(resumed, "job 2 retried as a resume, not Full");
     }
 }
 

@@ -250,6 +250,80 @@ fn permanent_shuffle_flake_exhausts_retry_budget() {
     );
 }
 
+/// Even a run that dies with a typed recovery error leaves a complete
+/// fault record in the trace: every injected fault has its span, with
+/// the right kind, because the tracer lives on the cluster and survives
+/// the error path.
+#[test]
+fn failed_run_traces_every_injected_fault() {
+    use rcmp::obs::{FaultKind, SpanKind};
+
+    let cl = Cluster::new(ClusterConfig {
+        nodes: 1,
+        slots: SlotConfig::ONE_ONE,
+        block_size: rcmp::model::ByteSize::kib(4),
+        failure_detection_secs: 30.0,
+        max_recovery_attempts: 100,
+        seed: 23,
+    });
+    let mut gen = DataGenConfig::test("input", 1, 4_000);
+    gen.replication = 1;
+    generate_input(cl.dfs(), &gen).unwrap();
+    let chain = ChainBuilder::new(1, 1).build();
+    let injector = Arc::new(ScriptedInjector::default().tolerate_unfired());
+    injector.add_fault(FaultTrigger {
+        seq: 1,
+        point: TriggerPoint::JobStart,
+        fault: Fault::ShuffleFlake {
+            node: NodeId(0),
+            times: u32::MAX,
+        },
+    });
+    injector.add_fault(FaultTrigger {
+        seq: 1,
+        point: TriggerPoint::JobStart,
+        fault: Fault::CorruptReplica { node: NodeId(0) },
+    });
+    let err = ChainDriver::new(&cl, Strategy::rcmp_no_split())
+        .with_injector(injector)
+        .run(&chain.jobs)
+        .unwrap_err();
+    // The flake alone exhausts retries; with the corruption also eating
+    // the only input replica the run can die either way — both are
+    // typed recovery errors, and both must leave the trace intact.
+    assert!(
+        matches!(
+            err,
+            Error::RecoveryExhausted { .. } | Error::DataLoss { .. }
+        ),
+        "expected a typed recovery error, got {err}"
+    );
+
+    let trace = cl.tracer().snapshot();
+    let mut fault_kinds: Vec<FaultKind> = trace
+        .spans()
+        .iter()
+        .filter_map(|s| match s.kind {
+            SpanKind::Fault { kind, .. } => Some(kind),
+            _ => None,
+        })
+        .collect();
+    fault_kinds.sort_by_key(|k| format!("{k:?}"));
+    assert_eq!(
+        fault_kinds,
+        vec![FaultKind::CorruptReplica, FaultKind::ShuffleFlake],
+        "exactly the two injected faults, each with its span"
+    );
+    // The failed run's JobRun span is closed with ok = false.
+    assert!(
+        trace.spans().iter().any(|s| matches!(
+            s.kind,
+            SpanKind::JobRun { ok: false, .. }
+        )),
+        "the exhausted run is traced as failed"
+    );
+}
+
 /// When every replica of an input partition dies and the strategy can
 /// only restart, the chain-restart budget surfaces `RecoveryExhausted`
 /// instead of restarting forever.

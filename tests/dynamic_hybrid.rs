@@ -59,6 +59,8 @@ fn low_failure_rate_places_no_points() {
         "rare failures: the cost model never pays for replication"
     );
     assert_eq!(outcome.jobs_started, 6);
+    assert_eq!(outcome.events.last_seq(), Some(6), "no extra runs logged");
+    assert_eq!(outcome.events.recoveries().count(), 0);
 }
 
 #[test]
@@ -110,6 +112,8 @@ fn dynamic_hybrid_recovers_correctly_under_failure() {
     assert!(!points.is_empty());
     let last_point_before_failure = points.iter().copied().filter(|&j| j < 5).max();
     if let Some(p) = last_point_before_failure {
+        // Neither the recomputation runs nor the recovery plans reach at
+        // or below the point — its output is replicated.
         for e in outcome.events.iter() {
             if let ChainEvent::JobStarted {
                 recompute: true,
@@ -123,6 +127,10 @@ fn dynamic_hybrid_recovers_correctly_under_failure() {
                 );
             }
         }
+        assert!(
+            outcome.events.recoveries().all(|(target, _, _)| target.raw() > p),
+            "recovery plan targeted a job at or below the point {p}"
+        );
     }
     let digest = digest_file(cl.dfs(), chain.final_output(), cl.live_nodes()[0])
         .unwrap()

@@ -1,0 +1,252 @@
+//! End-to-end acceptance tests for the unified tracing layer: a
+//! chaos-injected 7-job chain must produce a structurally valid Chrome
+//! trace, a hot-spot report whose top node is the node that recomputed
+//! the lost reducer outputs (Fig. 6), and a slot-occupancy profile
+//! showing recomputation runs strictly under-utilizing the cluster
+//! (Fig. 4).
+
+use rcmp::core::{ChainDriver, Strategy};
+use rcmp::engine::{Cluster, ScriptedInjector, TriggerPoint};
+use rcmp::model::{ByteSize, ClusterConfig, NodeId, SlotConfig, TaskId};
+use rcmp::obs::{
+    chrome_trace_value, hotspot_report, recomputation_critical_path, slot_occupancy, summary,
+    SpanId, SpanKind, Trace,
+};
+use rcmp::workloads::{generate_input, ChainBuilder, DataGenConfig};
+use serde::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const NODES: u32 = 5;
+const JOBS: u32 = 7;
+const KILL_SEQ: u64 = 4;
+const VICTIM: NodeId = NodeId(2);
+
+/// Runs the paper's 7-job chain with a node crash at the start of run
+/// 4, under RCMP without splitting, and snapshots the trace.
+fn chaos_chain_trace() -> Trace {
+    let cl = Cluster::new(ClusterConfig {
+        nodes: NODES,
+        slots: SlotConfig::ONE_ONE,
+        block_size: ByteSize::kib(4),
+        failure_detection_secs: 30.0,
+        max_recovery_attempts: 100,
+        seed: 7,
+    });
+    generate_input(cl.dfs(), &DataGenConfig::test("input", NODES, 12_000)).unwrap();
+    let chain = ChainBuilder::new(JOBS, NODES).build();
+    let injector = Arc::new(ScriptedInjector::single(
+        KILL_SEQ,
+        TriggerPoint::JobStart,
+        VICTIM,
+    ));
+    let outcome = ChainDriver::new(&cl, Strategy::rcmp_no_split())
+        .with_injector(injector)
+        .run(&chain.jobs)
+        .unwrap();
+    assert!(outcome.jobs_started > JOBS as u64, "failure forced reruns");
+    assert!(outcome.events.recompute_runs() > 0);
+    cl.tracer().snapshot()
+}
+
+fn obj(v: &Value) -> &[(String, Value)] {
+    match v {
+        Value::Object(fields) => fields,
+        other => panic!("expected object, got {other:?}"),
+    }
+}
+
+fn field<'a>(v: &'a Value, name: &str) -> Option<&'a Value> {
+    obj(v).iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+/// Seq of the run a span belongs to, via the parent chain.
+fn run_seq(index: &HashMap<SpanId, &rcmp::obs::Span>, span: &rcmp::obs::Span) -> Option<u64> {
+    let mut s = span;
+    loop {
+        if let SpanKind::JobRun { seq, .. } = s.kind {
+            return Some(seq);
+        }
+        s = index.get(&s.parent?)?;
+    }
+}
+
+#[test]
+fn chrome_export_is_structurally_valid() {
+    let trace = chaos_chain_trace();
+    let v = chrome_trace_value(&trace);
+    let events = field(&v, "traceEvents").expect("traceEvents key");
+    let Value::Array(events) = events else {
+        panic!("traceEvents must be an array");
+    };
+    assert!(events.len() >= trace.len(), "every span exported");
+    let mut complete_events = 0usize;
+    for e in events {
+        for key in ["name", "ph", "ts", "pid"] {
+            assert!(field(e, key).is_some(), "event missing {key}: {e:?}");
+        }
+        if field(e, "ph") == Some(&Value::String("X".to_string())) {
+            assert!(field(e, "dur").is_some(), "complete event without dur");
+            complete_events += 1;
+        }
+    }
+    assert!(complete_events > 0, "duration events present");
+    assert!(
+        field(&v, "displayTimeUnit").is_some(),
+        "viewer hint present"
+    );
+    // The trace is non-trivial: the summary lists the core span kinds.
+    let s = summary(&trace);
+    for kind in ["JobRun", "Wave", "Task", "ShuffleFetch", "Fault", "RecoveryPlan"] {
+        assert!(s.contains(kind), "summary missing {kind}:\n{s}");
+    }
+}
+
+#[test]
+fn hotspot_top_node_is_the_recompute_node() {
+    let trace = chaos_chain_trace();
+    let index: HashMap<SpanId, &rcmp::obs::Span> =
+        trace.spans().iter().map(|s| (s.id, s)).collect();
+
+    // The runs that recomputed lost outputs.
+    let recompute_seqs: Vec<u64> = trace
+        .spans()
+        .iter()
+        .filter_map(|s| match s.kind {
+            SpanKind::JobRun {
+                seq,
+                recompute: true,
+                ..
+            } => Some(seq),
+            _ => None,
+        })
+        .collect();
+    let lo = *recompute_seqs.iter().min().expect("recompute runs traced");
+
+    // Every recomputed reducer ran on the same node (Balance assignment
+    // concentrates a single lost partition onto the lowest-index live
+    // node) — the paper's hot-spot mechanism.
+    let recompute_reduce_nodes: Vec<NodeId> = trace
+        .spans()
+        .iter()
+        .filter(|s| {
+            matches!(
+                s.kind,
+                SpanKind::Task {
+                    id: TaskId::Reduce(_),
+                    ok: true,
+                    ..
+                }
+            ) && run_seq(&index, s).is_some_and(|seq| recompute_seqs.contains(&seq))
+        })
+        .filter_map(|s| s.node)
+        .collect();
+    assert!(!recompute_reduce_nodes.is_empty());
+    let hot = recompute_reduce_nodes[0];
+    assert!(
+        recompute_reduce_nodes.iter().all(|&n| n == hot),
+        "recomputed reducers concentrated on one node: {recompute_reduce_nodes:?}"
+    );
+    assert_ne!(hot, VICTIM, "recompute cannot run on the dead node");
+
+    // The cancelled job's rerun reads the recomputed outputs, so over
+    // the recovery window that node serves the most bytes.
+    let cancelled_job = trace
+        .spans()
+        .iter()
+        .find_map(|s| match s.kind {
+            SpanKind::JobRun {
+                seq, job, ok: false, ..
+            } if seq == KILL_SEQ => Some(job),
+            _ => None,
+        })
+        .expect("run 4 was cancelled");
+    let rerun_seq = trace
+        .spans()
+        .iter()
+        .filter_map(|s| match s.kind {
+            SpanKind::JobRun { seq, job, ok: true, .. }
+                if job == cancelled_job && seq > KILL_SEQ =>
+            {
+                Some(seq)
+            }
+            _ => None,
+        })
+        .min()
+        .expect("cancelled job reran");
+
+    let report = hotspot_report(&trace, lo, rerun_seq);
+    assert_eq!(
+        report.top(),
+        Some(hot),
+        "hot-spot top node over seq {lo}..={rerun_seq}:\n{}",
+        report.render()
+    );
+    assert!(report.gini > 0.0, "load is skewed, not uniform");
+}
+
+#[test]
+fn recompute_runs_underutilize_slots() {
+    let trace = chaos_chain_trace();
+    let occ = slot_occupancy(&trace);
+    let recomputes: Vec<_> = occ
+        .iter()
+        .filter(|r| r.recompute && !r.waves.is_empty())
+        .collect();
+    assert!(!recomputes.is_empty(), "recompute runs have waves");
+    for rec in recomputes {
+        let original = occ
+            .iter()
+            .find(|o| !o.recompute && o.job == rec.job && !o.waves.is_empty())
+            .expect("original full run of the recomputed job");
+        assert!(
+            rec.avg_occupancy() < original.avg_occupancy(),
+            "recompute of {} (seq {}, avg {:.2}) must under-utilize vs full run \
+             (seq {}, avg {:.2})",
+            rec.job,
+            rec.seq,
+            rec.avg_occupancy(),
+            original.seq,
+            original.avg_occupancy()
+        );
+    }
+}
+
+#[test]
+fn critical_path_covers_the_cascade() {
+    let trace = chaos_chain_trace();
+    let path = recomputation_critical_path(&trace).expect("cascade recorded");
+    assert!(path.cause.is_some(), "cascade causally linked to its loss");
+    let recompute_seqs: Vec<u64> = trace
+        .spans()
+        .iter()
+        .filter_map(|s| match s.kind {
+            SpanKind::JobRun {
+                seq,
+                recompute: true,
+                ..
+            } => Some(seq),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        path.steps.iter().map(|s| s.seq).collect::<Vec<_>>(),
+        recompute_seqs,
+        "one cascade: every recompute run lies on the critical path"
+    );
+    assert!(path.total_us > 0);
+    // The cause chain roots at the injected loss, which the fault span
+    // caused — walk it explicitly.
+    let index: HashMap<SpanId, &rcmp::obs::Span> =
+        trace.spans().iter().map(|s| (s.id, s)).collect();
+    let mut root = path.cause.unwrap();
+    while let Some(up) = index.get(&root).and_then(|s| s.cause) {
+        root = up;
+    }
+    let root_span = index[&root];
+    assert!(
+        matches!(root_span.kind, SpanKind::Fault { .. } | SpanKind::Loss { .. }),
+        "cascade roots at the injected fault/loss, got {:?}",
+        root_span.kind
+    );
+}
