@@ -32,7 +32,7 @@ fn ablation_split_ratio(c: &mut Criterion) {
     let wl = quick_wl();
     let js = JobSim::new(HwProfile::stic(), wl.clone());
     let mut base = SimState::new(&wl);
-    js.run_full(&mut base, 1, 1, true);
+    js.run_full(&mut base, 1, 1, true).unwrap();
     base.fail_node(wl.nodes - 1);
     let lost = base.files[&1].lost_partitions(&base);
     for split in [1u32, 2, 4, 8, 9] {
@@ -62,7 +62,7 @@ fn ablation_reuse(c: &mut Criterion) {
     let wl = quick_wl();
     let js = JobSim::new(HwProfile::stic(), wl.clone());
     let mut base = SimState::new(&wl);
-    js.run_full(&mut base, 1, 1, true);
+    js.run_full(&mut base, 1, 1, true).unwrap();
     base.fail_node(wl.nodes - 1);
     let lost = base.files[&1].lost_partitions(&base);
     for (name, reuse) in [("reuse", true), ("no_reuse", false)] {
@@ -122,18 +122,13 @@ fn ablation_detect_timeout(c: &mut Criterion) {
     for timeout in [10.0f64, 30.0, 90.0] {
         let mut hw = HwProfile::stic();
         hw.detect_timeout = timeout;
-        g.bench_with_input(
-            BenchmarkId::from_parameter(timeout as u64),
-            &hw,
-            |b, hw| {
-                b.iter(|| {
-                    let cfg =
-                        ChainSimConfig::new(hw.clone(), wl.clone(), Strategy::rcmp_split(8))
-                            .with_failures(vec![FailureAt::at_job(4, wl.nodes - 1)]);
-                    simulate_chain(std::hint::black_box(&cfg))
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(timeout as u64), &hw, |b, hw| {
+            b.iter(|| {
+                let cfg = ChainSimConfig::new(hw.clone(), wl.clone(), Strategy::rcmp_split(8))
+                    .with_failures(vec![FailureAt::at_job(4, wl.nodes - 1)]);
+                simulate_chain(std::hint::black_box(&cfg))
+            })
+        });
     }
     g.finish();
 }

@@ -3,8 +3,8 @@
 //! small end-to-end engine job.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use rcmp_core::{plan_recovery, JobGraph, SplitPolicy};
 use rcmp_core::strategy::HotspotMitigation;
+use rcmp_core::{plan_recovery, JobGraph, SplitPolicy};
 use rcmp_engine::{Cluster, JobRun, JobTracker, NoFailures};
 use rcmp_model::hash::hash_bytes;
 use rcmp_model::{
@@ -86,8 +86,7 @@ fn bench_engine_job(c: &mut Criterion) {
         b.iter_with_setup(
             || {
                 let cluster = Cluster::new(ClusterConfig::small_test(4));
-                generate_input(cluster.dfs(), &DataGenConfig::test("input", 4, 20_000))
-                    .unwrap();
+                generate_input(cluster.dfs(), &DataGenConfig::test("input", 4, 20_000)).unwrap();
                 cluster
             },
             |cluster| {

@@ -29,8 +29,8 @@ fn main() {
         .collect();
     if figs.is_empty() || figs.iter().any(|f| f == "all") {
         figs = [
-            "fig02", "fig08a", "fig08b", "fig08c", "fig09", "fig10", "fig11", "fig12",
-            "fig13", "fig14", "trace", "extras",
+            "fig02", "fig08a", "fig08b", "fig08c", "fig09", "fig10", "fig11", "fig12", "fig13",
+            "fig14", "trace", "extras",
         ]
         .iter()
         .map(|s| s.to_string())

@@ -56,7 +56,7 @@ pub fn locality_ablation(scale_down: u64) -> LocalityAblation {
                     js = js.noncollocated();
                 }
                 let mut st = SimState::new(&wl);
-                js.run_full(&mut st, 1, 1, true).duration
+                js.run_full(&mut st, 1, 1, true).unwrap().duration
             };
             let collocated = run(false);
             let noncollocated = run(true);
@@ -111,25 +111,32 @@ pub struct SpeculationReport {
 pub fn speculation_futility(scale_down: u64) -> Vec<SpeculationReport> {
     let mut wl = ablation_workload(scale_down);
     wl.jobs = 2;
-    let mk = || JobSim::new(HwProfile::stic(), wl.clone()).with_speculation(SpeculationCfg {
-        slow_factor: 1.3,
-    });
+    let mk = || {
+        JobSim::new(HwProfile::stic(), wl.clone())
+            .with_speculation(SpeculationCfg { slow_factor: 1.3 })
+    };
 
     // Scenario 1: hot-spot recompute over single-replicated data.
     let js = mk();
     let mut st = SimState::new(&wl);
-    js.run_full(&mut st, 1, 1, true);
-    js.run_full(&mut st, 2, 1, true);
+    js.run_full(&mut st, 1, 1, true).unwrap();
+    js.run_full(&mut st, 2, 1, true).unwrap();
     st.fail_node(wl.nodes - 1);
     let lost1 = st.files[&1].lost_partitions(&st);
     let lost2 = st.files[&2].lost_partitions(&st);
-    js.run_recompute(&mut st, 1, &RecomputeSpec::new(lost1.iter().copied(), 1), true);
+    js.run_recompute(
+        &mut st,
+        1,
+        &RecomputeSpec::new(lost1.iter().copied(), 1),
+        true,
+    )
+    .unwrap();
     // Re-run every mapper of job 2 so the wave mixes fast local reads
     // with the slow reads of the regenerated (single-replica) partition:
     // the relative stragglers the speculator looks for.
     let mut spec2 = RecomputeSpec::new(lost2.iter().copied(), 1);
     spec2.reuse_map_outputs = false;
-    let rec = js.run_recompute(&mut st, 2, &spec2, true);
+    let rec = js.run_recompute(&mut st, 2, &spec2, true).unwrap();
     let hot = SpeculationReport {
         scenario: "hot-spot recompute (1 replica)".to_string(),
         speculated: rec.speculation.speculated,
@@ -141,7 +148,7 @@ pub fn speculation_futility(scale_down: u64) -> Vec<SpeculationReport> {
     let js = mk();
     let mut st = SimState::new(&wl);
     st.fail_node(wl.nodes - 1);
-    let r = js.run_full(&mut st, 1, 1, true);
+    let r = js.run_full(&mut st, 1, 1, true).unwrap();
     let replicated = SpeculationReport {
         scenario: "replicated input, 1 node dead".to_string(),
         speculated: r.speculation.speculated,
@@ -231,7 +238,10 @@ mod tests {
     #[test]
     fn locality_penalty_grows_as_fabric_shrinks() {
         let a = locality_ablation(8);
-        assert!(a.points.first().unwrap().penalty < 1.3, "fast fabric: small penalty");
+        assert!(
+            a.points.first().unwrap().penalty < 1.3,
+            "fast fabric: small penalty"
+        );
         assert!(
             a.points.last().unwrap().penalty > a.points.first().unwrap().penalty,
             "penalty grows as the fabric shrinks"

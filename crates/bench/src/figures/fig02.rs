@@ -70,7 +70,10 @@ impl Fig02Result {
                 format!("{:.1}%", c.failure_day_fraction * 100.0),
             ]);
         }
-        format!("Fig. 2 — CDF of new failures per day\n{}", table::render(&rows))
+        format!(
+            "Fig. 2 — CDF of new failures per day\n{}",
+            table::render(&rows)
+        )
     }
 }
 
@@ -90,7 +93,12 @@ mod tests {
         // at 80%).
         for c in &r.clusters {
             let p0 = c.points.first().filter(|(v, _)| *v == 0).map(|(_, f)| *f);
-            assert!(p0.unwrap_or(0.0) > 0.8, "{}: {:?}", c.cluster, c.points.first());
+            assert!(
+                p0.unwrap_or(0.0) > 0.8,
+                "{}: {:?}",
+                c.cluster,
+                c.points.first()
+            );
         }
         assert!(r.render().contains("STIC"));
     }

@@ -127,10 +127,7 @@ pub fn run_with(case: FailCase, scenarios: &[Scenario]) -> Fig08Result {
         let mut out_cells = Vec::new();
         for s in 0..num_scen {
             let (scen, secs) = &cells[s];
-            let fastest = totals
-                .iter()
-                .map(|c| c[s].1)
-                .fold(f64::INFINITY, f64::min);
+            let fastest = totals.iter().map(|c| c[s].1).fold(f64::INFINITY, f64::min);
             out_cells.push((scen.clone(), *secs, secs / fastest));
         }
         rows.push(Fig08Row {

@@ -66,8 +66,8 @@ pub fn run_scaled(scale_down: u64) -> Fig09Result {
                     node: n - 2,
                 },
             ];
-            let cfg = ChainSimConfig::new(hw.clone(), wl.clone(), *strategy)
-                .with_failures(failures);
+            let cfg =
+                ChainSimConfig::new(hw.clone(), wl.clone(), *strategy).with_failures(failures);
             let rep = simulate_chain(&cfg);
             cells.push((name.clone(), rep.total_time, 0.0));
         }
@@ -128,12 +128,7 @@ mod tests {
         let r = run_scaled(8);
         for row in &r.rows {
             let s8 = row.cells.iter().find(|c| c.0 == "RCMP S8").unwrap().1;
-            let repl3 = row
-                .cells
-                .iter()
-                .find(|c| c.0 == "HADOOP REPL-3")
-                .unwrap()
-                .1;
+            let repl3 = row.cells.iter().find(|c| c.0 == "HADOOP REPL-3").unwrap().1;
             assert!(
                 s8 <= repl3 * 1.05,
                 "FAIL {:?}: RCMP S8 {} vs REPL-3 {}",

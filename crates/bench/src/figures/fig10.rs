@@ -172,9 +172,7 @@ mod tests {
         assert!(rcmp.iter().all(|&x| (x - 1.0).abs() < 1e-9));
         // Flat in chain length (paper: "RCMP's benefits are stable
         // regardless of the chain length").
-        let spread = repl3
-            .iter()
-            .fold(0.0f64, |a, &x| a.max(x))
+        let spread = repl3.iter().fold(0.0f64, |a, &x| a.max(x))
             - repl3.iter().fold(f64::INFINITY, |a, &x| a.min(x));
         assert!(spread < 0.25, "REPL-3 slowdown not flat: {repl3:?}");
         // Ordering.

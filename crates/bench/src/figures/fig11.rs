@@ -38,16 +38,18 @@ fn speedup(nodes: u32, split: u32, scale_down: u64) -> f64 {
     let hw = HwProfile::dco();
     let js = JobSim::new(hw, wl.clone());
     let mut state = SimState::new(&wl);
-    let initial = js.run_full(&mut state, 1, 1, true);
+    let initial = js.run_full(&mut state, 1, 1, true).unwrap();
     state.fail_node(nodes - 1);
     let lost = state.files[&1].lost_partitions(&state);
     assert!(!lost.is_empty(), "the dead node held reducer output");
-    let rec = js.run_recompute(
-        &mut state,
-        1,
-        &RecomputeSpec::new(lost.iter().copied(), split),
-        true,
-    );
+    let rec = js
+        .run_recompute(
+            &mut state,
+            1,
+            &RecomputeSpec::new(lost.iter().copied(), split),
+            true,
+        )
+        .unwrap();
     initial.duration / rec.duration
 }
 

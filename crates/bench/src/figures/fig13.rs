@@ -34,7 +34,7 @@ fn speedup(hw: &HwProfile, reducers: u32, scale_down: u64) -> f64 {
     let n = wl.nodes;
     let js = JobSim::new(hw.clone(), wl.clone());
     let mut state = SimState::new(&wl);
-    let initial = js.run_full(&mut state, 1, 1, true);
+    let initial = js.run_full(&mut state, 1, 1, true).unwrap();
     assert_eq!(initial.reduce_waves, reducers / n);
     // Recompute the failed node's reducers (reducers/N of them), all
     // mappers re-executed (no reuse — §V-D).
@@ -42,7 +42,7 @@ fn speedup(hw: &HwProfile, reducers: u32, scale_down: u64) -> f64 {
     let lost = state.files[&1].lost_partitions(&state);
     let mut spec = RecomputeSpec::new(lost.iter().copied(), 1);
     spec.reuse_map_outputs = false;
-    let rec = js.run_recompute(&mut state, 1, &spec, true);
+    let rec = js.run_recompute(&mut state, 1, &spec, true).unwrap();
     assert_eq!(rec.reduce_waves, 1, "recomputed reducers fit one wave");
     initial.duration / rec.duration
 }
@@ -98,7 +98,7 @@ mod tests {
         let p1 = &r.points[0]; // 1:1
         let p2 = &r.points[1]; // 2:1
         let p4 = &r.points[2]; // 4:1
-        // Both monotone in the wave ratio.
+                               // Both monotone in the wave ratio.
         assert!(p4.slow_speedup > p2.slow_speedup && p2.slow_speedup > p1.slow_speedup);
         assert!(p4.fast_speedup >= p2.fast_speedup && p2.fast_speedup >= p1.fast_speedup);
         // SLOW grows ~linearly: quadrupling waves ≳ 2.5x the 1:1 speed-up.
@@ -106,7 +106,10 @@ mod tests {
         assert!(slow_gain > 2.2, "SLOW gain 4:1 vs 1:1 = {slow_gain}");
         // FAST grows sub-linearly: well below 4x.
         let fast_gain = p4.fast_speedup / p1.fast_speedup;
-        assert!(fast_gain < slow_gain, "fast {fast_gain} vs slow {slow_gain}");
+        assert!(
+            fast_gain < slow_gain,
+            "fast {fast_gain} vs slow {slow_gain}"
+        );
         assert!(fast_gain < 3.0, "FAST gain must be sub-linear: {fast_gain}");
         assert!(r.render().contains("4:1"));
     }

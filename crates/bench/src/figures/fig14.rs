@@ -43,7 +43,7 @@ fn speedup(hw: &HwProfile, waves: u32, scale_down: u64) -> (f64, u32) {
     let n = wl.nodes;
     let js = JobSim::new(hw.clone(), wl.clone());
     let mut state = SimState::new(&wl);
-    let initial = js.run_full(&mut state, 1, 1, true);
+    let initial = js.run_full(&mut state, 1, 1, true).unwrap();
     state.fail_node(n - 1);
     let lost = state.files[&1].lost_partitions(&state);
     // One reducer wave in both runs: recompute the lost reducers whole.
@@ -51,7 +51,7 @@ fn speedup(hw: &HwProfile, waves: u32, scale_down: u64) -> (f64, u32) {
     // Re-run exactly enough mappers for the requested number of waves
     // over the survivors.
     spec.force_rerun_mappers = Some((waves * (n - 1) * wl.slots.map) as usize);
-    let rec = js.run_recompute(&mut state, 1, &spec, true);
+    let rec = js.run_recompute(&mut state, 1, &spec, true).unwrap();
     (initial.duration / rec.duration, initial.map_waves)
 }
 
@@ -118,7 +118,7 @@ mod tests {
         let r = run_scaled(1);
         let fewest = &r.points[0]; // 2 waves
         let most = r.points.last().unwrap(); // 18 waves
-        // FAST: near-linear increase as recompute waves shrink.
+                                             // FAST: near-linear increase as recompute waves shrink.
         assert!(
             fewest.fast_speedup > most.fast_speedup * 1.5,
             "FAST: {} (2 waves) vs {} (18 waves)",

@@ -58,7 +58,15 @@ pub fn run_scaled(scale_down: u64) -> TraceFigure {
         recompute_runs: trace
             .spans()
             .iter()
-            .filter(|s| matches!(s.kind, SpanKind::JobRun { recompute: true, .. }))
+            .filter(|s| {
+                matches!(
+                    s.kind,
+                    SpanKind::JobRun {
+                        recompute: true,
+                        ..
+                    }
+                )
+            })
             .count(),
         full_avg_occupancy: mean(false),
         recompute_avg_occupancy: mean(true),

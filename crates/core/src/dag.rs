@@ -27,10 +27,7 @@ impl JobGraph {
         let mut g = JobGraph::default();
         for spec in specs {
             if g.producer.contains_key(&spec.output) {
-                return Err(Error::Config(format!(
-                    "two jobs produce {}",
-                    spec.output
-                )));
+                return Err(Error::Config(format!("two jobs produce {}", spec.output)));
             }
             g.producer.insert(spec.output.clone(), spec.job);
             g.consumers

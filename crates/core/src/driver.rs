@@ -151,7 +151,13 @@ impl<'a> ChainDriver<'a> {
                             reduce_tasks_run: report.reduce_tasks_run,
                         });
                         outcome.runs.push(report);
-                        self.maybe_replicate(&graph, &order, idx, &mut jobs_since_point, &mut outcome)?;
+                        self.maybe_replicate(
+                            &graph,
+                            &order,
+                            idx,
+                            &mut jobs_since_point,
+                            &mut outcome,
+                        )?;
                         idx += 1;
                     }
                     Err(Error::JobInputLost { .. }) => {
@@ -178,7 +184,12 @@ impl<'a> ChainDriver<'a> {
                             }
                             Strategy::Rcmp { split, hotspot } => {
                                 self.recover(
-                                    &tracker, &graph, job, split, hotspot, persist,
+                                    &tracker,
+                                    &graph,
+                                    job,
+                                    split,
+                                    hotspot,
+                                    persist,
                                     &mut outcome,
                                 )?;
                                 resume_job = Some(job);
@@ -230,7 +241,7 @@ impl<'a> ChainDriver<'a> {
             if partitions.is_empty() {
                 // Everything survived; nothing to do, but Full would
                 // wipe it. Run a no-op recompute of zero partitions.
-                RunMode::Recompute(RecomputeInstructions::new([], None))
+                RunMode::Recompute(RecomputeInstructions::empty())
             } else {
                 RunMode::Recompute(RecomputeInstructions::new(partitions, None))
             }
@@ -299,7 +310,11 @@ impl<'a> ChainDriver<'a> {
                 ..
             } => {
                 let position = idx as u32 + 1;
-                (factor, reclaim, every_k != 0 && position.is_multiple_of(every_k))
+                (
+                    factor,
+                    reclaim,
+                    every_k != 0 && position.is_multiple_of(every_k),
+                )
             }
             Strategy::DynamicHybrid {
                 factor,
@@ -360,9 +375,6 @@ impl<'a> ChainDriver<'a> {
             for step in plan.steps {
                 let mut spec = graph.spec(step.job).expect("job in graph").clone();
                 spec.output_replication = 1;
-                if let Some(p) = step.placement_override {
-                    spec.placement = p;
-                }
                 outcome.jobs_started += 1;
                 let seq = outcome.jobs_started;
                 outcome.events.push(ChainEvent::JobStarted {
@@ -397,10 +409,9 @@ impl<'a> ChainDriver<'a> {
                     }
                     Err(Error::JobInputLost { .. }) => {
                         self.record_losses_by_diff(seq, &live_before, graph, outcome);
-                        outcome.events.push(ChainEvent::JobCancelled {
-                            seq,
-                            job: step.job,
-                        });
+                        outcome
+                            .events
+                            .push(ChainEvent::JobCancelled { seq, job: step.job });
                         nested = true;
                         break;
                     }

@@ -118,9 +118,7 @@ impl EventLog {
                         lost_partitions,
                         ..
                     } => (*seq, format!("loss_observed {lost_partitions} partitions")),
-                    ChainEvent::JobCancelled { seq, job } => {
-                        (*seq, format!("job_cancelled {job}"))
-                    }
+                    ChainEvent::JobCancelled { seq, job } => (*seq, format!("job_cancelled {job}")),
                     ChainEvent::ReplicationPoint { job, factor } => {
                         (0, format!("replication_point {job} x{factor}"))
                     }
@@ -150,7 +148,15 @@ impl EventLog {
     /// Number of recomputation runs submitted.
     pub fn recompute_runs(&self) -> usize {
         self.iter()
-            .filter(|e| matches!(e, ChainEvent::JobStarted { recompute: true, .. }))
+            .filter(|e| {
+                matches!(
+                    e,
+                    ChainEvent::JobStarted {
+                        recompute: true,
+                        ..
+                    }
+                )
+            })
             .count()
     }
 
@@ -220,7 +226,9 @@ impl Eq for EventLog {}
 
 impl std::fmt::Debug for EventLog {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("EventLog").field("events", &self.events).finish()
+        f.debug_struct("EventLog")
+            .field("events", &self.events)
+            .finish()
     }
 }
 

@@ -34,8 +34,8 @@ pub mod strategy;
 
 pub use budget::{enforce_budget, StorageBudget};
 pub use dag::JobGraph;
-pub use dynamic::DynamicPolicy;
 pub use driver::{ChainDriver, ChainOutcome};
+pub use dynamic::DynamicPolicy;
 pub use events::{ChainEvent, EventLog};
 pub use planner::{plan_recovery, RecoveryPlan, RecoveryStep};
 pub use strategy::{HotspotMitigation, SplitPolicy, Strategy};

@@ -127,7 +127,10 @@ mod tests {
         ])
         .unwrap();
         for j in 1..=3 {
-            cluster.dfs().create_file(&format!("out/{j}"), 1, 1).unwrap();
+            cluster
+                .dfs()
+                .create_file(&format!("out/{j}"), 1, 1)
+                .unwrap();
             cluster
                 .dfs()
                 .write_partition_segment(
@@ -145,7 +148,10 @@ mod tests {
         assert_eq!(stats.files_deleted, 1, "out/1 deleted");
         assert_eq!(stats.map_entries_dropped, 2, "jobs 1 and 2 cleared");
         assert!(!cluster.dfs().file_exists("out/1"));
-        assert!(cluster.dfs().file_exists("out/2"), "the replicated file stays");
+        assert!(
+            cluster.dfs().file_exists("out/2"),
+            "the replicated file stays"
+        );
         assert!(cluster.dfs().file_exists("out/3"));
         assert_eq!(cluster.map_outputs().keys_for_job(JobId(3)).len(), 1);
     }

@@ -1,52 +1,14 @@
 //! The failure-resilience strategies compared in the evaluation (§V-A).
+//!
+//! The per-run decision types ([`SplitPolicy`], [`HotspotMitigation`])
+//! live in the shared policy kernel (`rcmp-policy`) so the middleware
+//! and the chain simulator resolve them identically; this module keeps
+//! the strategy *menu* the evaluation compares.
 
 use crate::dynamic::DynamicPolicy;
 use serde::{Deserialize, Serialize};
 
-/// How many ways to split recomputed reducers (§IV-B1).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
-pub enum SplitPolicy {
-    /// No splitting — the paper's "RCMP NO-SPLIT".
-    None,
-    /// Split every recomputed reducer `k` ways (the paper uses 8 on
-    /// STIC, 59 on DCO).
-    Fixed(u32),
-    /// Split by the number of surviving nodes at plan time, so every
-    /// survivor gets reducer work (the paper's "N−1" rule of Fig. 11).
-    Survivors,
-}
-
-impl SplitPolicy {
-    /// Resolves the split factor given the current survivor count.
-    /// Returns `None` when no splitting should be instructed.
-    pub fn factor(&self, survivors: usize) -> Option<u32> {
-        match self {
-            SplitPolicy::None => None,
-            SplitPolicy::Fixed(k) if *k <= 1 => None,
-            SplitPolicy::Fixed(k) => Some(*k),
-            SplitPolicy::Survivors => {
-                let k = survivors as u32;
-                (k > 1).then_some(k)
-            }
-        }
-    }
-}
-
-/// How recomputation runs mitigate the hot-spots of §IV-B2.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
-pub enum HotspotMitigation {
-    /// No mitigation: recomputed reducers write locally, the following
-    /// job's mappers converge on that node.
-    None,
-    /// Reducer splitting (the paper's choice): splitting spreads the
-    /// reducer output implicitly. Selected by using a [`SplitPolicy`]
-    /// other than `None`.
-    SplitReducers,
-    /// The alternative the paper analyzes and rejects: unsplit
-    /// recomputed reducers scatter their output blocks over many nodes.
-    /// Balances the next map phase but not the reduce/shuffle work.
-    SpreadOutput,
-}
+pub use rcmp_policy::{HotspotMitigation, SplitPolicy};
 
 /// A failure-resilience strategy for a multi-job computation.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -121,15 +83,6 @@ impl Strategy {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn split_policy_resolution() {
-        assert_eq!(SplitPolicy::None.factor(9), None);
-        assert_eq!(SplitPolicy::Fixed(8).factor(9), Some(8));
-        assert_eq!(SplitPolicy::Fixed(1).factor(9), None);
-        assert_eq!(SplitPolicy::Survivors.factor(9), Some(9));
-        assert_eq!(SplitPolicy::Survivors.factor(1), None);
-    }
 
     #[test]
     fn strategy_properties() {

@@ -123,12 +123,7 @@ impl Dfs {
     // ---------------------------------------------------------------- files
 
     /// Creates an empty partitioned file.
-    pub fn create_file(
-        &self,
-        path: &str,
-        replication: u32,
-        num_partitions: u32,
-    ) -> Result<()> {
+    pub fn create_file(&self, path: &str, replication: u32, num_partitions: u32) -> Result<()> {
         if replication == 0 {
             return Err(Error::Config("replication factor must be >= 1".into()));
         }
@@ -317,10 +312,7 @@ impl Dfs {
             if pid.index() >= meta.partitions.len() {
                 return Err(Error::Config(format!("partition {pid} out of range")));
             }
-            std::mem::replace(
-                &mut meta.partitions[pid.index()],
-                PartitionMeta::new(pid),
-            )
+            std::mem::replace(&mut meta.partitions[pid.index()], PartitionMeta::new(pid))
         };
         self.free_blocks(&old);
         Ok(())
@@ -491,8 +483,12 @@ impl Dfs {
         let mut plan: Vec<(BlockId, u64, Vec<NodeId>, Vec<NodeId>)> = Vec::new();
         for p in &meta.partitions {
             for b in p.blocks() {
-                let have: Vec<NodeId> =
-                    b.replicas.iter().copied().filter(|&n| self.is_alive(n)).collect();
+                let have: Vec<NodeId> = b
+                    .replicas
+                    .iter()
+                    .copied()
+                    .filter(|&n| self.is_alive(n))
+                    .collect();
                 if have.is_empty() {
                     return Err(Error::DataLoss {
                         path: path.to_string(),
@@ -503,11 +499,8 @@ impl Dfs {
                     continue;
                 }
                 let need = factor as usize - have.len();
-                let mut candidates: Vec<NodeId> = live
-                    .iter()
-                    .copied()
-                    .filter(|n| !have.contains(n))
-                    .collect();
+                let mut candidates: Vec<NodeId> =
+                    live.iter().copied().filter(|n| !have.contains(n)).collect();
                 if candidates.len() < need {
                     return Err(Error::InsufficientReplicaTargets {
                         wanted: factor as usize,
@@ -663,9 +656,17 @@ mod tests {
         let d = dfs(4);
         d.create_file("out/1", 1, 2).unwrap();
         let data = payload(200, 7); // 4 blocks of 64 (3 full + remainder)
-        d.write_partition_segment("out/1", PartitionId(0), data.clone(), NodeId(1), PlacementPolicy::WriterLocal)
+        d.write_partition_segment(
+            "out/1",
+            PartitionId(0),
+            data.clone(),
+            NodeId(1),
+            PlacementPolicy::WriterLocal,
+        )
+        .unwrap();
+        let got = d
+            .read_partition("out/1", PartitionId(0), NodeId(0))
             .unwrap();
-        let got = d.read_partition("out/1", PartitionId(0), NodeId(0)).unwrap();
         assert_eq!(got, data);
         let meta = d.file_meta("out/1").unwrap();
         assert_eq!(meta.partitions[0].size(), ByteSize::bytes(200));
@@ -676,15 +677,24 @@ mod tests {
     fn duplicate_create_rejected() {
         let d = dfs(2);
         d.create_file("f", 1, 1).unwrap();
-        assert!(matches!(d.create_file("f", 1, 1), Err(Error::FileExists(_))));
+        assert!(matches!(
+            d.create_file("f", 1, 1),
+            Err(Error::FileExists(_))
+        ));
     }
 
     #[test]
     fn writer_local_blocks_live_on_writer() {
         let d = dfs(4);
         d.create_file("f", 1, 1).unwrap();
-        d.write_partition_segment("f", PartitionId(0), payload(128, 1), NodeId(2), PlacementPolicy::WriterLocal)
-            .unwrap();
+        d.write_partition_segment(
+            "f",
+            PartitionId(0),
+            payload(128, 1),
+            NodeId(2),
+            PlacementPolicy::WriterLocal,
+        )
+        .unwrap();
         let meta = d.file_meta("f").unwrap();
         for b in meta.partitions[0].blocks() {
             assert_eq!(b.replicas, vec![NodeId(2)]);
@@ -696,8 +706,14 @@ mod tests {
     fn replication_places_distinct_nodes() {
         let d = dfs(5);
         d.create_file("f", 3, 1).unwrap();
-        d.write_partition_segment("f", PartitionId(0), payload(64, 1), NodeId(0), PlacementPolicy::WriterLocal)
-            .unwrap();
+        d.write_partition_segment(
+            "f",
+            PartitionId(0),
+            payload(64, 1),
+            NodeId(0),
+            PlacementPolicy::WriterLocal,
+        )
+        .unwrap();
         let meta = d.file_meta("f").unwrap();
         let b = meta.partitions[0].blocks().next().unwrap();
         assert_eq!(b.replicas.len(), 3);
@@ -712,17 +728,31 @@ mod tests {
     fn single_replica_failure_is_data_loss() {
         let d = dfs(3);
         d.create_file("f", 1, 2).unwrap();
-        d.write_partition_segment("f", PartitionId(0), payload(64, 1), NodeId(0), PlacementPolicy::WriterLocal)
-            .unwrap();
-        d.write_partition_segment("f", PartitionId(1), payload(64, 2), NodeId(1), PlacementPolicy::WriterLocal)
-            .unwrap();
+        d.write_partition_segment(
+            "f",
+            PartitionId(0),
+            payload(64, 1),
+            NodeId(0),
+            PlacementPolicy::WriterLocal,
+        )
+        .unwrap();
+        d.write_partition_segment(
+            "f",
+            PartitionId(1),
+            payload(64, 2),
+            NodeId(1),
+            PlacementPolicy::WriterLocal,
+        )
+        .unwrap();
         let report = d.fail_node(NodeId(0));
         assert_eq!(report.node, Some(NodeId(0)));
         assert_eq!(report.lost_in("f"), &[PartitionId(0)]);
         assert!(report.under_replicated.is_empty());
         // Partition 1 still readable, 0 is not.
         assert!(d.read_partition("f", PartitionId(1), NodeId(2)).is_ok());
-        let err = d.read_partition("f", PartitionId(0), NodeId(2)).unwrap_err();
+        let err = d
+            .read_partition("f", PartitionId(0), NodeId(2))
+            .unwrap_err();
         assert!(matches!(err, Error::DataLoss { partition: Some(p), .. } if p == PartitionId(0)));
     }
 
@@ -731,24 +761,42 @@ mod tests {
         let d = dfs(4);
         d.create_file("f", 2, 1).unwrap();
         let data = payload(300, 9);
-        d.write_partition_segment("f", PartitionId(0), data.clone(), NodeId(0), PlacementPolicy::WriterLocal)
-            .unwrap();
+        d.write_partition_segment(
+            "f",
+            PartitionId(0),
+            data.clone(),
+            NodeId(0),
+            PlacementPolicy::WriterLocal,
+        )
+        .unwrap();
         let report = d.fail_node(NodeId(0));
         assert!(report.is_benign());
         assert_eq!(report.under_replicated["f"], vec![PartitionId(0)]);
-        assert_eq!(d.read_partition("f", PartitionId(0), NodeId(1)).unwrap(), data);
+        assert_eq!(
+            d.read_partition("f", PartitionId(0), NodeId(1)).unwrap(),
+            data
+        );
     }
 
     #[test]
     fn fail_node_is_idempotent() {
         let d = dfs(3);
         d.create_file("f", 1, 1).unwrap();
-        d.write_partition_segment("f", PartitionId(0), payload(64, 1), NodeId(0), PlacementPolicy::WriterLocal)
-            .unwrap();
+        d.write_partition_segment(
+            "f",
+            PartitionId(0),
+            payload(64, 1),
+            NodeId(0),
+            PlacementPolicy::WriterLocal,
+        )
+        .unwrap();
         let first = d.fail_node(NodeId(0));
         assert!(!first.is_benign());
         let second = d.fail_node(NodeId(0));
-        assert!(second.is_benign(), "second failure of same node reports nothing new");
+        assert!(
+            second.is_benign(),
+            "second failure of same node reports nothing new"
+        );
         assert_eq!(d.live_nodes(), vec![NodeId(1), NodeId(2)]);
     }
 
@@ -758,7 +806,13 @@ mod tests {
         d.create_file("f", 1, 1).unwrap();
         d.fail_node(NodeId(0));
         let err = d
-            .write_partition_segment("f", PartitionId(0), payload(10, 0), NodeId(0), PlacementPolicy::WriterLocal)
+            .write_partition_segment(
+                "f",
+                PartitionId(0),
+                payload(10, 0),
+                NodeId(0),
+                PlacementPolicy::WriterLocal,
+            )
             .unwrap_err();
         assert!(matches!(err, Error::NodeUnavailable(_)));
     }
@@ -767,8 +821,14 @@ mod tests {
     fn clear_partition_frees_storage() {
         let d = dfs(2);
         d.create_file("f", 1, 1).unwrap();
-        d.write_partition_segment("f", PartitionId(0), payload(128, 1), NodeId(0), PlacementPolicy::WriterLocal)
-            .unwrap();
+        d.write_partition_segment(
+            "f",
+            PartitionId(0),
+            payload(128, 1),
+            NodeId(0),
+            PlacementPolicy::WriterLocal,
+        )
+        .unwrap();
         assert_eq!(d.total_used(), ByteSize::bytes(128));
         d.clear_partition("f", PartitionId(0)).unwrap();
         assert_eq!(d.total_used(), ByteSize::ZERO);
@@ -779,8 +839,14 @@ mod tests {
     fn delete_file_frees_storage() {
         let d = dfs(2);
         d.create_file("f", 1, 1).unwrap();
-        d.write_partition_segment("f", PartitionId(0), payload(64, 1), NodeId(0), PlacementPolicy::WriterLocal)
-            .unwrap();
+        d.write_partition_segment(
+            "f",
+            PartitionId(0),
+            payload(64, 1),
+            NodeId(0),
+            PlacementPolicy::WriterLocal,
+        )
+        .unwrap();
         d.delete_file("f").unwrap();
         assert_eq!(d.total_used(), ByteSize::ZERO);
         assert!(!d.file_exists("f"));
@@ -792,10 +858,22 @@ mod tests {
         let d = dfs(4);
         d.create_file("f", 1, 1).unwrap();
         // Two split writers contribute segments.
-        d.write_partition_segment("f", PartitionId(0), payload(64, 1), NodeId(1), PlacementPolicy::WriterLocal)
-            .unwrap();
-        d.write_partition_segment("f", PartitionId(0), payload(64, 2), NodeId(2), PlacementPolicy::WriterLocal)
-            .unwrap();
+        d.write_partition_segment(
+            "f",
+            PartitionId(0),
+            payload(64, 1),
+            NodeId(1),
+            PlacementPolicy::WriterLocal,
+        )
+        .unwrap();
+        d.write_partition_segment(
+            "f",
+            PartitionId(0),
+            payload(64, 2),
+            NodeId(2),
+            PlacementPolicy::WriterLocal,
+        )
+        .unwrap();
         let got = d.read_partition("f", PartitionId(0), NodeId(0)).unwrap();
         assert_eq!(&got[..64], &[1u8; 64][..]);
         assert_eq!(&got[64..], &[2u8; 64][..]);
@@ -809,8 +887,14 @@ mod tests {
         let d = dfs(4);
         d.create_file("f", 1, 1).unwrap();
         let data = payload(150, 3);
-        d.write_partition_segment("f", PartitionId(0), data.clone(), NodeId(0), PlacementPolicy::WriterLocal)
-            .unwrap();
+        d.write_partition_segment(
+            "f",
+            PartitionId(0),
+            data.clone(),
+            NodeId(0),
+            PlacementPolicy::WriterLocal,
+        )
+        .unwrap();
         d.replicate_file("f", 2).unwrap();
         let meta = d.file_meta("f").unwrap();
         for b in meta.partitions[0].blocks() {
@@ -819,15 +903,24 @@ mod tests {
         // Now survives losing the original writer.
         let report = d.fail_node(NodeId(0));
         assert!(report.is_benign());
-        assert_eq!(d.read_partition("f", PartitionId(0), NodeId(1)).unwrap(), data);
+        assert_eq!(
+            d.read_partition("f", PartitionId(0), NodeId(1)).unwrap(),
+            data
+        );
     }
 
     #[test]
     fn read_prefers_local_replica() {
         let d = dfs(3);
         d.create_file("f", 2, 1).unwrap();
-        d.write_partition_segment("f", PartitionId(0), payload(64, 1), NodeId(1), PlacementPolicy::WriterLocal)
-            .unwrap();
+        d.write_partition_segment(
+            "f",
+            PartitionId(0),
+            payload(64, 1),
+            NodeId(1),
+            PlacementPolicy::WriterLocal,
+        )
+        .unwrap();
         let loc = &d.partition_locations("f", PartitionId(0)).unwrap()[0];
         let (_, src) = d.read_block(loc, NodeId(1)).unwrap();
         assert_eq!(src, NodeId(1), "local replica must be preferred");
@@ -847,10 +940,7 @@ mod tests {
         )
         .unwrap();
         let meta = d.file_meta("f").unwrap();
-        let mut holders: Vec<NodeId> = meta.partitions[0]
-            .blocks()
-            .map(|b| b.replicas[0])
-            .collect();
+        let mut holders: Vec<NodeId> = meta.partitions[0].blocks().map(|b| b.replicas[0]).collect();
         holders.sort();
         holders.dedup();
         assert!(holders.len() > 2, "spread placement used {holders:?}");
@@ -861,7 +951,13 @@ mod tests {
         let d = dfs(2);
         d.create_file("f", 3, 1).unwrap();
         let err = d
-            .write_partition_segment("f", PartitionId(0), payload(64, 1), NodeId(0), PlacementPolicy::WriterLocal)
+            .write_partition_segment(
+                "f",
+                PartitionId(0),
+                payload(64, 1),
+                NodeId(0),
+                PlacementPolicy::WriterLocal,
+            )
             .unwrap_err();
         assert!(matches!(err, Error::InsufficientReplicaTargets { .. }));
     }
@@ -879,7 +975,10 @@ mod tests {
         )
         .unwrap();
         let meta = d.file_meta("f").unwrap();
-        let hashes: Vec<u64> = meta.partitions[0].blocks().map(|b| b.content_hash).collect();
+        let hashes: Vec<u64> = meta.partitions[0]
+            .blocks()
+            .map(|b| b.content_hash)
+            .collect();
         assert_eq!(hashes.len(), 3);
         assert_eq!(hashes[0], hashes[1], "identical chunks hash identically");
         assert_ne!(hashes[0], hashes[2], "different chunks hash differently");
@@ -890,8 +989,14 @@ mod tests {
         let d = dfs(3);
         d.create_file("f", 2, 1).unwrap();
         let data = payload(100, 7); // 2 blocks of 64
-        d.write_partition_segment("f", PartitionId(0), data.clone(), NodeId(0), PlacementPolicy::WriterLocal)
-            .unwrap();
+        d.write_partition_segment(
+            "f",
+            PartitionId(0),
+            data.clone(),
+            NodeId(0),
+            PlacementPolicy::WriterLocal,
+        )
+        .unwrap();
         let victim = d.corrupt_replica_on(NodeId(0)).unwrap();
         // The reader prefers its local (corrupt) replica, detects the
         // mismatch, and transparently falls back to the survivor.
@@ -899,20 +1004,34 @@ mod tests {
         assert_eq!(got, data);
         // The corrupt replica was demoted like a lost one.
         let meta = d.file_meta("f").unwrap();
-        let b = meta.partitions[0].blocks().find(|b| b.id == victim).unwrap();
+        let b = meta.partitions[0]
+            .blocks()
+            .find(|b| b.id == victim)
+            .unwrap();
         assert!(!b.replicas.contains(&NodeId(0)), "corrupt replica demoted");
-        assert!(!meta.partitions[0].is_lost(), "survivor keeps the data live");
+        assert!(
+            !meta.partitions[0].is_lost(),
+            "survivor keeps the data live"
+        );
     }
 
     #[test]
     fn all_replicas_corrupt_is_data_loss() {
         let d = dfs(2);
         d.create_file("f", 1, 1).unwrap();
-        d.write_partition_segment("f", PartitionId(0), payload(64, 3), NodeId(0), PlacementPolicy::WriterLocal)
-            .unwrap();
+        d.write_partition_segment(
+            "f",
+            PartitionId(0),
+            payload(64, 3),
+            NodeId(0),
+            PlacementPolicy::WriterLocal,
+        )
+        .unwrap();
         let id = d.partition_locations("f", PartitionId(0)).unwrap()[0].id;
         assert!(d.corrupt_block_replica(id, NodeId(0)));
-        let err = d.read_partition("f", PartitionId(0), NodeId(1)).unwrap_err();
+        let err = d
+            .read_partition("f", PartitionId(0), NodeId(1))
+            .unwrap_err();
         assert!(matches!(err, Error::DataLoss { partition: Some(p), .. } if p == PartitionId(0)));
         // Demotion is durable: the partition now counts as lost, so
         // recovery planning sees the corruption as replica loss.
@@ -926,14 +1045,23 @@ mod tests {
         let d = dfs(4);
         d.create_file("f", 2, 1).unwrap();
         let data = payload(64, 9);
-        d.write_partition_segment("f", PartitionId(0), data.clone(), NodeId(0), PlacementPolicy::WriterLocal)
-            .unwrap();
+        d.write_partition_segment(
+            "f",
+            PartitionId(0),
+            data.clone(),
+            NodeId(0),
+            PlacementPolicy::WriterLocal,
+        )
+        .unwrap();
         let id = d.partition_locations("f", PartitionId(0)).unwrap()[0].id;
         assert!(d.corrupt_block_replica(id, NodeId(0)));
         d.replicate_file("f", 3).unwrap();
         // Every surviving replica serves verified bytes.
         for _ in 0..4 {
-            assert_eq!(d.read_partition("f", PartitionId(0), NodeId(3)).unwrap(), data);
+            assert_eq!(
+                d.read_partition("f", PartitionId(0), NodeId(3)).unwrap(),
+                data
+            );
         }
         let meta = d.file_meta("f").unwrap();
         let b = meta.partitions[0].blocks().next().unwrap();
@@ -968,7 +1096,13 @@ mod tests {
         let d = dfs(2);
         d.create_file("f", 1, 1).unwrap();
         assert!(d
-            .write_partition_segment("f", PartitionId(5), payload(1, 0), NodeId(0), PlacementPolicy::WriterLocal)
+            .write_partition_segment(
+                "f",
+                PartitionId(5),
+                payload(1, 0),
+                NodeId(0),
+                PlacementPolicy::WriterLocal
+            )
             .is_err());
         assert!(d.partition_locations("f", PartitionId(5)).is_err());
     }

@@ -74,8 +74,15 @@ mod tests {
     #[test]
     fn writer_local_prefers_writer() {
         let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
-        let t = place_block(PlacementPolicy::WriterLocal, NodeId(3), 3, &nodes(10), None, &mut rng)
-            .unwrap();
+        let t = place_block(
+            PlacementPolicy::WriterLocal,
+            NodeId(3),
+            3,
+            &nodes(10),
+            None,
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(t[0], NodeId(3));
         assert_eq!(t.len(), 3);
         let mut d = t.clone();
@@ -88,8 +95,15 @@ mod tests {
     fn writer_local_falls_back_when_writer_dead() {
         let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
         let live: Vec<NodeId> = nodes(10).into_iter().filter(|n| n.raw() != 3).collect();
-        let t =
-            place_block(PlacementPolicy::WriterLocal, NodeId(3), 2, &live, None, &mut rng).unwrap();
+        let t = place_block(
+            PlacementPolicy::WriterLocal,
+            NodeId(3),
+            2,
+            &live,
+            None,
+            &mut rng,
+        )
+        .unwrap();
         assert!(!t.contains(&NodeId(3)));
     }
 
@@ -113,10 +127,22 @@ mod tests {
     #[test]
     fn insufficient_targets_errors() {
         let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
-        let err =
-            place_block(PlacementPolicy::WriterLocal, NodeId(0), 3, &nodes(2), None, &mut rng)
-                .unwrap_err();
-        assert!(matches!(err, Error::InsufficientReplicaTargets { wanted: 3, alive: 2 }));
+        let err = place_block(
+            PlacementPolicy::WriterLocal,
+            NodeId(0),
+            3,
+            &nodes(2),
+            None,
+            &mut rng,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::InsufficientReplicaTargets {
+                wanted: 3,
+                alive: 2
+            }
+        ));
     }
 
     #[test]
@@ -149,8 +175,15 @@ mod tests {
     #[test]
     fn factor_one_single_target() {
         let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
-        let t = place_block(PlacementPolicy::WriterLocal, NodeId(1), 1, &nodes(4), None, &mut rng)
-            .unwrap();
+        let t = place_block(
+            PlacementPolicy::WriterLocal,
+            NodeId(1),
+            1,
+            &nodes(4),
+            None,
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(t, vec![NodeId(1)]);
     }
 }

@@ -56,7 +56,11 @@ impl NodeStore {
     /// Reads a block, updating concurrency accounting. The optional
     /// `read_delay` models a slow disk so that concurrent readers truly
     /// overlap (used by hot-spot tests).
-    pub(crate) fn get(&self, id: BlockId, read_delay: Option<std::time::Duration>) -> Option<Bytes> {
+    pub(crate) fn get(
+        &self,
+        id: BlockId,
+        read_delay: Option<std::time::Duration>,
+    ) -> Option<Bytes> {
         let in_flight = self.current_reads.fetch_add(1, Ordering::SeqCst) + 1;
         self.max_concurrent_reads
             .fetch_max(in_flight, Ordering::SeqCst);
@@ -138,7 +142,10 @@ mod tests {
     fn put_get_remove() {
         let s = NodeStore::new();
         s.put(BlockId(1), Bytes::from_static(b"hello"));
-        assert_eq!(s.get(BlockId(1), None).unwrap(), Bytes::from_static(b"hello"));
+        assert_eq!(
+            s.get(BlockId(1), None).unwrap(),
+            Bytes::from_static(b"hello")
+        );
         assert_eq!(s.used(), ByteSize::bytes(5));
         assert_eq!(s.block_count(), 1);
         assert!(s.remove(BlockId(1)).is_some());

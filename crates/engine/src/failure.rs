@@ -219,11 +219,7 @@ impl FailureInjector for ScriptedInjector {
     }
 
     fn poll_faults(&self, event: &ProgressEvent) -> Vec<Fault> {
-        let mut fired: Vec<Fault> = self
-            .poll(event)
-            .into_iter()
-            .map(Fault::NodeCrash)
-            .collect();
+        let mut fired: Vec<Fault> = self.poll(event).into_iter().map(Fault::NodeCrash).collect();
         let mut faults = self.faults.lock();
         faults.retain(|t| {
             if t.seq == event.seq && t.point == event.point {
@@ -472,8 +468,8 @@ mod tests {
         let err = strict.finish().unwrap_err();
         assert!(err.contains("never fired"), "got: {err}");
 
-        let tolerant =
-            ScriptedInjector::single(9, TriggerPoint::AfterMapWave(7), NodeId(0)).tolerate_unfired();
+        let tolerant = ScriptedInjector::single(9, TriggerPoint::AfterMapWave(7), NodeId(0))
+            .tolerate_unfired();
         assert!(tolerant.finish().is_ok());
     }
 

@@ -2,8 +2,7 @@
 
 use crate::udf::{Mapper, Reducer};
 use rcmp_dfs::PlacementPolicy;
-use rcmp_model::{JobId, PartitionId};
-use std::collections::BTreeSet;
+use rcmp_model::JobId;
 use std::fmt;
 use std::sync::Arc;
 
@@ -47,42 +46,10 @@ impl fmt::Debug for JobSpec {
 /// Instructions for a recomputation run, produced by the RCMP planner
 /// (`rcmp-core`) and tagged onto the resubmitted job (§IV-A: the
 /// middleware "tags it with the reducer outputs that need to be
-/// recomputed").
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct RecomputeInstructions {
-    /// Output partitions to regenerate (the lost reducer outputs,
-    /// possibly merged across several data-loss events).
-    pub partitions: BTreeSet<PartitionId>,
-    /// Split each recomputed reducer this many ways (`None` = no
-    /// splitting, the paper's RCMP NO-SPLIT).
-    pub split: Option<u32>,
-    /// Reuse persisted map outputs whose input fingerprints still match
-    /// (RCMP behaviour). `false` re-runs every mapper — used by the
-    /// paper's Fig.-13 isolation experiment and the OPTIMISTIC baseline.
-    pub reuse_map_outputs: bool,
-    /// DANGEROUS, test/ablation only: reuse persisted map outputs even
-    /// when the input fingerprint no longer matches. Reproduces the
-    /// incorrect-reuse bug of Fig. 5 (duplicated and missing keys).
-    pub unsafe_ignore_fingerprints: bool,
-}
-
-impl RecomputeInstructions {
-    /// Recompute the given partitions with optional splitting, reusing
-    /// persisted map outputs (the standard RCMP recomputation).
-    pub fn new(partitions: impl IntoIterator<Item = PartitionId>, split: Option<u32>) -> Self {
-        Self {
-            partitions: partitions.into_iter().collect(),
-            split,
-            reuse_map_outputs: true,
-            unsafe_ignore_fingerprints: false,
-        }
-    }
-
-    /// Effective number of reduce tasks this run will execute.
-    pub fn reduce_task_count(&self) -> usize {
-        self.partitions.len() * self.split.unwrap_or(1).max(1) as usize
-    }
-}
+/// recomputed"). This is the policy kernel's unified
+/// [`rcmp_policy::RecomputePlan`]; the simulator consumes the same type
+/// as `rcmp_sim::RecomputeSpec`.
+pub use rcmp_policy::RecomputePlan as RecomputeInstructions;
 
 /// How a submitted job should be executed.
 #[derive(Clone, Debug)]
@@ -132,6 +99,7 @@ impl JobRun {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rcmp_model::PartitionId;
 
     #[test]
     fn reduce_task_count_accounts_splits() {
@@ -144,6 +112,6 @@ mod tests {
     #[test]
     fn run_mode_predicates() {
         assert!(!RunMode::Full.is_recompute());
-        assert!(RunMode::Recompute(RecomputeInstructions::new([], None)).is_recompute());
+        assert!(RunMode::Recompute(RecomputeInstructions::empty()).is_recompute());
     }
 }

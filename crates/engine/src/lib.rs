@@ -41,7 +41,7 @@ pub mod udf;
 
 pub use cluster::Cluster;
 pub use failure::{
-    Fault, FaultTrigger, FailureInjector, NoFailures, ProgressEvent, RandomizedInjector,
+    FailureInjector, Fault, FaultTrigger, NoFailures, ProgressEvent, RandomizedInjector,
     ScriptedInjector, TriggerPoint,
 };
 pub use job::{JobRun, JobSpec, RecomputeInstructions, RunMode};

@@ -121,11 +121,7 @@ impl MapOutputStore {
     /// entry itself does not exist (mapper never ran, or its node died).
     /// An existing entry without a bucket for `reduce` means the mapper
     /// emitted no record for that reducer: an **empty** bucket.
-    pub fn fetch_bucket(
-        &self,
-        key: &MapInputKey,
-        reduce: ReduceTaskId,
-    ) -> Option<(Bytes, NodeId)> {
+    pub fn fetch_bucket(&self, key: &MapInputKey, reduce: ReduceTaskId) -> Option<(Bytes, NodeId)> {
         let inner = self.inner.lock();
         let stored = inner.get(key)?;
         if let Some(b) = stored.buckets.get(&reduce) {

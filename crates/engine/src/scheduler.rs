@@ -1,106 +1,85 @@
-//! Slot-constrained wave scheduling.
+//! Slot-constrained wave scheduling — thin adapter over the shared
+//! policy kernel.
 //!
-//! A node runs at most `slots` tasks of a phase concurrently; a phase
-//! with more tasks per node runs in multiple **waves** (§II). The
-//! assignment policy mirrors Hadoop's slot scheduler at the fidelity the
-//! paper's phenomena need:
-//!
-//! * tasks balance across live nodes (shortest queue first), so a
-//!   recomputation's few tasks spread over *all* survivors — unless the
-//!   caller pins them, this is what makes the hot-spot of §IV-B2 appear:
-//!   recomputed mappers land on many nodes but all read from the one
-//!   node holding the recomputed input;
-//! * among equally-loaded nodes, mappers prefer a node holding a replica
-//!   of their input block (data locality via tie-breaking, §III-A);
-//! * initial-run reducers are placed round-robin by partition id, giving
-//!   the deterministic `WR = R/(N·S)` waves of the paper's model.
+//! The actual assignment policies (Hadoop slot-pull with
+//! primary→replica→steal preference for mappers, round-robin /
+//! balanced placement for reducers, wave arithmetic) live in
+//! `rcmp-policy`; see that crate's docs for the paper phenomena they
+//! reproduce (§II waves, §III-A locality, §IV-B hot-spots). This module
+//! only translates the engine's `MapTask`/`ReduceTask` structs into the
+//! kernel's index-based task-set view and maps the returned indices
+//! back onto tasks.
 
 use crate::task::{MapTask, ReduceTask};
-use rcmp_model::NodeId;
+use rcmp_model::{NodeId, Result};
+use rcmp_policy::{FnReduceTasks, MapTaskSet, PolicyCtx, SliceTopology, WaveAssignment};
+
+pub use rcmp_policy::ReduceAssignment;
 
 /// Tasks grouped into waves: `waves[w]` is the list of `(node, task)`
 /// pairs running concurrently in wave `w`.
 pub type Waves<T> = Vec<Vec<(NodeId, T)>>;
 
-/// How reduce tasks pick nodes.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum ReduceAssignment {
-    /// Partition `p` goes to `live[p % N]` — the initial-run layout.
-    RoundRobinByPartition,
-    /// Shortest-queue balancing — used for recomputation runs, where
-    /// the task list is small and should use every survivor (Fig. 4).
-    Balance,
-}
+/// The kernel's view of a slice of engine map tasks: the primary holder
+/// is the block's first replica (the writer-local copy, see
+/// `rcmp-dfs`'s placement), any listed replica is local.
+struct MapTaskSlice<'a>(&'a [MapTask]);
 
-fn queues_to_waves<T>(queues: Vec<Vec<T>>, live: &[NodeId], slots: u32) -> Waves<T> {
-    let slots = slots.max(1) as usize;
-    let num_waves = queues
-        .iter()
-        .map(|q| q.len().div_ceil(slots))
-        .max()
-        .unwrap_or(0);
-    let mut waves: Vec<Vec<(NodeId, T)>> = (0..num_waves).map(|_| Vec::new()).collect();
-    for (ni, queue) in queues.into_iter().enumerate() {
-        for (ti, task) in queue.into_iter().enumerate() {
-            waves[ti / slots].push((live[ni], task));
-        }
+impl MapTaskSet<NodeId> for MapTaskSlice<'_> {
+    fn len(&self) -> usize {
+        self.0.len()
     }
-    waves
-}
 
-/// Assigns map tasks to waves over the live nodes, with Hadoop's
-/// slot-pull semantics: nodes claim tasks in rounds, each preferring a
-/// task whose input block it holds and stealing a non-local one
-/// otherwise. Balanced data runs (almost) fully local; a handful of
-/// recomputed tasks spreads over all nodes in one wave — the behaviours
-/// behind the paper's locality and hot-spot observations.
-pub fn assign_map_waves(tasks: Vec<MapTask>, live: &[NodeId], slots: u32) -> Waves<MapTask> {
-    assert!(!live.is_empty(), "no live nodes to schedule on");
-    let mut pending = tasks;
-    let mut queues: Vec<Vec<MapTask>> = (0..live.len()).map(|_| Vec::new()).collect();
-    while !pending.is_empty() {
-        for (i, &n) in live.iter().enumerate() {
-            if pending.is_empty() {
-                break;
-            }
-            let pos = pending
-                .iter()
-                .position(|t| t.block.replicas.contains(&n))
-                .unwrap_or(0);
-            queues[i].push(pending.remove(pos));
-        }
+    fn is_primary_holder(&self, task: usize, node: NodeId) -> bool {
+        self.0[task].block.replicas.first() == Some(&node)
     }
-    queues_to_waves(queues, live, slots)
+
+    fn holds_replica(&self, task: usize, node: NodeId) -> bool {
+        self.0[task].block.replicas.contains(&node)
+    }
 }
 
-/// Assigns reduce tasks to waves over the live nodes.
+/// Reifies an index-based kernel assignment back onto owned tasks.
+fn resolve<T>(assignment: WaveAssignment<NodeId>, tasks: Vec<T>) -> Waves<T> {
+    let mut slots: Vec<Option<T>> = tasks.into_iter().map(Some).collect();
+    assignment
+        .into_iter()
+        .map(|wave| {
+            wave.into_iter()
+                .map(|(n, t)| (n, slots[t].take().expect("kernel assigns each task once")))
+                .collect()
+        })
+        .collect()
+}
+
+/// Assigns map tasks to waves over the live nodes via the shared
+/// kernel. Errors with [`rcmp_model::Error::NoLiveNodes`] when the
+/// cluster has no survivors.
+pub fn assign_map_waves(
+    tasks: Vec<MapTask>,
+    live: &[NodeId],
+    slots: u32,
+    ctx: PolicyCtx<'_>,
+) -> Result<Waves<MapTask>> {
+    let topo = SliceTopology::uniform(live, slots);
+    let assignment = rcmp_policy::assign_map_waves(&topo, &MapTaskSlice(&tasks), ctx)?;
+    Ok(resolve(assignment, tasks))
+}
+
+/// Assigns reduce tasks to waves over the live nodes via the shared
+/// kernel. Errors with [`rcmp_model::Error::NoLiveNodes`] when the
+/// cluster has no survivors.
 pub fn assign_reduce_waves(
     tasks: Vec<ReduceTask>,
     live: &[NodeId],
     slots: u32,
     style: ReduceAssignment,
-) -> Waves<ReduceTask> {
-    assert!(!live.is_empty(), "no live nodes to schedule on");
-    let mut queues: Vec<Vec<ReduceTask>> = (0..live.len()).map(|_| Vec::new()).collect();
-    match style {
-        ReduceAssignment::RoundRobinByPartition => {
-            for task in tasks {
-                let i = task.id.partition.index() % live.len();
-                queues[i].push(task);
-            }
-        }
-        ReduceAssignment::Balance => {
-            for task in tasks {
-                let (i, _) = queues
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(i, q)| (q.len(), *i))
-                    .unwrap();
-                queues[i].push(task);
-            }
-        }
-    }
-    queues_to_waves(queues, live, slots)
+    ctx: PolicyCtx<'_>,
+) -> Result<Waves<ReduceTask>> {
+    let topo = SliceTopology::uniform(live, slots);
+    let set = FnReduceTasks::new(tasks.len(), |t| tasks[t].id.partition.index());
+    let assignment = rcmp_policy::assign_reduce_waves(&topo, &set, style, ctx)?;
+    Ok(resolve(assignment, tasks))
 }
 
 #[cfg(test)]
@@ -108,7 +87,7 @@ mod tests {
     use super::*;
     use crate::mapstore::MapInputKey;
     use rcmp_dfs::BlockLocation;
-    use rcmp_model::{BlockId, ByteSize, JobId, MapTaskId, PartitionId, ReduceTaskId};
+    use rcmp_model::{BlockId, ByteSize, Error, JobId, MapTaskId, PartitionId, ReduceTaskId};
 
     fn nodes(n: u32) -> Vec<NodeId> {
         (0..n).map(NodeId).collect()
@@ -135,7 +114,7 @@ mod tests {
     fn balanced_map_tasks_prefer_local() {
         // 4 tasks, 4 nodes, 1 replica each on its "own" node.
         let tasks: Vec<MapTask> = (0..4).map(|i| map_task(i, &[i])).collect();
-        let waves = assign_map_waves(tasks, &nodes(4), 1);
+        let waves = assign_map_waves(tasks, &nodes(4), 1, PolicyCtx::disabled()).unwrap();
         assert_eq!(waves.len(), 1);
         for (node, task) in &waves[0] {
             assert!(
@@ -149,18 +128,17 @@ mod tests {
     fn few_tasks_spread_over_nodes_not_piled_on_replica_holder() {
         // The hot-spot scenario: 3 blocks all on node 0, 4 live nodes.
         let tasks: Vec<MapTask> = (0..3).map(|i| map_task(i, &[0])).collect();
-        let waves = assign_map_waves(tasks, &nodes(4), 1);
+        let waves = assign_map_waves(tasks, &nodes(4), 1, PolicyCtx::disabled()).unwrap();
         // All three run in a single wave on three different nodes.
         assert_eq!(waves.len(), 1);
-        let used: std::collections::HashSet<NodeId> =
-            waves[0].iter().map(|(n, _)| *n).collect();
+        let used: std::collections::HashSet<NodeId> = waves[0].iter().map(|(n, _)| *n).collect();
         assert_eq!(used.len(), 3);
     }
 
     #[test]
     fn waves_respect_slots() {
         let tasks: Vec<MapTask> = (0..8).map(|i| map_task(i, &[])).collect();
-        let waves = assign_map_waves(tasks, &nodes(2), 2);
+        let waves = assign_map_waves(tasks, &nodes(2), 2, PolicyCtx::disabled()).unwrap();
         // 8 tasks / (2 nodes * 2 slots) = 2 waves.
         assert_eq!(waves.len(), 2);
         for wave in &waves {
@@ -176,8 +154,14 @@ mod tests {
     fn initial_reducers_round_robin() {
         // 10 reducers, 10 nodes, 1 slot: exactly 1 wave (WR = 1).
         let tasks: Vec<ReduceTask> = (0..10).map(reduce_task).collect();
-        let waves =
-            assign_reduce_waves(tasks, &nodes(10), 1, ReduceAssignment::RoundRobinByPartition);
+        let waves = assign_reduce_waves(
+            tasks,
+            &nodes(10),
+            1,
+            ReduceAssignment::RoundRobinByPartition,
+            PolicyCtx::disabled(),
+        )
+        .unwrap();
         assert_eq!(waves.len(), 1);
         for (node, task) in &waves[0] {
             assert_eq!(node.raw(), task.id.partition.raw() % 10);
@@ -188,8 +172,14 @@ mod tests {
     fn round_robin_gives_paper_wave_count() {
         // 40 reducers, 10 nodes, 1 slot: WR = 4 waves.
         let tasks: Vec<ReduceTask> = (0..40).map(reduce_task).collect();
-        let waves =
-            assign_reduce_waves(tasks, &nodes(10), 1, ReduceAssignment::RoundRobinByPartition);
+        let waves = assign_reduce_waves(
+            tasks,
+            &nodes(10),
+            1,
+            ReduceAssignment::RoundRobinByPartition,
+            PolicyCtx::disabled(),
+        )
+        .unwrap();
         assert_eq!(waves.len(), 4);
     }
 
@@ -198,19 +188,18 @@ mod tests {
         use rcmp_model::SplitId;
         // 1 recomputed reducer split 8 ways, 9 surviving nodes (Fig. 4b).
         let tasks: Vec<ReduceTask> = (0..8)
-            .map(|i| {
-                ReduceTask::new(ReduceTaskId::split(
-                    JobId(1),
-                    PartitionId(0),
-                    SplitId(i),
-                    8,
-                ))
-            })
+            .map(|i| ReduceTask::new(ReduceTaskId::split(JobId(1), PartitionId(0), SplitId(i), 8)))
             .collect();
-        let waves = assign_reduce_waves(tasks, &nodes(9), 1, ReduceAssignment::Balance);
+        let waves = assign_reduce_waves(
+            tasks,
+            &nodes(9),
+            1,
+            ReduceAssignment::Balance,
+            PolicyCtx::disabled(),
+        )
+        .unwrap();
         assert_eq!(waves.len(), 1, "all splits fit one wave across nodes");
-        let used: std::collections::HashSet<NodeId> =
-            waves[0].iter().map(|(n, _)| *n).collect();
+        let used: std::collections::HashSet<NodeId> = waves[0].iter().map(|(n, _)| *n).collect();
         assert_eq!(used.len(), 8);
     }
 
@@ -223,17 +212,32 @@ mod tests {
             &nodes(9),
             1,
             ReduceAssignment::Balance,
-        );
+            PolicyCtx::disabled(),
+        )
+        .unwrap();
         assert_eq!(waves.len(), 1);
         assert_eq!(waves[0].len(), 1);
     }
 
     #[test]
     fn empty_task_list_zero_waves() {
-        let waves = assign_map_waves(Vec::new(), &nodes(2), 1);
+        let waves = assign_map_waves(Vec::new(), &nodes(2), 1, PolicyCtx::disabled()).unwrap();
         assert!(waves.is_empty());
-        let waves =
-            assign_reduce_waves(Vec::new(), &nodes(2), 1, ReduceAssignment::Balance);
+        let waves = assign_reduce_waves(
+            Vec::new(),
+            &nodes(2),
+            1,
+            ReduceAssignment::Balance,
+            PolicyCtx::disabled(),
+        )
+        .unwrap();
         assert!(waves.is_empty());
+    }
+
+    #[test]
+    fn dead_cluster_is_a_typed_error() {
+        let err =
+            assign_map_waves(vec![map_task(0, &[0])], &[], 1, PolicyCtx::disabled()).unwrap_err();
+        assert_eq!(err, Error::NoLiveNodes);
     }
 }

@@ -142,9 +142,15 @@ mod tests {
         let groups = sort_and_group(recs);
         assert_eq!(groups.len(), 2);
         assert_eq!(groups[0].0, 1);
-        assert_eq!(groups[0].1, vec![Bytes::from_static(b"a"), Bytes::from_static(b"z")]);
+        assert_eq!(
+            groups[0].1,
+            vec![Bytes::from_static(b"a"), Bytes::from_static(b"z")]
+        );
         assert_eq!(groups[1].0, 2);
-        assert_eq!(groups[1].1, vec![Bytes::from_static(b"a"), Bytes::from_static(b"b")]);
+        assert_eq!(
+            groups[1].1,
+            vec![Bytes::from_static(b"a"), Bytes::from_static(b"b")]
+        );
     }
 
     #[test]

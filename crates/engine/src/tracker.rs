@@ -32,12 +32,13 @@ use crate::scheduler::{assign_map_waves, assign_reduce_waves, ReduceAssignment, 
 use crate::shuffle::{shuffle_for_reduce, ShuffleFailure};
 use crate::task::{MapTask, ReduceTask};
 use parking_lot::Mutex;
-use rcmp_dfs::LossReport;
+use rcmp_dfs::{LossReport, PlacementPolicy};
 use rcmp_model::{
     Error, HashPartitioner, JobId, MapTaskId, NodeId, PartitionId, Record, RecordReader,
     RecordWriter, ReduceTaskId, Result, SplitId, SplitPartitioner, TaskId,
 };
 use rcmp_obs::{Counter, FaultKind, Histogram, Phase, SpanId, SpanKind, Tracer};
+use rcmp_policy::PolicyCtx;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 use std::time::Instant;
@@ -84,7 +85,10 @@ enum ReduceOutcome {
     /// partition's chunks committed. The partition may look healthy
     /// (written, replicated) while silently missing records, so the
     /// phase loop must clear and fully re-reduce it.
-    Torn { task: ReduceTask, loss: LossReport },
+    Torn {
+        task: ReduceTask,
+        loss: LossReport,
+    },
 }
 
 impl<'a> JobTracker<'a> {
@@ -232,12 +236,7 @@ impl<'a> JobTracker<'a> {
                             }
                             Some(k) => (0..k)
                                 .map(|s| {
-                                    ReduceTask::new(ReduceTaskId::split(
-                                        spec.job,
-                                        p,
-                                        SplitId(s),
-                                        k,
-                                    ))
+                                    ReduceTask::new(ReduceTaskId::split(spec.job, p, SplitId(s), k))
                                 })
                                 .collect(),
                         }
@@ -250,12 +249,18 @@ impl<'a> JobTracker<'a> {
             None => (0..spec.num_reducers).map(PartitionId).collect(),
             Some(i) => i.partitions.clone(),
         };
-        let split_plan: Option<(BTreeSet<PartitionId>, u32)> = instructions
-            .as_ref()
-            .and_then(|i| match i.split {
+        let split_plan: Option<(BTreeSet<PartitionId>, u32)> =
+            instructions.as_ref().and_then(|i| match i.split {
                 Some(k) if k > 1 => Some((i.partitions.clone(), k)),
                 _ => None,
             });
+        // §IV-B2 spread-output mitigation: the plan scatters this run's
+        // recomputed reducer output blocks over all nodes instead of
+        // using the job's configured placement.
+        let placement = match &instructions {
+            Some(i) if i.spread_output => PlacementPolicy::Spread,
+            _ => spec.placement,
+        };
 
         // ----- phase loop ------------------------------------------------
         let mut map_wave_counter = 0u32;
@@ -265,9 +270,13 @@ impl<'a> JobTracker<'a> {
             // MAP PHASE: ensure every needed map output exists.
             while !pending_maps.is_empty() {
                 self.check_inputs_available(spec, &pending_maps)?;
-                let live = self.live_or_fail(spec.job)?;
-                let waves =
-                    assign_map_waves(pending_maps.clone(), &live, self.cluster.config().slots.map);
+                let live = self.live_or_fail()?;
+                let waves = assign_map_waves(
+                    pending_maps.clone(),
+                    &live,
+                    self.cluster.config().slots.map,
+                    PolicyCtx::new(&self.tracer, Some(job_span)),
+                )?;
                 let mut interrupted = false;
                 for wave in waves {
                     // Mid-wave kills land after assignment, before
@@ -322,7 +331,7 @@ impl<'a> JobTracker<'a> {
             if pending_reduces.is_empty() {
                 break;
             }
-            let live = self.live_or_fail(spec.job)?;
+            let live = self.live_or_fail()?;
             let style = if run.mode.is_recompute() {
                 ReduceAssignment::Balance
             } else {
@@ -333,7 +342,8 @@ impl<'a> JobTracker<'a> {
                 &live,
                 self.cluster.config().slots.reduce,
                 style,
-            );
+                PolicyCtx::new(&self.tracer, Some(job_span)),
+            )?;
             let input_keys: Vec<MapInputKey> = inputs.iter().map(|t| t.key).collect();
             let mut interrupted = false;
             let mut torn_partitions: BTreeSet<PartitionId> = BTreeSet::new();
@@ -356,6 +366,7 @@ impl<'a> JobTracker<'a> {
                     wave,
                     &input_keys,
                     spec,
+                    placement,
                     reduce_wave_counter,
                     wave_open.id,
                 );
@@ -383,9 +394,7 @@ impl<'a> JobTracker<'a> {
                                 return Err(Error::RecoveryExhausted {
                                     job: spec.job,
                                     attempts: *count,
-                                    reason: format!(
-                                        "reduce task {id} kept failing retryably"
-                                    ),
+                                    reason: format!("reduce task {id} kept failing retryably"),
                                 });
                             }
                         }
@@ -491,7 +500,9 @@ impl<'a> JobTracker<'a> {
         job_span: SpanId,
         report: &mut JobReport,
     ) -> Vec<NodeId> {
-        let faults = self.injector.poll_faults(&ProgressEvent { seq, job, point });
+        let faults = self
+            .injector
+            .poll_faults(&ProgressEvent { seq, job, point });
         let mut kills = Vec::new();
         for fault in faults {
             let (kind, at_node) = match &fault {
@@ -543,13 +554,10 @@ impl<'a> JobTracker<'a> {
         kills
     }
 
-    fn live_or_fail(&self, job: JobId) -> Result<Vec<NodeId>> {
+    fn live_or_fail(&self) -> Result<Vec<NodeId>> {
         let live = self.cluster.live_nodes();
         if live.is_empty() {
-            return Err(Error::JobFailed {
-                job,
-                reason: "no live nodes".into(),
-            });
+            return Err(Error::NoLiveNodes);
         }
         Ok(live)
     }
@@ -649,7 +657,10 @@ impl<'a> JobTracker<'a> {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("map task panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("map task panicked"))
+                .collect()
         });
         let mut had_failures = false;
         for outcome in outcomes {
@@ -698,7 +709,8 @@ impl<'a> JobTracker<'a> {
                 ok: false,
             },
         };
-        self.tracer.close(open, kind, Some(wave_span), None, Some(node));
+        self.tracer
+            .close(open, kind, Some(wave_span), None, Some(node));
         result
     }
 
@@ -733,10 +745,8 @@ impl<'a> JobTracker<'a> {
             });
         }
         let output_bytes: u64 = writers.values().map(|w| w.byte_len() as u64).sum();
-        let buckets: HashMap<ReduceTaskId, bytes::Bytes> = writers
-            .into_iter()
-            .map(|(k, w)| (k, w.finish()))
-            .collect();
+        let buckets: HashMap<ReduceTaskId, bytes::Bytes> =
+            writers.into_iter().map(|(k, w)| (k, w.finish())).collect();
         // Storing on a node that died mid-wave is pointless but harmless:
         // the kill's drop_node already ran or will never run again for
         // this node; re-check liveness to keep semantics crisp.
@@ -769,6 +779,7 @@ impl<'a> JobTracker<'a> {
         wave: Vec<(NodeId, ReduceTask)>,
         input_keys: &[MapInputKey],
         spec: &JobSpec,
+        placement: PlacementPolicy,
         wave_idx: u32,
         wave_span: SpanId,
     ) -> Vec<ReduceOutcome> {
@@ -777,7 +788,9 @@ impl<'a> JobTracker<'a> {
                 .into_iter()
                 .map(|(node, task)| {
                     s.spawn(move || {
-                        self.run_reduce_task(node, task, input_keys, spec, wave_idx, wave_span)
+                        self.run_reduce_task(
+                            node, task, input_keys, spec, placement, wave_idx, wave_span,
+                        )
                     })
                 })
                 .collect();
@@ -791,18 +804,21 @@ impl<'a> JobTracker<'a> {
     /// Span wrapper around [`Self::reduce_task_inner`]: one `Task` span
     /// per attempt under the wave, with per-source `ShuffleFetch` child
     /// spans emitted by the inner function.
+    #[allow(clippy::too_many_arguments)]
     fn run_reduce_task(
         &self,
         node: NodeId,
         task: ReduceTask,
         input_keys: &[MapInputKey],
         spec: &JobSpec,
+        placement: PlacementPolicy,
         wave_idx: u32,
         wave_span: SpanId,
     ) -> ReduceOutcome {
         let tid: TaskId = task.id.into();
         let open = self.tracer.open();
-        let outcome = self.reduce_task_inner(node, task, input_keys, spec, wave_idx, open.id);
+        let outcome =
+            self.reduce_task_inner(node, task, input_keys, spec, placement, wave_idx, open.id);
         let (ok, bytes_in, bytes_out) = match &outcome {
             ReduceOutcome::Done(_, rec) => (true, rec.io.shuffle_total(), rec.io.output_written),
             _ => (false, 0, 0),
@@ -823,12 +839,14 @@ impl<'a> JobTracker<'a> {
         outcome
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn reduce_task_inner(
         &self,
         node: NodeId,
         task: ReduceTask,
         input_keys: &[MapInputKey],
         spec: &JobSpec,
+        placement: PlacementPolicy,
         wave_idx: u32,
         task_span: SpanId,
     ) -> ReduceOutcome {
@@ -860,7 +878,8 @@ impl<'a> JobTracker<'a> {
             }
         };
         let shuffle_end = self.tracer.now_us();
-        self.m_shuffle_us.observe(shuffle_end.saturating_sub(shuffle_start));
+        self.m_shuffle_us
+            .observe(shuffle_end.saturating_sub(shuffle_start));
         for &(source, bytes) in &shuffled.per_source {
             self.m_shuffle_bytes.add(bytes);
             self.tracer.record(
@@ -893,7 +912,7 @@ impl<'a> JobTracker<'a> {
                 task.id.partition,
                 prefix,
                 node,
-                spec.placement,
+                placement,
             );
             let loss = self.cluster.fail_node(node);
             return ReduceOutcome::Torn { task, loss };
@@ -903,7 +922,7 @@ impl<'a> JobTracker<'a> {
             task.id.partition,
             chunks,
             node,
-            spec.placement,
+            placement,
         ) {
             Ok(()) => {}
             Err(_) => return ReduceOutcome::Retry(task.id),

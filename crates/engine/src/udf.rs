@@ -109,7 +109,10 @@ mod tests {
         assert_eq!(collect_map(&doubler, Record::new(1, &b"x"[..])).len(), 2);
 
         let counter = FnReducer(|key, values: &[Bytes], emit: Emit<'_>| {
-            emit(Record::new(key, (values.len() as u32).to_le_bytes().to_vec()));
+            emit(Record::new(
+                key,
+                (values.len() as u32).to_le_bytes().to_vec(),
+            ));
         });
         let mut out = Vec::new();
         counter.reduce(3, &[Bytes::from_static(b"a")], &mut |r| out.push(r));

@@ -24,6 +24,10 @@ pub enum Error {
     },
     /// A node id is unknown or the node is dead.
     NodeUnavailable(NodeId),
+    /// Every node in the cluster is dead: there is nowhere to place a
+    /// task. Surfaced by the scheduling kernel instead of aborting, so
+    /// a fully-failed cluster escalates through normal error plumbing.
+    NoLiveNodes,
     /// Not enough live nodes to place the requested number of replicas.
     InsufficientReplicaTargets { wanted: usize, alive: usize },
     /// A task failed (node death mid-task, or a UDF error).
@@ -66,10 +70,10 @@ impl fmt::Display for Error {
                 None => write!(f, "irreversible data loss: {path}"),
             },
             Error::NodeUnavailable(n) => write!(f, "node unavailable: {n}"),
-            Error::InsufficientReplicaTargets { wanted, alive } => write!(
-                f,
-                "cannot place {wanted} replicas: only {alive} live nodes"
-            ),
+            Error::NoLiveNodes => write!(f, "no live nodes to schedule on"),
+            Error::InsufficientReplicaTargets { wanted, alive } => {
+                write!(f, "cannot place {wanted} replicas: only {alive} live nodes")
+            }
             Error::TaskFailed { task, reason } => write!(f, "task {task} failed: {reason}"),
             Error::JobInputLost {
                 job,
@@ -112,6 +116,10 @@ mod tests {
         assert_eq!(
             Error::NodeUnavailable(NodeId(2)).to_string(),
             "node unavailable: n2"
+        );
+        assert_eq!(
+            Error::NoLiveNodes.to_string(),
+            "no live nodes to schedule on"
         );
         let e = Error::TaskFailed {
             task: MapTaskId::new(JobId(1), 3).into(),

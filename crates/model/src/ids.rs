@@ -162,7 +162,14 @@ impl fmt::Display for ReduceTaskId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.split {
             None => write!(f, "{}/R{}", self.job, self.partition.raw()),
-            Some((i, k)) => write!(f, "{}/R{}.{}of{}", self.job, self.partition.raw(), i.raw(), k),
+            Some((i, k)) => write!(
+                f,
+                "{}/R{}.{}of{}",
+                self.job,
+                self.partition.raw(),
+                i.raw(),
+                k
+            ),
         }
     }
 }

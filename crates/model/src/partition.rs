@@ -140,10 +140,7 @@ mod tests {
         for k in 0..160_000u64 {
             counts[p.partition_of(k).index()] += 1;
         }
-        let (min, max) = (
-            *counts.iter().min().unwrap(),
-            *counts.iter().max().unwrap(),
-        );
+        let (min, max) = (*counts.iter().min().unwrap(), *counts.iter().max().unwrap());
         // Within 5% of perfect balance for sequential keys.
         assert!(max - min < 10_000 / 2, "imbalance {min}..{max}");
     }
@@ -159,7 +156,10 @@ mod tests {
             .filter(|&k| p.partition_of(k) == PartitionId(3))
             .take(10_000)
             .collect();
-        let ones = keys.iter().filter(|&&k| s.split_of(k) == SplitId(1)).count();
+        let ones = keys
+            .iter()
+            .filter(|&&k| s.split_of(k) == SplitId(1))
+            .count();
         let frac = ones as f64 / keys.len() as f64;
         assert!(
             (frac - 0.5).abs() < 0.05,

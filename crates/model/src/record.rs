@@ -121,8 +121,7 @@ impl Iterator for RecordReader {
         }
         let key = u64::from_le_bytes(self.data[self.pos..self.pos + 8].try_into().unwrap());
         let len =
-            u32::from_le_bytes(self.data[self.pos + 8..self.pos + 12].try_into().unwrap())
-                as usize;
+            u32::from_le_bytes(self.data[self.pos + 8..self.pos + 12].try_into().unwrap()) as usize;
         let start = self.pos + 12;
         if start + len > self.data.len() {
             self.failed = true;

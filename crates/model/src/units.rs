@@ -10,9 +10,7 @@ use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
 /// A number of bytes.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct ByteSize(pub u64);
 
 pub const KIB: u64 = 1024;
@@ -182,6 +180,9 @@ mod tests {
         assert_eq!(ByteSize::kib(3).to_string(), "3.0KiB");
         assert_eq!(ByteSize::mib(256).to_string(), "256.0MiB");
         assert_eq!(ByteSize::gib(40).to_string(), "40.0GiB");
-        assert_eq!((ByteSize::tib(1) + ByteSize::gib(205)).to_string(), "1.2TiB");
+        assert_eq!(
+            (ByteSize::tib(1) + ByteSize::gib(205)).to_string(),
+            "1.2TiB"
+        );
     }
 }

@@ -69,7 +69,10 @@ pub fn slot_occupancy(trace: &Trace) -> Vec<RunOccupancy> {
     let mut run_ids: HashMap<SpanId, u64> = HashMap::new();
     for s in trace.spans() {
         if let SpanKind::JobRun {
-            seq, job, recompute, ..
+            seq,
+            job,
+            recompute,
+            ..
         } = s.kind
         {
             run_ids.insert(s.id, seq);

@@ -19,7 +19,10 @@ pub fn to_jsonl(trace: &Trace) -> String {
 fn event_name(span: &Span) -> String {
     match &span.kind {
         SpanKind::JobRun {
-            seq, job, recompute, ..
+            seq,
+            job,
+            recompute,
+            ..
         } => {
             if *recompute {
                 format!("recompute {job} (seq {seq})")
@@ -28,7 +31,10 @@ fn event_name(span: &Span) -> String {
             }
         }
         SpanKind::Wave {
-            phase, index, tasks, ..
+            phase,
+            index,
+            tasks,
+            ..
         } => format!("{phase:?} wave {index} ({tasks} tasks)"),
         SpanKind::Task { id, .. } => format!("{id}"),
         SpanKind::ShuffleFetch { source, .. } => format!("fetch from {source}"),
@@ -36,7 +42,9 @@ fn event_name(span: &Span) -> String {
         SpanKind::BlockWrite { blocks, .. } => format!("write {blocks} block(s)"),
         SpanKind::BlockVerifyFailed { block } => format!("checksum fail block {block}"),
         SpanKind::Fault { kind, .. } => format!("fault {kind:?}"),
-        SpanKind::Loss { lost_partitions, .. } => format!("loss ({lost_partitions} partitions)"),
+        SpanKind::Loss {
+            lost_partitions, ..
+        } => format!("loss ({lost_partitions} partitions)"),
         SpanKind::RecoveryPlan { target, steps, .. } => {
             format!("plan recovery of {target} ({steps} steps)")
         }
@@ -162,9 +170,7 @@ fn run_stats(trace: &Trace, seq: u64) -> (bool, usize) {
     let tasks = trace
         .spans()
         .iter()
-        .filter(|s| {
-            matches!(s.kind, SpanKind::Task { .. }) && trace.run_seq_of(s.id) == Some(seq)
-        })
+        .filter(|s| matches!(s.kind, SpanKind::Task { .. }) && trace.run_seq_of(s.id) == Some(seq))
         .count();
     (ok, tasks)
 }

@@ -97,7 +97,10 @@ impl Histogram {
 
     /// Per-bucket counts, overflow bucket last.
     pub fn bucket_counts(&self) -> Vec<u64> {
-        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+        self.counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
     }
 }
 
@@ -147,10 +150,7 @@ pub struct MetricsSnapshot {
 impl MetricsSnapshot {
     /// Looks a metric up by name.
     pub fn get(&self, name: &str) -> Option<&SnapshotValue> {
-        self.entries
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| v)
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| v)
     }
 
     /// Convenience: the value of a counter, or `None` when absent or of

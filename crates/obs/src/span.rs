@@ -15,7 +15,9 @@ use serde::{Deserialize, Serialize};
 ///
 /// `SpanId(0)` is never issued; it is reserved as the "no span" value
 /// in the tracer's atomic cause register.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub struct SpanId(pub u64);
 
 /// Which task phase a wave belongs to.
@@ -320,7 +322,14 @@ mod tests {
 
     #[test]
     fn duration_and_instant() {
-        let mut s = span(1, None, SpanKind::Event { seq: 0, label: "x".into() });
+        let mut s = span(
+            1,
+            None,
+            SpanKind::Event {
+                seq: 0,
+                label: "x".into(),
+            },
+        );
         assert_eq!(s.duration_us(), 1);
         assert!(!s.is_instant());
         s.end_us = s.start_us;

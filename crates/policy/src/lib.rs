@@ -1,0 +1,47 @@
+//! # rcmp-policy — the shared scheduling & recovery policy kernel
+//!
+//! Every phenomenon the paper measures — waves (§II), data-locality
+//! tie-breaking (§III-A), recomputation spreading and hot-spots (§IV-B),
+//! reducer splitting and spread-output mitigation (§IV-B1/2) — is a
+//! *decision*, not a mechanism. This crate holds the single
+//! implementation of those decisions, expressed over backend-agnostic
+//! traits, so the real engine (`rcmp-engine`) and the discrete-event
+//! simulator (`rcmp-sim`) execute literally the same code and agree by
+//! construction rather than by test discipline.
+//!
+//! The shape follows M3R's argument for one well-factored execution core
+//! reused across running modes, and Binocular Speculation's argument
+//! that recovery *policy* should be a first-class module separable from
+//! the execution substrate:
+//!
+//! * [`TopologyView`] — what the kernel needs to know about a cluster:
+//!   live nodes and per-phase slot counts. [`SliceTopology`] adapts a
+//!   plain node slice.
+//! * [`MapTaskSet`] / [`ReduceTaskSet`] — what it needs to know about
+//!   the work: task count, replica/primary-holder queries, partition
+//!   keys. [`FnMapTasks`] / [`FnReduceTasks`] adapt closures.
+//! * [`assign_map_waves`] / [`assign_reduce_waves`] — the wave kernels.
+//! * [`RecomputePlan`] — the unified recomputation instruction set that
+//!   `rcmp-engine::RecomputeInstructions` and `rcmp-sim::RecomputeSpec`
+//!   are re-exports of.
+//! * [`choose_mitigation`] — hot-spot mitigation selection (split vs
+//!   spread-output, §IV-B2) shared by the middleware and the simulator.
+//! * [`PolicyCtx`] — optional `rcmp-obs` instrumentation: every
+//!   placement decision can emit a span, in both backends.
+
+#![deny(missing_docs)]
+
+mod mitigation;
+mod plan;
+mod tasks;
+mod topology;
+mod waves;
+
+pub use mitigation::{choose_mitigation, HotspotMitigation, MitigationChoice, SplitPolicy};
+pub use plan::RecomputePlan;
+pub use tasks::{FnMapTasks, FnReduceTasks, MapTaskSet, ReduceTaskSet};
+pub use topology::{SliceTopology, TopologyView};
+pub use waves::{
+    assign_map_waves, assign_reduce_waves, queues_to_waves, PolicyCtx, ReduceAssignment,
+    WaveAssignment,
+};

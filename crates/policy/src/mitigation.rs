@@ -1,0 +1,122 @@
+//! Hot-spot mitigation selection (§IV-B2).
+//!
+//! After a failure, the few recomputed reducers concentrate output on
+//! few nodes; the next job's mappers then converge on those nodes. The
+//! paper analyzes two mitigations — reducer splitting (its choice,
+//! §IV-B1) and spread-output (analyzed and rejected) — and the choice
+//! between them is *policy*, shared here by the real middleware
+//! (`rcmp-core`) and the chain simulator (`rcmp-sim`).
+
+use serde::{Deserialize, Serialize};
+
+/// How many ways to split recomputed reducers (§IV-B1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SplitPolicy {
+    /// No splitting — the paper's "RCMP NO-SPLIT".
+    None,
+    /// Split every recomputed reducer `k` ways (the paper uses 8 on
+    /// STIC, 59 on DCO).
+    Fixed(u32),
+    /// Split by the number of surviving nodes at plan time, so every
+    /// survivor gets reducer work (the paper's "N−1" rule of Fig. 11).
+    Survivors,
+}
+
+impl SplitPolicy {
+    /// Resolves the split factor given the current survivor count.
+    /// Returns `None` when no splitting should be instructed.
+    pub fn factor(&self, survivors: usize) -> Option<u32> {
+        match self {
+            SplitPolicy::None => None,
+            SplitPolicy::Fixed(k) if *k <= 1 => None,
+            SplitPolicy::Fixed(k) => Some(*k),
+            SplitPolicy::Survivors => {
+                let k = survivors as u32;
+                (k > 1).then_some(k)
+            }
+        }
+    }
+}
+
+/// How recomputation runs mitigate the hot-spots of §IV-B2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HotspotMitigation {
+    /// No mitigation: recomputed reducers write locally, the following
+    /// job's mappers converge on that node.
+    None,
+    /// Reducer splitting (the paper's choice): splitting spreads the
+    /// reducer output implicitly. Selected by using a [`SplitPolicy`]
+    /// other than `None`.
+    SplitReducers,
+    /// The alternative the paper analyzes and rejects: unsplit
+    /// recomputed reducers scatter their output blocks over many nodes.
+    /// Balances the next map phase but not the reduce/shuffle work.
+    SpreadOutput,
+}
+
+/// The resolved mitigation for one recomputation run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MitigationChoice {
+    /// Split factor to instruct (`None` = whole reducers).
+    pub split: Option<u32>,
+    /// Scatter recomputed reducer output blocks over all nodes.
+    pub spread_output: bool,
+}
+
+/// Resolves the split/spread decision for a recomputation run given the
+/// configured policies and the survivor count at plan time. This is the
+/// single place where `SplitPolicy` and `HotspotMitigation` combine —
+/// previously duplicated between the middleware planner and the chain
+/// simulator.
+pub fn choose_mitigation(
+    split: SplitPolicy,
+    hotspot: HotspotMitigation,
+    survivors: usize,
+) -> MitigationChoice {
+    MitigationChoice {
+        split: split.factor(survivors),
+        spread_output: hotspot == HotspotMitigation::SpreadOutput,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_policy_resolution() {
+        assert_eq!(SplitPolicy::None.factor(9), None);
+        assert_eq!(SplitPolicy::Fixed(8).factor(9), Some(8));
+        assert_eq!(SplitPolicy::Fixed(1).factor(9), None);
+        assert_eq!(SplitPolicy::Survivors.factor(9), Some(9));
+        assert_eq!(SplitPolicy::Survivors.factor(1), None);
+    }
+
+    #[test]
+    fn mitigation_resolution() {
+        let c = choose_mitigation(SplitPolicy::Fixed(8), HotspotMitigation::SplitReducers, 9);
+        assert_eq!(
+            c,
+            MitigationChoice {
+                split: Some(8),
+                spread_output: false
+            }
+        );
+        let c = choose_mitigation(SplitPolicy::None, HotspotMitigation::SpreadOutput, 9);
+        assert_eq!(
+            c,
+            MitigationChoice {
+                split: None,
+                spread_output: true
+            }
+        );
+        let c = choose_mitigation(SplitPolicy::Survivors, HotspotMitigation::None, 1);
+        assert_eq!(
+            c,
+            MitigationChoice {
+                split: None,
+                spread_output: false
+            }
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! The kernel's view of a cluster.
+//!
+//! The engine schedules over `rcmp_model::NodeId`s owned by a live
+//! `Cluster`; the simulator over bare `u32`s in a `SimState`. The kernel
+//! only ever needs the *live* node list (survivors, in failure
+//! scenarios) and the per-phase slot counts, so that is all the trait
+//! asks for.
+
+use std::fmt::Debug;
+
+/// What the wave kernels need to know about a cluster.
+///
+/// `Node` is whatever the backend uses to name a machine; the kernel
+/// treats it as an opaque copyable token and returns it in assignments.
+pub trait TopologyView {
+    /// Backend node identifier (engine: `NodeId`; simulator: `u32`).
+    type Node: Copy + Eq + Ord + Debug;
+
+    /// Nodes currently alive, in the backend's canonical order. The
+    /// order matters: round-robin placement and steal order are defined
+    /// over it, and both backends must present the same order for
+    /// agreement to hold (both use ascending node id).
+    fn live_nodes(&self) -> Vec<Self::Node>;
+
+    /// Concurrent map tasks per node (§II's `SM`).
+    fn map_slots(&self) -> u32;
+
+    /// Concurrent reduce tasks per node (§II's `SR`).
+    fn reduce_slots(&self) -> u32;
+}
+
+/// A [`TopologyView`] over a plain slice of live nodes with uniform
+/// slot counts — the adapter both backends use today.
+#[derive(Clone, Copy, Debug)]
+pub struct SliceTopology<'a, N> {
+    live: &'a [N],
+    map_slots: u32,
+    reduce_slots: u32,
+}
+
+impl<'a, N: Copy + Eq + Ord + Debug> SliceTopology<'a, N> {
+    /// View over `live` with distinct map/reduce slot counts.
+    pub fn new(live: &'a [N], map_slots: u32, reduce_slots: u32) -> Self {
+        Self {
+            live,
+            map_slots,
+            reduce_slots,
+        }
+    }
+
+    /// View over `live` with the same slot count for both phases —
+    /// callers scheduling a single phase only ever read one of them.
+    pub fn uniform(live: &'a [N], slots: u32) -> Self {
+        Self::new(live, slots, slots)
+    }
+}
+
+impl<N: Copy + Eq + Ord + Debug> TopologyView for SliceTopology<'_, N> {
+    type Node = N;
+
+    fn live_nodes(&self) -> Vec<N> {
+        self.live.to_vec()
+    }
+
+    fn map_slots(&self) -> u32 {
+        self.map_slots
+    }
+
+    fn reduce_slots(&self) -> u32 {
+        self.reduce_slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_topology_reports_its_inputs() {
+        let live = [3u32, 5, 7];
+        let t = SliceTopology::new(&live, 2, 4);
+        assert_eq!(t.live_nodes(), vec![3, 5, 7]);
+        assert_eq!(t.map_slots(), 2);
+        assert_eq!(t.reduce_slots(), 4);
+        let u = SliceTopology::uniform(&live, 3);
+        assert_eq!(u.map_slots(), 3);
+        assert_eq!(u.reduce_slots(), 3);
+    }
+}

@@ -1,0 +1,436 @@
+//! Slot-constrained wave assignment — the kernel both backends run.
+//!
+//! A node runs at most `slots` tasks of a phase concurrently; a phase
+//! with more tasks per node runs in multiple **waves** (§II). The
+//! assignment policy mirrors Hadoop's slot scheduler at the fidelity the
+//! paper's phenomena need:
+//!
+//! * tasks balance across live nodes (nodes claim in rounds), so a
+//!   recomputation's few tasks spread over *all* survivors — this is
+//!   what makes the hot-spot of §IV-B2 appear: recomputed mappers land
+//!   on many nodes but all read from the one node holding the
+//!   recomputed input;
+//! * each node prefers a task whose *primary* replica it holds (the
+//!   writer-local copy), then any task whose data it holds (locality
+//!   via tie-breaking, §III-A), then steals a non-local task;
+//! * initial-run reducers are placed round-robin by partition id,
+//!   giving the deterministic `WR = R/(N·S)` waves of the paper's
+//!   model; recomputation reducers balance over survivors instead
+//!   (Fig. 4).
+
+use crate::tasks::{MapTaskSet, ReduceTaskSet};
+use crate::topology::TopologyView;
+use rcmp_model::{Error, Result};
+use rcmp_obs::{SpanId, SpanKind, Tracer};
+
+/// Tasks grouped into waves: `waves[w]` lists the `(node, task_index)`
+/// pairs running concurrently in wave `w`.
+pub type WaveAssignment<N> = Vec<Vec<(N, usize)>>;
+
+/// How reduce tasks pick nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReduceAssignment {
+    /// Partition `p` goes to `live[p % N]` — the initial-run layout.
+    RoundRobinByPartition,
+    /// Shortest-queue balancing — used for recomputation runs, where
+    /// the task list is small and should use every survivor (Fig. 4).
+    Balance,
+}
+
+/// Optional instrumentation handle threaded through the kernels.
+///
+/// When a tracer is attached, every placement decision emits an
+/// [`SpanKind::Event`] span (label prefix `policy.`) under `parent`, so
+/// traces from the engine and the simulator show the *same* decision
+/// points.
+#[derive(Clone, Copy, Default)]
+pub struct PolicyCtx<'a> {
+    tracer: Option<&'a Tracer>,
+    parent: Option<SpanId>,
+}
+
+impl<'a> PolicyCtx<'a> {
+    /// No instrumentation; decisions are silent.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Emit decision spans to `tracer`, parented under `parent`.
+    pub fn new(tracer: &'a Tracer, parent: Option<SpanId>) -> Self {
+        Self {
+            tracer: Some(tracer),
+            parent,
+        }
+    }
+
+    /// Like [`PolicyCtx::new`] but tolerating an optional tracer.
+    pub fn maybe(tracer: Option<&'a Tracer>, parent: Option<SpanId>) -> Self {
+        Self { tracer, parent }
+    }
+
+    fn emit(&self, label: String) {
+        if let Some(t) = self.tracer {
+            t.instant(SpanKind::Event { seq: 0, label }, self.parent, None, None);
+        }
+    }
+}
+
+/// Spreads per-node queues into waves of at most `slots` tasks per node.
+///
+/// Exposed so backends can reuse the wave arithmetic for custom queue
+/// shapes (e.g. speculative re-execution experiments).
+pub fn queues_to_waves<N: Copy>(
+    queues: Vec<Vec<usize>>,
+    live: &[N],
+    slots: u32,
+) -> WaveAssignment<N> {
+    let slots = slots.max(1) as usize;
+    let num_waves = queues
+        .iter()
+        .map(|q| q.len().div_ceil(slots))
+        .max()
+        .unwrap_or(0);
+    let mut waves: WaveAssignment<N> = vec![Vec::new(); num_waves];
+    for (ni, queue) in queues.into_iter().enumerate() {
+        for (ti, task) in queue.into_iter().enumerate() {
+            waves[ti / slots].push((live[ni], task));
+        }
+    }
+    waves
+}
+
+/// Assigns map tasks to waves over the live nodes with Hadoop's
+/// slot-pull semantics: nodes claim tasks in rounds, each preferring a
+/// primary-local task, then any local task, then stealing. Balanced
+/// data runs (almost) fully local; a handful of recomputed tasks
+/// spreads over all nodes in one wave — the behaviours behind the
+/// paper's locality and hot-spot observations.
+///
+/// Errors with [`Error::NoLiveNodes`] when the topology has no
+/// survivors left to place on.
+pub fn assign_map_waves<V, S>(
+    topo: &V,
+    tasks: &S,
+    ctx: PolicyCtx<'_>,
+) -> Result<WaveAssignment<V::Node>>
+where
+    V: TopologyView,
+    S: MapTaskSet<V::Node>,
+{
+    let live = topo.live_nodes();
+    if live.is_empty() {
+        return Err(Error::NoLiveNodes);
+    }
+    let mut pending: Vec<usize> = (0..tasks.len()).collect();
+    let mut queues: Vec<Vec<usize>> = vec![Vec::new(); live.len()];
+    let mut local = 0usize;
+    while !pending.is_empty() {
+        for (i, &n) in live.iter().enumerate() {
+            if pending.is_empty() {
+                break;
+            }
+            let pos = pending
+                .iter()
+                .position(|&t| tasks.is_primary_holder(t, n))
+                .or_else(|| pending.iter().position(|&t| tasks.holds_replica(t, n)))
+                .unwrap_or(0);
+            let t = pending.remove(pos);
+            if tasks.holds_replica(t, n) {
+                local += 1;
+            }
+            queues[i].push(t);
+        }
+    }
+    let waves = queues_to_waves(queues, &live, topo.map_slots());
+    ctx.emit(format!(
+        "policy.map_waves tasks={} nodes={} slots={} waves={} local={}",
+        tasks.len(),
+        live.len(),
+        topo.map_slots(),
+        waves.len(),
+        local,
+    ));
+    Ok(waves)
+}
+
+/// Assigns reduce tasks to waves over the live nodes, either round-robin
+/// by partition (initial runs) or shortest-queue balanced (recompute
+/// runs — splits of one partition spread over all survivors, Fig. 4b).
+///
+/// Errors with [`Error::NoLiveNodes`] when the topology has no
+/// survivors left to place on.
+pub fn assign_reduce_waves<V, S>(
+    topo: &V,
+    tasks: &S,
+    style: ReduceAssignment,
+    ctx: PolicyCtx<'_>,
+) -> Result<WaveAssignment<V::Node>>
+where
+    V: TopologyView,
+    S: ReduceTaskSet,
+{
+    let live = topo.live_nodes();
+    if live.is_empty() {
+        return Err(Error::NoLiveNodes);
+    }
+    let mut queues: Vec<Vec<usize>> = vec![Vec::new(); live.len()];
+    match style {
+        ReduceAssignment::RoundRobinByPartition => {
+            for t in 0..tasks.len() {
+                queues[tasks.partition_index(t) % live.len()].push(t);
+            }
+        }
+        ReduceAssignment::Balance => {
+            for t in 0..tasks.len() {
+                let (i, _) = queues
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(i, q)| (q.len(), *i))
+                    .expect("at least one live node");
+                queues[i].push(t);
+            }
+        }
+    }
+    let waves = queues_to_waves(queues, &live, topo.reduce_slots());
+    ctx.emit(format!(
+        "policy.reduce_waves style={style:?} tasks={} nodes={} slots={} waves={}",
+        tasks.len(),
+        live.len(),
+        topo.reduce_slots(),
+        waves.len(),
+    ));
+    Ok(waves)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasks::{FnMapTasks, FnReduceTasks};
+    use crate::topology::SliceTopology;
+
+    fn nodes(n: u32) -> Vec<u32> {
+        (0..n).collect()
+    }
+
+    /// Map tasks where task `t`'s replica set is `layout[t]` and the
+    /// primary is the first entry.
+    fn layout_tasks(
+        layout: &[Vec<u32>],
+    ) -> FnMapTasks<impl Fn(usize, u32) -> bool + '_, impl Fn(usize, u32) -> bool + '_> {
+        FnMapTasks::new(
+            layout.len(),
+            |t: usize, n: u32| layout[t].first() == Some(&n),
+            |t: usize, n: u32| layout[t].contains(&n),
+        )
+    }
+
+    #[test]
+    fn balanced_map_tasks_prefer_local() {
+        // 4 tasks, 4 nodes, 1 replica each on its "own" node.
+        let layout: Vec<Vec<u32>> = (0..4u32).map(|i| vec![i]).collect();
+        let live = nodes(4);
+        let topo = SliceTopology::uniform(&live, 1);
+        let waves = assign_map_waves(&topo, &layout_tasks(&layout), PolicyCtx::disabled()).unwrap();
+        assert_eq!(waves.len(), 1);
+        for &(node, task) in &waves[0] {
+            assert!(
+                layout[task].contains(&node),
+                "task {task} not local on {node}"
+            );
+        }
+    }
+
+    #[test]
+    fn few_tasks_spread_over_nodes_not_piled_on_replica_holder() {
+        // The hot-spot scenario: 3 blocks all on node 0, 4 live nodes.
+        let layout: Vec<Vec<u32>> = (0..3).map(|_| vec![0u32]).collect();
+        let live = nodes(4);
+        let topo = SliceTopology::uniform(&live, 1);
+        let waves = assign_map_waves(&topo, &layout_tasks(&layout), PolicyCtx::disabled()).unwrap();
+        // All three run in a single wave on three different nodes.
+        assert_eq!(waves.len(), 1);
+        let used: std::collections::HashSet<u32> = waves[0].iter().map(|&(n, _)| n).collect();
+        assert_eq!(used.len(), 3);
+    }
+
+    #[test]
+    fn waves_respect_slots() {
+        let layout: Vec<Vec<u32>> = (0..8).map(|_| Vec::new()).collect();
+        let live = nodes(2);
+        let topo = SliceTopology::uniform(&live, 2);
+        let waves = assign_map_waves(&topo, &layout_tasks(&layout), PolicyCtx::disabled()).unwrap();
+        // 8 tasks / (2 nodes * 2 slots) = 2 waves.
+        assert_eq!(waves.len(), 2);
+        for wave in &waves {
+            let mut per_node = std::collections::HashMap::new();
+            for &(n, _) in wave {
+                *per_node.entry(n).or_insert(0) += 1;
+            }
+            assert!(per_node.values().all(|&c| c <= 2));
+        }
+    }
+
+    #[test]
+    fn primary_preference_beats_mere_replica() {
+        // Task 0 has its primary on node 1 but a replica on node 0;
+        // task 1 has its primary on node 0. Without the primary
+        // preference node 0 (first in claim order) would eat task 0.
+        let layout: Vec<Vec<u32>> = vec![vec![1, 0], vec![0, 1]];
+        let live = nodes(2);
+        let topo = SliceTopology::uniform(&live, 1);
+        let waves = assign_map_waves(&topo, &layout_tasks(&layout), PolicyCtx::disabled()).unwrap();
+        assert_eq!(waves.len(), 1);
+        for &(node, task) in &waves[0] {
+            assert_eq!(layout[task][0], node, "each task on its primary holder");
+        }
+    }
+
+    #[test]
+    fn initial_reducers_round_robin() {
+        // 10 reducers, 10 nodes, 1 slot: exactly 1 wave (WR = 1), with
+        // partition p on node p % N.
+        let live = nodes(10);
+        let topo = SliceTopology::uniform(&live, 1);
+        let tasks = FnReduceTasks::new(10, |t| t);
+        let waves = assign_reduce_waves(
+            &topo,
+            &tasks,
+            ReduceAssignment::RoundRobinByPartition,
+            PolicyCtx::disabled(),
+        )
+        .unwrap();
+        assert_eq!(waves.len(), 1);
+        for &(node, task) in &waves[0] {
+            assert_eq!(node as usize, task % 10);
+        }
+    }
+
+    #[test]
+    fn round_robin_gives_paper_wave_count() {
+        // 40 reducers, 10 nodes, 1 slot: WR = 4 waves.
+        let live = nodes(10);
+        let topo = SliceTopology::uniform(&live, 1);
+        let tasks = FnReduceTasks::new(40, |t| t);
+        let waves = assign_reduce_waves(
+            &topo,
+            &tasks,
+            ReduceAssignment::RoundRobinByPartition,
+            PolicyCtx::disabled(),
+        )
+        .unwrap();
+        assert_eq!(waves.len(), 4);
+    }
+
+    #[test]
+    fn balance_spreads_splits_over_all_nodes() {
+        // 1 recomputed reducer split 8 ways, 9 surviving nodes (Fig. 4b).
+        let live = nodes(9);
+        let topo = SliceTopology::uniform(&live, 1);
+        let tasks = FnReduceTasks::new(8, |_| 0);
+        let waves = assign_reduce_waves(
+            &topo,
+            &tasks,
+            ReduceAssignment::Balance,
+            PolicyCtx::disabled(),
+        )
+        .unwrap();
+        assert_eq!(waves.len(), 1, "all splits fit one wave across nodes");
+        let used: std::collections::HashSet<u32> = waves[0].iter().map(|&(n, _)| n).collect();
+        assert_eq!(used.len(), 8);
+    }
+
+    #[test]
+    fn no_split_recompute_uses_one_node_per_reducer() {
+        // 1 recomputed whole reducer, 9 nodes: 1 task on 1 node — the
+        // paper's under-utilization (Fig. 4a).
+        let live = nodes(9);
+        let topo = SliceTopology::uniform(&live, 1);
+        let tasks = FnReduceTasks::new(1, |_| 0);
+        let waves = assign_reduce_waves(
+            &topo,
+            &tasks,
+            ReduceAssignment::Balance,
+            PolicyCtx::disabled(),
+        )
+        .unwrap();
+        assert_eq!(waves.len(), 1);
+        assert_eq!(waves[0].len(), 1);
+    }
+
+    #[test]
+    fn empty_task_list_zero_waves() {
+        let live = nodes(2);
+        let topo = SliceTopology::uniform(&live, 1);
+        let maps: Vec<Vec<u32>> = Vec::new();
+        assert!(
+            assign_map_waves(&topo, &layout_tasks(&maps), PolicyCtx::disabled())
+                .unwrap()
+                .is_empty()
+        );
+        let reds = FnReduceTasks::new(0, |t| t);
+        assert!(assign_reduce_waves(
+            &topo,
+            &reds,
+            ReduceAssignment::Balance,
+            PolicyCtx::disabled()
+        )
+        .unwrap()
+        .is_empty());
+    }
+
+    #[test]
+    fn empty_topology_is_a_typed_error() {
+        let live: Vec<u32> = Vec::new();
+        let topo = SliceTopology::uniform(&live, 1);
+        let maps: Vec<Vec<u32>> = vec![vec![0]];
+        assert_eq!(
+            assign_map_waves(&topo, &layout_tasks(&maps), PolicyCtx::disabled()).unwrap_err(),
+            rcmp_model::Error::NoLiveNodes
+        );
+        let reds = FnReduceTasks::new(1, |_| 0);
+        assert_eq!(
+            assign_reduce_waves(
+                &topo,
+                &reds,
+                ReduceAssignment::RoundRobinByPartition,
+                PolicyCtx::disabled()
+            )
+            .unwrap_err(),
+            rcmp_model::Error::NoLiveNodes
+        );
+    }
+
+    #[test]
+    fn decision_spans_emitted_when_traced() {
+        let tracer = Tracer::new();
+        let layout: Vec<Vec<u32>> = vec![vec![0], vec![1]];
+        let live = nodes(2);
+        let topo = SliceTopology::uniform(&live, 1);
+        assign_map_waves(&topo, &layout_tasks(&layout), PolicyCtx::new(&tracer, None)).unwrap();
+        let reds = FnReduceTasks::new(2, |t| t);
+        assign_reduce_waves(
+            &topo,
+            &reds,
+            ReduceAssignment::RoundRobinByPartition,
+            PolicyCtx::new(&tracer, None),
+        )
+        .unwrap();
+        let spans = tracer.snapshot();
+        let labels: Vec<String> = spans
+            .spans
+            .iter()
+            .filter_map(|s| match &s.kind {
+                SpanKind::Event { label, .. } => Some(label.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(labels.len(), 2);
+        assert!(labels[0].starts_with("policy.map_waves "), "{}", labels[0]);
+        assert!(labels[0].contains("local=2"), "{}", labels[0]);
+        assert!(
+            labels[1].starts_with("policy.reduce_waves style=RoundRobinByPartition"),
+            "{}",
+            labels[1]
+        );
+    }
+}

@@ -14,6 +14,7 @@ use crate::report::{SimChainReport, SimEvent};
 use crate::state::{Node, SimState};
 use crate::workload::WorkloadCfg;
 use rcmp_core::strategy::{HotspotMitigation, SplitPolicy, Strategy};
+use rcmp_policy::choose_mitigation;
 use std::collections::BTreeSet;
 
 /// One scripted failure: kill `node` `offset` seconds into run `seq`
@@ -201,7 +202,10 @@ impl<'a> Runner<'a> {
             }
         }
         let (replication, persists) = (self.replication(), self.persists());
-        let mut rep = self.js.run_full(&mut self.state, j, replication, persists);
+        let mut rep = self
+            .js
+            .run_full(&mut self.state, j, replication, persists)
+            .expect("chain keeps at least one live node");
         rep.seq = seq;
         self.t += rep.duration;
         self.report.events.push(SimEvent::JobCompleted {
@@ -217,8 +221,7 @@ impl<'a> Runner<'a> {
     /// the sim-state version of `rcmp-core::planner::plan_recovery`.
     fn recover(&mut self, target: u32, split: SplitPolicy, hotspot: HotspotMitigation) {
         let survivors = self.state.live_nodes().len();
-        let split_factor = split.factor(survivors).unwrap_or(1);
-        let spread = hotspot == HotspotMitigation::SpreadOutput;
+        let mitigation = choose_mitigation(split, hotspot, survivors);
 
         // Plan: walk back from the target's input.
         let mut steps: Vec<(u32, BTreeSet<u32>)> = Vec::new();
@@ -280,10 +283,13 @@ impl<'a> Runner<'a> {
                 // Replan from merged damage and continue recovering.
                 return self.recover(target, split, hotspot);
             }
-            let mut spec = RecomputeSpec::new(partitions.iter().copied(), split_factor);
-            spec.spread_output = spread;
+            let mut spec = RecomputeSpec::new(partitions.iter().copied(), mitigation.split);
+            spec.spread_output = mitigation.spread_output;
             let persists = self.persists();
-            let mut rep = self.js.run_recompute(&mut self.state, job, &spec, persists);
+            let mut rep = self
+                .js
+                .run_recompute(&mut self.state, job, &spec, persists)
+                .expect("chain keeps at least one live node");
             rep.seq = seq;
             self.t += rep.duration;
             self.report.events.push(SimEvent::JobCompleted {
@@ -313,7 +319,11 @@ impl<'a> Runner<'a> {
                 ..
             } => {
                 self.jobs_since_point += 1;
-                (factor, reclaim, policy.should_replicate(self.jobs_since_point))
+                (
+                    factor,
+                    reclaim,
+                    policy.should_replicate(self.jobs_since_point),
+                )
             }
             _ => return,
         };

@@ -146,7 +146,10 @@ mod tests {
     #[test]
     fn slow_shuffle_sets_delay() {
         assert_eq!(HwProfile::stic().shuffle_transfer_delay, 0.0);
-        assert_eq!(HwProfile::stic().with_slow_shuffle().shuffle_transfer_delay, 10.0);
+        assert_eq!(
+            HwProfile::stic().with_slow_shuffle().shuffle_transfer_delay,
+            10.0
+        );
     }
 
     #[test]

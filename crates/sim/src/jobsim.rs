@@ -21,45 +21,24 @@
 
 use crate::hw::HwProfile;
 use crate::report::SimJobReport;
+use crate::sched::{assign_map_waves, assign_reduce_waves};
 use crate::speculate::{speculate_wave, SpeculationCfg, WaveTask};
-use crate::sched::{assign_waves_balanced, assign_waves_round_robin};
 use crate::state::{MapOutputRec, Node, Segment, SimState};
 use crate::workload::WorkloadCfg;
-use std::collections::{BTreeMap, BTreeSet};
+use rcmp_model::Result;
+use rcmp_obs::Tracer;
+use rcmp_policy::{PolicyCtx, ReduceAssignment};
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
-/// Instructions for a recomputation run (mirrors
-/// `rcmp-engine::RecomputeInstructions` at sim granularity).
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct RecomputeSpec {
-    pub partitions: BTreeSet<u32>,
-    /// Split factor (1 = whole reducers).
-    pub split: u32,
-    /// Reuse valid persisted map outputs (false re-runs every mapper —
-    /// the Fig. 13 isolation setting).
-    pub reuse_map_outputs: bool,
-    /// Scatter recomputed reducer output over all nodes (the paper's
-    /// alternative hot-spot mitigation, §IV-B2).
-    pub spread_output: bool,
-    /// Experiment knob (Figs. 13/14): re-run exactly this many mappers
-    /// regardless of persisted-output validity, reusing the rest. Used
-    /// to control the number of recomputation map waves directly.
-    pub force_rerun_mappers: Option<usize>,
-}
-
-impl RecomputeSpec {
-    pub fn new(partitions: impl IntoIterator<Item = u32>, split: u32) -> Self {
-        Self {
-            partitions: partitions.into_iter().collect(),
-            split: split.max(1),
-            reuse_map_outputs: true,
-            spread_output: false,
-            force_rerun_mappers: None,
-        }
-    }
-}
+/// Instructions for a recomputation run. This *is* the shared
+/// [`rcmp_policy::RecomputePlan`] — the same type the engine consumes as
+/// `RecomputeInstructions` — so a plan computed by the middleware can be
+/// replayed in the simulator verbatim.
+pub use rcmp_policy::RecomputePlan as RecomputeSpec;
 
 /// Simulates job runs for one workload + hardware profile.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct JobSim {
     pub hw: HwProfile,
     pub wl: WorkloadCfg,
@@ -70,6 +49,20 @@ pub struct JobSim {
     /// the network; data locality does not exist. "Our contributions
     /// directly apply also to the non-collocated case."
     pub noncollocated: bool,
+    /// Optional tracer: scheduling decisions emit `policy.*` spans.
+    pub tracer: Option<Arc<Tracer>>,
+}
+
+impl std::fmt::Debug for JobSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobSim")
+            .field("hw", &self.hw)
+            .field("wl", &self.wl)
+            .field("speculation", &self.speculation)
+            .field("noncollocated", &self.noncollocated)
+            .field("traced", &self.tracer.is_some())
+            .finish()
+    }
 }
 
 struct MapTaskSim {
@@ -86,12 +79,20 @@ impl JobSim {
             wl,
             speculation: None,
             noncollocated: false,
+            tracer: None,
         }
     }
 
     /// Enables speculative execution of map-wave stragglers.
     pub fn with_speculation(mut self, cfg: SpeculationCfg) -> Self {
         self.speculation = Some(cfg);
+        self
+    }
+
+    /// Attaches a tracer: every wave-assignment decision emits a
+    /// `policy.*` span.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = Some(tracer);
         self
     }
 
@@ -102,14 +103,15 @@ impl JobSim {
         self
     }
 
-    /// Full (initial or restarted) run of `job`.
+    /// Full (initial or restarted) run of `job`. Fails with
+    /// [`rcmp_model::Error::NoLiveNodes`] on a fully-dead cluster.
     pub fn run_full(
         &self,
         state: &mut SimState,
         job: u32,
         replication: u32,
         persist: bool,
-    ) -> SimJobReport {
+    ) -> Result<SimJobReport> {
         // A restarted job discards partial results (§V-A).
         state.clear_job_outputs(job);
         if let Some(f) = state.files.get_mut(&job) {
@@ -118,14 +120,15 @@ impl JobSim {
         self.run(state, job, None, replication, persist)
     }
 
-    /// RCMP recomputation run.
+    /// RCMP recomputation run. Fails with
+    /// [`rcmp_model::Error::NoLiveNodes`] on a fully-dead cluster.
     pub fn run_recompute(
         &self,
         state: &mut SimState,
         job: u32,
         spec: &RecomputeSpec,
         persist: bool,
-    ) -> SimJobReport {
+    ) -> Result<SimJobReport> {
         self.run(state, job, Some(spec), 1, persist)
     }
 
@@ -136,13 +139,13 @@ impl JobSim {
         recompute: Option<&RecomputeSpec>,
         replication: u32,
         persist: bool,
-    ) -> SimJobReport {
+    ) -> Result<SimJobReport> {
         let hw = &self.hw;
         let wl = &self.wl;
         let input_file = job - 1;
         let block = wl.block_size.as_u64();
         let live = state.live_nodes();
-        assert!(!live.is_empty(), "no live nodes");
+        let ctx = PolicyCtx::maybe(self.tracer.as_deref(), None);
 
         let mut report = SimJobReport {
             job,
@@ -170,8 +173,7 @@ impl JobSim {
                 // reads onto one partition's few replica holders.
                 let total = all_tasks.len();
                 let n = n.min(total);
-                let mut picked: Vec<usize> =
-                    (0..n).map(|i| i * total / n.max(1)).collect();
+                let mut picked: Vec<usize> = (0..n).map(|i| i * total / n.max(1)).collect();
                 picked.dedup();
                 picked
             }
@@ -189,13 +191,14 @@ impl JobSim {
         // ---------------- map phase -------------------------------------
         let mut map_phase = 0.0f64;
         let noncol = self.noncollocated;
-        let waves = assign_waves_balanced(
+        let waves = assign_map_waves(
             to_run.len(),
             &live,
             wl.slots.map,
             |ti, n| !noncol && all_tasks[to_run[ti]].holders.first() == Some(&n),
             |ti, n| !noncol && all_tasks[to_run[ti]].holders.contains(&n),
-        );
+            ctx,
+        )?;
         report.map_waves = waves.len() as u32;
         for wave in &waves {
             // Source per task: own node if it holds a live replica,
@@ -205,24 +208,23 @@ impl JobSim {
                 .iter()
                 .map(|&(node, ti)| {
                     let t = &all_tasks[to_run[ti]];
-                    let src = if !self.noncollocated
-                        && t.holders.contains(&node)
-                        && state.is_alive(node)
-                    {
-                        node
-                    } else {
-                        let live_holders: Vec<Node> = t
-                            .holders
-                            .iter()
-                            .copied()
-                            .filter(|&h| state.is_alive(h))
-                            .collect();
-                        assert!(
-                            !live_holders.is_empty(),
-                            "planner guarantees readable input"
-                        );
-                        live_holders[t.blk as usize % live_holders.len()]
-                    };
+                    let src =
+                        if !self.noncollocated && t.holders.contains(&node) && state.is_alive(node)
+                        {
+                            node
+                        } else {
+                            let live_holders: Vec<Node> = t
+                                .holders
+                                .iter()
+                                .copied()
+                                .filter(|&h| state.is_alive(h))
+                                .collect();
+                            assert!(
+                                !live_holders.is_empty(),
+                                "planner guarantees readable input"
+                            );
+                            live_holders[t.blk as usize % live_holders.len()]
+                        };
                     (node, t, src)
                 })
                 .collect();
@@ -339,16 +341,18 @@ impl JobSim {
                     (p, 0, f, (f as f64 * wl.reduce_ratio) as u64)
                 })
                 .collect(),
-            Some(spec) => spec
-                .partitions
-                .iter()
-                .flat_map(|&p| {
-                    (0..spec.split).map(move |s| {
-                        let f = per_partition_shuffle / spec.split as u64;
-                        (p, s, f, (f as f64 * wl.reduce_ratio) as u64)
+            Some(spec) => {
+                let split = spec.split_factor();
+                spec.partitions
+                    .iter()
+                    .flat_map(|&p| {
+                        (0..split).map(move |s| {
+                            let f = per_partition_shuffle / split as u64;
+                            (p.raw(), s, f, (f as f64 * wl.reduce_ratio) as u64)
+                        })
                     })
-                })
-                .collect(),
+                    .collect()
+            }
         };
         report.reduce_tasks_run = reduce_tasks.len();
 
@@ -367,29 +371,25 @@ impl JobSim {
             .count();
 
         // ---------------- reduce phase ----------------------------------
-        let r_waves = match recompute {
-            None => assign_waves_round_robin(
-                reduce_tasks.len(),
-                &live,
-                wl.slots.reduce,
-                |t| reduce_tasks[t].0 as usize,
-            ),
-            Some(_) => assign_waves_balanced(
-                reduce_tasks.len(),
-                &live,
-                wl.slots.reduce,
-                |_, _| false,
-                |_, _| false,
-            ),
+        let r_style = match recompute {
+            None => ReduceAssignment::RoundRobinByPartition,
+            Some(_) => ReduceAssignment::Balance,
         };
+        let r_waves = assign_reduce_waves(
+            reduce_tasks.len(),
+            &live,
+            wl.slots.reduce,
+            r_style,
+            |t| reduce_tasks[t].0 as usize,
+            ctx,
+        )?;
         report.reduce_waves = r_waves.len() as u32;
 
         // Paper §V-D: the SLOW SHUFFLE delay applies per transfer,
         // serialized over the copier window (Hadoop fetches ~5 map
         // outputs at a time), so it scales with the number of sources.
         const PARALLEL_COPIES: f64 = 5.0;
-        let slow_delay =
-            hw.shuffle_transfer_delay * (num_sources as f64 / PARALLEL_COPIES).ceil();
+        let slow_delay = hw.shuffle_transfer_delay * (num_sources as f64 / PARALLEL_COPIES).ceil();
 
         // Map outputs are served through a bounded copier window (~5
         // concurrent segment fetches per serving disk in Hadoop), so —
@@ -462,8 +462,7 @@ impl JobSim {
                 if self.noncollocated {
                     // The output crosses the network to the storage tier.
                     write_time = write_time
-                        .max(out_b as f64 * replication as f64
-                            / hw.nic_stream_bw(tasks_on_node));
+                        .max(out_b as f64 * replication as f64 / hw.nic_stream_bw(tasks_on_node));
                 }
                 if replication > 1 {
                     let repl_bytes = out_b * (replication as u64 - 1);
@@ -498,8 +497,7 @@ impl JobSim {
             // network-bottlenecked shuffle" (§V-D). Later waves have no
             // map phase to hide behind and pay everything in full.
             if w == 0 && report.map_waves >= 1 {
-                let min_exposed =
-                    shuffle_max / report.map_waves as f64 + hw.shuffle_transfer_delay;
+                let min_exposed = shuffle_max / report.map_waves as f64 + hw.shuffle_transfer_delay;
                 let credit = (shuffle_max - min_exposed).max(0.0).min(map_phase);
                 reduce_phase += wave_time - credit;
             } else {
@@ -532,7 +530,7 @@ impl JobSim {
         }
 
         report.duration = hw.job_overhead + map_phase + reduce_phase;
-        report
+        Ok(report)
     }
 
     /// Output placement for one reduce task: writer-local (plus
@@ -592,7 +590,7 @@ mod tests {
     #[test]
     fn full_run_counts_match_model() {
         let (js, mut st) = sim(4);
-        let r = js.run_full(&mut st, 1, 1, true);
+        let r = js.run_full(&mut st, 1, 1, true).unwrap();
         assert_eq!(r.mappers_run, 16); // 4 blocks × 4 nodes
         assert_eq!(r.mappers_reused, 0);
         assert_eq!(r.reduce_tasks_run, 4);
@@ -600,7 +598,10 @@ mod tests {
         assert_eq!(r.reduce_waves, 1);
         assert!(r.duration > 0.0);
         // 1:1 ratio volume conservation.
-        assert_eq!(r.io.map_input_local + r.io.map_input_remote, ByteSize::mib(2048).as_u64());
+        assert_eq!(
+            r.io.map_input_local + r.io.map_input_remote,
+            ByteSize::mib(2048).as_u64()
+        );
         // Output file placed.
         assert!(st.files[&1].partitions.iter().all(|p| p.is_written()));
     }
@@ -608,10 +609,15 @@ mod tests {
     #[test]
     fn replication_increases_duration_and_volume() {
         let (js, mut st1) = sim(4);
-        let t1 = js.run_full(&mut st1, 1, 1, true);
+        let t1 = js.run_full(&mut st1, 1, 1, true).unwrap();
         let (js3, mut st3) = sim(4);
-        let t3 = js3.run_full(&mut st3, 1, 3, true);
-        assert!(t3.duration > t1.duration * 1.2, "{} vs {}", t3.duration, t1.duration);
+        let t3 = js3.run_full(&mut st3, 1, 3, true).unwrap();
+        assert!(
+            t3.duration > t1.duration * 1.2,
+            "{} vs {}",
+            t3.duration,
+            t1.duration
+        );
         assert_eq!(t1.io.replication_written, 0);
         assert!(t3.io.replication_written > 0);
     }
@@ -621,7 +627,7 @@ mod tests {
         // With 3 replicas on 4 nodes the greedy balanced scheduler gets
         // most (not all) tasks local — same policy as the real engine.
         let (js, mut st) = sim(4);
-        let r = js.run_full(&mut st, 1, 1, true);
+        let r = js.run_full(&mut st, 1, 1, true).unwrap();
         let total = r.io.map_input_local + r.io.map_input_remote;
         assert!(
             r.io.map_input_local * 2 > total,
@@ -633,14 +639,14 @@ mod tests {
     #[test]
     fn recompute_reuses_persisted_outputs() {
         let (js, mut st) = sim(4);
-        js.run_full(&mut st, 1, 1, true);
-        js.run_full(&mut st, 2, 1, true);
+        js.run_full(&mut st, 1, 1, true).unwrap();
+        js.run_full(&mut st, 2, 1, true).unwrap();
         // Lose node 3: its partition of out/1 and its map outputs die.
         st.fail_node(3);
         let lost = st.files[&1].lost_partitions(&st);
         assert!(!lost.is_empty());
         let spec = RecomputeSpec::new(lost.iter().copied(), 1);
-        let r = js.run_recompute(&mut st, 1, &spec, true);
+        let r = js.run_recompute(&mut st, 1, &spec, true).unwrap();
         assert!(r.mappers_reused > 0, "survivor outputs reused");
         assert!(r.mappers_run < 16, "only the dead node's mappers re-run");
         assert_eq!(r.reduce_tasks_run, lost.len());
@@ -650,15 +656,23 @@ mod tests {
     #[test]
     fn split_recompute_uses_more_smaller_tasks() {
         let (js, mut st) = sim(6);
-        js.run_full(&mut st, 1, 1, true);
+        js.run_full(&mut st, 1, 1, true).unwrap();
         st.fail_node(5);
         let lost: Vec<u32> = st.files[&1].lost_partitions(&st).into_iter().collect();
         assert!(!lost.is_empty());
 
         let whole = js
             .clone()
-            .run_recompute(&mut st.clone(), 1, &RecomputeSpec::new(lost.clone(), 1), true);
-        let split = js.run_recompute(&mut st, 1, &RecomputeSpec::new(lost.clone(), 5), true);
+            .run_recompute(
+                &mut st.clone(),
+                1,
+                &RecomputeSpec::new(lost.clone(), 1),
+                true,
+            )
+            .unwrap();
+        let split = js
+            .run_recompute(&mut st, 1, &RecomputeSpec::new(lost.clone(), 5), true)
+            .unwrap();
         assert_eq!(split.reduce_tasks_run, whole.reduce_tasks_run * 5);
         // Splitting speeds up the recomputation (Fig. 11).
         assert!(
@@ -680,8 +694,8 @@ mod tests {
     fn hotspot_slows_recomputed_mappers_and_split_mitigates() {
         let run_scenario = |split: u32| -> f64 {
             let (js, mut st) = sim(6);
-            js.run_full(&mut st, 1, 1, true);
-            js.run_full(&mut st, 2, 1, true);
+            js.run_full(&mut st, 1, 1, true).unwrap();
+            js.run_full(&mut st, 2, 1, true).unwrap();
             st.fail_node(5);
             let lost1 = st.files[&1].lost_partitions(&st);
             let lost2 = st.files[&2].lost_partitions(&st);
@@ -691,13 +705,16 @@ mod tests {
                 1,
                 &RecomputeSpec::new(lost1.iter().copied(), split),
                 true,
-            );
-            let r2 = js.run_recompute(
-                &mut st,
-                2,
-                &RecomputeSpec::new(lost2.iter().copied(), split),
-                true,
-            );
+            )
+            .unwrap();
+            let r2 = js
+                .run_recompute(
+                    &mut st,
+                    2,
+                    &RecomputeSpec::new(lost2.iter().copied(), split),
+                    true,
+                )
+                .unwrap();
             assert!(r2.mappers_run > 0, "dead node's mappers must re-run");
             // Median mapper duration of the recomputation run.
             let mut d = r2.mapper_durations.clone();
@@ -718,8 +735,8 @@ mod tests {
         let state = SimState::new(&wl);
         let fast = JobSim::new(HwProfile::stic(), wl.clone());
         let slow = JobSim::new(HwProfile::stic().with_slow_shuffle(), wl);
-        let tf = fast.run_full(&mut state.clone(), 1, 1, true);
-        let ts = slow.run_full(&mut state.clone(), 1, 1, true);
+        let tf = fast.run_full(&mut state.clone(), 1, 1, true).unwrap();
+        let ts = slow.run_full(&mut state.clone(), 1, 1, true).unwrap();
         // The copier delay partially overlaps the map phase; the exposed
         // tail still lengthens the job noticeably.
         assert!(
@@ -733,12 +750,12 @@ mod tests {
     #[test]
     fn spread_output_scatters_partition() {
         let (js, mut st) = sim(6);
-        js.run_full(&mut st, 1, 1, true);
+        js.run_full(&mut st, 1, 1, true).unwrap();
         st.fail_node(5);
         let lost = st.files[&1].lost_partitions(&st);
         let mut spec = RecomputeSpec::new(lost.iter().copied(), 1);
         spec.spread_output = true;
-        js.run_recompute(&mut st, 1, &spec, true);
+        js.run_recompute(&mut st, 1, &spec, true).unwrap();
         let p = &st.files[&1].partitions[*lost.first().unwrap() as usize];
         assert!(p.segments.len() > 1, "output scattered over nodes");
     }
@@ -746,7 +763,7 @@ mod tests {
     #[test]
     fn no_persist_clears_outputs() {
         let (js, mut st) = sim(4);
-        js.run_full(&mut st, 1, 1, false);
+        js.run_full(&mut st, 1, 1, false).unwrap();
         assert_eq!(st.persisted_bytes(), 0);
     }
 }

@@ -1,84 +1,50 @@
-//! Wave assignment — the same policies as `rcmp-engine::scheduler`,
-//! restated over the simulator's lightweight task tuples so wave counts
-//! match the real engine exactly (validated in the integration suite).
+//! Wave assignment — thin adapters over the shared policy kernel
+//! (`rcmp-policy`), so the simulator and `rcmp-engine` execute the *same*
+//! implementation of RCMP's slot-pull and round-robin placement.
 
 use crate::state::Node;
+use rcmp_model::Result;
+use rcmp_policy::{FnMapTasks, FnReduceTasks, PolicyCtx, ReduceAssignment, SliceTopology};
 
 /// Assigns tasks with Hadoop's slot-pull semantics: nodes claim tasks in
-/// rounds. Each node prefers a task whose *primary* replica it holds
-/// (the writer-local copy), then any task whose data it holds, then
-/// steals a non-local task. Balanced data therefore runs (almost)
-/// fully local — without the primary preference, nodes eat each other's
-/// blocks early and leave a contended non-local tail, which real Hadoop
-/// avoids — while a handful of recomputed tasks still spreads over all
-/// nodes in one wave. Returns `(node, task_index)` per wave given
-/// `slots` per node.
-pub fn assign_waves_balanced<P, Q>(
+/// rounds, preferring a task whose *primary* replica they hold (the
+/// writer-local copy), then any task whose data they hold, then stealing
+/// a non-local task. Returns `(node, task_index)` per wave given `slots`
+/// per node; `Err(NoLiveNodes)` if the cluster is fully dead.
+pub fn assign_map_waves<P, Q>(
     num_tasks: usize,
     live: &[Node],
     slots: u32,
     primary: Q,
     prefers: P,
-) -> Vec<Vec<(Node, usize)>>
+    ctx: PolicyCtx<'_>,
+) -> Result<Vec<Vec<(Node, usize)>>>
 where
     P: Fn(usize, Node) -> bool,
     Q: Fn(usize, Node) -> bool,
 {
-    assert!(!live.is_empty(), "no live nodes");
-    let mut pending: Vec<usize> = (0..num_tasks).collect();
-    let mut queues: Vec<Vec<usize>> = vec![Vec::new(); live.len()];
-    while !pending.is_empty() {
-        for (i, &n) in live.iter().enumerate() {
-            if pending.is_empty() {
-                break;
-            }
-            let pos = pending
-                .iter()
-                .position(|&t| primary(t, n))
-                .or_else(|| pending.iter().position(|&t| prefers(t, n)))
-                .unwrap_or(0);
-            queues[i].push(pending.remove(pos));
-        }
-    }
-    queues_to_waves(queues, live, slots)
+    let topo = SliceTopology::uniform(live, slots);
+    let tasks = FnMapTasks::new(num_tasks, primary, prefers);
+    rcmp_policy::assign_map_waves(&topo, &tasks, ctx)
 }
 
-/// Round-robin by an explicit key (initial-run reducers: partition id).
-pub fn assign_waves_round_robin<K>(
+/// Assigns reducers by the requested style: `RoundRobinByPartition` for
+/// initial runs (keyed by partition id), `Balance` for recomputation
+/// runs. `Err(NoLiveNodes)` if the cluster is fully dead.
+pub fn assign_reduce_waves<K>(
     num_tasks: usize,
     live: &[Node],
     slots: u32,
+    style: ReduceAssignment,
     key: K,
-) -> Vec<Vec<(Node, usize)>>
+    ctx: PolicyCtx<'_>,
+) -> Result<Vec<Vec<(Node, usize)>>>
 where
     K: Fn(usize) -> usize,
 {
-    assert!(!live.is_empty(), "no live nodes");
-    let mut queues: Vec<Vec<usize>> = vec![Vec::new(); live.len()];
-    for t in 0..num_tasks {
-        queues[key(t) % live.len()].push(t);
-    }
-    queues_to_waves(queues, live, slots)
-}
-
-fn queues_to_waves(
-    queues: Vec<Vec<usize>>,
-    live: &[Node],
-    slots: u32,
-) -> Vec<Vec<(Node, usize)>> {
-    let slots = slots.max(1) as usize;
-    let num_waves = queues
-        .iter()
-        .map(|q| q.len().div_ceil(slots))
-        .max()
-        .unwrap_or(0);
-    let mut waves = vec![Vec::new(); num_waves];
-    for (ni, q) in queues.into_iter().enumerate() {
-        for (ti, t) in q.into_iter().enumerate() {
-            waves[ti / slots].push((live[ni], t));
-        }
-    }
-    waves
+    let topo = SliceTopology::new(live, slots, slots);
+    let tasks = FnReduceTasks::new(num_tasks, key);
+    rcmp_policy::assign_reduce_waves(&topo, &tasks, style, ctx)
 }
 
 #[cfg(test)]
@@ -88,7 +54,15 @@ mod tests {
     #[test]
     fn balanced_fills_all_nodes() {
         let live: Vec<Node> = (0..4).collect();
-        let waves = assign_waves_balanced(8, &live, 1, |_, _| false, |_, _| false);
+        let waves = assign_map_waves(
+            8,
+            &live,
+            1,
+            |_, _| false,
+            |_, _| false,
+            PolicyCtx::disabled(),
+        )
+        .unwrap();
         assert_eq!(waves.len(), 2);
         assert_eq!(waves[0].len(), 4);
     }
@@ -98,7 +72,15 @@ mod tests {
         let live: Vec<Node> = (0..4).collect();
         // Every task prefers node 2; only the first per wave-round can
         // have it, the rest balance.
-        let waves = assign_waves_balanced(4, &live, 1, |_, _| false, |_, n| n == 2);
+        let waves = assign_map_waves(
+            4,
+            &live,
+            1,
+            |_, _| false,
+            |_, n| n == 2,
+            PolicyCtx::disabled(),
+        )
+        .unwrap();
         assert_eq!(waves.len(), 1);
         let on2 = waves[0].iter().filter(|(n, _)| *n == 2).count();
         assert_eq!(on2, 1);
@@ -108,13 +90,45 @@ mod tests {
     fn round_robin_wave_count() {
         let live: Vec<Node> = (0..10).collect();
         // 40 reducers keyed by their index: 4 waves (paper's WR example).
-        let waves = assign_waves_round_robin(40, &live, 1, |t| t);
+        let waves = assign_reduce_waves(
+            40,
+            &live,
+            1,
+            ReduceAssignment::RoundRobinByPartition,
+            |t| t,
+            PolicyCtx::disabled(),
+        )
+        .unwrap();
         assert_eq!(waves.len(), 4);
     }
 
     #[test]
     fn empty_tasks_no_waves() {
         let live: Vec<Node> = (0..2).collect();
-        assert!(assign_waves_balanced(0, &live, 1, |_, _| false, |_, _| false).is_empty());
+        assert!(assign_map_waves(
+            0,
+            &live,
+            1,
+            |_, _| false,
+            |_, _| false,
+            PolicyCtx::disabled()
+        )
+        .unwrap()
+        .is_empty());
+    }
+
+    #[test]
+    fn dead_cluster_is_a_typed_error() {
+        let live: Vec<Node> = Vec::new();
+        let err = assign_map_waves(
+            3,
+            &live,
+            1,
+            |_, _| false,
+            |_, _| false,
+            PolicyCtx::disabled(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, rcmp_model::Error::NoLiveNodes));
     }
 }

@@ -51,11 +51,7 @@ impl SimPartition {
 
     /// Lost = some segment has no live replica.
     pub fn is_lost(&self, state: &SimState) -> bool {
-        self.is_written()
-            && self
-                .segments
-                .iter()
-                .any(|s| s.live_holder(state).is_none())
+        self.is_written() && self.segments.iter().any(|s| s.live_holder(state).is_none())
     }
 }
 
@@ -188,7 +184,12 @@ impl SimState {
 
     /// Blocks of one partition: `(block_bytes, holders)` per block, in
     /// segment order, given the DFS block size.
-    pub fn partition_blocks(&self, file: FileId, pid: u32, block_size: u64) -> Vec<(u64, Vec<Node>)> {
+    pub fn partition_blocks(
+        &self,
+        file: FileId,
+        pid: u32,
+        block_size: u64,
+    ) -> Vec<(u64, Vec<Node>)> {
         let Some(f) = self.files.get(&file) else {
             return Vec::new();
         };
@@ -203,7 +204,11 @@ impl SimState {
             let n = seg.bytes.div_ceil(block_size).max(1);
             let per = seg.bytes / n;
             for i in 0..n {
-                let b = if i == n - 1 { seg.bytes - per * (n - 1) } else { per };
+                let b = if i == n - 1 {
+                    seg.bytes - per * (n - 1)
+                } else {
+                    per
+                };
                 blocks.push((b, seg.holders.clone()));
             }
         }
@@ -245,11 +250,11 @@ impl SimState {
     pub fn rewrite_partition(&mut self, file: FileId, pid: u32, segments: Vec<Segment>) {
         let f = self.files.entry(file).or_default();
         if f.partitions.len() <= pid as usize {
-            f.partitions.resize(pid as usize + 1, SimPartition::default());
+            f.partitions
+                .resize(pid as usize + 1, SimPartition::default());
         }
         let p = &mut f.partitions[pid as usize];
-        let shape_preserved =
-            p.segments.len() == 1 && segments.len() == 1 && p.is_written();
+        let shape_preserved = p.segments.len() == 1 && segments.len() == 1 && p.is_written();
         if !shape_preserved {
             p.version += 1;
         }

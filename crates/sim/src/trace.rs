@@ -407,7 +407,8 @@ mod tests {
             job: 1,
             at: 10.0,
         });
-        rep.events.push(SimEvent::FailureInjected { at: 11.0, node: 2 });
+        rep.events
+            .push(SimEvent::FailureInjected { at: 11.0, node: 2 });
         rep.events.push(SimEvent::RecoveryPlanned {
             steps: 1,
             partitions: 4,
@@ -424,7 +425,15 @@ mod tests {
         let recompute = tr
             .spans()
             .iter()
-            .find(|s| matches!(s.kind, SpanKind::JobRun { recompute: true, .. }))
+            .find(|s| {
+                matches!(
+                    s.kind,
+                    SpanKind::JobRun {
+                        recompute: true,
+                        ..
+                    }
+                )
+            })
             .expect("recompute run span");
         assert_eq!(recompute.cause, Some(plan.id));
         assert_eq!(recompute.start_us, 12_000_000);

@@ -34,7 +34,7 @@ fn run(hw: HwProfile, noncollocated: bool) -> rcmp_sim::SimJobReport {
         js = js.noncollocated();
     }
     let mut st = SimState::new(&w);
-    js.run_full(&mut st, 1, 1, true)
+    js.run_full(&mut st, 1, 1, true).unwrap()
 }
 
 #[test]
@@ -82,22 +82,26 @@ fn recomputation_works_noncollocated() {
     let w = wl();
     let js = JobSim::new(HwProfile::stic(), w.clone()).noncollocated();
     let mut st = SimState::new(&w);
-    let init = js.run_full(&mut st, 1, 1, true);
+    let init = js.run_full(&mut st, 1, 1, true).unwrap();
     st.fail_node(7);
     let lost = st.files[&1].lost_partitions(&st);
     assert!(!lost.is_empty());
-    let whole = js.run_recompute(
-        &mut st.clone(),
-        1,
-        &RecomputeSpec::new(lost.iter().copied(), 1),
-        true,
-    );
-    let split = js.run_recompute(
-        &mut st,
-        1,
-        &RecomputeSpec::new(lost.iter().copied(), 7),
-        true,
-    );
+    let whole = js
+        .run_recompute(
+            &mut st.clone(),
+            1,
+            &RecomputeSpec::new(lost.iter().copied(), 1),
+            true,
+        )
+        .unwrap();
+    let split = js
+        .run_recompute(
+            &mut st,
+            1,
+            &RecomputeSpec::new(lost.iter().copied(), 7),
+            true,
+        )
+        .unwrap();
     assert!(whole.duration < init.duration, "recompute beats rerun");
     assert!(split.duration <= whole.duration, "splitting still helps");
 }

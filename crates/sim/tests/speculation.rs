@@ -31,10 +31,9 @@ fn wl(nodes: u32, replication: u32) -> WorkloadCfg {
 #[test]
 fn balanced_local_runs_rarely_speculate() {
     let w = wl(6, 3);
-    let js = JobSim::new(HwProfile::stic(), w.clone())
-        .with_speculation(SpeculationCfg::default());
+    let js = JobSim::new(HwProfile::stic(), w.clone()).with_speculation(SpeculationCfg::default());
     let mut st = SimState::new(&w);
-    let r = js.run_full(&mut st, 1, 1, true);
+    let r = js.run_full(&mut st, 1, 1, true).unwrap();
     // Balanced local reads: no 1.5x-median stragglers at all.
     assert_eq!(
         r.speculation.speculated, 0,
@@ -55,13 +54,25 @@ fn hotspot_stragglers_speculate_and_replicas_decide_the_benefit() {
             js = js.with_speculation(SpeculationCfg::default());
         }
         let mut st = SimState::new(&w);
-        js.run_full(&mut st, 1, 1, true);
-        js.run_full(&mut st, 2, 1, true);
+        js.run_full(&mut st, 1, 1, true).unwrap();
+        js.run_full(&mut st, 2, 1, true).unwrap();
         st.fail_node(5);
         let lost1 = st.files[&1].lost_partitions(&st);
         let lost2 = st.files[&2].lost_partitions(&st);
-        js.run_recompute(&mut st, 1, &RecomputeSpec::new(lost1.iter().copied(), 1), true);
-        js.run_recompute(&mut st, 2, &RecomputeSpec::new(lost2.iter().copied(), 1), true)
+        js.run_recompute(
+            &mut st,
+            1,
+            &RecomputeSpec::new(lost1.iter().copied(), 1),
+            true,
+        )
+        .unwrap();
+        js.run_recompute(
+            &mut st,
+            2,
+            &RecomputeSpec::new(lost2.iter().copied(), 1),
+            true,
+        )
+        .unwrap()
     };
     let plain = run(false);
     let spec = run(true);
@@ -98,7 +109,7 @@ fn replicated_input_stragglers_can_be_rescued() {
         .with_speculation(SpeculationCfg { slow_factor: 1.2 });
     let mut st = SimState::new(&w);
     st.fail_node(5);
-    let r = js.run_full(&mut st, 1, 1, true);
+    let r = js.run_full(&mut st, 1, 1, true).unwrap();
     if r.speculation.speculated > 0 {
         // Whenever speculation fires here, alternates exist (input is
         // triple-replicated), so at least the accounting is consistent.

@@ -91,9 +91,7 @@ impl CdfF64 {
         if self.sorted.is_empty() {
             return 0.0;
         }
-        let idx = ((q * self.sorted.len() as f64).ceil() as usize)
-            .clamp(1, self.sorted.len())
-            - 1;
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len()) - 1;
         self.sorted[idx]
     }
 

@@ -283,9 +283,15 @@ mod tests {
         let chain = ChainBuilder::new(2, 4).build();
         let rec = Record::new(1, value_of(1, 20));
         let mut k1 = Vec::new();
-        chain.job(1).mapper.map(rec.clone(), &mut |r| k1.push(r.key));
+        chain
+            .job(1)
+            .mapper
+            .map(rec.clone(), &mut |r| k1.push(r.key));
         let mut k2 = Vec::new();
-        chain.job(2).mapper.map(rec.clone(), &mut |r| k2.push(r.key));
+        chain
+            .job(2)
+            .mapper
+            .map(rec.clone(), &mut |r| k2.push(r.key));
         assert_ne!(k1, k2, "per-job salt must differ");
     }
 }

@@ -135,8 +135,7 @@ mod tests {
         // value only if their hashes match; but even a double-duplicate
         // (XOR cancels) is caught by count and md5_sum.
         let base = OutputDigest::of_records(&[rec(1, b"x")]);
-        let doubled =
-            OutputDigest::of_records(&[rec(1, b"x"), rec(1, b"x"), rec(1, b"x")]);
+        let doubled = OutputDigest::of_records(&[rec(1, b"x"), rec(1, b"x"), rec(1, b"x")]);
         assert_eq!(base.md5_xor, doubled.md5_xor, "XOR alone is blind here");
         assert_ne!(base, doubled, "full digest catches it");
     }

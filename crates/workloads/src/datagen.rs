@@ -84,7 +84,13 @@ pub fn generate_input(dfs: &Dfs, cfg: &DataGenConfig) -> Result<()> {
         if !w.is_empty() {
             chunks.push(w.finish());
         }
-        dfs.write_partition_chunks(&cfg.path, PartitionId(p), chunks, writer, PlacementPolicy::WriterLocal)?;
+        dfs.write_partition_chunks(
+            &cfg.path,
+            PartitionId(p),
+            chunks,
+            writer,
+            PlacementPolicy::WriterLocal,
+        )?;
     }
     Ok(())
 }

@@ -1,8 +1,7 @@
 //! End-to-end engine tests: real jobs over real data.
 
 use rcmp_engine::{
-    Cluster, JobRun, JobTracker, NoFailures, RecomputeInstructions, ScriptedInjector,
-    TriggerPoint,
+    Cluster, JobRun, JobTracker, NoFailures, RecomputeInstructions, ScriptedInjector, TriggerPoint,
 };
 use rcmp_model::{ClusterConfig, Error, NodeId, PartitionId, SlotConfig};
 use rcmp_workloads::checksum::digest_file;
@@ -53,7 +52,10 @@ fn single_job_runs_and_conserves_volume() {
     assert_eq!(out_digest.value_bytes, in_digest.value_bytes);
     // Shuffle volume equals map output (all mapper output is consumed).
     assert!(report.io.shuffle_total() > 0);
-    assert_eq!(report.io.output_written, out_digest.value_bytes + 12 * out_digest.count);
+    assert_eq!(
+        report.io.output_written,
+        out_digest.value_bytes + 12 * out_digest.count
+    );
 }
 
 #[test]
@@ -158,10 +160,7 @@ fn recompute_single_partition_reuses_map_outputs() {
     // Simulate the partition being damaged, then recompute it.
     let instructions = RecomputeInstructions::new([PartitionId(2)], None);
     let report = tracker
-        .run(
-            &JobRun::recompute(chain.job(1).clone(), instructions),
-            2,
-        )
+        .run(&JobRun::recompute(chain.job(1).clone(), instructions), 2)
         .unwrap();
     assert_eq!(report.map_tasks_run, 0, "all map outputs reused");
     assert!(report.map_tasks_reused > 0);

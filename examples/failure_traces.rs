@@ -26,7 +26,10 @@ fn main() {
             "  mean days between failure days: {:.1}",
             stats.mean_days_between_failures
         );
-        println!("  worst day: {} nodes (outage events)", stats.max_in_one_day);
+        println!(
+            "  worst day: {} nodes (outage events)",
+            stats.max_in_one_day
+        );
         println!("  CDF of new failures per day:");
         for threshold in [0u32, 1, 2, 5, 10, 40] {
             let pct = cdf.at(threshold) * 100.0;

@@ -33,7 +33,11 @@ fn main() {
             rep.total_time, rep.jobs_started
         );
         for run in &rep.runs {
-            let kind = if run.recompute { "recompute" } else { "run      " };
+            let kind = if run.recompute {
+                "recompute"
+            } else {
+                "run      "
+            };
             println!(
                 "    #{:<2} {kind} job {}: {:>7.1} s  ({} map waves, {} reduce tasks, {} mappers run / {} reused)",
                 run.seq, run.job, run.duration, run.map_waves, run.reduce_tasks_run,

@@ -46,8 +46,7 @@ fn main() {
         NodeId(2),
     ));
 
-    let driver =
-        ChainDriver::new(&cluster, Strategy::rcmp_split(4)).with_injector(injector);
+    let driver = ChainDriver::new(&cluster, Strategy::rcmp_split(4)).with_injector(injector);
     let outcome = driver.run(&chain.jobs).unwrap();
 
     println!("\nmiddleware event log:");

@@ -11,8 +11,8 @@
 //! interesting columns are how much work each strategy performs, which
 //! is what drives the paper's Fig. 8.
 
-use rcmp::core::{ChainDriver, SplitPolicy, Strategy};
 use rcmp::core::strategy::HotspotMitigation;
+use rcmp::core::{ChainDriver, SplitPolicy, Strategy};
 use rcmp::engine::{Cluster, ScriptedInjector, TriggerPoint};
 use rcmp::model::{ByteSize, ClusterConfig, NodeId, SlotConfig};
 use rcmp::workloads::checksum::digest_file;

@@ -16,8 +16,8 @@ use rcmp::core::{ChainDriver, Strategy};
 use rcmp::engine::{Cluster, ScriptedInjector, TriggerPoint};
 use rcmp::model::{ByteSize, ClusterConfig, NodeId, SlotConfig};
 use rcmp::obs::{
-    hotspot_report, recomputation_critical_path, slot_occupancy, summary, to_chrome_json,
-    to_jsonl, SpanKind,
+    hotspot_report, recomputation_critical_path, slot_occupancy, summary, to_chrome_json, to_jsonl,
+    SpanKind,
 };
 use rcmp::workloads::{generate_input, ChainBuilder, DataGenConfig};
 use std::sync::Arc;
@@ -76,7 +76,11 @@ fn main() {
             "  seq {:>2}  job {:>2}  {}  waves {:>2}  avg occupancy {:.2}",
             run.seq,
             run.job,
-            if run.recompute { "recompute" } else { "full     " },
+            if run.recompute {
+                "recompute"
+            } else {
+                "full     "
+            },
             run.waves.len(),
             run.avg_occupancy()
         );
@@ -106,10 +110,7 @@ fn main() {
 
     // The hot-path metric handles the tracker kept updated.
     let metrics = cl.metrics().snapshot();
-    for name in [
-        "tracker.task_retries",
-        "tracker.shuffle_transient_failures",
-    ] {
+    for name in ["tracker.task_retries", "tracker.shuffle_transient_failures"] {
         println!("{name} = {}", metrics.counter(name).unwrap_or(0));
     }
 }

@@ -13,6 +13,9 @@
 //! * [`model`] — shared types (ids, records, configs, partitioners);
 //! * [`dfs`] — the HDFS-like replicated, partitioned block store;
 //! * [`engine`] — the real multi-threaded MapReduce engine;
+//! * [`policy`] — the shared scheduling/recomputation policy kernel
+//!   (wave assignment, hot-spot mitigation, [`policy::RecomputePlan`])
+//!   that both the engine and the simulator execute;
 //! * [`core`] — RCMP itself: planner, strategies, driver;
 //! * [`obs`] — causal span tracing, metrics, and trace analyzers
 //!   (slot occupancy, hot-spot skew, recomputation critical path);
@@ -41,6 +44,7 @@ pub use rcmp_dfs as dfs;
 pub use rcmp_engine as engine;
 pub use rcmp_model as model;
 pub use rcmp_obs as obs;
+pub use rcmp_policy as policy;
 pub use rcmp_sim as sim;
 pub use rcmp_traces as traces;
 pub use rcmp_workloads as workloads;

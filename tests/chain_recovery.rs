@@ -6,9 +6,9 @@
 //! a pure function of the input — every strategy, failure pattern and
 //! recovery path must reproduce it exactly.
 
-use rcmp::core::{ChainDriver, ChainEvent, SplitPolicy, Strategy};
 use rcmp::core::driver::RestartMode;
 use rcmp::core::strategy::HotspotMitigation;
+use rcmp::core::{ChainDriver, ChainEvent, SplitPolicy, Strategy};
 use rcmp::engine::failure::Trigger;
 use rcmp::engine::{Cluster, ScriptedInjector, TriggerPoint};
 use rcmp::model::{ClusterConfig, JobId, NodeId, SlotConfig};
@@ -29,11 +29,7 @@ fn cluster(nodes: u32) -> Cluster {
 
 fn setup(nodes: u32, jobs: u32) -> (Cluster, rcmp::workloads::ChainSpec) {
     let cl = cluster(nodes);
-    generate_input(
-        cl.dfs(),
-        &DataGenConfig::test("input", nodes, 25_000),
-    )
-    .unwrap();
+    generate_input(cl.dfs(), &DataGenConfig::test("input", nodes, 25_000)).unwrap();
     let chain = ChainBuilder::new(jobs, nodes).build();
     (cl, chain)
 }
@@ -369,10 +365,15 @@ fn resume_partial_restart_is_minimal_and_correct() {
         .iter()
         .any(|e| matches!(e, ChainEvent::JobCancelled { .. }));
     if cancelled {
-        let resumed = outcome
-            .events
-            .events_for_job(JobId(2))
-            .any(|e| matches!(e, ChainEvent::JobStarted { recompute: true, .. }));
+        let resumed = outcome.events.events_for_job(JobId(2)).any(|e| {
+            matches!(
+                e,
+                ChainEvent::JobStarted {
+                    recompute: true,
+                    ..
+                }
+            )
+        });
         assert!(resumed, "job 2 retried as a resume, not Full");
     }
 }

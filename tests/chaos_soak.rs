@@ -316,10 +316,10 @@ fn failed_run_traces_every_injected_fault() {
     );
     // The failed run's JobRun span is closed with ok = false.
     assert!(
-        trace.spans().iter().any(|s| matches!(
-            s.kind,
-            SpanKind::JobRun { ok: false, .. }
-        )),
+        trace
+            .spans()
+            .iter()
+            .any(|s| matches!(s.kind, SpanKind::JobRun { ok: false, .. })),
         "the exhausted run is traced as failed"
     );
 }

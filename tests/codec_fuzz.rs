@@ -9,8 +9,7 @@ use rcmp::workloads::md5::{md5, to_hex};
 use rcmp::workloads::OutputDigest;
 
 fn record_strategy() -> impl Strategy<Value = Record> {
-    (any::<u64>(), prop::collection::vec(any::<u8>(), 0..200))
-        .prop_map(|(k, v)| Record::new(k, v))
+    (any::<u64>(), prop::collection::vec(any::<u8>(), 0..200)).prop_map(|(k, v)| Record::new(k, v))
 }
 
 proptest! {

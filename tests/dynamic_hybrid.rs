@@ -128,7 +128,10 @@ fn dynamic_hybrid_recovers_correctly_under_failure() {
             }
         }
         assert!(
-            outcome.events.recoveries().all(|(target, _, _)| target.raw() > p),
+            outcome
+                .events
+                .recoveries()
+                .all(|(target, _, _)| target.raw() > p),
             "recovery plan targeted a job at or below the point {p}"
         );
     }

@@ -2,8 +2,9 @@
 //! hot-spot of Fig. 6, and recovery with unsplittable jobs.
 
 use rcmp::core::{ChainDriver, Strategy};
-use rcmp::engine::{Cluster, JobRun, JobTracker, NoFailures, RecomputeInstructions,
-    ScriptedInjector, TriggerPoint};
+use rcmp::engine::{
+    Cluster, JobRun, JobTracker, NoFailures, RecomputeInstructions, ScriptedInjector, TriggerPoint,
+};
 use rcmp::model::{ByteSize, ClusterConfig, NodeId, SlotConfig, TaskId};
 use rcmp::workloads::{generate_input, ChainBuilder, DataGenConfig};
 use std::sync::Arc;

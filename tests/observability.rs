@@ -97,7 +97,14 @@ fn chrome_export_is_structurally_valid() {
     );
     // The trace is non-trivial: the summary lists the core span kinds.
     let s = summary(&trace);
-    for kind in ["JobRun", "Wave", "Task", "ShuffleFetch", "Fault", "RecoveryPlan"] {
+    for kind in [
+        "JobRun",
+        "Wave",
+        "Task",
+        "ShuffleFetch",
+        "Fault",
+        "RecoveryPlan",
+    ] {
         assert!(s.contains(kind), "summary missing {kind}:\n{s}");
     }
 }
@@ -156,7 +163,10 @@ fn hotspot_top_node_is_the_recompute_node() {
         .iter()
         .find_map(|s| match s.kind {
             SpanKind::JobRun {
-                seq, job, ok: false, ..
+                seq,
+                job,
+                ok: false,
+                ..
             } if seq == KILL_SEQ => Some(job),
             _ => None,
         })
@@ -165,11 +175,9 @@ fn hotspot_top_node_is_the_recompute_node() {
         .spans()
         .iter()
         .filter_map(|s| match s.kind {
-            SpanKind::JobRun { seq, job, ok: true, .. }
-                if job == cancelled_job && seq > KILL_SEQ =>
-            {
-                Some(seq)
-            }
+            SpanKind::JobRun {
+                seq, job, ok: true, ..
+            } if job == cancelled_job && seq > KILL_SEQ => Some(seq),
             _ => None,
         })
         .min()
@@ -245,7 +253,10 @@ fn critical_path_covers_the_cascade() {
     }
     let root_span = index[&root];
     assert!(
-        matches!(root_span.kind, SpanKind::Fault { .. } | SpanKind::Loss { .. }),
+        matches!(
+            root_span.kind,
+            SpanKind::Fault { .. } | SpanKind::Loss { .. }
+        ),
         "cascade roots at the injected fault/loss, got {:?}",
         root_span.kind
     );

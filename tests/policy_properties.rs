@@ -1,0 +1,212 @@
+//! Property-based validation of the shared policy kernel (ISSUE 3): the
+//! engine's and the simulator's wave-assignment adapters are two views
+//! of ONE implementation, so over randomized clusters, slot counts and
+//! replica layouts they must produce *identical* schedules — same wave
+//! counts, same per-node task counts, same locality fractions.
+
+use proptest::prelude::*;
+use rcmp::dfs::BlockLocation;
+use rcmp::engine::scheduler as eng;
+use rcmp::engine::task::{MapTask, ReduceTask};
+use rcmp::engine::MapInputKey;
+use rcmp::model::{BlockId, ByteSize, Error, JobId, MapTaskId, NodeId, PartitionId, ReduceTaskId};
+use rcmp::policy::{PolicyCtx, ReduceAssignment};
+use rcmp::sim::sched as sim;
+use std::collections::BTreeMap;
+
+/// Engine map task `idx` whose block replicas live on `holders`.
+fn map_task(idx: usize, holders: &[u32]) -> MapTask {
+    MapTask {
+        id: MapTaskId::new(JobId(1), idx as u32),
+        key: MapInputKey::new(JobId(1), PartitionId(0), idx as u32),
+        block: BlockLocation {
+            id: BlockId(idx as u64),
+            size: ByteSize::mib(1),
+            content_hash: 0,
+            replicas: holders.iter().map(|&n| NodeId(n)).collect(),
+        },
+    }
+}
+
+/// Flattens engine map waves into `(wave, node, task_index)` triples,
+/// recovering the task index from the block id.
+fn flatten_engine(waves: &[Vec<(NodeId, MapTask)>]) -> Vec<(usize, u32, usize)> {
+    waves
+        .iter()
+        .enumerate()
+        .flat_map(|(w, wave)| {
+            wave.iter()
+                .map(move |(n, t)| (w, n.raw(), t.block.id.raw() as usize))
+        })
+        .collect()
+}
+
+fn flatten_sim(waves: &[Vec<(u32, usize)>]) -> Vec<(usize, u32, usize)> {
+    waves
+        .iter()
+        .enumerate()
+        .flat_map(|(w, wave)| wave.iter().map(move |&(n, t)| (w, n, t)))
+        .collect()
+}
+
+fn per_node_counts(flat: &[(usize, u32, usize)]) -> BTreeMap<u32, usize> {
+    flat.iter().fold(BTreeMap::new(), |mut m, &(_, n, _)| {
+        *m.entry(n).or_insert(0) += 1;
+        m
+    })
+}
+
+/// Fraction of assignments whose node holds a replica of the task.
+fn locality_fraction(flat: &[(usize, u32, usize)], layout: &[Vec<u32>]) -> f64 {
+    if flat.is_empty() {
+        return 1.0;
+    }
+    let local = flat
+        .iter()
+        .filter(|&&(_, n, t)| layout[t].contains(&n))
+        .count();
+    local as f64 / flat.len() as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        max_shrink_iters: 50,
+        ..ProptestConfig::default()
+    })]
+
+    /// Map scheduling: for random replica layouts the two adapters emit
+    /// the exact same (wave, node, task) schedule.
+    #[test]
+    fn map_waves_agree(
+        nodes in 1u32..12,
+        slots in 1u32..4,
+        raw_layout in prop::collection::vec(
+            prop::collection::vec(0u32..12, 0usize..4),
+            0usize..48,
+        ),
+    ) {
+        // Clamp replica holders onto the live node range, dropping
+        // duplicates but keeping order (first holder = primary).
+        let layout: Vec<Vec<u32>> = raw_layout
+            .iter()
+            .map(|hs| {
+                let mut seen = Vec::new();
+                for &h in hs {
+                    let n = h % nodes;
+                    if !seen.contains(&n) {
+                        seen.push(n);
+                    }
+                }
+                seen
+            })
+            .collect();
+        let live_sim: Vec<u32> = (0..nodes).collect();
+        let live_eng: Vec<NodeId> = (0..nodes).map(NodeId).collect();
+
+        let eng_tasks: Vec<MapTask> = layout
+            .iter()
+            .enumerate()
+            .map(|(i, hs)| map_task(i, hs))
+            .collect();
+        let eng_waves =
+            eng::assign_map_waves(eng_tasks, &live_eng, slots, PolicyCtx::disabled()).unwrap();
+        let sim_waves = sim::assign_map_waves(
+            layout.len(),
+            &live_sim,
+            slots,
+            |t, n| layout[t].first() == Some(&n),
+            |t, n| layout[t].contains(&n),
+            PolicyCtx::disabled(),
+        )
+        .unwrap();
+
+        let ef = flatten_engine(&eng_waves);
+        let sf = flatten_sim(&sim_waves);
+        prop_assert_eq!(eng_waves.len(), sim_waves.len(), "wave counts");
+        prop_assert_eq!(
+            per_node_counts(&ef),
+            per_node_counts(&sf),
+            "per-node task counts"
+        );
+        prop_assert_eq!(
+            locality_fraction(&ef, &layout),
+            locality_fraction(&sf, &layout),
+            "locality fractions"
+        );
+        // Strongest form: one kernel ⇒ byte-identical schedules.
+        prop_assert_eq!(ef, sf, "schedules");
+    }
+
+    /// Reduce scheduling agrees under both assignment styles.
+    #[test]
+    fn reduce_waves_agree(
+        nodes in 1u32..12,
+        slots in 1u32..4,
+        parts in prop::collection::vec(0u32..40, 0usize..48),
+        balance in prop::bool::ANY,
+    ) {
+        let style = if balance {
+            ReduceAssignment::Balance
+        } else {
+            ReduceAssignment::RoundRobinByPartition
+        };
+        let live_sim: Vec<u32> = (0..nodes).collect();
+        let live_eng: Vec<NodeId> = (0..nodes).map(NodeId).collect();
+
+        let eng_tasks: Vec<ReduceTask> = parts
+            .iter()
+            .map(|&p| ReduceTask::new(ReduceTaskId::whole(JobId(1), PartitionId(p))))
+            .collect();
+        let eng_waves =
+            eng::assign_reduce_waves(eng_tasks, &live_eng, slots, style, PolicyCtx::disabled())
+                .unwrap();
+        let sim_waves = sim::assign_reduce_waves(
+            parts.len(),
+            &live_sim,
+            slots,
+            style,
+            |t| parts[t] as usize,
+            PolicyCtx::disabled(),
+        )
+        .unwrap();
+
+        prop_assert_eq!(eng_waves.len(), sim_waves.len(), "wave counts");
+        // Compare (wave, node, partition) triples: the engine returns
+        // owned tasks, so the partition id is the common currency.
+        let ef: Vec<(usize, u32, u32)> = eng_waves
+            .iter()
+            .enumerate()
+            .flat_map(|(w, wave)| {
+                wave.iter()
+                    .map(move |(n, t)| (w, n.raw(), t.id.partition.raw()))
+            })
+            .collect();
+        let parts_ref = &parts;
+        let sf: Vec<(usize, u32, u32)> = sim_waves
+            .iter()
+            .enumerate()
+            .flat_map(|(w, wave)| wave.iter().map(move |&(n, t)| (w, n, parts_ref[t])))
+            .collect();
+        prop_assert_eq!(ef, sf, "schedules");
+    }
+
+    /// A fully-dead cluster is the same typed error everywhere.
+    #[test]
+    fn dead_cluster_agrees(tasks in 1usize..20) {
+        let eng_tasks: Vec<MapTask> =
+            (0..tasks).map(|i| map_task(i, &[0])).collect();
+        let e = eng::assign_map_waves(eng_tasks, &[], 1, PolicyCtx::disabled()).unwrap_err();
+        let s = sim::assign_map_waves(
+            tasks,
+            &[],
+            1,
+            |_, _| false,
+            |_, _| false,
+            PolicyCtx::disabled(),
+        )
+        .unwrap_err();
+        prop_assert!(matches!(e, Error::NoLiveNodes));
+        prop_assert!(matches!(s, Error::NoLiveNodes));
+    }
+}

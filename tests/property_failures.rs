@@ -3,8 +3,8 @@
 //! failure-free reference, and RCMP must never restart the chain.
 
 use proptest::prelude::*;
-use rcmp::core::{ChainDriver, SplitPolicy, Strategy};
 use rcmp::core::strategy::HotspotMitigation;
+use rcmp::core::{ChainDriver, SplitPolicy, Strategy};
 use rcmp::engine::failure::Trigger;
 use rcmp::engine::{Cluster, ScriptedInjector, TriggerPoint};
 use rcmp::model::{ClusterConfig, NodeId, SlotConfig};

@@ -50,7 +50,7 @@ fn sim_run() -> rcmp::sim::SimJobReport {
     };
     let js = JobSim::new(HwProfile::stic(), wl.clone());
     let mut state = SimState::new(&wl);
-    js.run_full(&mut state, 1, 1, true)
+    js.run_full(&mut state, 1, 1, true).unwrap()
 }
 
 #[test]
@@ -59,7 +59,10 @@ fn task_and_wave_counts_agree() {
     let sim = sim_run();
     assert_eq!(engine.map_tasks_run, sim.mappers_run, "mapper counts");
     assert_eq!(engine.map_waves, sim.map_waves, "map wave counts");
-    assert_eq!(engine.reduce_tasks_run, sim.reduce_tasks_run, "reducer counts");
+    assert_eq!(
+        engine.reduce_tasks_run, sim.reduce_tasks_run,
+        "reducer counts"
+    );
     assert_eq!(engine.reduce_waves, sim.reduce_waves, "reduce wave counts");
 }
 
@@ -85,7 +88,10 @@ fn io_volumes_agree() {
     // (the engine's records carry their 12-byte headers through the
     // mapper unchanged, so encoded sizes are conserved).
     assert_eq!(engine.io.shuffle_total() as f64, total_input);
-    assert_eq!((sim.io.shuffle_local + sim.io.shuffle_remote) as f64, total_input);
+    assert_eq!(
+        (sim.io.shuffle_local + sim.io.shuffle_remote) as f64,
+        total_input
+    );
 
     // Output: 1:1 reduce ratio conserves bytes; no replication traffic.
     assert_eq!(engine.io.output_written as f64, total_input);
@@ -102,8 +108,8 @@ fn locality_profiles_agree() {
     let engine = engine_run();
     let sim = sim_run();
     let engine_local = engine.io.map_input_local as f64 / engine.io.map_input_total() as f64;
-    let sim_local = sim.io.map_input_local as f64
-        / (sim.io.map_input_local + sim.io.map_input_remote) as f64;
+    let sim_local =
+        sim.io.map_input_local as f64 / (sim.io.map_input_local + sim.io.map_input_remote) as f64;
     assert!(engine_local > 0.7, "engine locality {engine_local}");
     assert!(sim_local > 0.7, "sim locality {sim_local}");
 }
@@ -131,11 +137,7 @@ fn recompute_fractions_agree() {
     let tracker = JobTracker::new(&cluster, Arc::new(NoFailures));
     tracker.run(&JobRun::full(chain.job(1).clone()), 1).unwrap();
     cluster.fail_node(rcmp::model::NodeId(NODES - 1));
-    let lost = cluster
-        .dfs()
-        .file_meta("out/1")
-        .unwrap()
-        .lost_partitions();
+    let lost = cluster.dfs().file_meta("out/1").unwrap().lost_partitions();
     let engine_rec = tracker
         .run(
             &JobRun::recompute(
@@ -160,15 +162,17 @@ fn recompute_fractions_agree() {
     };
     let js = JobSim::new(HwProfile::stic(), wl.clone());
     let mut state = SimState::new(&wl);
-    js.run_full(&mut state, 1, 1, true);
+    js.run_full(&mut state, 1, 1, true).unwrap();
     state.fail_node(NODES - 1);
     let sim_lost = state.files[&1].lost_partitions(&state);
-    let sim_rec = js.run_recompute(
-        &mut state,
-        1,
-        &rcmp::sim::jobsim::RecomputeSpec::new(sim_lost.iter().copied(), 1),
-        true,
-    );
+    let sim_rec = js
+        .run_recompute(
+            &mut state,
+            1,
+            &rcmp::sim::jobsim::RecomputeSpec::new(sim_lost.iter().copied(), 1),
+            true,
+        )
+        .unwrap();
 
     // Both regenerate exactly the lost partitions with whole reducers.
     assert_eq!(engine_rec.reduce_tasks_run, lost.len());
