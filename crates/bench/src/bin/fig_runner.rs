@@ -1,7 +1,7 @@
 //! Regenerates the paper's figures.
 //!
 //! ```text
-//! fig_runner [all|fig02|fig08a|fig08b|fig08c|fig09|fig10|fig11|fig12|fig13|fig14|trace]...
+//! fig_runner [all|fig02|fig08a|fig08b|fig08c|fig09|fig10|fig11|fig12|fig13|fig14|trace|exec]...
 //!            [--quick] [--json <dir>]
 //! ```
 //!
@@ -107,6 +107,11 @@ fn main() {
                 let r = tracefig::run_scaled(scale);
                 println!("{}", r.render());
                 write_json("trace", serde_json::to_value(&r).unwrap());
+            }
+            "exec" => {
+                let r = execfig::run();
+                println!("{}", r.render());
+                write_json("BENCH_exec", serde_json::to_value(&r).unwrap());
             }
             "extras" => {
                 let loc = extras::locality_ablation(scale);

@@ -2,6 +2,7 @@
 
 use crate::mapstore::MapOutputStore;
 use rcmp_dfs::{Dfs, DfsConfig, LossReport};
+use rcmp_exec::BackendExecutor;
 use rcmp_model::{ClusterConfig, NodeId};
 use rcmp_obs::{MetricsRegistry, Tracer};
 use std::sync::Arc;
@@ -22,6 +23,7 @@ pub struct Cluster {
     map_outputs: MapOutputStore,
     tracer: Arc<Tracer>,
     metrics: Arc<MetricsRegistry>,
+    executor: BackendExecutor,
 }
 
 impl Cluster {
@@ -49,6 +51,9 @@ impl Cluster {
     ) -> Self {
         cfg.validate().expect("invalid cluster config");
         let tracer = Arc::new(Tracer::new());
+        let metrics = Arc::new(MetricsRegistry::new());
+        let executor =
+            BackendExecutor::from_config(&cfg.executor).with_obs(tracer.clone(), &metrics);
         let dfs_cfg = DfsConfig {
             nodes: cfg.nodes,
             block_size: cfg.block_size,
@@ -61,7 +66,8 @@ impl Cluster {
             dfs: Arc::new(Dfs::new_traced(dfs_cfg, tracer.clone())),
             map_outputs: MapOutputStore::new(),
             tracer,
-            metrics: Arc::new(MetricsRegistry::new()),
+            metrics,
+            executor,
         }
     }
 
@@ -78,6 +84,13 @@ impl Cluster {
     /// The cluster-wide metrics registry.
     pub fn metrics(&self) -> &Arc<MetricsRegistry> {
         &self.metrics
+    }
+
+    /// The wave-executor backend selected by
+    /// `ClusterConfig::executor` — the tracker runs every map and
+    /// reduce wave through it.
+    pub fn executor(&self) -> &BackendExecutor {
+        &self.executor
     }
 
     pub fn dfs(&self) -> &Arc<Dfs> {

@@ -33,6 +33,8 @@ use crate::shuffle::{shuffle_for_reduce, ShuffleFailure};
 use crate::task::{MapTask, ReduceTask};
 use parking_lot::Mutex;
 use rcmp_dfs::{LossReport, PlacementPolicy};
+use rcmp_exec::{Executor, SlotOutcome, SlotTask, TaskCtx, WaveSpec};
+use rcmp_model::rng::derive_indexed;
 use rcmp_model::{
     Error, HashPartitioner, JobId, MapTaskId, NodeId, PartitionId, Record, RecordReader,
     RecordWriter, ReduceTaskId, Result, SplitId, SplitPartitioner, TaskId,
@@ -89,6 +91,11 @@ enum ReduceOutcome {
         task: ReduceTask,
         loss: LossReport,
     },
+    /// The wave was cooperatively cancelled before the task started
+    /// (`ExecutorConfig::cancel_on_fatal`); the task stays pending and
+    /// is reassigned next round without counting against its retry
+    /// budget — it never ran.
+    Cancelled,
 }
 
 impl<'a> JobTracker<'a> {
@@ -299,12 +306,14 @@ impl<'a> JobTracker<'a> {
                         wave,
                         spec,
                         &split_plan,
+                        seq,
                         map_wave_counter,
                         wave_open.id,
                         &mut report,
                     );
                     self.tracer
                         .close(wave_open, wave_kind, Some(job_span), None, None);
+                    let had_failures = had_failures?;
                     let point = TriggerPoint::AfterMapWave(map_wave_counter);
                     map_wave_counter += 1;
                     let kills = self.fire(seq, spec.job, point, job_span, &mut report);
@@ -367,11 +376,13 @@ impl<'a> JobTracker<'a> {
                     &input_keys,
                     spec,
                     placement,
+                    seq,
                     reduce_wave_counter,
                     wave_open.id,
                 );
                 self.tracer
                     .close(wave_open, wave_kind, Some(job_span), None, None);
+                let outcomes = outcomes?;
                 let mut wave_had_failures = false;
                 for outcome in outcomes {
                     match outcome {
@@ -397,6 +408,10 @@ impl<'a> JobTracker<'a> {
                                     reason: format!("reduce task {id} kept failing retryably"),
                                 });
                             }
+                        }
+                        ReduceOutcome::Cancelled => {
+                            wave_had_failures = true;
+                            report.tasks_cancelled += 1;
                         }
                         ReduceOutcome::Torn { task, loss } => {
                             wave_had_failures = true;
@@ -637,46 +652,61 @@ impl<'a> JobTracker<'a> {
         }
     }
 
-    /// Runs one wave of mappers on scoped threads (one per occupied
-    /// slot). Returns whether any task failed (triggering reassignment).
+    /// Runs one wave of mappers on the configured executor backend.
+    /// Returns whether any task failed (triggering reassignment);
+    /// errors only when the executor abandoned a task (contained
+    /// panic), which escalates as [`Error::ExecutorShutdown`].
+    #[allow(clippy::too_many_arguments)]
     fn execute_map_wave(
         &self,
         wave: Vec<(NodeId, MapTask)>,
         spec: &JobSpec,
         split_plan: &Option<(BTreeSet<PartitionId>, u32)>,
+        seq: u64,
         wave_idx: u32,
         wave_span: SpanId,
         report: &mut JobReport,
-    ) -> bool {
-        let outcomes: Vec<std::result::Result<TaskRecord, Error>> = std::thread::scope(|s| {
-            let handles: Vec<_> = wave
-                .into_iter()
-                .map(|(node, task)| {
-                    s.spawn(move || {
-                        self.run_map_task(node, task, spec, split_plan, wave_idx, wave_span)
-                    })
+    ) -> Result<bool> {
+        let exec_spec = self.wave_spec("map-wave", seq, wave_idx, wave_span);
+        let cancel_on_fatal = self.cluster.config().executor.cancel_on_fatal;
+        let tasks: Vec<SlotTask<'_, std::result::Result<TaskRecord, Error>>> = wave
+            .into_iter()
+            .map(|(node, task)| {
+                SlotTask::new(move |ctx: &TaskCtx| {
+                    let result =
+                        self.run_map_task(node, task, spec, split_plan, wave_idx, wave_span);
+                    if cancel_on_fatal && result.is_err() {
+                        ctx.cancel_wave();
+                    }
+                    result
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("map task panicked"))
-                .collect()
-        });
+            })
+            .collect();
+        let outcomes = self.cluster.executor().run_wave(&exec_spec, tasks);
         let mut had_failures = false;
         for outcome in outcomes {
             match outcome {
-                Ok(rec) => {
+                SlotOutcome::Completed(Ok(rec)) => {
                     report.io += rec.io;
                     report.tasks.push(rec);
                     report.map_tasks_run += 1;
                 }
-                Err(_) => {
+                SlotOutcome::Completed(Err(_)) => {
                     had_failures = true;
                     report.task_retries += 1;
                 }
+                SlotOutcome::Cancelled => {
+                    had_failures = true;
+                    report.tasks_cancelled += 1;
+                }
+                SlotOutcome::Abandoned => {
+                    return Err(Error::ExecutorShutdown {
+                        reason: format!("map task panicked in wave {wave_idx}"),
+                    });
+                }
             }
         }
-        had_failures
+        Ok(had_failures)
     }
 
     /// Span wrapper around [`Self::map_task_inner`]: one `Task` span per
@@ -773,32 +803,69 @@ impl<'a> JobTracker<'a> {
         })
     }
 
-    /// Runs one wave of reducers on scoped threads.
+    /// Seed and span identity for one wave submission: the queue order
+    /// of the async backend is a pure function of the cluster seed, the
+    /// run sequence number and the wave index, so replays are
+    /// bit-identical.
+    fn wave_spec(
+        &self,
+        label: &'static str,
+        seq: u64,
+        wave_idx: u32,
+        wave_span: SpanId,
+    ) -> WaveSpec {
+        let seed = derive_indexed(
+            self.cluster.config().seed,
+            label,
+            (seq << 32) | u64::from(wave_idx),
+        );
+        WaveSpec::new(label, seed).with_parent(wave_span)
+    }
+
+    /// Runs one wave of reducers on the configured executor backend.
+    /// Errors only when the executor abandoned a task (contained
+    /// panic), which escalates as [`Error::ExecutorShutdown`].
+    #[allow(clippy::too_many_arguments)]
     fn execute_reduce_wave(
         &self,
         wave: Vec<(NodeId, ReduceTask)>,
         input_keys: &[MapInputKey],
         spec: &JobSpec,
         placement: PlacementPolicy,
+        seq: u64,
         wave_idx: u32,
         wave_span: SpanId,
-    ) -> Vec<ReduceOutcome> {
-        std::thread::scope(|s| {
-            let handles: Vec<_> = wave
-                .into_iter()
-                .map(|(node, task)| {
-                    s.spawn(move || {
-                        self.run_reduce_task(
-                            node, task, input_keys, spec, placement, wave_idx, wave_span,
-                        )
-                    })
+    ) -> Result<Vec<ReduceOutcome>> {
+        let exec_spec = self.wave_spec("reduce-wave", seq, wave_idx, wave_span);
+        let cancel_on_fatal = self.cluster.config().executor.cancel_on_fatal;
+        let tasks: Vec<SlotTask<'_, ReduceOutcome>> = wave
+            .into_iter()
+            .map(|(node, task)| {
+                SlotTask::new(move |ctx: &TaskCtx| {
+                    let outcome = self.run_reduce_task(
+                        node, task, input_keys, spec, placement, wave_idx, wave_span,
+                    );
+                    // A torn write is a node death observed mid-task —
+                    // the wave's fatal-fault signal.
+                    if cancel_on_fatal && matches!(outcome, ReduceOutcome::Torn { .. }) {
+                        ctx.cancel_wave();
+                    }
+                    outcome
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("reduce task panicked"))
-                .collect()
-        })
+            })
+            .collect();
+        self.cluster
+            .executor()
+            .run_wave(&exec_spec, tasks)
+            .into_iter()
+            .map(|o| match o {
+                SlotOutcome::Completed(outcome) => Ok(outcome),
+                SlotOutcome::Cancelled => Ok(ReduceOutcome::Cancelled),
+                SlotOutcome::Abandoned => Err(Error::ExecutorShutdown {
+                    reason: format!("reduce task panicked in wave {wave_idx}"),
+                }),
+            })
+            .collect()
     }
 
     /// Span wrapper around [`Self::reduce_task_inner`]: one `Task` span

@@ -1,0 +1,441 @@
+//! The hand-rolled cooperative reactor behind [`AsyncExecutor`].
+//!
+//! One wave at a time: the wave's slot tasks are lifted into
+//! [`TaskFuture`]s held in per-slot mutexes on the caller's stack, a
+//! seeded shuffle of their indices primes the ready queue, and a bounded
+//! pool of scoped worker threads multiplexes them — pop an index, poll
+//! that future, park on a condvar when the queue runs dry. Wakers
+//! (`std::task::Wake` over an `Arc` of the reactor's shared state)
+//! re-enqueue their index and unpark one worker; when the last task
+//! resolves, every parked worker is released and the scope joins.
+//!
+//! The queue seed makes the *initial* service order a pure function of
+//! `(seed, label)`; with one worker the whole execution order is. With
+//! more workers the interleaving is OS-scheduled, exactly like the
+//! threaded backend — which is why schedules and digests agree across
+//! backends (wave outcomes are collected in input order either way).
+
+use crate::future::TaskFuture;
+use crate::metrics::ExecMetrics;
+use crate::task::{CancelToken, SlotOutcome, SlotTask, TaskCtx};
+use crate::{Executor, WaveSpec};
+use rand::seq::SliceRandom;
+use rcmp_model::rng::rng_for;
+use rcmp_obs::{MetricsRegistry, SpanKind, Tracer};
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::task::{Context, Poll, Wake, Waker};
+
+/// Locks ignoring poisoning: task panics are contained inside
+/// [`TaskFuture::poll`], so a poisoned reactor lock can only come from a
+/// bug in the reactor itself — and even then the queue state is a plain
+/// index list that stays coherent.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Reactor state shared between workers and wakers.
+///
+/// Wakers require `'static` state (`std::task::Waker` erases
+/// lifetimes), so everything reachable from one — the ready queue of
+/// task *indices*, the park condvar and the counters — lives in this
+/// `Arc`. The futures themselves stay on the wave's stack frame,
+/// accessed only by the scoped workers.
+struct Shared {
+    queue: Mutex<VecDeque<usize>>,
+    ready: Condvar,
+    remaining: AtomicUsize,
+    polls: AtomicU64,
+    parked: AtomicUsize,
+    metrics: Option<ExecMetrics>,
+}
+
+impl Shared {
+    fn new(tasks: usize, metrics: Option<ExecMetrics>) -> Self {
+        Self {
+            queue: Mutex::new(VecDeque::with_capacity(tasks)),
+            ready: Condvar::new(),
+            remaining: AtomicUsize::new(tasks),
+            polls: AtomicU64::new(0),
+            parked: AtomicUsize::new(0),
+            metrics,
+        }
+    }
+
+    fn note_depth(&self, depth: usize) {
+        if let Some(m) = &self.metrics {
+            m.ready_depth.set(depth as i64);
+        }
+    }
+
+    /// Re-enqueues a task index and unparks one worker (the wake path).
+    fn enqueue(&self, index: usize) {
+        let mut q = lock(&self.queue);
+        q.push_back(index);
+        self.note_depth(q.len());
+        // Notify while holding the lock: a worker between its empty
+        // check and its park holds the lock, so the wake cannot slip
+        // into that window and be lost.
+        self.ready.notify_one();
+    }
+
+    /// Pops the next ready index, parking until one arrives or every
+    /// task has resolved (`None` = shut down).
+    fn next_ready(&self) -> Option<usize> {
+        let mut q = lock(&self.queue);
+        loop {
+            if let Some(i) = q.pop_front() {
+                self.note_depth(q.len());
+                return Some(i);
+            }
+            if self.remaining.load(Ordering::Acquire) == 0 {
+                return None;
+            }
+            self.parked.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = &self.metrics {
+                m.parked_workers
+                    .set(self.parked.load(Ordering::Relaxed) as i64);
+            }
+            q = self.ready.wait(q).unwrap_or_else(PoisonError::into_inner);
+            self.parked.fetch_sub(1, Ordering::Relaxed);
+            if let Some(m) = &self.metrics {
+                m.parked_workers
+                    .set(self.parked.load(Ordering::Relaxed) as i64);
+            }
+        }
+    }
+
+    /// Marks one task resolved; the last one releases every parked
+    /// worker so the pool can drain.
+    fn task_done(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = lock(&self.queue);
+            self.ready.notify_all();
+        }
+    }
+}
+
+/// Waker for one slot: re-enqueues its index.
+struct SlotWaker {
+    shared: Arc<Shared>,
+    index: usize,
+}
+
+impl Wake for SlotWaker {
+    fn wake(self: Arc<Self>) {
+        self.shared.enqueue(self.index);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.shared.enqueue(self.index);
+    }
+}
+
+/// One slot's reactor-side state: the future while it is pending, the
+/// outcome once it resolved.
+struct Slot<'env, T> {
+    fut: Option<TaskFuture<'env, T>>,
+    outcome: Option<SlotOutcome<T>>,
+}
+
+fn worker_loop<T: Send>(shared: &Arc<Shared>, slots: &[Mutex<Slot<'_, T>>]) {
+    while let Some(index) = shared.next_ready() {
+        let mut slot = lock(&slots[index]);
+        // A duplicate wake can race a poll already in flight: by the
+        // time this worker gets the slot lock the future is either back
+        // (poll it again) or resolved (nothing to do).
+        let Some(mut fut) = slot.fut.take() else {
+            continue;
+        };
+        let waker = Waker::from(Arc::new(SlotWaker {
+            shared: Arc::clone(shared),
+            index,
+        }));
+        let mut cx = Context::from_waker(&waker);
+        shared.polls.fetch_add(1, Ordering::Relaxed);
+        match Pin::new(&mut fut).poll(&mut cx) {
+            Poll::Pending => {
+                slot.fut = Some(fut);
+            }
+            Poll::Ready(out) => {
+                slot.outcome = Some(out);
+                drop(slot);
+                shared.task_done();
+            }
+        }
+    }
+}
+
+/// The cooperative reactor backend: `workers` OS threads multiplex the
+/// whole wave, so thousands of simulated slots run in one process with
+/// a bounded thread count.
+pub struct AsyncExecutor {
+    workers: usize,
+    tracer: Option<Arc<Tracer>>,
+    metrics: Option<ExecMetrics>,
+}
+
+impl AsyncExecutor {
+    /// Creates a reactor with `workers` OS threads; `0` auto-sizes to
+    /// the machine's available parallelism.
+    pub fn new(workers: u32) -> Self {
+        let workers = if workers == 0 {
+            std::thread::available_parallelism()
+                .map(usize::from)
+                .unwrap_or(4)
+        } else {
+            workers as usize
+        };
+        Self {
+            workers,
+            tracer: None,
+            metrics: None,
+        }
+    }
+
+    /// Attaches observability: `ExecutorWave` spans on `tracer` and
+    /// `exec.*` metrics registered in `registry`.
+    pub fn with_obs(mut self, tracer: Arc<Tracer>, registry: &MetricsRegistry) -> Self {
+        self.tracer = Some(tracer);
+        self.metrics = Some(ExecMetrics::register(registry));
+        self
+    }
+
+    /// The resolved OS worker-thread count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
+impl Executor for AsyncExecutor {
+    fn run_wave<'env, T: Send + 'env>(
+        &self,
+        spec: &WaveSpec,
+        tasks: Vec<SlotTask<'env, T>>,
+    ) -> Vec<SlotOutcome<T>> {
+        let n = tasks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.workers.min(n).max(1);
+        let started = self.tracer.as_ref().map(|t| t.now_us());
+        if let Some(m) = &self.metrics {
+            m.waves.inc();
+            m.workers.set(workers as i64);
+        }
+        let cancel = CancelToken::new();
+        let shared = Arc::new(Shared::new(n, self.metrics.clone()));
+        {
+            // Seeded-deterministic initial service order.
+            let mut order: Vec<usize> = (0..n).collect();
+            order.shuffle(&mut rng_for(spec.seed, spec.label));
+            let mut q = lock(&shared.queue);
+            q.extend(order);
+            shared.note_depth(q.len());
+        }
+        let slots: Vec<Mutex<Slot<'env, T>>> = tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                Mutex::new(Slot {
+                    fut: Some(TaskFuture::new(
+                        t.into_fn(),
+                        TaskCtx::new(cancel.clone(), i),
+                    )),
+                    outcome: None,
+                })
+            })
+            .collect();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                let shared = &shared;
+                let slots = &slots;
+                s.spawn(move || worker_loop(shared, slots));
+            }
+        });
+        let polls = shared.polls.load(Ordering::Relaxed);
+        let outcomes: Vec<SlotOutcome<T>> = slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .outcome
+                    .unwrap_or(SlotOutcome::Cancelled)
+            })
+            .collect();
+        let cancelled = outcomes.iter().filter(|o| o.is_cancelled()).count();
+        if let Some(m) = &self.metrics {
+            m.polls.add(polls);
+            m.polls_per_task_milli.set((polls * 1000 / n as u64) as i64);
+            m.tasks_cancelled.add(cancelled as u64);
+            m.tasks_abandoned
+                .add(outcomes.iter().filter(|o| o.is_abandoned()).count() as u64);
+            m.tasks_completed.add(
+                outcomes
+                    .iter()
+                    .filter(|o| matches!(o, SlotOutcome::Completed(_)))
+                    .count() as u64,
+            );
+        }
+        if let (Some(tracer), Some(start)) = (&self.tracer, started) {
+            let end = tracer.now_us();
+            tracer.record(
+                SpanKind::ExecutorWave {
+                    backend: "async".into(),
+                    tasks: n as u32,
+                    workers: workers as u32,
+                    polls,
+                    cancelled: cancelled as u32,
+                },
+                spec.parent,
+                None,
+                None,
+                start,
+                end,
+            );
+        }
+        outcomes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn wave(n: usize) -> Vec<SlotTask<'static, usize>> {
+        (0..n)
+            .map(|i| {
+                SlotTask::new(move |ctx: &TaskCtx| {
+                    assert_eq!(ctx.index(), i);
+                    i * 2
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn outcomes_are_input_ordered() {
+        let exec = AsyncExecutor::new(3);
+        let out = exec.run_wave(&WaveSpec::new("t", 7), wave(100));
+        for (i, o) in out.into_iter().enumerate() {
+            assert_eq!(o.completed(), Some(i * 2));
+        }
+    }
+
+    #[test]
+    fn polls_are_exactly_two_per_task() {
+        let reg = MetricsRegistry::new();
+        let exec = AsyncExecutor::new(2).with_obs(Arc::new(Tracer::new()), &reg);
+        let out = exec.run_wave(&WaveSpec::new("t", 1), wave(50));
+        assert_eq!(out.len(), 50);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("exec.polls"), Some(100));
+        assert_eq!(snap.counter("exec.tasks_completed"), Some(50));
+        assert_eq!(
+            snap.get("exec.polls_per_task_milli"),
+            Some(&rcmp_obs::SnapshotValue::Gauge(2000))
+        );
+    }
+
+    #[test]
+    fn single_worker_order_is_seeded() {
+        // With one worker the completion order is the seeded shuffle;
+        // same seed => same order, different seed => (almost surely)
+        // different order.
+        let record = |seed: u64| {
+            let order = Mutex::new(Vec::new());
+            let tasks: Vec<SlotTask<'_, ()>> = (0..32)
+                .map(|i| {
+                    let order = &order;
+                    SlotTask::new(move |_: &TaskCtx| lock(order).push(i))
+                })
+                .collect();
+            AsyncExecutor::new(1).run_wave(&WaveSpec::new("order", seed), tasks);
+            order.into_inner().unwrap_or_else(PoisonError::into_inner)
+        };
+        let a = record(5);
+        let b = record(5);
+        let c = record(6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancellation_drains_wave_early() {
+        // Single worker: the first task cancels the wave, so every task
+        // served after it is skipped.
+        let ran = AtomicUsize::new(0);
+        let tasks: Vec<SlotTask<'_, ()>> = (0..64)
+            .map(|_| {
+                let ran = &ran;
+                SlotTask::new(move |ctx: &TaskCtx| {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                    ctx.cancel_wave();
+                })
+            })
+            .collect();
+        let out = AsyncExecutor::new(1).run_wave(&WaveSpec::new("c", 3), tasks);
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+        assert_eq!(out.iter().filter(|o| o.is_cancelled()).count(), 63);
+    }
+
+    #[test]
+    fn panic_abandons_only_that_task() {
+        let tasks: Vec<SlotTask<'_, u32>> = (0..8)
+            .map(|i| {
+                SlotTask::new(move |_: &TaskCtx| {
+                    assert!(i != 3, "scripted task panic");
+                    i
+                })
+            })
+            .collect();
+        let out = AsyncExecutor::new(2).run_wave(&WaveSpec::new("p", 9), tasks);
+        assert!(out[3].is_abandoned());
+        assert_eq!(
+            out.iter()
+                .filter(|o| matches!(o, SlotOutcome::Completed(_)))
+                .count(),
+            7
+        );
+    }
+
+    #[test]
+    fn emits_executor_wave_span() {
+        let reg = MetricsRegistry::new();
+        let tracer = Arc::new(Tracer::new());
+        let exec = AsyncExecutor::new(2).with_obs(tracer.clone(), &reg);
+        exec.run_wave(&WaveSpec::new("s", 11), wave(10));
+        let trace = tracer.snapshot();
+        let span = trace.of_kind("ExecutorWave").next().expect("span emitted");
+        match &span.kind {
+            SpanKind::ExecutorWave {
+                backend,
+                tasks,
+                workers,
+                polls,
+                cancelled,
+            } => {
+                assert_eq!(backend, "async");
+                assert_eq!(*tasks, 10);
+                assert_eq!(*workers, 2);
+                assert_eq!(*polls, 20);
+                assert_eq!(*cancelled, 0);
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_wave_is_a_noop() {
+        let out: Vec<SlotOutcome<()>> =
+            AsyncExecutor::new(4).run_wave(&WaveSpec::new("e", 0), Vec::new());
+        assert!(out.is_empty());
+    }
+}

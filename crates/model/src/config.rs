@@ -30,6 +30,109 @@ impl Default for SlotConfig {
     }
 }
 
+/// Which wave-executor backend runs a job's slot tasks.
+///
+/// Both backends execute the *same* schedules — wave assignment is
+/// decided by the shared policy kernel before any task starts — so the
+/// choice trades OS resources against fidelity to Hadoop's
+/// process-per-slot model, not correctness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecutorKind {
+    /// One OS thread per occupied slot per wave (Hadoop 1.0.3's
+    /// TaskTracker model, and this repo's original behaviour).
+    #[default]
+    Threaded,
+    /// A hand-rolled cooperative reactor: a bounded worker pool
+    /// multiplexes every logical slot task of the wave, so thousands of
+    /// simulated slots fit in one process with at most
+    /// [`ExecutorConfig::workers`] OS threads.
+    Async,
+}
+
+/// Wave-executor backend selection, threaded through [`ClusterConfig`]
+/// so the engine, the chaos harness and the figure runner all pick a
+/// backend in one place.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecutorConfig {
+    /// Backend to execute waves with.
+    pub backend: ExecutorKind,
+    /// Worker OS threads for [`ExecutorKind::Async`]; `0` means
+    /// auto-size to the machine's available parallelism. Ignored by
+    /// [`ExecutorKind::Threaded`].
+    pub workers: u32,
+    /// Cooperatively cancel the rest of a wave once one of its tasks
+    /// hits a fatal (node-death-shaped) failure, so a poisoned wave
+    /// drains early instead of running every remaining slot task.
+    ///
+    /// Off by default: with cancellation on, *which* tasks of a
+    /// poisoned wave completed depends on worker timing, so wave counts
+    /// (and therefore randomized fault schedules keyed to wave-indexed
+    /// trigger points) stop being a pure function of the seed.
+    pub cancel_on_fatal: bool,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        Self {
+            backend: ExecutorKind::Threaded,
+            workers: 0,
+            cancel_on_fatal: false,
+        }
+    }
+}
+
+impl ExecutorConfig {
+    /// The async backend with auto-sized workers.
+    pub fn async_auto() -> Self {
+        Self {
+            backend: ExecutorKind::Async,
+            ..Self::default()
+        }
+    }
+
+    /// The async backend with a fixed worker count.
+    pub fn async_workers(workers: u32) -> Self {
+        Self {
+            backend: ExecutorKind::Async,
+            workers,
+            ..Self::default()
+        }
+    }
+
+    /// Enables [`ExecutorConfig::cancel_on_fatal`].
+    pub fn with_cancel_on_fatal(mut self) -> Self {
+        self.cancel_on_fatal = true;
+        self
+    }
+
+    /// Backend override from the `RCMP_EXECUTOR` environment variable
+    /// (`threaded`, `async`, or `async:<workers>`), falling back to the
+    /// default when unset or unparseable. Lets whole test binaries be
+    /// re-run under the other backend (the CI executor matrix) without
+    /// touching each construction site.
+    pub fn from_env_or_default() -> Self {
+        match std::env::var("RCMP_EXECUTOR") {
+            Ok(v) => Self::parse(&v).unwrap_or_default(),
+            Err(_) => Self::default(),
+        }
+    }
+
+    /// Parses a backend spec (`threaded` | `async` | `async:<workers>`).
+    pub fn parse(spec: &str) -> Option<Self> {
+        let spec = spec.trim();
+        if spec.eq_ignore_ascii_case("threaded") {
+            return Some(Self::default());
+        }
+        if spec.eq_ignore_ascii_case("async") {
+            return Some(Self::async_auto());
+        }
+        let rest = spec
+            .strip_prefix("async:")
+            .or_else(|| spec.strip_prefix("ASYNC:"))?;
+        rest.parse::<u32>().ok().map(Self::async_workers)
+    }
+}
+
 /// Static description of a collocated cluster (every node both computes
 /// and stores, §II).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -51,6 +154,9 @@ pub struct ClusterConfig {
     /// so a permanently-failing scenario ends in a typed error instead
     /// of a livelock.
     pub max_recovery_attempts: u32,
+    /// Which wave-executor backend the engine runs slot tasks on.
+    #[serde(default)]
+    pub executor: ExecutorConfig,
 }
 
 impl ClusterConfig {
@@ -63,6 +169,7 @@ impl ClusterConfig {
             failure_detection_secs: 30.0,
             seed: 0xc0ffee,
             max_recovery_attempts: 100,
+            executor: ExecutorConfig::default(),
         }
     }
 
@@ -75,6 +182,7 @@ impl ClusterConfig {
             failure_detection_secs: 30.0,
             seed: 0x57_1c,
             max_recovery_attempts: 100,
+            executor: ExecutorConfig::default(),
         }
     }
 
@@ -87,6 +195,7 @@ impl ClusterConfig {
             failure_detection_secs: 30.0,
             seed: 0xdc0,
             max_recovery_attempts: 100,
+            executor: ExecutorConfig::default(),
         }
     }
 
@@ -156,6 +265,40 @@ mod tests {
         c.failure_detection_secs = 30.0;
         c.max_recovery_attempts = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn executor_spec_parsing() {
+        assert_eq!(
+            ExecutorConfig::parse("threaded"),
+            Some(ExecutorConfig::default())
+        );
+        assert_eq!(
+            ExecutorConfig::parse("async"),
+            Some(ExecutorConfig::async_auto())
+        );
+        assert_eq!(
+            ExecutorConfig::parse("async:4"),
+            Some(ExecutorConfig::async_workers(4))
+        );
+        assert_eq!(ExecutorConfig::parse("async:lots"), None);
+        assert_eq!(ExecutorConfig::parse("fibers"), None);
+    }
+
+    #[test]
+    fn executor_defaults_to_threaded() {
+        let cfg = ClusterConfig::small_test(4);
+        assert_eq!(cfg.executor.backend, ExecutorKind::Threaded);
+        assert_eq!(cfg.executor.workers, 0);
+        assert!(!cfg.executor.cancel_on_fatal);
+        assert_eq!(
+            ExecutorConfig::async_workers(8).with_cancel_on_fatal(),
+            ExecutorConfig {
+                backend: ExecutorKind::Async,
+                workers: 8,
+                cancel_on_fatal: true,
+            }
+        );
     }
 
     #[test]

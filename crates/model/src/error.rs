@@ -49,6 +49,10 @@ pub enum Error {
         attempts: u32,
         reason: String,
     },
+    /// The wave executor shut down before running a task to completion:
+    /// a worker observed a poisoned wave (panicked task or fatal-fault
+    /// cancellation) and abandoned the remaining slot tasks.
+    ExecutorShutdown { reason: String },
     /// A job was cancelled by the middleware (e.g. to start recovery).
     JobCancelled(JobId),
     /// The user asked to split a reducer of a job marked unsplittable
@@ -92,6 +96,9 @@ impl fmt::Display for Error {
                 f,
                 "recovery exhausted for job {job} after {attempts} attempts: {reason}"
             ),
+            Error::ExecutorShutdown { reason } => {
+                write!(f, "executor shut down: {reason}")
+            }
             Error::JobCancelled(j) => write!(f, "job {j} cancelled"),
             Error::UnsplittableJob(j) => write!(f, "job {j} does not allow reducer splitting"),
             Error::Codec(m) => write!(f, "record codec error: {m}"),
@@ -138,6 +145,17 @@ mod tests {
         assert_eq!(
             e.to_string(),
             "recovery exhausted for job j3 after 8 attempts: reduce task kept failing"
+        );
+    }
+
+    #[test]
+    fn executor_shutdown_message() {
+        let e = Error::ExecutorShutdown {
+            reason: "wave cancelled after fatal fault".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "executor shut down: wave cancelled after fatal fault"
         );
     }
 

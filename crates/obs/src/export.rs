@@ -48,6 +48,12 @@ fn event_name(span: &Span) -> String {
         SpanKind::RecoveryPlan { target, steps, .. } => {
             format!("plan recovery of {target} ({steps} steps)")
         }
+        SpanKind::ExecutorWave {
+            backend,
+            tasks,
+            workers,
+            ..
+        } => format!("{backend} wave ({tasks} tasks / {workers} workers)"),
         SpanKind::Event { label, .. } => label.clone(),
     }
 }
@@ -127,6 +133,7 @@ pub fn summary(trace: &Trace) -> String {
         "Fault",
         "Loss",
         "RecoveryPlan",
+        "ExecutorWave",
         "Event",
     ];
     for k in kinds {

@@ -141,6 +141,22 @@ pub enum SpanKind {
         /// Total partitions the plan regenerates.
         partitions: u32,
     },
+    /// One wave executed by a wave-executor backend, with reactor
+    /// health counters (emitted by `rcmp-exec`'s async backend; the
+    /// threaded backend stays byte-identical to the pre-executor code
+    /// and records nothing extra).
+    ExecutorWave {
+        /// Backend name (`"async"`).
+        backend: String,
+        /// Logical slot tasks the wave carried.
+        tasks: u32,
+        /// OS worker threads that multiplexed them.
+        workers: u32,
+        /// Total future polls across the wave.
+        polls: u64,
+        /// Tasks cooperatively cancelled before running.
+        cancelled: u32,
+    },
     /// A structured middleware event that has no richer span shape
     /// (chain restarts, replication points, storage reclaim, ...).
     Event {
@@ -165,6 +181,7 @@ impl SpanKind {
             SpanKind::Fault { .. } => "Fault",
             SpanKind::Loss { .. } => "Loss",
             SpanKind::RecoveryPlan { .. } => "RecoveryPlan",
+            SpanKind::ExecutorWave { .. } => "ExecutorWave",
             SpanKind::Event { .. } => "Event",
         }
     }

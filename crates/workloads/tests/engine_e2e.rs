@@ -15,6 +15,7 @@ fn test_cluster(nodes: u32) -> Cluster {
         block_size: rcmp_model::ByteSize::kib(4),
         failure_detection_secs: 30.0,
         max_recovery_attempts: 100,
+        executor: rcmp_model::ExecutorConfig::default(),
         seed: 42,
     };
     Cluster::new(cfg)

@@ -9,7 +9,7 @@
 use rcmp::core::{ChainDriver, Strategy};
 use rcmp::engine::failure::Fault;
 use rcmp::engine::{Cluster, RandomizedInjector, ScriptedInjector, TriggerPoint};
-use rcmp::model::{ByteSize, ClusterConfig, Error, NodeId, SlotConfig};
+use rcmp::model::{ByteSize, ClusterConfig, Error, ExecutorConfig, NodeId, SlotConfig};
 use rcmp::workloads::checksum::digest_file;
 use rcmp::workloads::{generate_input, ChainBuilder, DataGenConfig};
 use std::sync::Arc;
@@ -24,6 +24,7 @@ fn cluster() -> Cluster {
         block_size: ByteSize::kib(4),
         failure_detection_secs: 30.0,
         max_recovery_attempts: 100,
+        executor: ExecutorConfig::from_env_or_default(),
         seed: 7,
     })
 }
@@ -113,6 +114,7 @@ fn main() {
             block_size: ByteSize::kib(4),
             failure_detection_secs: 30.0,
             max_recovery_attempts: 100,
+            executor: ExecutorConfig::from_env_or_default(),
             seed: 7,
         });
         let mut gen = DataGenConfig::test("input", 1, 4_000);

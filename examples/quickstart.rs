@@ -7,7 +7,7 @@
 
 use rcmp::core::{ChainDriver, ChainEvent, Strategy};
 use rcmp::engine::{Cluster, ScriptedInjector, TriggerPoint};
-use rcmp::model::{ByteSize, ClusterConfig, NodeId, SlotConfig};
+use rcmp::model::{ByteSize, ClusterConfig, ExecutorConfig, NodeId, SlotConfig};
 use rcmp::workloads::checksum::digest_file;
 use rcmp::workloads::{generate_input, ChainBuilder, DataGenConfig};
 use std::sync::Arc;
@@ -22,6 +22,10 @@ fn main() {
         block_size: ByteSize::kib(4),
         failure_detection_secs: 30.0,
         max_recovery_attempts: 100,
+        // Thread-per-slot by default; `RCMP_EXECUTOR=async` (or
+        // `ExecutorConfig::async_auto()`) runs the same seeded
+        // schedule on the cooperative reactor instead.
+        executor: ExecutorConfig::from_env_or_default(),
         seed: 1,
     });
 

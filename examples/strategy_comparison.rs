@@ -14,7 +14,7 @@
 use rcmp::core::strategy::HotspotMitigation;
 use rcmp::core::{ChainDriver, SplitPolicy, Strategy};
 use rcmp::engine::{Cluster, ScriptedInjector, TriggerPoint};
-use rcmp::model::{ByteSize, ClusterConfig, NodeId, SlotConfig};
+use rcmp::model::{ByteSize, ClusterConfig, ExecutorConfig, NodeId, SlotConfig};
 use rcmp::workloads::checksum::digest_file;
 use rcmp::workloads::{generate_input, ChainBuilder, DataGenConfig};
 use std::sync::Arc;
@@ -29,6 +29,7 @@ fn run(strategy: Strategy, label: &str) {
         block_size: ByteSize::kib(4),
         failure_detection_secs: 30.0,
         max_recovery_attempts: 100,
+        executor: ExecutorConfig::from_env_or_default(),
         seed: 99,
     });
     generate_input(cluster.dfs(), &DataGenConfig::test("input", NODES, 30_000)).unwrap();

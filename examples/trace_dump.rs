@@ -14,7 +14,7 @@
 
 use rcmp::core::{ChainDriver, Strategy};
 use rcmp::engine::{Cluster, ScriptedInjector, TriggerPoint};
-use rcmp::model::{ByteSize, ClusterConfig, NodeId, SlotConfig};
+use rcmp::model::{ByteSize, ClusterConfig, ExecutorConfig, NodeId, SlotConfig};
 use rcmp::obs::{
     hotspot_report, recomputation_critical_path, slot_occupancy, summary, to_chrome_json, to_jsonl,
     SpanKind,
@@ -32,6 +32,7 @@ fn main() {
         block_size: ByteSize::kib(4),
         failure_detection_secs: 30.0,
         max_recovery_attempts: 100,
+        executor: ExecutorConfig::from_env_or_default(),
         seed: 7,
     });
     // Replicate the input everywhere so every map read is served by a

@@ -13,6 +13,9 @@
 //! * [`model`] — shared types (ids, records, configs, partitioners);
 //! * [`dfs`] — the HDFS-like replicated, partitioned block store;
 //! * [`engine`] — the real multi-threaded MapReduce engine;
+//! * [`exec`] — wave-executor backends (per-slot OS threads, or the
+//!   cooperative async reactor that runs thousands of simulated slots
+//!   on a bounded worker pool);
 //! * [`policy`] — the shared scheduling/recomputation policy kernel
 //!   (wave assignment, hot-spot mitigation, [`policy::RecomputePlan`])
 //!   that both the engine and the simulator execute;
@@ -42,6 +45,7 @@
 pub use rcmp_core as core;
 pub use rcmp_dfs as dfs;
 pub use rcmp_engine as engine;
+pub use rcmp_exec as exec;
 pub use rcmp_model as model;
 pub use rcmp_obs as obs;
 pub use rcmp_policy as policy;

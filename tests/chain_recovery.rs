@@ -23,6 +23,7 @@ fn cluster(nodes: u32) -> Cluster {
         block_size: rcmp::model::ByteSize::kib(4),
         failure_detection_secs: 30.0,
         max_recovery_attempts: 100,
+        executor: rcmp::model::ExecutorConfig::default(),
         seed: 7,
     })
 }

@@ -11,7 +11,7 @@ use proptest::prelude::*;
 use rcmp::core::{ChainDriver, Strategy};
 use rcmp::engine::failure::{Fault, FaultTrigger};
 use rcmp::engine::{Cluster, RandomizedInjector, ScriptedInjector, TriggerPoint};
-use rcmp::model::{ClusterConfig, Error, NodeId, SlotConfig};
+use rcmp::model::{ClusterConfig, Error, ExecutorConfig, NodeId, SlotConfig};
 use rcmp::workloads::checksum::{digest_file, OutputDigest};
 use rcmp::workloads::{generate_input, ChainBuilder, DataGenConfig};
 use std::sync::Arc;
@@ -20,12 +20,17 @@ const NODES: u32 = 5;
 const JOBS: u32 = 7;
 
 fn cluster() -> Cluster {
+    cluster_with(ExecutorConfig::from_env_or_default())
+}
+
+fn cluster_with(executor: ExecutorConfig) -> Cluster {
     Cluster::new(ClusterConfig {
         nodes: NODES,
         slots: SlotConfig::ONE_ONE,
         block_size: rcmp::model::ByteSize::kib(4),
         failure_detection_secs: 30.0,
         max_recovery_attempts: 100,
+        executor,
         seed: 23,
     })
 }
@@ -97,6 +102,123 @@ proptest! {
                 )));
             }
         }
+    }
+}
+
+/// Runs the chain once under `exec` with a randomized fault schedule,
+/// returning the outcome status plus the recovery event sequence, and
+/// asserting any converged run landed on the golden digest.
+fn chaos_replay(
+    exec: ExecutorConfig,
+    chaos_seed: u64,
+    kill_prob: f64,
+    fault_prob: f64,
+    expected: &OutputDigest,
+) -> (String, Option<rcmp::core::EventLog>) {
+    let cl = cluster_with(exec);
+    let chain = setup(&cl);
+    let injector = Arc::new(
+        RandomizedInjector::new(chaos_seed, NODES)
+            .kill_probability(kill_prob)
+            .fault_probability(fault_prob)
+            .max_kills(2)
+            .max_other_faults(6),
+    );
+    let as_dyn: Arc<dyn rcmp::engine::FailureInjector> = Arc::clone(&injector) as _;
+    match ChainDriver::new(&cl, Strategy::rcmp_split(3))
+        .with_injector(as_dyn)
+        .run(&chain.jobs)
+    {
+        Ok(outcome) => {
+            let digest = digest_file(cl.dfs(), chain.final_output(), cl.live_nodes()[0])
+                .unwrap()
+                .0;
+            assert_eq!(
+                digest, *expected,
+                "seed {chaos_seed} under {exec:?} produced wrong output"
+            );
+            let (kills, _) = injector.faults_raised();
+            (
+                format!("converged after {kills} kills"),
+                Some(outcome.events),
+            )
+        }
+        Err(e) => (format!("failed: {e}"), None),
+    }
+}
+
+/// Backend determinism under the paper's fail-stop failure model: with
+/// a crash-only chaos schedule (node kills fire serially at trigger
+/// points, never mid-wave) the threaded and async wave executors drive
+/// the 7-job chain through *identical* recovery event sequences —
+/// every loss, recovery plan and recompute run in the same order — and
+/// any converging run lands on the same golden digest. Wave assignment
+/// precedes execution and outcomes are input-ordered, so the backend
+/// (and its worker count) must be unobservable to the recovery
+/// machinery.
+///
+/// Partial faults are excluded here on purpose: a torn write kills its
+/// node *mid-wave* from inside a running task, and which concurrent
+/// tasks observe the shrunken live set is inherently timing-dependent
+/// under the thread-per-slot backend (see
+/// `serial_reactor_replays_full_chaos_exactly` for the guarantee the
+/// async reactor adds there).
+#[test]
+fn backends_replay_identical_recovery_sequences() {
+    let expected = golden();
+    for chaos_seed in [11u64, 4096, 777_777] {
+        let mut replays: Vec<(String, Option<rcmp::core::EventLog>)> = Vec::new();
+        for exec in [
+            ExecutorConfig::default(),
+            ExecutorConfig::async_auto(),
+            ExecutorConfig::async_workers(1),
+        ] {
+            replays.push(chaos_replay(exec, chaos_seed, 0.3, 0.0, &expected));
+        }
+        let (first, rest) = replays.split_first().expect("three backends ran");
+        assert_ne!(
+            first.0, "converged after 0 kills",
+            "seed {chaos_seed}: schedule injected no kills — test lost its teeth"
+        );
+        for other in rest {
+            assert_eq!(
+                first, other,
+                "seed {chaos_seed}: backends diverged in outcome or event sequence"
+            );
+        }
+    }
+}
+
+/// The serial reactor (`async_workers(1)`) makes even *full-shape*
+/// chaos — torn writes that kill nodes mid-wave, shuffle flakes,
+/// replica corruption — exactly replayable: two runs of the same seed
+/// produce identical outcomes and event sequences. The thread-per-slot
+/// backend cannot promise this (mid-wave node death races against
+/// in-flight tasks), which is precisely the debugging story the
+/// cooperative backend adds: any chaos failure replays deterministically
+/// under `RCMP_EXECUTOR=async:1`.
+#[test]
+fn serial_reactor_replays_full_chaos_exactly() {
+    let expected = golden();
+    for chaos_seed in [11u64, 4096, 777_777] {
+        let first = chaos_replay(
+            ExecutorConfig::async_workers(1),
+            chaos_seed,
+            0.08,
+            0.25,
+            &expected,
+        );
+        let second = chaos_replay(
+            ExecutorConfig::async_workers(1),
+            chaos_seed,
+            0.08,
+            0.25,
+            &expected,
+        );
+        assert_eq!(
+            first, second,
+            "seed {chaos_seed}: serial reactor replay diverged"
+        );
     }
 }
 
@@ -226,6 +348,7 @@ fn permanent_shuffle_flake_exhausts_retry_budget() {
         block_size: rcmp::model::ByteSize::kib(4),
         failure_detection_secs: 30.0,
         max_recovery_attempts: 100,
+        executor: ExecutorConfig::from_env_or_default(),
         seed: 23,
     });
     let mut gen = DataGenConfig::test("input", 1, 4_000);
@@ -264,6 +387,7 @@ fn failed_run_traces_every_injected_fault() {
         block_size: rcmp::model::ByteSize::kib(4),
         failure_detection_secs: 30.0,
         max_recovery_attempts: 100,
+        executor: ExecutorConfig::from_env_or_default(),
         seed: 23,
     });
     let mut gen = DataGenConfig::test("input", 1, 4_000);
@@ -335,6 +459,7 @@ fn unrecoverable_input_exhausts_chain_restart_budget() {
         block_size: rcmp::model::ByteSize::kib(4),
         failure_detection_secs: 30.0,
         max_recovery_attempts: 3,
+        executor: ExecutorConfig::from_env_or_default(),
         seed: 23,
     });
     generate_input(cl.dfs(), &DataGenConfig::test("input", NODES, 15_000)).unwrap();

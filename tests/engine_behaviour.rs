@@ -5,7 +5,7 @@ use rcmp::core::{ChainDriver, Strategy};
 use rcmp::engine::{
     Cluster, JobRun, JobTracker, NoFailures, RecomputeInstructions, ScriptedInjector, TriggerPoint,
 };
-use rcmp::model::{ByteSize, ClusterConfig, NodeId, SlotConfig, TaskId};
+use rcmp::model::{ByteSize, ClusterConfig, ExecutorConfig, NodeId, SlotConfig, TaskId};
 use rcmp::workloads::{generate_input, ChainBuilder, DataGenConfig};
 use std::sync::Arc;
 
@@ -17,6 +17,8 @@ fn cluster(nodes: u32, slots: SlotConfig) -> Cluster {
         failure_detection_secs: 30.0,
         max_recovery_attempts: 100,
         seed: 3,
+        // CI reruns this binary with RCMP_EXECUTOR=async (executor matrix).
+        executor: ExecutorConfig::from_env_or_default(),
     })
 }
 

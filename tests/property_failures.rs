@@ -22,6 +22,7 @@ fn cluster() -> Cluster {
         block_size: rcmp::model::ByteSize::kib(4),
         failure_detection_secs: 30.0,
         max_recovery_attempts: 100,
+        executor: rcmp::model::ExecutorConfig::default(),
         seed: 11,
     })
 }

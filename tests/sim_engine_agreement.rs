@@ -4,7 +4,7 @@
 //! volume is arithmetic, and arithmetic has to match.
 
 use rcmp::engine::{Cluster, JobRun, JobTracker, NoFailures};
-use rcmp::model::{ByteSize, ClusterConfig, SlotConfig};
+use rcmp::model::{ByteSize, ClusterConfig, ExecutorConfig, SlotConfig};
 use rcmp::sim::{HwProfile, JobSim, SimState, WorkloadCfg};
 use rcmp::workloads::{generate_input, ChainBuilder, DataGenConfig};
 use std::sync::Arc;
@@ -25,6 +25,7 @@ fn engine_run() -> rcmp::engine::JobReport {
         failure_detection_secs: 30.0,
         max_recovery_attempts: 100,
         seed: 5,
+        executor: ExecutorConfig::from_env_or_default(),
     });
     let cfg = DataGenConfig {
         value_size: 100,
@@ -127,6 +128,7 @@ fn recompute_fractions_agree() {
         failure_detection_secs: 30.0,
         max_recovery_attempts: 100,
         seed: 5,
+        executor: ExecutorConfig::from_env_or_default(),
     });
     let cfg = DataGenConfig {
         value_size: 100,
