@@ -1,0 +1,43 @@
+//! Shuffle data-path benchmarks at DCO scale: the legacy sort-all
+//! oracle vs the k-way streaming merge vs streaming over pre-combined
+//! buckets, at 1200–4800 reduce tasks. After the Criterion groups run,
+//! the full matrix is re-measured and written to
+//! `results/BENCH_shuffle.json` (`fig_runner shuffle --json results`
+//! produces the same file).
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use rcmp_bench::figures::shufflefig;
+use std::io::Write;
+
+fn bench_paths(c: &mut Criterion) {
+    // Criterion sampling at the 4800-task shape is minutes of wall
+    // clock; the groups sample the smallest shape scaled down 4x and
+    // leave the full matrix to the best-of run below.
+    let scale = 4;
+    let mut g = c.benchmark_group("shuffle_paths");
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::from_parameter("quick-matrix"), |b| {
+        b.iter(|| shufflefig::run_scaled(scale))
+    });
+    g.finish();
+}
+
+criterion_group!(paths, bench_paths);
+
+fn main() {
+    paths();
+    let bench = shufflefig::run();
+    println!("{}", bench.render());
+    // `cargo bench` runs with the package dir as CWD; anchor the output
+    // in the workspace-level results/ next to the figure JSONs.
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let json = serde_json::to_string_pretty(&serde_json::to_value(&bench).unwrap()).unwrap();
+        match std::fs::File::create(format!("{dir}/BENCH_shuffle.json")) {
+            Ok(mut f) => f
+                .write_all(json.as_bytes())
+                .expect("write BENCH_shuffle.json"),
+            Err(e) => eprintln!("skipping BENCH_shuffle.json: {e}"),
+        }
+    }
+}

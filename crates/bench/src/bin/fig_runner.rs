@@ -1,7 +1,7 @@
 //! Regenerates the paper's figures.
 //!
 //! ```text
-//! fig_runner [all|fig02|fig08a|fig08b|fig08c|fig09|fig10|fig11|fig12|fig13|fig14|trace|exec]...
+//! fig_runner [all|fig02|fig08a|fig08b|fig08c|fig09|fig10|fig11|fig12|fig13|fig14|trace|exec|shuffle]...
 //!            [--quick] [--json <dir>]
 //! ```
 //!
@@ -112,6 +112,11 @@ fn main() {
                 let r = execfig::run();
                 println!("{}", r.render());
                 write_json("BENCH_exec", serde_json::to_value(&r).unwrap());
+            }
+            "shuffle" => {
+                let r = shufflefig::run_scaled(scale);
+                println!("{}", r.render());
+                write_json("BENCH_shuffle", serde_json::to_value(&r).unwrap());
             }
             "extras" => {
                 let loc = extras::locality_ablation(scale);

@@ -1,0 +1,276 @@
+//! Pseudo-figure `shuffle`: reducer shuffle throughput of the three
+//! data paths at DCO scale (60 mappers, 1200–4800 reduce tasks — the
+//! paper's largest wave shapes):
+//!
+//! * `legacy` — collect every bucket, decode, sort-all, group (the
+//!   differential-testing oracle);
+//! * `streaming` — the k-way heap merge over the indexed, pre-sorted
+//!   map buckets;
+//! * `streaming+combiner` — the same merge over buckets a map-side
+//!   combiner already collapsed (modelled by pre-combining the stored
+//!   buckets, which is exactly what the map side does).
+//!
+//! Throughput is *logical* input records per second — the uncombined
+//! record count divided by the wall time to shuffle every reduce task —
+//! so the combiner rows measure "same logical work, finished sooner",
+//! not "fewer bytes moved counts as less work".
+
+use crate::table;
+use rcmp_engine::mapstore::{BucketIndex, MapInputKey, MapOutputStore};
+use rcmp_engine::shuffle::{shuffle_for_reduce, StreamingShuffle};
+use rcmp_model::{JobId, NodeId, PartitionId, Record, RecordWriter, ReduceTaskId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// One (path, reduce-task-count) measurement.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ShuffleBenchRow {
+    /// `legacy`, `streaming` or `streaming+combiner`.
+    pub path: String,
+    /// Reduce tasks shuffled.
+    pub reduce_tasks: u32,
+    /// Logical (pre-combine) input records represented.
+    pub records: u64,
+    /// Best-of-repeats wall time to shuffle every reduce task, in
+    /// milliseconds.
+    pub wall_ms: f64,
+    /// Logical records per second.
+    pub records_per_sec: f64,
+    /// This row's throughput over the legacy row's at the same
+    /// reduce-task count (1.0 for legacy itself).
+    pub speedup_vs_legacy: f64,
+}
+
+/// The full measurement matrix.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ShuffleBench {
+    /// Mappers feeding every reducer (DCO: one map task per node).
+    pub mappers: u32,
+    pub rows: Vec<ShuffleBenchRow>,
+}
+
+impl ShuffleBench {
+    pub fn render(&self) -> String {
+        let mut rows = vec![vec![
+            "path".to_string(),
+            "reduce tasks".to_string(),
+            "records".to_string(),
+            "wall".to_string(),
+            "Mrec/s".to_string(),
+            "speedup".to_string(),
+        ]];
+        for r in &self.rows {
+            rows.push(vec![
+                r.path.clone(),
+                r.reduce_tasks.to_string(),
+                r.records.to_string(),
+                format!("{:.1}ms", r.wall_ms),
+                format!("{:.2}", r.records_per_sec / 1e6),
+                format!("{:.2}x", r.speedup_vs_legacy),
+            ]);
+        }
+        format!(
+            "shuffle: reducer data-path throughput, {} mappers\n{}",
+            self.mappers,
+            table::render(&rows)
+        )
+    }
+}
+
+/// The reduce-task counts measured (the DCO wave shapes; the 4800-task
+/// point is the acceptance target).
+pub fn task_counts() -> [u32; 3] {
+    [1200, 2400, 4800]
+}
+
+const MAPPERS: u32 = 60;
+/// Records each mapper spreads over its reduce buckets. Fixed across
+/// reduce-task counts, like a fixed input carved into more tasks; 16
+/// records per bucket even at the 4800-task point, so the combiner's
+/// 8:1 collapse stays visible at the largest shape.
+const RECORDS_PER_MAPPER: u64 = 76_800;
+/// Duplicate values per key within a bucket — the redundancy a
+/// combiner collapses (8:1).
+const DUPES_PER_KEY: u64 = 8;
+
+/// Deterministic 16-byte value for record `i` of bucket `b`.
+fn value(b: u64, i: u64) -> Vec<u8> {
+    let mut v = Vec::with_capacity(16);
+    v.extend_from_slice(&b.wrapping_mul(0x9e37_79b9_7f4a_7c15).to_le_bytes());
+    v.extend_from_slice(&i.to_le_bytes());
+    v
+}
+
+/// The raw records of one (mapper, bucket) pair, sorted by (key, value).
+fn bucket_records(mapper: u64, bucket: u64, per_bucket: u64) -> Vec<Record> {
+    let distinct = (per_bucket / DUPES_PER_KEY).max(1);
+    let mut recs: Vec<Record> = (0..per_bucket)
+        .map(|i| {
+            let key = bucket.wrapping_mul(1 << 20) + (i % distinct);
+            Record::new(key, value(mapper << 32 | bucket, i))
+        })
+        .collect();
+    recs.sort_unstable_by(|a, b| a.key.cmp(&b.key).then_with(|| a.value.cmp(&b.value)));
+    recs
+}
+
+/// Map-side combine: one record per key (the merge the real combiner
+/// performs, with a fixed-size result like the agg workload's).
+fn combine(recs: Vec<Record>) -> Vec<Record> {
+    let mut out: Vec<Record> = Vec::new();
+    for rec in recs {
+        match out.last_mut() {
+            Some(last) if last.key == rec.key => {}
+            _ => out.push(Record::new(rec.key, value(rec.key, 0))),
+        }
+    }
+    out
+}
+
+/// Builds a populated map-output store for `reduce_tasks` reducers.
+/// When `combined` is set every bucket is pre-collapsed, modelling
+/// map-side combining; the payloads are sorted and indexed either way.
+fn build_store(reduce_tasks: u32, records_per_mapper: u64, combined: bool) -> MapOutputStore {
+    let store = MapOutputStore::new();
+    let per_bucket = (records_per_mapper / u64::from(reduce_tasks)).max(1);
+    for m in 0..u64::from(MAPPERS) {
+        let mut buckets = HashMap::new();
+        for r in 0..u64::from(reduce_tasks) {
+            let mut recs = bucket_records(m, r, per_bucket);
+            if combined {
+                recs = combine(recs);
+            }
+            let mut w = RecordWriter::with_capacity(recs.len() * 28);
+            for rec in &recs {
+                w.push(rec);
+            }
+            let index = BucketIndex {
+                records: recs.len() as u64,
+                bytes: w.byte_len() as u64,
+                min_key: recs.first().map_or(0, |r| r.key),
+                max_key: recs.last().map_or(0, |r| r.key),
+                sorted: true,
+            };
+            buckets.insert(
+                ReduceTaskId::whole(JobId(1), PartitionId(r as u32)),
+                (w.finish(), index),
+            );
+        }
+        let key = MapInputKey::new(JobId(1), PartitionId(m as u32), 0);
+        store.insert_indexed(key, NodeId((m % u64::from(MAPPERS)) as u32), m, buckets);
+    }
+    store
+}
+
+/// Times shuffling every reduce task over `store`, returning wall time
+/// and the total groups observed (kept live so nothing is optimized
+/// away).
+fn time_all_reduces(store: &MapOutputStore, reduce_tasks: u32, streaming: bool) -> Duration {
+    let inputs: Vec<MapInputKey> = (0..MAPPERS)
+        .map(|m| MapInputKey::new(JobId(1), PartitionId(m), 0))
+        .collect();
+    let start = Instant::now();
+    let mut groups = 0u64;
+    for r in 0..reduce_tasks {
+        let rtid = ReduceTaskId::whole(JobId(1), PartitionId(r));
+        let node = NodeId(r % MAPPERS);
+        if streaming {
+            let merge = StreamingShuffle::plan(store, &inputs, rtid, node, 64).expect("plan");
+            for group in merge {
+                group.expect("group");
+                groups += 1;
+            }
+        } else {
+            groups += shuffle_for_reduce(store, &inputs, rtid, node)
+                .expect("shuffle")
+                .groups
+                .len() as u64;
+        }
+    }
+    let elapsed = start.elapsed();
+    assert!(groups > 0, "shuffled nothing");
+    std::hint::black_box(groups);
+    elapsed
+}
+
+/// Runs the full matrix at paper scale.
+pub fn run() -> ShuffleBench {
+    run_scaled(1)
+}
+
+/// Runs the matrix with record volume and task counts divided by
+/// `scale` (`--quick` sanity runs).
+pub fn run_scaled(scale: u64) -> ShuffleBench {
+    const REPEATS: u32 = 3;
+    let scale = scale.clamp(1, 1 << 16) as u32;
+    let records_per_mapper = (RECORDS_PER_MAPPER / u64::from(scale)).max(64);
+    let mut rows = Vec::new();
+    for tasks in task_counts() {
+        let tasks = (tasks / scale).max(MAPPERS);
+        let logical = records_per_mapper * u64::from(MAPPERS);
+        let mut legacy_tput = 0.0;
+        // (label, store is pre-combined, timed path is streaming)
+        for (path, combined, streaming) in [
+            ("legacy", false, false),
+            ("streaming", false, true),
+            ("streaming+combiner", true, true),
+        ] {
+            let store = build_store(tasks, records_per_mapper, combined);
+            let wall = (0..REPEATS)
+                .map(|_| time_all_reduces(&store, tasks, streaming))
+                .min()
+                .unwrap_or(Duration::ZERO);
+            let secs = wall.as_secs_f64();
+            let tput = if secs > 0.0 {
+                logical as f64 / secs
+            } else {
+                0.0
+            };
+            if path == "legacy" {
+                legacy_tput = tput;
+            }
+            rows.push(ShuffleBenchRow {
+                path: path.to_string(),
+                reduce_tasks: tasks,
+                records: logical,
+                wall_ms: secs * 1e3,
+                records_per_sec: tput,
+                speedup_vs_legacy: if legacy_tput > 0.0 {
+                    tput / legacy_tput
+                } else {
+                    0.0
+                },
+            });
+        }
+    }
+    ShuffleBench {
+        mappers: MAPPERS,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paths_agree_and_quick_matrix_runs() {
+        // Tiny shape: both timed paths must see identical group counts,
+        // and the scaled-down matrix must produce all nine rows.
+        let store = build_store(MAPPERS, 600, false);
+        let inputs: Vec<MapInputKey> = (0..MAPPERS)
+            .map(|m| MapInputKey::new(JobId(1), PartitionId(m), 0))
+            .collect();
+        let rtid = ReduceTaskId::whole(JobId(1), PartitionId(3));
+        let legacy = shuffle_for_reduce(&store, &inputs, rtid, NodeId(0)).unwrap();
+        let merge = StreamingShuffle::plan(&store, &inputs, rtid, NodeId(0), 64).unwrap();
+        let streamed: Vec<_> = merge.map(|g| g.unwrap()).collect();
+        assert_eq!(legacy.groups, streamed);
+
+        let bench = run_scaled(64);
+        assert_eq!(bench.rows.len(), 9);
+        assert!(bench.rows.iter().all(|r| r.records_per_sec > 0.0));
+        assert!(!bench.render().is_empty());
+    }
+}

@@ -124,6 +124,7 @@ mod tests {
             placement: PlacementPolicy::WriterLocal,
             mapper: Arc::new(IdentityMapper),
             reducer: Arc::new(IdentityReducer),
+            combiner: None,
             splittable: true,
         }
     }

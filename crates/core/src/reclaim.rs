@@ -104,6 +104,7 @@ mod tests {
             placement: PlacementPolicy::WriterLocal,
             mapper: Arc::new(IdentityMapper),
             reducer: Arc::new(IdentityReducer),
+            combiner: None,
             splittable: true,
         }
     }

@@ -36,6 +36,10 @@ pub struct DfsConfig {
     /// rack-aware (HDFS-style), protecting against single rack failures
     /// (§III-A).
     pub topology: Option<RackTopology>,
+    /// Lock shards per node store. `1` is the legacy single-lock
+    /// layout; `0` is clamped to 1. Access accounting is shard-count
+    /// independent.
+    pub store_shards: u32,
 }
 
 impl DfsConfig {
@@ -46,6 +50,7 @@ impl DfsConfig {
             seed: 0xd5f5,
             read_delay: None,
             topology: None,
+            store_shards: NodeStore::DEFAULT_SHARDS,
         }
     }
 
@@ -82,7 +87,9 @@ impl Dfs {
     pub fn new_traced(cfg: DfsConfig, tracer: Arc<Tracer>) -> Self {
         assert!(cfg.nodes > 0, "DFS needs at least one node");
         assert!(!cfg.block_size.is_zero(), "block size must be positive");
-        let stores = (0..cfg.nodes).map(|_| NodeStore::new()).collect();
+        let stores = (0..cfg.nodes)
+            .map(|_| NodeStore::with_shards(cfg.store_shards))
+            .collect();
         let alive = (0..cfg.nodes).map(|_| AtomicBool::new(true)).collect();
         let rng = Mutex::new(rng_for(cfg.seed, "dfs-placement"));
         Self {

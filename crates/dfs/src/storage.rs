@@ -1,13 +1,19 @@
 //! Per-node block stores with access accounting.
 //!
-//! A node's "disk" is an in-memory map from block id to bytes. Besides
-//! holding data, each store counts concurrent readers and total bytes
-//! served — that is how the real engine *observes* the hot-spot effect
-//! of §IV-B2 (many recomputed mappers converging on the one node that
+//! A node's "disk" is an in-memory map from block id to bytes, sharded
+//! by block-id hash so concurrent readers and writers of *different*
+//! blocks do not serialize on one lock (reducer fan-in at DCO scale
+//! hammers every store from hundreds of tasks at once). Besides holding
+//! data, each store counts concurrent readers and total bytes served —
+//! that is how the real engine *observes* the hot-spot effect of
+//! §IV-B2 (many recomputed mappers converging on the one node that
 //! recomputed their input reducer) without needing wall-clock timing.
+//! The access counters are store-level atomics, so their values are
+//! exact and independent of the shard count.
 
 use bytes::Bytes;
-use parking_lot::Mutex;
+use parking_lot::RwLock;
+use rcmp_model::partition::mix64;
 use rcmp_model::{BlockId, ByteSize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -27,7 +33,10 @@ pub struct NodeAccessStats {
 
 /// One node's block store.
 pub(crate) struct NodeStore {
-    blocks: Mutex<HashMap<BlockId, Bytes>>,
+    /// Payload shards, keyed by [`mix64`] of the block id. Readers take
+    /// a shard read-lock (concurrent reads of one shard proceed in
+    /// parallel); writers take the shard write-lock.
+    shards: Vec<RwLock<HashMap<BlockId, Bytes>>>,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
     reads: AtomicU64,
@@ -36,9 +45,15 @@ pub(crate) struct NodeStore {
 }
 
 impl NodeStore {
-    pub(crate) fn new() -> Self {
+    /// Default shard count, matching `ShuffleConfig::default`.
+    pub(crate) const DEFAULT_SHARDS: u32 = 8;
+
+    /// A store with `shards` payload shards (`0` is clamped to 1 — the
+    /// single-lock legacy layout).
+    pub(crate) fn with_shards(shards: u32) -> Self {
+        let shards = shards.max(1) as usize;
         Self {
-            blocks: Mutex::new(HashMap::new()),
+            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
             bytes_read: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
             reads: AtomicU64::new(0),
@@ -47,10 +62,14 @@ impl NodeStore {
         }
     }
 
+    fn shard(&self, id: BlockId) -> &RwLock<HashMap<BlockId, Bytes>> {
+        &self.shards[(mix64(id.raw()) as usize) % self.shards.len()]
+    }
+
     pub(crate) fn put(&self, id: BlockId, data: Bytes) {
         self.bytes_written
             .fetch_add(data.len() as u64, Ordering::Relaxed);
-        self.blocks.lock().insert(id, data);
+        self.shard(id).write().insert(id, data);
     }
 
     /// Reads a block, updating concurrency accounting. The optional
@@ -66,7 +85,7 @@ impl NodeStore {
             .fetch_max(in_flight, Ordering::SeqCst);
         self.reads.fetch_add(1, Ordering::Relaxed);
         // Fetch the bytes while counted as in-flight.
-        let data = self.blocks.lock().get(&id).cloned();
+        let data = self.shard(id).read().get(&id).cloned();
         if let Some(d) = &data {
             self.bytes_read.fetch_add(d.len() as u64, Ordering::Relaxed);
             if let Some(delay) = read_delay {
@@ -82,7 +101,7 @@ impl NodeStore {
     }
 
     pub(crate) fn remove(&self, id: BlockId) -> Option<Bytes> {
-        self.blocks.lock().remove(&id)
+        self.shard(id).write().remove(&id)
     }
 
     /// Flips bits in a stored block's payload (fault injection: silent
@@ -90,7 +109,7 @@ impl NodeStore {
     /// next verified read of this replica fails. Returns false when the
     /// block is absent or empty (nothing to corrupt).
     pub(crate) fn corrupt(&self, id: BlockId) -> bool {
-        let mut blocks = self.blocks.lock();
+        let mut blocks = self.shard(id).write();
         match blocks.get(&id) {
             Some(data) if !data.is_empty() => {
                 let mut flipped = data.to_vec();
@@ -105,22 +124,33 @@ impl NodeStore {
     /// Ids of the blocks currently stored, in ascending order (used to
     /// pick a deterministic corruption victim).
     pub(crate) fn block_ids(&self) -> Vec<BlockId> {
-        let mut ids: Vec<BlockId> = self.blocks.lock().keys().copied().collect();
+        let mut ids: Vec<BlockId> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.read().keys().copied().collect::<Vec<_>>())
+            .collect();
         ids.sort();
         ids
     }
 
     /// Drops every block (node death).
     pub(crate) fn wipe(&self) {
-        self.blocks.lock().clear();
+        for s in &self.shards {
+            s.write().clear();
+        }
     }
 
     pub(crate) fn used(&self) -> ByteSize {
-        ByteSize::bytes(self.blocks.lock().values().map(|b| b.len() as u64).sum())
+        ByteSize::bytes(
+            self.shards
+                .iter()
+                .map(|s| s.read().values().map(|b| b.len() as u64).sum::<u64>())
+                .sum(),
+        )
     }
 
     pub(crate) fn block_count(&self) -> usize {
-        self.blocks.lock().len()
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
     pub(crate) fn stats(&self) -> NodeAccessStats {
@@ -140,7 +170,7 @@ mod tests {
 
     #[test]
     fn put_get_remove() {
-        let s = NodeStore::new();
+        let s = NodeStore::with_shards(NodeStore::DEFAULT_SHARDS);
         s.put(BlockId(1), Bytes::from_static(b"hello"));
         assert_eq!(
             s.get(BlockId(1), None).unwrap(),
@@ -154,7 +184,7 @@ mod tests {
 
     #[test]
     fn wipe_clears_everything() {
-        let s = NodeStore::new();
+        let s = NodeStore::with_shards(NodeStore::DEFAULT_SHARDS);
         for i in 0..10 {
             s.put(BlockId(i), Bytes::from(vec![0u8; 16]));
         }
@@ -165,7 +195,7 @@ mod tests {
 
     #[test]
     fn stats_account_io() {
-        let s = NodeStore::new();
+        let s = NodeStore::with_shards(NodeStore::DEFAULT_SHARDS);
         s.put(BlockId(1), Bytes::from(vec![1u8; 100]));
         s.get(BlockId(1), None);
         s.get(BlockId(1), None);
@@ -177,8 +207,37 @@ mod tests {
     }
 
     #[test]
+    fn sharded_and_single_lock_stores_agree() {
+        // Identical operation sequences against the legacy single-lock
+        // layout and the sharded layout must produce identical contents
+        // and identical (exact) access stats.
+        let single = NodeStore::with_shards(1);
+        let sharded = NodeStore::with_shards(8);
+        for s in [&single, &sharded] {
+            for i in 0..64u64 {
+                s.put(BlockId(i), Bytes::from(vec![i as u8; (i as usize % 7) + 1]));
+            }
+            for i in (0..64u64).step_by(3) {
+                s.get(BlockId(i), None);
+            }
+            for i in (0..64u64).step_by(5) {
+                s.remove(BlockId(i));
+            }
+            assert!(s.corrupt(BlockId(1)));
+        }
+        assert_eq!(single.stats(), sharded.stats());
+        assert_eq!(single.used(), sharded.used());
+        assert_eq!(single.block_count(), sharded.block_count());
+        let ids = single.block_ids();
+        assert_eq!(ids, sharded.block_ids());
+        for id in ids {
+            assert_eq!(single.get(id, None), sharded.get(id, None));
+        }
+    }
+
+    #[test]
     fn concurrent_reads_observed() {
-        let s = Arc::new(NodeStore::new());
+        let s = Arc::new(NodeStore::with_shards(NodeStore::DEFAULT_SHARDS));
         s.put(BlockId(1), Bytes::from(vec![1u8; 1024 * 1024]));
         let delay = std::time::Duration::from_millis(30);
         let handles: Vec<_> = (0..4)

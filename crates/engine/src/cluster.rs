@@ -60,6 +60,7 @@ impl Cluster {
             seed: cfg.seed,
             read_delay,
             topology,
+            store_shards: cfg.shuffle.store_shards,
         };
         Self {
             cfg,

@@ -5,13 +5,18 @@
 //! start and end on record boundaries — [`ChunkingWriter`] packs encoded
 //! records greedily into chunks no larger than the block size.
 
-use bytes::Bytes;
-use rcmp_model::{Record, RecordWriter};
+use bytes::{Bytes, BytesMut};
+use rcmp_model::Record;
 
 /// Packs records into record-aligned chunks of at most `chunk_size` bytes.
+///
+/// Each record is sized once (`encoded_len`) for the roll decision and
+/// then serialized exactly once, straight into the chunk's final buffer
+/// via [`Record::encode_into`] — there is no intermediate per-record
+/// encode-and-copy pass.
 pub struct ChunkingWriter {
     chunk_size: usize,
-    current: RecordWriter,
+    current: BytesMut,
     chunks: Vec<Bytes>,
     records: usize,
     bytes: u64,
@@ -22,7 +27,7 @@ impl ChunkingWriter {
         assert!(chunk_size >= 12, "chunk size must fit at least a header");
         Self {
             chunk_size,
-            current: RecordWriter::new(),
+            current: BytesMut::new(),
             chunks: Vec::new(),
             records: 0,
             bytes: 0,
@@ -41,11 +46,11 @@ impl ChunkingWriter {
             "record of {enc} bytes exceeds chunk size {}",
             self.chunk_size
         );
-        if self.current.byte_len() + enc > self.chunk_size {
+        if self.current.len() + enc > self.chunk_size {
             let full = std::mem::take(&mut self.current);
-            self.chunks.push(full.finish());
+            self.chunks.push(full.freeze());
         }
-        self.current.push(rec);
+        rec.encode_into(&mut self.current);
         self.records += 1;
         self.bytes += enc as u64;
     }
@@ -63,7 +68,7 @@ impl ChunkingWriter {
     /// Finishes, returning the chunk list (possibly empty).
     pub fn finish(mut self) -> Vec<Bytes> {
         if !self.current.is_empty() {
-            self.chunks.push(self.current.finish());
+            self.chunks.push(self.current.freeze());
         }
         self.chunks
     }

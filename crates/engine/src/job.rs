@@ -1,6 +1,6 @@
 //! Job specifications and run modes.
 
-use crate::udf::{Mapper, Reducer};
+use crate::udf::{Combiner, Mapper, Reducer};
 use rcmp_dfs::PlacementPolicy;
 use rcmp_model::JobId;
 use std::fmt;
@@ -25,6 +25,9 @@ pub struct JobSpec {
     pub placement: PlacementPolicy,
     pub mapper: Arc<dyn Mapper>,
     pub reducer: Arc<dyn Reducer>,
+    /// Optional map-side combiner ([`Combiner`]): must be associative
+    /// and commutative; never applied to split reduce tasks' buckets.
+    pub combiner: Option<Arc<dyn Combiner>>,
     /// Whether the application logic permits reducer splitting (§IV-B1:
     /// e.g. a top-k reducer may not be split).
     pub splittable: bool,
@@ -39,6 +42,7 @@ impl fmt::Debug for JobSpec {
             .field("num_reducers", &self.num_reducers)
             .field("output_replication", &self.output_replication)
             .field("splittable", &self.splittable)
+            .field("combiner", &self.combiner.is_some())
             .finish_non_exhaustive()
     }
 }

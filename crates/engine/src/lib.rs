@@ -45,7 +45,10 @@ pub use failure::{
     ScriptedInjector, TriggerPoint,
 };
 pub use job::{JobRun, JobSpec, RecomputeInstructions, RunMode};
-pub use mapstore::{MapInputKey, MapOutputStore};
-pub use metrics::{IoBytes, JobReport, TaskRecord};
+pub use mapstore::{BucketIndex, MapInputKey, MapOutputStore};
+pub use metrics::{IoBytes, JobReport, ShuffleMetrics, TaskRecord};
+pub use shuffle::{MergeStats, ShuffleFailure, ShuffleResult, StreamingShuffle};
 pub use tracker::JobTracker;
-pub use udf::{FnMapper, FnReducer, IdentityMapper, IdentityReducer, Mapper, Reducer};
+pub use udf::{
+    Combiner, FnCombiner, FnMapper, FnReducer, IdentityMapper, IdentityReducer, Mapper, Reducer,
+};

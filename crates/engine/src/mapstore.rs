@@ -58,10 +58,50 @@ pub struct MapOutputMeta {
     pub bucket_sizes: BTreeMap<ReduceTaskId, u64>,
 }
 
+/// Per-bucket summary written by the map side so reducers can plan a
+/// fetch without decoding the payload: the key range bounds the merge,
+/// `sorted` attests the bucket is already in `(key, value)` order, and
+/// the counts let the merge pre-size its cursors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketIndex {
+    /// Records in the bucket.
+    pub records: u64,
+    /// Encoded payload bytes.
+    pub bytes: u64,
+    /// Smallest key in the bucket (0 when empty).
+    pub min_key: u64,
+    /// Largest key in the bucket (0 when empty).
+    pub max_key: u64,
+    /// The payload is sorted by `(key, value)`; reducers may stream it
+    /// as a merge run without a decode-and-sort pass.
+    pub sorted: bool,
+}
+
+impl BucketIndex {
+    /// Index of an empty bucket.
+    pub fn empty() -> Self {
+        Self {
+            records: 0,
+            bytes: 0,
+            min_key: 0,
+            max_key: 0,
+            sorted: true,
+        }
+    }
+}
+
+struct IndexedBucket {
+    data: Bytes,
+    /// `None` for buckets stored through the legacy [`MapOutputStore::insert`]
+    /// path (including deliberately corrupt chaos payloads, which must
+    /// not be scanned at insert time).
+    index: Option<BucketIndex>,
+}
+
 struct StoredMapOutput {
     node: NodeId,
     input_hash: u64,
-    buckets: HashMap<ReduceTaskId, Bytes>,
+    buckets: HashMap<ReduceTaskId, IndexedBucket>,
 }
 
 /// Cluster-wide registry + payload store for map outputs.
@@ -78,7 +118,10 @@ impl MapOutputStore {
         Self::default()
     }
 
-    /// Stores (replacing) the output of one mapper.
+    /// Stores (replacing) the output of one mapper. Buckets stored this
+    /// way carry no index — the payload is never scanned, so arbitrary
+    /// (even corrupt) bytes are accepted and reducers fall back to the
+    /// decode-and-sort path for them.
     pub fn insert(
         &self,
         key: MapInputKey,
@@ -86,6 +129,41 @@ impl MapOutputStore {
         input_hash: u64,
         buckets: HashMap<ReduceTaskId, Bytes>,
     ) {
+        let buckets = buckets
+            .into_iter()
+            .map(|(k, data)| (k, IndexedBucket { data, index: None }))
+            .collect();
+        self.inner.lock().insert(
+            key,
+            StoredMapOutput {
+                node,
+                input_hash,
+                buckets,
+            },
+        );
+    }
+
+    /// Stores (replacing) the output of one mapper together with the
+    /// per-bucket index the map side computed while encoding.
+    pub fn insert_indexed(
+        &self,
+        key: MapInputKey,
+        node: NodeId,
+        input_hash: u64,
+        buckets: HashMap<ReduceTaskId, (Bytes, BucketIndex)>,
+    ) {
+        let buckets = buckets
+            .into_iter()
+            .map(|(k, (data, index))| {
+                (
+                    k,
+                    IndexedBucket {
+                        data,
+                        index: Some(index),
+                    },
+                )
+            })
+            .collect();
         self.inner.lock().insert(
             key,
             StoredMapOutput {
@@ -104,7 +182,7 @@ impl MapOutputStore {
             bucket_sizes: s
                 .buckets
                 .iter()
-                .map(|(k, v)| (*k, v.len() as u64))
+                .map(|(k, v)| (*k, v.data.len() as u64))
                 .collect(),
         })
     }
@@ -122,10 +200,24 @@ impl MapOutputStore {
     /// An existing entry without a bucket for `reduce` means the mapper
     /// emitted no record for that reducer: an **empty** bucket.
     pub fn fetch_bucket(&self, key: &MapInputKey, reduce: ReduceTaskId) -> Option<(Bytes, NodeId)> {
+        self.fetch_bucket_indexed(key, reduce)
+            .map(|(payload, node, _)| (payload, node))
+    }
+
+    /// Like [`MapOutputStore::fetch_bucket`], additionally returning the
+    /// bucket's index when the map side recorded one. A split fallback
+    /// inherits sortedness from the whole bucket's index (filtering a
+    /// sorted stream preserves order), so the re-encoded payload gets a
+    /// freshly computed index instead of losing it.
+    pub fn fetch_bucket_indexed(
+        &self,
+        key: &MapInputKey,
+        reduce: ReduceTaskId,
+    ) -> Option<(Bytes, NodeId, Option<BucketIndex>)> {
         let inner = self.inner.lock();
         let stored = inner.get(key)?;
         if let Some(b) = stored.buckets.get(&reduce) {
-            return Some((b.clone(), stored.node));
+            return Some((b.data.clone(), stored.node, b.index));
         }
         // Split task falling back to the persisted whole bucket.
         if let Some((split_id, split_of)) = reduce.split {
@@ -133,17 +225,26 @@ impl MapOutputStore {
             if let Some(bucket) = stored.buckets.get(&whole) {
                 let part = SplitPartitioner::new(split_of);
                 let mut w = RecordWriter::new();
-                for rec in RecordReader::new(bucket.clone()) {
+                let mut idx = BucketIndex::empty();
+                idx.sorted = bucket.index.is_some_and(|i| i.sorted);
+                for rec in RecordReader::new(bucket.data.clone()) {
                     let rec = rec.expect("stored buckets are well-formed");
                     if part.split_of(rec.key) == split_id {
+                        if idx.records == 0 {
+                            idx.min_key = rec.key;
+                        }
+                        idx.max_key = rec.key;
+                        idx.records += 1;
                         w.push(&rec);
                     }
                 }
-                return Some((w.finish(), stored.node));
+                idx.bytes = w.byte_len() as u64;
+                let index = bucket.index.map(|_| idx);
+                return Some((w.finish(), stored.node, index));
             }
         }
         // Entry exists but the mapper produced nothing for this reducer.
-        Some((Bytes::new(), stored.node))
+        Some((Bytes::new(), stored.node, Some(BucketIndex::empty())))
     }
 
     /// Decodes a fetched bucket into records (helper for reducers).
@@ -193,7 +294,7 @@ impl MapOutputStore {
         self.inner
             .lock()
             .values()
-            .map(|s| s.buckets.values().map(|b| b.len() as u64).sum::<u64>())
+            .map(|s| s.buckets.values().map(|b| b.data.len() as u64).sum::<u64>())
             .sum()
     }
 
@@ -345,6 +446,45 @@ mod tests {
             assert!(s.take_flake(NodeId(0)));
         }
         assert!(!s.take_flake(NodeId(0)), "budget consumed");
+    }
+
+    #[test]
+    fn indexed_insert_round_trips_index_and_split_inherits_sortedness() {
+        let s = MapOutputStore::new();
+        let key = MapInputKey::new(JobId(1), PartitionId(0), 0);
+        let whole = ReduceTaskId::whole(JobId(1), PartitionId(1));
+        let payload = bucket(&[(1, b"a"), (2, b"b"), (3, b"c"), (4, b"d")]);
+        let idx = BucketIndex {
+            records: 4,
+            bytes: payload.len() as u64,
+            min_key: 1,
+            max_key: 4,
+            sorted: true,
+        };
+        let mut buckets = HashMap::new();
+        buckets.insert(whole, (payload, idx));
+        s.insert_indexed(key, NodeId(0), 7, buckets);
+
+        let (_, _, got) = s.fetch_bucket_indexed(&key, whole).unwrap();
+        assert_eq!(got, Some(idx));
+
+        // Split fallback recomputes the filtered bucket's index and
+        // inherits sortedness from the whole bucket.
+        let split = ReduceTaskId::split(JobId(1), PartitionId(1), SplitId(0), 2);
+        let (payload, _, sub) = s.fetch_bucket_indexed(&key, split).unwrap();
+        let sub = sub.expect("indexed whole bucket yields indexed split");
+        assert!(sub.sorted);
+        assert_eq!(sub.bytes, payload.len() as u64);
+        assert_eq!(
+            sub.records as usize,
+            RecordReader::decode_all(payload).unwrap().len()
+        );
+
+        // Legacy (unindexed) inserts surface no index.
+        let s2 = MapOutputStore::new();
+        let k2 = store_one(&s2, 1, 0, 0);
+        let (_, _, none) = s2.fetch_bucket_indexed(&k2, whole).unwrap();
+        assert_eq!(none, None);
     }
 
     #[test]

@@ -26,14 +26,16 @@ use crate::cluster::Cluster;
 use crate::codec::ChunkingWriter;
 use crate::failure::{FailureInjector, Fault, ProgressEvent, TriggerPoint};
 use crate::job::{JobRun, JobSpec, RunMode};
-use crate::mapstore::MapInputKey;
-use crate::metrics::{IoBytes, JobReport, TaskRecord};
+use crate::mapstore::{BucketIndex, MapInputKey};
+use crate::metrics::{IoBytes, JobReport, ShuffleMetrics, TaskRecord};
 use crate::scheduler::{assign_map_waves, assign_reduce_waves, ReduceAssignment, Waves};
-use crate::shuffle::{shuffle_for_reduce, ShuffleFailure};
+use crate::shuffle::{shuffle_for_reduce, ShuffleFailure, StreamingShuffle};
 use crate::task::{MapTask, ReduceTask};
+use crate::udf::Combiner;
+use bytes::Bytes;
 use parking_lot::Mutex;
 use rcmp_dfs::{LossReport, PlacementPolicy};
-use rcmp_exec::{Executor, SlotOutcome, SlotTask, TaskCtx, WaveSpec};
+use rcmp_exec::{SessionExecutor, SlotOutcome, SlotTask, TaskCtx, WaveSpec};
 use rcmp_model::rng::derive_indexed;
 use rcmp_model::{
     Error, HashPartitioner, JobId, MapTaskId, NodeId, PartitionId, Record, RecordReader,
@@ -71,6 +73,7 @@ pub struct JobTracker<'a> {
     m_shuffle_transients: Counter,
     m_shuffle_bytes: Counter,
     m_shuffle_us: Histogram,
+    m_shuffle: ShuffleMetrics,
 }
 
 enum ReduceOutcome {
@@ -112,6 +115,7 @@ impl<'a> JobTracker<'a> {
                 "tracker.shuffle_fetch_us",
                 &[100, 1_000, 10_000, 100_000, 1_000_000],
             ),
+            m_shuffle: ShuffleMetrics::register(metrics),
             cluster,
         }
     }
@@ -270,215 +274,237 @@ impl<'a> JobTracker<'a> {
         };
 
         // ----- phase loop ------------------------------------------------
+        // The whole loop runs under one executor session: the async
+        // backend spawns its worker pool once per *job* here, instead of
+        // rebuilding it for every wave (`exec.worker_starts` stays at
+        // the pool size while `exec.waves` climbs).
         let mut map_wave_counter = 0u32;
         let mut reduce_wave_counter = 0u32;
         let mut reduce_retry_counts: HashMap<ReduceTaskId, u32> = HashMap::new();
-        for _round in 0..MAX_RECOVERY_ROUNDS {
-            // MAP PHASE: ensure every needed map output exists.
-            while !pending_maps.is_empty() {
-                self.check_inputs_available(spec, &pending_maps)?;
-                let live = self.live_or_fail()?;
-                let waves = assign_map_waves(
-                    pending_maps.clone(),
-                    &live,
-                    self.cluster.config().slots.map,
-                    PolicyCtx::new(&self.tracer, Some(job_span)),
-                )?;
-                let mut interrupted = false;
-                for wave in waves {
-                    // Mid-wave kills land after assignment, before
-                    // execution: tasks placed on the victim fail with it.
-                    let mid_kills = self.fire(
-                        seq,
-                        spec.job,
-                        TriggerPoint::MidMapWave(map_wave_counter),
-                        job_span,
-                        &mut report,
-                    );
-                    let wave_open = self.tracer.open();
-                    let wave_kind = SpanKind::Wave {
-                        phase: Phase::Map,
-                        index: map_wave_counter,
-                        tasks: wave.len() as u32,
-                        capacity: live.len() as u32 * self.cluster.config().slots.map,
-                    };
-                    let had_failures = self.execute_map_wave(
-                        wave,
-                        spec,
-                        &split_plan,
-                        seq,
-                        map_wave_counter,
-                        wave_open.id,
-                        &mut report,
-                    );
-                    self.tracer
-                        .close(wave_open, wave_kind, Some(job_span), None, None);
-                    let had_failures = had_failures?;
-                    let point = TriggerPoint::AfterMapWave(map_wave_counter);
-                    map_wave_counter += 1;
-                    let kills = self.fire(seq, spec.job, point, job_span, &mut report);
-                    if had_failures || !kills.is_empty() || !mid_kills.is_empty() {
-                        interrupted = true;
-                        break;
-                    }
-                }
-                // Refresh: which map outputs are still missing?
-                inputs = self.enumerate_inputs(spec)?;
-                pending_maps = inputs
-                    .iter()
-                    .filter(|t| !self.map_output_present(t, ignore_fp))
-                    .cloned()
-                    .collect();
-                if !interrupted && !pending_maps.is_empty() {
-                    // Defensive: tasks ran without interruption but
-                    // outputs still missing would mean a bug.
-                    report.task_retries += pending_maps.len();
-                }
-            }
-
-            // REDUCE PHASE.
-            if pending_reduces.is_empty() {
-                break;
-            }
-            let live = self.live_or_fail()?;
-            let style = if run.mode.is_recompute() {
-                ReduceAssignment::Balance
-            } else {
-                ReduceAssignment::RoundRobinByPartition
-            };
-            let waves: Waves<ReduceTask> = assign_reduce_waves(
-                pending_reduces.clone(),
-                &live,
-                self.cluster.config().slots.reduce,
-                style,
-                PolicyCtx::new(&self.tracer, Some(job_span)),
-            )?;
-            let input_keys: Vec<MapInputKey> = inputs.iter().map(|t| t.key).collect();
-            let mut interrupted = false;
-            let mut torn_partitions: BTreeSet<PartitionId> = BTreeSet::new();
-            for wave in waves {
-                let mid_kills = self.fire(
-                    seq,
-                    spec.job,
-                    TriggerPoint::MidReduceWave(reduce_wave_counter),
-                    job_span,
-                    &mut report,
-                );
-                let wave_open = self.tracer.open();
-                let wave_kind = SpanKind::Wave {
-                    phase: Phase::Reduce,
-                    index: reduce_wave_counter,
-                    tasks: wave.len() as u32,
-                    capacity: live.len() as u32 * self.cluster.config().slots.reduce,
-                };
-                let outcomes = self.execute_reduce_wave(
-                    wave,
-                    &input_keys,
-                    spec,
-                    placement,
-                    seq,
-                    reduce_wave_counter,
-                    wave_open.id,
-                );
-                self.tracer
-                    .close(wave_open, wave_kind, Some(job_span), None, None);
-                let outcomes = outcomes?;
-                let mut wave_had_failures = false;
-                for outcome in outcomes {
-                    match outcome {
-                        ReduceOutcome::Done(task, rec) => {
-                            report.io += rec.io;
-                            report.tasks.push(rec);
-                            report.reduce_tasks_run += 1;
-                            pending_reduces.retain(|t| t.id != task.id);
-                        }
-                        ReduceOutcome::Missing => {
-                            wave_had_failures = true;
-                            report.task_retries += 1;
-                        }
-                        ReduceOutcome::Retry(id) => {
-                            wave_had_failures = true;
-                            report.task_retries += 1;
-                            let count = reduce_retry_counts.entry(id).or_insert(0);
-                            *count += 1;
-                            if *count > MAX_TASK_RETRIES {
-                                return Err(Error::RecoveryExhausted {
-                                    job: spec.job,
-                                    attempts: *count,
-                                    reason: format!("reduce task {id} kept failing retryably"),
-                                });
+        self.cluster
+            .executor()
+            .with_session(|session| -> Result<()> {
+                for _round in 0..MAX_RECOVERY_ROUNDS {
+                    // MAP PHASE: ensure every needed map output exists.
+                    while !pending_maps.is_empty() {
+                        self.check_inputs_available(spec, &pending_maps)?;
+                        let live = self.live_or_fail()?;
+                        let waves = assign_map_waves(
+                            pending_maps.clone(),
+                            &live,
+                            self.cluster.config().slots.map,
+                            PolicyCtx::new(&self.tracer, Some(job_span)),
+                        )?;
+                        let mut interrupted = false;
+                        for wave in waves {
+                            // Mid-wave kills land after assignment, before
+                            // execution: tasks placed on the victim fail with it.
+                            let mid_kills = self.fire(
+                                seq,
+                                spec.job,
+                                TriggerPoint::MidMapWave(map_wave_counter),
+                                job_span,
+                                &mut report,
+                            );
+                            let wave_open = self.tracer.open();
+                            let wave_kind = SpanKind::Wave {
+                                phase: Phase::Map,
+                                index: map_wave_counter,
+                                tasks: wave.len() as u32,
+                                capacity: live.len() as u32 * self.cluster.config().slots.map,
+                            };
+                            let had_failures = self.execute_map_wave(
+                                session,
+                                wave,
+                                spec,
+                                &split_plan,
+                                seq,
+                                map_wave_counter,
+                                wave_open.id,
+                                &mut report,
+                            );
+                            self.tracer
+                                .close(wave_open, wave_kind, Some(job_span), None, None);
+                            let had_failures = had_failures?;
+                            let point = TriggerPoint::AfterMapWave(map_wave_counter);
+                            map_wave_counter += 1;
+                            let kills = self.fire(seq, spec.job, point, job_span, &mut report);
+                            if had_failures || !kills.is_empty() || !mid_kills.is_empty() {
+                                interrupted = true;
+                                break;
                             }
                         }
-                        ReduceOutcome::Cancelled => {
-                            wave_had_failures = true;
-                            report.tasks_cancelled += 1;
-                        }
-                        ReduceOutcome::Torn { task, loss } => {
-                            wave_had_failures = true;
-                            report.task_retries += 1;
-                            // A torn write silently damaged the output
-                            // partition — a loss in its own right.
-                            let loss_span = self.tracer.instant(
-                                SpanKind::Loss {
-                                    seq,
-                                    lost_partitions: 1,
-                                },
-                                Some(job_span),
-                                None,
-                                loss.node,
-                            );
-                            self.tracer.mark_cause(loss_span);
-                            report.losses.push(loss);
-                            torn_partitions.insert(task.id.partition);
+                        // Refresh: which map outputs are still missing?
+                        inputs = self.enumerate_inputs(spec)?;
+                        pending_maps = inputs
+                            .iter()
+                            .filter(|t| !self.map_output_present(t, ignore_fp))
+                            .cloned()
+                            .collect();
+                        if !interrupted && !pending_maps.is_empty() {
+                            // Defensive: tasks ran without interruption but
+                            // outputs still missing would mean a bug.
+                            report.task_retries += pending_maps.len();
                         }
                     }
-                }
-                let point = TriggerPoint::AfterReduceWave(reduce_wave_counter);
-                reduce_wave_counter += 1;
-                let kills = self.fire(seq, spec.job, point, job_span, &mut report);
-                if wave_had_failures || !kills.is_empty() || !mid_kills.is_empty() {
-                    interrupted = true;
-                    break;
-                }
-            }
 
-            // Damage check: target partitions that lost blocks — or were
-            // left half-written by a torn write (which may look healthy:
-            // the committed prefix chunks can still be fully replicated)
-            // — must be cleared and fully re-reduced.
-            let meta = dfs.file_meta(&spec.output)?;
-            for &p in &target_partitions {
-                if meta.partitions[p.index()].is_lost() || torn_partitions.contains(&p) {
-                    dfs.clear_partition(&spec.output, p)?;
-                    let tasks: Vec<ReduceTask> = match &split_plan {
-                        Some((set, k)) if set.contains(&p) => (0..*k)
-                            .map(|s| {
-                                ReduceTask::new(ReduceTaskId::split(spec.job, p, SplitId(s), *k))
-                            })
-                            .collect(),
-                        _ => vec![ReduceTask::new(ReduceTaskId::whole(spec.job, p))],
+                    // REDUCE PHASE.
+                    if pending_reduces.is_empty() {
+                        break;
+                    }
+                    let live = self.live_or_fail()?;
+                    let style = if run.mode.is_recompute() {
+                        ReduceAssignment::Balance
+                    } else {
+                        ReduceAssignment::RoundRobinByPartition
                     };
-                    for t in tasks {
-                        if !pending_reduces.iter().any(|x| x.id == t.id) {
-                            pending_reduces.push(t);
+                    let waves: Waves<ReduceTask> = assign_reduce_waves(
+                        pending_reduces.clone(),
+                        &live,
+                        self.cluster.config().slots.reduce,
+                        style,
+                        PolicyCtx::new(&self.tracer, Some(job_span)),
+                    )?;
+                    // Owned by `Arc` because session workers may briefly outlive
+                    // one wave's call frame: the slot closures clone the handle
+                    // instead of borrowing this round-local vector.
+                    let input_keys: Arc<Vec<MapInputKey>> =
+                        Arc::new(inputs.iter().map(|t| t.key).collect());
+                    let mut interrupted = false;
+                    let mut torn_partitions: BTreeSet<PartitionId> = BTreeSet::new();
+                    for wave in waves {
+                        let mid_kills = self.fire(
+                            seq,
+                            spec.job,
+                            TriggerPoint::MidReduceWave(reduce_wave_counter),
+                            job_span,
+                            &mut report,
+                        );
+                        let wave_open = self.tracer.open();
+                        let wave_kind = SpanKind::Wave {
+                            phase: Phase::Reduce,
+                            index: reduce_wave_counter,
+                            tasks: wave.len() as u32,
+                            capacity: live.len() as u32 * self.cluster.config().slots.reduce,
+                        };
+                        let outcomes = self.execute_reduce_wave(
+                            session,
+                            wave,
+                            &input_keys,
+                            spec,
+                            placement,
+                            seq,
+                            reduce_wave_counter,
+                            wave_open.id,
+                        );
+                        self.tracer
+                            .close(wave_open, wave_kind, Some(job_span), None, None);
+                        let outcomes = outcomes?;
+                        let mut wave_had_failures = false;
+                        for outcome in outcomes {
+                            match outcome {
+                                ReduceOutcome::Done(task, rec) => {
+                                    report.io += rec.io;
+                                    report.tasks.push(rec);
+                                    report.reduce_tasks_run += 1;
+                                    pending_reduces.retain(|t| t.id != task.id);
+                                }
+                                ReduceOutcome::Missing => {
+                                    wave_had_failures = true;
+                                    report.task_retries += 1;
+                                }
+                                ReduceOutcome::Retry(id) => {
+                                    wave_had_failures = true;
+                                    report.task_retries += 1;
+                                    let count = reduce_retry_counts.entry(id).or_insert(0);
+                                    *count += 1;
+                                    if *count > MAX_TASK_RETRIES {
+                                        return Err(Error::RecoveryExhausted {
+                                            job: spec.job,
+                                            attempts: *count,
+                                            reason: format!(
+                                                "reduce task {id} kept failing retryably"
+                                            ),
+                                        });
+                                    }
+                                }
+                                ReduceOutcome::Cancelled => {
+                                    wave_had_failures = true;
+                                    report.tasks_cancelled += 1;
+                                }
+                                ReduceOutcome::Torn { task, loss } => {
+                                    wave_had_failures = true;
+                                    report.task_retries += 1;
+                                    // A torn write silently damaged the output
+                                    // partition — a loss in its own right.
+                                    let loss_span = self.tracer.instant(
+                                        SpanKind::Loss {
+                                            seq,
+                                            lost_partitions: 1,
+                                        },
+                                        Some(job_span),
+                                        None,
+                                        loss.node,
+                                    );
+                                    self.tracer.mark_cause(loss_span);
+                                    report.losses.push(loss);
+                                    torn_partitions.insert(task.id.partition);
+                                }
+                            }
+                        }
+                        let point = TriggerPoint::AfterReduceWave(reduce_wave_counter);
+                        reduce_wave_counter += 1;
+                        let kills = self.fire(seq, spec.job, point, job_span, &mut report);
+                        if wave_had_failures || !kills.is_empty() || !mid_kills.is_empty() {
+                            interrupted = true;
+                            break;
                         }
                     }
+
+                    // Damage check: target partitions that lost blocks — or were
+                    // left half-written by a torn write (which may look healthy:
+                    // the committed prefix chunks can still be fully replicated)
+                    // — must be cleared and fully re-reduced.
+                    let meta = dfs.file_meta(&spec.output)?;
+                    for &p in &target_partitions {
+                        if meta.partitions[p.index()].is_lost() || torn_partitions.contains(&p) {
+                            dfs.clear_partition(&spec.output, p)?;
+                            let tasks: Vec<ReduceTask> = match &split_plan {
+                                Some((set, k)) if set.contains(&p) => (0..*k)
+                                    .map(|s| {
+                                        ReduceTask::new(ReduceTaskId::split(
+                                            spec.job,
+                                            p,
+                                            SplitId(s),
+                                            *k,
+                                        ))
+                                    })
+                                    .collect(),
+                                _ => vec![ReduceTask::new(ReduceTaskId::whole(spec.job, p))],
+                            };
+                            for t in tasks {
+                                if !pending_reduces.iter().any(|x| x.id == t.id) {
+                                    pending_reduces.push(t);
+                                }
+                            }
+                        }
+                    }
+
+                    // Refresh missing map outputs for the next round.
+                    inputs = self.enumerate_inputs(spec)?;
+                    pending_maps = inputs
+                        .iter()
+                        .filter(|t| !self.map_output_present(t, ignore_fp))
+                        .cloned()
+                        .collect();
+
+                    if pending_reduces.is_empty() && pending_maps.is_empty() {
+                        break;
+                    }
+                    let _ = interrupted;
                 }
-            }
-
-            // Refresh missing map outputs for the next round.
-            inputs = self.enumerate_inputs(spec)?;
-            pending_maps = inputs
-                .iter()
-                .filter(|t| !self.map_output_present(t, ignore_fp))
-                .cloned()
-                .collect();
-
-            if pending_reduces.is_empty() && pending_maps.is_empty() {
-                break;
-            }
-            let _ = interrupted;
-        }
+                Ok(())
+            })?;
 
         if !pending_reduces.is_empty() {
             return Err(Error::JobFailed {
@@ -652,16 +678,17 @@ impl<'a> JobTracker<'a> {
         }
     }
 
-    /// Runs one wave of mappers on the configured executor backend.
+    /// Runs one wave of mappers on the job's executor session.
     /// Returns whether any task failed (triggering reassignment);
     /// errors only when the executor abandoned a task (contained
     /// panic), which escalates as [`Error::ExecutorShutdown`].
     #[allow(clippy::too_many_arguments)]
-    fn execute_map_wave(
-        &self,
+    fn execute_map_wave<'env>(
+        &'env self,
+        session: &SessionExecutor<'_, 'env>,
         wave: Vec<(NodeId, MapTask)>,
-        spec: &JobSpec,
-        split_plan: &Option<(BTreeSet<PartitionId>, u32)>,
+        spec: &'env JobSpec,
+        split_plan: &'env Option<(BTreeSet<PartitionId>, u32)>,
         seq: u64,
         wave_idx: u32,
         wave_span: SpanId,
@@ -669,7 +696,7 @@ impl<'a> JobTracker<'a> {
     ) -> Result<bool> {
         let exec_spec = self.wave_spec("map-wave", seq, wave_idx, wave_span);
         let cancel_on_fatal = self.cluster.config().executor.cancel_on_fatal;
-        let tasks: Vec<SlotTask<'_, std::result::Result<TaskRecord, Error>>> = wave
+        let tasks: Vec<SlotTask<'env, std::result::Result<TaskRecord, Error>>> = wave
             .into_iter()
             .map(|(node, task)| {
                 SlotTask::new(move |ctx: &TaskCtx| {
@@ -682,7 +709,7 @@ impl<'a> JobTracker<'a> {
                 })
             })
             .collect();
-        let outcomes = self.cluster.executor().run_wave(&exec_spec, tasks);
+        let outcomes = session.run_wave(&exec_spec, tasks);
         let mut had_failures = false;
         for outcome in outcomes {
             match outcome {
@@ -759,7 +786,7 @@ impl<'a> JobTracker<'a> {
         let sp = split_plan
             .as_ref()
             .map(|(set, k)| (set, SplitPartitioner::new(*k), *k));
-        let mut writers: HashMap<ReduceTaskId, RecordWriter> = HashMap::new();
+        let mut raw: HashMap<ReduceTaskId, Vec<Record>> = HashMap::new();
         let job = spec.job;
         for rec in RecordReader::new(data) {
             let rec = rec?;
@@ -771,12 +798,37 @@ impl<'a> JobTracker<'a> {
                     }
                     _ => ReduceTaskId::whole(job, pid),
                 };
-                writers.entry(rtid).or_default().push(&out);
+                raw.entry(rtid).or_default().push(out);
             });
         }
-        let output_bytes: u64 = writers.values().map(|w| w.byte_len() as u64).sum();
-        let buckets: HashMap<ReduceTaskId, bytes::Bytes> =
-            writers.into_iter().map(|(k, w)| (k, w.finish())).collect();
+        let mut buckets: HashMap<ReduceTaskId, (Bytes, BucketIndex)> =
+            HashMap::with_capacity(raw.len());
+        let mut output_bytes = 0u64;
+        for (rtid, mut recs) in raw {
+            recs.sort_unstable_by(|a, b| a.key.cmp(&b.key).then_with(|| a.value.cmp(&b.value)));
+            // Map-side combine, whole-partition buckets only: a split
+            // task's regenerated partition must stay byte-identical to
+            // the whole run's (the Fig.-5 reuse rule), so split-keyed
+            // buckets always carry the raw record stream.
+            if let Some(c) = &spec.combiner {
+                if rtid.split.is_none() {
+                    recs = self.combine_bucket(c.as_ref(), recs);
+                }
+            }
+            let mut w = RecordWriter::default();
+            for r in &recs {
+                w.push(r);
+            }
+            let index = BucketIndex {
+                records: recs.len() as u64,
+                bytes: w.byte_len() as u64,
+                min_key: recs.first().map_or(0, |r| r.key),
+                max_key: recs.last().map_or(0, |r| r.key),
+                sorted: true,
+            };
+            output_bytes += index.bytes;
+            buckets.insert(rtid, (w.finish(), index));
+        }
         // Storing on a node that died mid-wave is pointless but harmless:
         // the kill's drop_node already ran or will never run again for
         // this node; re-check liveness to keep semantics crisp.
@@ -785,7 +837,7 @@ impl<'a> JobTracker<'a> {
         }
         self.cluster
             .map_outputs()
-            .insert(task.key, node, task.block.content_hash, buckets);
+            .insert_indexed(task.key, node, task.block.content_hash, buckets);
         let mut io = IoBytes::default();
         if source == node {
             io.map_input_local = input_bytes;
@@ -801,6 +853,54 @@ impl<'a> JobTracker<'a> {
             duration: t0.elapsed(),
             input_source: Some(source),
         })
+    }
+
+    /// Applies the map-side combiner to one sorted whole-partition
+    /// bucket. Records arrive (key, value)-sorted and are grouped by
+    /// key; the combiner's emissions are re-sorted so the stored bucket
+    /// keeps the sorted-run invariant the streaming merge relies on.
+    fn combine_bucket(&self, combiner: &dyn Combiner, recs: Vec<Record>) -> Vec<Record> {
+        self.m_shuffle.combiner_records_in.add(recs.len() as u64);
+        let mut out: Vec<Record> = Vec::with_capacity(recs.len());
+        let mut values: Vec<Bytes> = Vec::new();
+        let mut i = 0usize;
+        while i < recs.len() {
+            let key = recs[i].key;
+            let mut j = i;
+            while j < recs.len() && recs[j].key == key {
+                values.push(recs[j].value.clone());
+                j += 1;
+            }
+            combiner.combine(key, &values, &mut |rec: Record| out.push(rec));
+            values.clear();
+            i = j;
+        }
+        out.sort_unstable_by(|a, b| a.key.cmp(&b.key).then_with(|| a.value.cmp(&b.value)));
+        self.m_shuffle.combiner_records_out.add(out.len() as u64);
+        out
+    }
+
+    /// Emits the per-source shuffle accounting: one `ShuffleFetch` span
+    /// and a byte-counter bump per map-output source node.
+    fn record_fetches(
+        &self,
+        per_source: &[(NodeId, u64)],
+        node: NodeId,
+        task_span: SpanId,
+        start: u64,
+        end: u64,
+    ) {
+        for &(source, bytes) in per_source {
+            self.m_shuffle_bytes.add(bytes);
+            self.tracer.record(
+                SpanKind::ShuffleFetch { source, bytes },
+                Some(task_span),
+                None,
+                Some(node),
+                start,
+                end,
+            );
+        }
     }
 
     /// Seed and span identity for one wave submission: the queue order
@@ -822,15 +922,16 @@ impl<'a> JobTracker<'a> {
         WaveSpec::new(label, seed).with_parent(wave_span)
     }
 
-    /// Runs one wave of reducers on the configured executor backend.
+    /// Runs one wave of reducers on the job's executor session.
     /// Errors only when the executor abandoned a task (contained
     /// panic), which escalates as [`Error::ExecutorShutdown`].
     #[allow(clippy::too_many_arguments)]
-    fn execute_reduce_wave(
-        &self,
+    fn execute_reduce_wave<'env>(
+        &'env self,
+        session: &SessionExecutor<'_, 'env>,
         wave: Vec<(NodeId, ReduceTask)>,
-        input_keys: &[MapInputKey],
-        spec: &JobSpec,
+        input_keys: &Arc<Vec<MapInputKey>>,
+        spec: &'env JobSpec,
         placement: PlacementPolicy,
         seq: u64,
         wave_idx: u32,
@@ -838,12 +939,19 @@ impl<'a> JobTracker<'a> {
     ) -> Result<Vec<ReduceOutcome>> {
         let exec_spec = self.wave_spec("reduce-wave", seq, wave_idx, wave_span);
         let cancel_on_fatal = self.cluster.config().executor.cancel_on_fatal;
-        let tasks: Vec<SlotTask<'_, ReduceOutcome>> = wave
+        let tasks: Vec<SlotTask<'env, ReduceOutcome>> = wave
             .into_iter()
             .map(|(node, task)| {
+                let input_keys = Arc::clone(input_keys);
                 SlotTask::new(move |ctx: &TaskCtx| {
                     let outcome = self.run_reduce_task(
-                        node, task, input_keys, spec, placement, wave_idx, wave_span,
+                        node,
+                        task,
+                        input_keys.as_slice(),
+                        spec,
+                        placement,
+                        wave_idx,
+                        wave_span,
                     );
                     // A torn write is a node death observed mid-task —
                     // the wave's fatal-fault signal.
@@ -854,8 +962,7 @@ impl<'a> JobTracker<'a> {
                 })
             })
             .collect();
-        self.cluster
-            .executor()
+        session
             .run_wave(&exec_spec, tasks)
             .into_iter()
             .map(|o| match o {
@@ -919,52 +1026,112 @@ impl<'a> JobTracker<'a> {
     ) -> ReduceOutcome {
         let t0 = Instant::now();
         let store = self.cluster.map_outputs();
-        let mut attempt = 0u32;
+        let shuffle_cfg = self.cluster.config().shuffle;
+        let block_size = self.cluster.config().block_size.as_u64() as usize;
+        let mut out = ChunkingWriter::new(block_size);
         let shuffle_start = self.tracer.now_us();
-        let shuffled = loop {
-            attempt += 1;
-            match shuffle_for_reduce(store, input_keys, task.id, node) {
-                Ok(r) => break r,
-                Err(ShuffleFailure::MissingMapOutputs(_)) => return ReduceOutcome::Missing,
-                Err(ShuffleFailure::Corrupt { key, .. }) => {
-                    // The stored copy is permanently bad: retrying the
-                    // fetch returns the same bytes. Drop the entry so
-                    // the phase loop re-runs that mapper from its input
-                    // block, then report the output as missing.
-                    store.remove(&key);
-                    return ReduceOutcome::Missing;
-                }
-                Err(ShuffleFailure::Transient { .. }) => {
-                    self.m_shuffle_transients.inc();
-                    // Retryable in place, but not forever: a path this
-                    // flaky needs the task rescheduled elsewhere.
-                    if attempt >= MAX_SHUFFLE_ATTEMPTS {
-                        return ReduceOutcome::Retry(task.id);
+        let (local_bytes, remote_bytes) = if shuffle_cfg.streaming {
+            // Streaming path: plan the fetches via the bucket indexes,
+            // then k-way-merge the per-mapper sorted runs straight into
+            // the reducer — no collect-all-then-sort pass.
+            let mut attempt = 0u32;
+            let mut merge = loop {
+                attempt += 1;
+                match StreamingShuffle::plan(
+                    store,
+                    input_keys,
+                    task.id,
+                    node,
+                    shuffle_cfg.max_merge_width,
+                ) {
+                    Ok(m) => break m,
+                    Err(ShuffleFailure::MissingMapOutputs(_)) => return ReduceOutcome::Missing,
+                    Err(ShuffleFailure::Corrupt { key, .. }) => {
+                        // The stored copy is permanently bad: retrying
+                        // the fetch returns the same bytes. Drop the
+                        // entry so the phase loop re-runs that mapper
+                        // from its input block, then report missing.
+                        store.remove(&key);
+                        return ReduceOutcome::Missing;
+                    }
+                    Err(ShuffleFailure::Transient { .. }) => {
+                        self.m_shuffle_transients.inc();
+                        // Retryable in place, but not forever: a path
+                        // this flaky needs the task rescheduled.
+                        if attempt >= MAX_SHUFFLE_ATTEMPTS {
+                            return ReduceOutcome::Retry(task.id);
+                        }
                     }
                 }
-            }
-        };
-        let shuffle_end = self.tracer.now_us();
-        self.m_shuffle_us
-            .observe(shuffle_end.saturating_sub(shuffle_start));
-        for &(source, bytes) in &shuffled.per_source {
-            self.m_shuffle_bytes.add(bytes);
-            self.tracer.record(
-                SpanKind::ShuffleFetch { source, bytes },
-                Some(task_span),
-                None,
-                Some(node),
+            };
+            let shuffle_end = self.tracer.now_us();
+            self.m_shuffle_us
+                .observe(shuffle_end.saturating_sub(shuffle_start));
+            self.record_fetches(
+                &merge.per_source,
+                node,
+                task_span,
                 shuffle_start,
                 shuffle_end,
             );
-        }
-        let block_size = self.cluster.config().block_size.as_u64() as usize;
-        let mut out = ChunkingWriter::new(block_size);
-        for (key, values) in &shuffled.groups {
-            spec.reducer.reduce(*key, values, &mut |rec: Record| {
-                out.push(&rec);
-            });
-        }
+            let (local, remote) = (merge.local_bytes, merge.remote_bytes);
+            for group in merge.by_ref() {
+                match group {
+                    Ok((key, values)) => {
+                        spec.reducer.reduce(key, &values, &mut |rec: Record| {
+                            out.push(&rec);
+                        });
+                    }
+                    // A lazily-decoded run can surface corruption
+                    // mid-merge; treat it exactly like plan-time
+                    // corruption.
+                    Err(ShuffleFailure::Corrupt { key, .. }) => {
+                        store.remove(&key);
+                        return ReduceOutcome::Missing;
+                    }
+                    Err(ShuffleFailure::MissingMapOutputs(_)) => return ReduceOutcome::Missing,
+                    Err(ShuffleFailure::Transient { .. }) => return ReduceOutcome::Retry(task.id),
+                }
+            }
+            self.m_shuffle.observe_merge(&merge.stats());
+            (local, remote)
+        } else {
+            // Legacy oracle path: fetch everything, then sort-and-group.
+            let mut attempt = 0u32;
+            let shuffled = loop {
+                attempt += 1;
+                match shuffle_for_reduce(store, input_keys, task.id, node) {
+                    Ok(r) => break r,
+                    Err(ShuffleFailure::MissingMapOutputs(_)) => return ReduceOutcome::Missing,
+                    Err(ShuffleFailure::Corrupt { key, .. }) => {
+                        store.remove(&key);
+                        return ReduceOutcome::Missing;
+                    }
+                    Err(ShuffleFailure::Transient { .. }) => {
+                        self.m_shuffle_transients.inc();
+                        if attempt >= MAX_SHUFFLE_ATTEMPTS {
+                            return ReduceOutcome::Retry(task.id);
+                        }
+                    }
+                }
+            };
+            let shuffle_end = self.tracer.now_us();
+            self.m_shuffle_us
+                .observe(shuffle_end.saturating_sub(shuffle_start));
+            self.record_fetches(
+                &shuffled.per_source,
+                node,
+                task_span,
+                shuffle_start,
+                shuffle_end,
+            );
+            for (key, values) in &shuffled.groups {
+                spec.reducer.reduce(*key, values, &mut |rec: Record| {
+                    out.push(&rec);
+                });
+            }
+            (shuffled.local_bytes, shuffled.remote_bytes)
+        };
         let output_bytes = out.byte_count();
         let chunks = out.finish();
         if self.torn.lock().remove(&node) {
@@ -995,8 +1162,8 @@ impl<'a> JobTracker<'a> {
             Err(_) => return ReduceOutcome::Retry(task.id),
         }
         let io = IoBytes {
-            shuffle_local: shuffled.local_bytes,
-            shuffle_remote: shuffled.remote_bytes,
+            shuffle_local: local_bytes,
+            shuffle_remote: remote_bytes,
             output_written: output_bytes,
             replication_written: output_bytes * (spec.output_replication as u64 - 1),
             ..IoBytes::default()

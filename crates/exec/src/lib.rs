@@ -33,7 +33,7 @@ mod threaded;
 
 pub use future::TaskFuture;
 pub use metrics::ExecMetrics;
-pub use reactor::AsyncExecutor;
+pub use reactor::{AsyncExecutor, AsyncSession};
 pub use task::{CancelToken, SlotOutcome, SlotTask, TaskCtx};
 pub use threaded::ThreadedExecutor;
 
@@ -121,6 +121,54 @@ impl BackendExecutor {
             BackendExecutor::Async(_) => "async",
         }
     }
+
+    /// Runs `f` with a job-scoped [`SessionExecutor`].
+    ///
+    /// For the async backend this spawns the reactor's worker pool once
+    /// and serves every wave submitted through the session with it —
+    /// a multi-wave job no longer rebuilds its thread pool at every
+    /// wave boundary. The threaded backend is stateless (one OS thread
+    /// per occupied slot per wave is its *semantics*), so its session
+    /// is a plain pass-through.
+    pub fn with_session<'env, R>(&'env self, f: impl FnOnce(&SessionExecutor<'_, 'env>) -> R) -> R {
+        match self {
+            BackendExecutor::Threaded(t) => f(&SessionExecutor::Threaded(*t)),
+            BackendExecutor::Async(a) => a.with_session(|s| f(&SessionExecutor::Async(s))),
+        }
+    }
+}
+
+/// A backend handle scoped to one job, obtained from
+/// [`BackendExecutor::with_session`]: the async reactor keeps one
+/// worker pool alive across every wave submitted through it, while the
+/// threaded backend passes straight through to its per-wave threads.
+///
+/// `'s` is the session scope, `'env` the environment slot tasks may
+/// borrow from. This cannot implement [`Executor`] — the trait
+/// quantifies `'env` per call, but a session fixes it for its whole
+/// lifetime — so it exposes the same `run_wave` shape inherently.
+pub enum SessionExecutor<'s, 'env> {
+    /// Stateless pass-through to the per-slot-thread backend.
+    Threaded(ThreadedExecutor),
+    /// Handle onto a live reactor session (shared worker pool).
+    Async(&'s AsyncSession<'s, 'env>),
+}
+
+impl<'env> SessionExecutor<'_, 'env> {
+    /// Executes one wave through the session. Same contract as
+    /// [`Executor::run_wave`]: outcomes in input order, panics
+    /// contained as [`SlotOutcome::Abandoned`], returns only once every
+    /// task has resolved.
+    pub fn run_wave<T: Send + 'env>(
+        &self,
+        spec: &WaveSpec,
+        tasks: Vec<SlotTask<'env, T>>,
+    ) -> Vec<SlotOutcome<T>> {
+        match self {
+            SessionExecutor::Threaded(t) => t.run_wave(spec, tasks),
+            SessionExecutor::Async(s) => s.run_wave(spec, tasks),
+        }
+    }
 }
 
 impl Executor for BackendExecutor {
@@ -172,5 +220,31 @@ mod tests {
                 .map(SlotOutcome::completed)
                 .collect();
         assert_eq!(threaded, asynced);
+    }
+
+    #[test]
+    fn sessions_agree_across_backends() {
+        let run = |cfg: &ExecutorConfig| {
+            let exec = BackendExecutor::from_config(cfg);
+            exec.with_session(|session| {
+                (0..3u64)
+                    .map(|w| {
+                        let tasks: Vec<SlotTask<'_, u64>> = (0..50)
+                            .map(|i| SlotTask::new(move |_: &TaskCtx| i + w))
+                            .collect();
+                        session
+                            .run_wave(&WaveSpec::new("sess", w), tasks)
+                            .into_iter()
+                            .map(|o| o.completed().expect("completed"))
+                            .collect::<Vec<u64>>()
+                    })
+                    .collect::<Vec<_>>()
+            })
+        };
+        let threaded = run(&ExecutorConfig::default());
+        let async1 = run(&ExecutorConfig::async_workers(1));
+        let async4 = run(&ExecutorConfig::async_workers(4));
+        assert_eq!(threaded, async1);
+        assert_eq!(threaded, async4);
     }
 }

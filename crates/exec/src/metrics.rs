@@ -29,6 +29,10 @@ pub struct ExecMetrics {
     pub tasks_abandoned: Counter,
     /// Waves executed.
     pub waves: Counter,
+    /// OS worker threads spawned. In session mode this stays at the
+    /// pool size while `waves` climbs — the observable for the
+    /// pool-per-job (rather than pool-per-wave) lifetime.
+    pub worker_starts: Counter,
 }
 
 impl ExecMetrics {
@@ -44,6 +48,7 @@ impl ExecMetrics {
             tasks_cancelled: registry.counter("exec.tasks_cancelled"),
             tasks_abandoned: registry.counter("exec.tasks_abandoned"),
             waves: registry.counter("exec.waves"),
+            worker_starts: registry.counter("exec.worker_starts"),
         }
     }
 }

@@ -50,6 +50,11 @@ struct Shared {
     remaining: AtomicUsize,
     polls: AtomicU64,
     parked: AtomicUsize,
+    /// Completion latch for session mode: the wave submitter waits here,
+    /// never on `ready` — `enqueue`'s `notify_one` could otherwise wake
+    /// the submitter instead of a parked worker and stall the wave.
+    done: Mutex<bool>,
+    done_cv: Condvar,
     metrics: Option<ExecMetrics>,
 }
 
@@ -61,6 +66,8 @@ impl Shared {
             remaining: AtomicUsize::new(tasks),
             polls: AtomicU64::new(0),
             parked: AtomicUsize::new(0),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
             metrics,
         }
     }
@@ -109,11 +116,27 @@ impl Shared {
     }
 
     /// Marks one task resolved; the last one releases every parked
-    /// worker so the pool can drain.
+    /// worker so the pool can drain, and trips the completion latch for
+    /// a session-mode submitter.
     fn task_done(&self) {
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let _guard = lock(&self.queue);
-            self.ready.notify_all();
+            {
+                let _queue = lock(&self.queue);
+                self.ready.notify_all();
+            }
+            *lock(&self.done) = true;
+            self.done_cv.notify_all();
+        }
+    }
+
+    /// Blocks until every task of the wave has resolved.
+    fn wait_done(&self) {
+        let mut done = lock(&self.done);
+        while !*done {
+            done = self
+                .done_cv
+                .wait(done)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -169,6 +192,191 @@ fn worker_loop<T: Send>(shared: &Arc<Shared>, slots: &[Mutex<Slot<'_, T>>]) {
     }
 }
 
+/// One wave's worth of servable work, type-erased so session workers
+/// spawned once per job can serve waves of differing outcome types.
+trait WaveWork: Send + Sync {
+    /// Serves the wave until every task has resolved (a worker-loop
+    /// body; called concurrently from every session worker).
+    fn serve(&self);
+}
+
+/// A published wave: the reactor state plus the slot futures, kept
+/// alive by `Arc` because laggard session workers may still hold it
+/// briefly after the submitter has collected the outcomes.
+struct WaveState<'env, T: Send> {
+    shared: Arc<Shared>,
+    slots: Vec<Mutex<Slot<'env, T>>>,
+}
+
+impl<T: Send> WaveWork for WaveState<'_, T> {
+    fn serve(&self) {
+        worker_loop(&self.shared, &self.slots);
+    }
+}
+
+/// What the session's worker pool should be doing right now.
+enum SessionState<'env> {
+    /// No wave published yet.
+    Idle,
+    /// Wave number `.0` is available for service.
+    Work(u64, Arc<dyn WaveWork + 'env>),
+    /// The session is over: workers exit.
+    Shutdown,
+}
+
+/// Coordination point between the session's long-lived workers and the
+/// thread submitting waves.
+struct SessionShared<'env> {
+    state: Mutex<SessionState<'env>>,
+    publish: Condvar,
+}
+
+/// Body of one session worker: wait for the next unserved generation,
+/// serve it to completion, repeat until shutdown. Generations are
+/// strictly increasing and waves are serialized by the submitter, so a
+/// worker that dawdles past a whole wave simply picks up the newest one
+/// (each wave has enough workers only because *some* worker serves it;
+/// correctness never depends on all of them showing up).
+fn session_worker(shared: &SessionShared<'_>) {
+    let mut served = 0u64;
+    loop {
+        let work = {
+            let mut st = lock(&shared.state);
+            loop {
+                match &*st {
+                    SessionState::Shutdown => return,
+                    SessionState::Work(generation, work) if *generation > served => {
+                        served = *generation;
+                        break Arc::clone(work);
+                    }
+                    _ => {
+                        st = shared
+                            .publish
+                            .wait(st)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                }
+            }
+        };
+        work.serve();
+    }
+}
+
+/// A job-scoped reactor session: the worker pool is spawned once by
+/// [`AsyncExecutor::with_session`] and serves every wave submitted
+/// through [`AsyncSession::run_wave`], instead of being rebuilt per
+/// wave. `'s` is the session scope, `'env` the environment the slot
+/// tasks may borrow from.
+pub struct AsyncSession<'s, 'env> {
+    exec: &'env AsyncExecutor,
+    shared: &'s SessionShared<'env>,
+    workers: usize,
+    generation: AtomicU64,
+}
+
+impl<'env> AsyncSession<'_, 'env> {
+    /// Executes one wave on the session's shared worker pool. Same
+    /// contract as [`Executor::run_wave`]: outcomes in input order,
+    /// panics contained, returns only once every task has resolved.
+    pub fn run_wave<T: Send + 'env>(
+        &self,
+        spec: &WaveSpec,
+        tasks: Vec<SlotTask<'env, T>>,
+    ) -> Vec<SlotOutcome<T>> {
+        let n = tasks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let exec = self.exec;
+        let started = exec.tracer.as_ref().map(|t| t.now_us());
+        if let Some(m) = &exec.metrics {
+            m.waves.inc();
+        }
+        let cancel = CancelToken::new();
+        let shared = Arc::new(Shared::new(n, exec.metrics.clone()));
+        {
+            // Seeded-deterministic initial service order, exactly as in
+            // the standalone wave path.
+            let mut order: Vec<usize> = (0..n).collect();
+            order.shuffle(&mut rng_for(spec.seed, spec.label));
+            let mut q = lock(&shared.queue);
+            q.extend(order);
+            shared.note_depth(q.len());
+        }
+        let slots: Vec<Mutex<Slot<'env, T>>> = tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                Mutex::new(Slot {
+                    fut: Some(TaskFuture::new(
+                        t.into_fn(),
+                        TaskCtx::new(cancel.clone(), i),
+                    )),
+                    outcome: None,
+                })
+            })
+            .collect();
+        let wave: Arc<WaveState<'env, T>> = Arc::new(WaveState {
+            shared: Arc::clone(&shared),
+            slots,
+        });
+        {
+            let generation = self.generation.fetch_add(1, Ordering::Relaxed) + 1;
+            let mut st = lock(&self.shared.state);
+            *st = SessionState::Work(generation, Arc::clone(&wave) as Arc<dyn WaveWork + 'env>);
+            // Notify under the lock so the publish cannot slip into a
+            // worker's check-then-wait window.
+            self.shared.publish.notify_all();
+        }
+        shared.wait_done();
+        // Workers may still hold the `Arc<WaveState>` briefly, so take
+        // each outcome out of its slot instead of unwrapping the Arc.
+        let outcomes: Vec<SlotOutcome<T>> = wave
+            .slots
+            .iter()
+            .map(|m| lock(m).outcome.take().unwrap_or(SlotOutcome::Cancelled))
+            .collect();
+        let polls = shared.polls.load(Ordering::Relaxed);
+        let cancelled = outcomes.iter().filter(|o| o.is_cancelled()).count();
+        if let Some(m) = &exec.metrics {
+            m.polls.add(polls);
+            m.polls_per_task_milli.set((polls * 1000 / n as u64) as i64);
+            m.tasks_cancelled.add(cancelled as u64);
+            m.tasks_abandoned
+                .add(outcomes.iter().filter(|o| o.is_abandoned()).count() as u64);
+            m.tasks_completed.add(
+                outcomes
+                    .iter()
+                    .filter(|o| matches!(o, SlotOutcome::Completed(_)))
+                    .count() as u64,
+            );
+        }
+        if let (Some(tracer), Some(start)) = (&exec.tracer, started) {
+            let end = tracer.now_us();
+            tracer.record(
+                SpanKind::ExecutorWave {
+                    backend: "async".into(),
+                    tasks: n as u32,
+                    workers: self.workers as u32,
+                    polls,
+                    cancelled: cancelled as u32,
+                },
+                spec.parent,
+                None,
+                None,
+                start,
+                end,
+            );
+        }
+        outcomes
+    }
+
+    /// The session's OS worker-thread count (fixed for its lifetime).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
 /// The cooperative reactor backend: `workers` OS threads multiplex the
 /// whole wave, so thousands of simulated slots run in one process with
 /// a bounded thread count.
@@ -207,6 +415,54 @@ impl AsyncExecutor {
     /// The resolved OS worker-thread count.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Runs `f` with a job-scoped [`AsyncSession`]: the worker pool is
+    /// spawned once here and serves every wave submitted through the
+    /// session, so a multi-wave job pays the thread spawn cost once
+    /// instead of per wave (observable as `exec.worker_starts` staying
+    /// flat while `exec.waves` climbs).
+    ///
+    /// A panic inside `f` still shuts the pool down cleanly before
+    /// being propagated.
+    pub fn with_session<'env, R>(&'env self, f: impl FnOnce(&AsyncSession<'_, 'env>) -> R) -> R {
+        let workers = self.workers.max(1);
+        if let Some(m) = &self.metrics {
+            m.workers.set(workers as i64);
+        }
+        let shared = SessionShared {
+            state: Mutex::new(SessionState::Idle),
+            publish: Condvar::new(),
+        };
+        let result = std::thread::scope(|s| {
+            for _ in 0..workers {
+                let shared = &shared;
+                let metrics = self.metrics.clone();
+                s.spawn(move || {
+                    if let Some(m) = &metrics {
+                        m.worker_starts.inc();
+                    }
+                    session_worker(shared);
+                });
+            }
+            let session = AsyncSession {
+                exec: self,
+                shared: &shared,
+                workers,
+                generation: AtomicU64::new(0),
+            };
+            let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&session)));
+            {
+                let mut st = lock(&shared.state);
+                *st = SessionState::Shutdown;
+                shared.publish.notify_all();
+            }
+            out
+        });
+        match result {
+            Ok(r) => r,
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
     }
 }
 
@@ -253,7 +509,12 @@ impl Executor for AsyncExecutor {
             for _ in 0..workers {
                 let shared = &shared;
                 let slots = &slots;
-                s.spawn(move || worker_loop(shared, slots));
+                s.spawn(move || {
+                    if let Some(m) = &shared.metrics {
+                        m.worker_starts.inc();
+                    }
+                    worker_loop(shared, slots);
+                });
             }
         });
         let polls = shared.polls.load(Ordering::Relaxed);
@@ -436,6 +697,81 @@ mod tests {
     fn empty_wave_is_a_noop() {
         let out: Vec<SlotOutcome<()>> =
             AsyncExecutor::new(4).run_wave(&WaveSpec::new("e", 0), Vec::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn session_reuses_workers_across_waves() {
+        let reg = MetricsRegistry::new();
+        let exec = AsyncExecutor::new(2).with_obs(Arc::new(Tracer::new()), &reg);
+        let sums: Vec<usize> = exec.with_session(|session| {
+            assert_eq!(session.workers(), 2);
+            (0..3u64)
+                .map(|w| {
+                    let out = session.run_wave(&WaveSpec::new("sess", w), wave(8));
+                    out.into_iter().map(|o| o.completed().expect("done")).sum()
+                })
+                .collect()
+        });
+        assert_eq!(sums, vec![56, 56, 56]);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("exec.waves"), Some(3));
+        assert_eq!(
+            snap.counter("exec.worker_starts"),
+            Some(2),
+            "the pool must be spawned once per session, not per wave"
+        );
+        assert_eq!(
+            snap.get("exec.workers"),
+            Some(&rcmp_obs::SnapshotValue::Gauge(2))
+        );
+        assert_eq!(snap.counter("exec.tasks_completed"), Some(24));
+        assert_eq!(snap.counter("exec.polls"), Some(48));
+    }
+
+    #[test]
+    fn session_waves_borrow_caller_state() {
+        let counter = AtomicUsize::new(0);
+        AsyncExecutor::new(3).with_session(|session| {
+            for w in 0..4u64 {
+                let tasks: Vec<SlotTask<'_, ()>> = (0..16)
+                    .map(|_| {
+                        let counter = &counter;
+                        SlotTask::new(move |_: &TaskCtx| {
+                            counter.fetch_add(1, Ordering::SeqCst);
+                        })
+                    })
+                    .collect();
+                session.run_wave(&WaveSpec::new("borrow", w), tasks);
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn session_outcomes_match_standalone_waves() {
+        let standalone = AsyncExecutor::new(4).run_wave(&WaveSpec::new("cmp", 21), wave(64));
+        let exec = AsyncExecutor::new(4);
+        let sessioned = exec.with_session(|s| s.run_wave(&WaveSpec::new("cmp", 21), wave(64)));
+        let a: Vec<Option<usize>> = standalone.into_iter().map(SlotOutcome::completed).collect();
+        let b: Vec<Option<usize>> = sessioned.into_iter().map(SlotOutcome::completed).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn session_closure_panic_shuts_pool_down_and_propagates() {
+        let exec = AsyncExecutor::new(2);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            exec.with_session(|_s| panic!("scripted session panic"))
+        }));
+        assert!(r.is_err(), "the closure panic must propagate");
+    }
+
+    #[test]
+    fn session_empty_wave_is_a_noop() {
+        let exec = AsyncExecutor::new(2);
+        let out: Vec<SlotOutcome<()>> =
+            exec.with_session(|s| s.run_wave(&WaveSpec::new("e", 0), Vec::new()));
         assert!(out.is_empty());
     }
 }

@@ -133,6 +133,46 @@ impl ExecutorConfig {
     }
 }
 
+/// Shuffle data-path tuning: streaming merge vs the legacy sort-all
+/// oracle, merge fan-in, and block-store sharding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShuffleConfig {
+    /// Use the k-way streaming merge over indexed, pre-sorted map
+    /// buckets. When `false` the reducer falls back to the legacy
+    /// collect-all-then-sort path, kept as the differential-testing
+    /// oracle (both produce byte-identical output).
+    pub streaming: bool,
+    /// Maximum merge fan-in: when a reducer has more sorted runs than
+    /// this, the smallest runs are coalesced pairwise first so the heap
+    /// never holds more than `max_merge_width` cursors.
+    pub max_merge_width: u32,
+    /// Shards per node block store (keyed by `BlockId` hash). `1`
+    /// degenerates to the old single-lock store and is kept as the
+    /// accounting oracle for the sharded path.
+    pub store_shards: u32,
+}
+
+impl Default for ShuffleConfig {
+    fn default() -> Self {
+        Self {
+            streaming: true,
+            max_merge_width: 64,
+            store_shards: 8,
+        }
+    }
+}
+
+impl ShuffleConfig {
+    /// The legacy collect-all-then-sort path with a single-lock store.
+    pub fn legacy() -> Self {
+        Self {
+            streaming: false,
+            store_shards: 1,
+            ..Self::default()
+        }
+    }
+}
+
 /// Static description of a collocated cluster (every node both computes
 /// and stores, §II).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -157,6 +197,9 @@ pub struct ClusterConfig {
     /// Which wave-executor backend the engine runs slot tasks on.
     #[serde(default)]
     pub executor: ExecutorConfig,
+    /// Shuffle data-path tuning (streaming merge, fan-in, store shards).
+    #[serde(default)]
+    pub shuffle: ShuffleConfig,
 }
 
 impl ClusterConfig {
@@ -170,6 +213,7 @@ impl ClusterConfig {
             seed: 0xc0ffee,
             max_recovery_attempts: 100,
             executor: ExecutorConfig::default(),
+            shuffle: ShuffleConfig::default(),
         }
     }
 
@@ -183,6 +227,7 @@ impl ClusterConfig {
             seed: 0x57_1c,
             max_recovery_attempts: 100,
             executor: ExecutorConfig::default(),
+            shuffle: ShuffleConfig::default(),
         }
     }
 
@@ -196,6 +241,7 @@ impl ClusterConfig {
             seed: 0xdc0,
             max_recovery_attempts: 100,
             executor: ExecutorConfig::default(),
+            shuffle: ShuffleConfig::default(),
         }
     }
 
@@ -219,6 +265,12 @@ impl ClusterConfig {
             return Err(Error::Config(
                 "max recovery attempts must be at least 1".into(),
             ));
+        }
+        if self.shuffle.max_merge_width < 2 {
+            return Err(Error::Config("merge width must be at least 2".into()));
+        }
+        if self.shuffle.store_shards == 0 {
+            return Err(Error::Config("store shards must be at least 1".into()));
         }
         Ok(())
     }

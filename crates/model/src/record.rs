@@ -29,6 +29,16 @@ impl Record {
     pub fn encoded_len(&self) -> usize {
         8 + 4 + self.value.len()
     }
+
+    /// Encodes this record directly into `buf` (the single encode
+    /// implementation — every writer path funnels through here so a
+    /// record is serialized exactly once on its way to a block).
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        buf.reserve(self.encoded_len());
+        buf.put_u64_le(self.key);
+        buf.put_u32_le(self.value.len() as u32);
+        buf.put_slice(&self.value);
+    }
 }
 
 /// Appends records to a growable buffer in the flat binary format.
@@ -52,9 +62,7 @@ impl RecordWriter {
     }
 
     pub fn push(&mut self, rec: &Record) {
-        self.buf.put_u64_le(rec.key);
-        self.buf.put_u32_le(rec.value.len() as u32);
-        self.buf.put_slice(&rec.value);
+        rec.encode_into(&mut self.buf);
         self.count += 1;
     }
 

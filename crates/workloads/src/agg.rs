@@ -1,0 +1,223 @@
+//! An aggregation workload exercising the map-side combiner.
+//!
+//! The chain workload's reducer *re-emits* values, so combining buys it
+//! nothing. This module is the complementary shape — a per-key
+//! count/byte-sum aggregation over a deliberately small key space, so
+//! each mapper produces many records per key and a combiner collapses
+//! them to one partial aggregate per (mapper, key) pair before the
+//! shuffle. Because the partial aggregate has the exact same record
+//! format as a raw mapper emission, the reducer's merge is oblivious to
+//! whether combining ran: final output is byte-identical with the
+//! combiner on or off, which is what the differential tests assert.
+
+use bytes::Bytes;
+use rcmp_dfs::PlacementPolicy;
+use rcmp_engine::udf::{Combiner, Emit, Mapper, Reducer};
+use rcmp_engine::JobSpec;
+use rcmp_model::partition::mix64;
+use rcmp_model::{JobId, Record};
+use std::sync::Arc;
+
+/// One partial (or final) aggregate: a record count and a byte sum.
+///
+/// Encoded as `count (8B LE) | sum (8B LE)` — the value format shared
+/// by mapper emissions, combiner output and reducer output, which is
+/// what makes the combiner's merge indistinguishable from the
+/// reducer's.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AggValue {
+    /// Input records folded into this aggregate.
+    pub count: u64,
+    /// Sum of all value bytes folded into this aggregate.
+    pub sum: u64,
+}
+
+impl AggValue {
+    /// Encodes to the 16-byte wire form.
+    pub fn encode(&self) -> Bytes {
+        let mut out = Vec::with_capacity(16);
+        out.extend_from_slice(&self.count.to_le_bytes());
+        out.extend_from_slice(&self.sum.to_le_bytes());
+        Bytes::from(out)
+    }
+
+    /// Decodes the 16-byte wire form; panics on malformed input (the
+    /// workload only ever feeds itself).
+    pub fn decode(v: &Bytes) -> Self {
+        assert_eq!(v.len(), 16, "malformed aggregate value");
+        Self {
+            count: u64::from_le_bytes(v[..8].try_into().expect("8 bytes")),
+            sum: u64::from_le_bytes(v[8..].try_into().expect("8 bytes")),
+        }
+    }
+
+    /// Folds partial aggregates together (associative + commutative).
+    pub fn merge(values: &[Bytes]) -> Self {
+        let mut acc = Self::default();
+        for v in values {
+            let part = Self::decode(v);
+            acc.count = acc.count.wrapping_add(part.count);
+            acc.sum = acc.sum.wrapping_add(part.sum);
+        }
+        acc
+    }
+}
+
+/// Maps each input record to `(content_key % keys, AggValue{1, byte_sum})`.
+pub struct AggMapper {
+    /// Size of the aggregation key space. Small relative to the input
+    /// record count ⇒ heavy per-key duplication ⇒ large combiner wins.
+    pub keys: u64,
+    /// Salt so distinct jobs group differently.
+    pub salt: u64,
+}
+
+impl Mapper for AggMapper {
+    fn map(&self, record: Record, emit: Emit<'_>) {
+        let sum: u64 = record.value.iter().map(|&b| b as u64).sum();
+        // Group key is a function of record content only: recomputed
+        // mappers must regenerate identical output.
+        let key = mix64(record.key ^ sum ^ self.salt) % self.keys.max(1);
+        emit(Record::new(key, AggValue { count: 1, sum }.encode()));
+    }
+}
+
+/// Folds one key's partial aggregates into a single partial aggregate.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AggCombiner;
+
+impl Combiner for AggCombiner {
+    fn combine(&self, key: u64, values: &[Bytes], emit: Emit<'_>) {
+        emit(Record::new(key, AggValue::merge(values).encode()));
+    }
+}
+
+/// Emits the final aggregate per key — the same merge the combiner
+/// runs, so pre-combined and raw streams reduce identically.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AggReducer;
+
+impl Reducer for AggReducer {
+    fn reduce(&self, key: u64, values: &[Bytes], emit: Emit<'_>) {
+        emit(Record::new(key, AggValue::merge(values).encode()));
+    }
+}
+
+/// Builder for one aggregation job.
+#[derive(Clone, Debug)]
+pub struct AggBuilder {
+    pub num_reducers: u32,
+    /// Aggregation key-space size (see [`AggMapper::keys`]).
+    pub keys: u64,
+    pub output_replication: u32,
+    pub placement: PlacementPolicy,
+    pub splittable: bool,
+    /// Whether to install [`AggCombiner`] on the job.
+    pub combine: bool,
+    pub input_path: String,
+    pub output_path: String,
+}
+
+impl AggBuilder {
+    /// An aggregation job over `input` with a `keys`-sized key space.
+    pub fn new(num_reducers: u32, keys: u64) -> Self {
+        Self {
+            num_reducers,
+            keys,
+            output_replication: 1,
+            placement: PlacementPolicy::WriterLocal,
+            splittable: true,
+            combine: true,
+            input_path: "input".to_string(),
+            output_path: "agg-out".to_string(),
+        }
+    }
+
+    /// Toggles the map-side combiner (on by default).
+    pub fn combine(mut self, yes: bool) -> Self {
+        self.combine = yes;
+        self
+    }
+
+    /// Builds the [`JobSpec`].
+    pub fn build(&self) -> JobSpec {
+        JobSpec {
+            job: JobId(1),
+            input: self.input_path.clone(),
+            output: self.output_path.clone(),
+            num_reducers: self.num_reducers,
+            output_replication: self.output_replication,
+            placement: self.placement,
+            mapper: Arc::new(AggMapper {
+                keys: self.keys,
+                salt: 0xa66_0001,
+            }),
+            reducer: Arc::new(AggReducer),
+            combiner: self
+                .combine
+                .then(|| Arc::new(AggCombiner) as Arc<dyn Combiner>),
+            splittable: self.splittable,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::value_of;
+
+    #[test]
+    fn value_roundtrip_and_merge() {
+        let a = AggValue { count: 3, sum: 99 };
+        assert_eq!(AggValue::decode(&a.encode()), a);
+        let merged = AggValue::merge(&[
+            AggValue { count: 1, sum: 10 }.encode(),
+            AggValue { count: 2, sum: 5 }.encode(),
+        ]);
+        assert_eq!(merged, AggValue { count: 3, sum: 15 });
+    }
+
+    #[test]
+    fn mapper_confines_keys_and_counts_one() {
+        let m = AggMapper { keys: 16, salt: 1 };
+        for i in 0..100u64 {
+            let mut out = Vec::new();
+            m.map(Record::new(i, value_of(i, 32)), &mut |r| out.push(r));
+            assert_eq!(out.len(), 1);
+            assert!(out[0].key < 16);
+            assert_eq!(AggValue::decode(&out[0].value).count, 1);
+        }
+    }
+
+    #[test]
+    fn combiner_then_reduce_matches_raw_reduce() {
+        // The central invariant: reduce(combine(xs) ++ combine(ys)) ==
+        // reduce(xs ++ ys), for any split of a key's values.
+        let values: Vec<Bytes> = (0..10u64)
+            .map(|i| AggValue { count: 1, sum: i }.encode())
+            .collect();
+        let reduce = |vals: &[Bytes]| {
+            let mut out = Vec::new();
+            AggReducer.reduce(7, vals, &mut |r| out.push(r));
+            out
+        };
+        let combine = |vals: &[Bytes]| {
+            let mut out = Vec::new();
+            AggCombiner.combine(7, vals, &mut |r| out.push(r));
+            out.into_iter().map(|r| r.value).collect::<Vec<_>>()
+        };
+        let mut pre = combine(&values[..4]);
+        pre.extend(combine(&values[4..]));
+        assert_eq!(reduce(&pre), reduce(&values));
+    }
+
+    #[test]
+    fn builder_wires_combiner() {
+        assert!(AggBuilder::new(4, 8).build().combiner.is_some());
+        assert!(AggBuilder::new(4, 8)
+            .combine(false)
+            .build()
+            .combiner
+            .is_none());
+    }
+}

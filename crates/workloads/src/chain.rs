@@ -10,7 +10,7 @@
 use crate::md5::md5_u64;
 use bytes::Bytes;
 use rcmp_dfs::PlacementPolicy;
-use rcmp_engine::udf::{Emit, Mapper, Reducer};
+use rcmp_engine::udf::{Combiner, Emit, Mapper, Reducer};
 use rcmp_engine::JobSpec;
 use rcmp_model::partition::mix64;
 use rcmp_model::{JobId, Record};
@@ -87,7 +87,7 @@ impl Reducer for ChainReducer {
 }
 
 /// Builder for an n-job chain.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct ChainBuilder {
     pub jobs: u32,
     pub num_reducers: u32,
@@ -99,6 +99,23 @@ pub struct ChainBuilder {
     /// Output bytes per shuffle byte (the paper's ratio last term).
     pub reduce_ratio: f64,
     pub input_path: String,
+    /// Optional map-side combiner applied to every job of the chain.
+    /// The chain's reducer re-emits values rather than aggregating
+    /// them, so the default is `None`; aggregation workloads (see
+    /// `crate::agg`) opt in.
+    pub combiner: Option<Arc<dyn Combiner>>,
+}
+
+impl std::fmt::Debug for ChainBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChainBuilder")
+            .field("jobs", &self.jobs)
+            .field("num_reducers", &self.num_reducers)
+            .field("output_replication", &self.output_replication)
+            .field("splittable", &self.splittable)
+            .field("combiner", &self.combiner.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl ChainBuilder {
@@ -113,6 +130,7 @@ impl ChainBuilder {
             map_ratio: 1.0,
             reduce_ratio: 1.0,
             input_path: "input".to_string(),
+            combiner: None,
         }
     }
 
@@ -129,6 +147,12 @@ impl ChainBuilder {
 
     pub fn splittable(mut self, yes: bool) -> Self {
         self.splittable = yes;
+        self
+    }
+
+    /// Installs a map-side combiner on every job of the chain.
+    pub fn combiner(mut self, c: Arc<dyn Combiner>) -> Self {
+        self.combiner = Some(c);
         self
     }
 
@@ -155,6 +179,7 @@ impl ChainBuilder {
                     reducer: Arc::new(ChainReducer {
                         ratio: self.reduce_ratio,
                     }),
+                    combiner: self.combiner.clone(),
                     splittable: self.splittable,
                 }
             })

@@ -22,11 +22,13 @@
 //!   stay deterministic — a hard requirement for recomputation-based
 //!   resilience (recomputed tasks must regenerate identical data).
 
+pub mod agg;
 pub mod chain;
 pub mod checksum;
 pub mod datagen;
 pub mod md5;
 
+pub use agg::{AggBuilder, AggCombiner, AggMapper, AggReducer, AggValue};
 pub use chain::{ChainBuilder, ChainSpec};
 pub use checksum::OutputDigest;
 pub use datagen::{generate_input, DataGenConfig};

@@ -16,6 +16,7 @@ fn test_cluster(nodes: u32) -> Cluster {
         failure_detection_secs: 30.0,
         max_recovery_attempts: 100,
         executor: rcmp_model::ExecutorConfig::default(),
+        shuffle: Default::default(),
         seed: 42,
     };
     Cluster::new(cfg)

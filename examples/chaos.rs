@@ -25,6 +25,7 @@ fn cluster() -> Cluster {
         failure_detection_secs: 30.0,
         max_recovery_attempts: 100,
         executor: ExecutorConfig::from_env_or_default(),
+        shuffle: Default::default(),
         seed: 7,
     })
 }
@@ -115,6 +116,7 @@ fn main() {
             failure_detection_secs: 30.0,
             max_recovery_attempts: 100,
             executor: ExecutorConfig::from_env_or_default(),
+            shuffle: Default::default(),
             seed: 7,
         });
         let mut gen = DataGenConfig::test("input", 1, 4_000);

@@ -26,6 +26,7 @@ fn main() {
         // `ExecutorConfig::async_auto()`) runs the same seeded
         // schedule on the cooperative reactor instead.
         executor: ExecutorConfig::from_env_or_default(),
+        shuffle: Default::default(),
         seed: 1,
     });
 

@@ -30,6 +30,7 @@ fn run(strategy: Strategy, label: &str) {
         failure_detection_secs: 30.0,
         max_recovery_attempts: 100,
         executor: ExecutorConfig::from_env_or_default(),
+        shuffle: Default::default(),
         seed: 99,
     });
     generate_input(cluster.dfs(), &DataGenConfig::test("input", NODES, 30_000)).unwrap();

@@ -33,6 +33,7 @@ fn main() {
         failure_detection_secs: 30.0,
         max_recovery_attempts: 100,
         executor: ExecutorConfig::from_env_or_default(),
+        shuffle: Default::default(),
         seed: 7,
     });
     // Replicate the input everywhere so every map read is served by a

@@ -31,6 +31,7 @@ fn cluster_with(executor: ExecutorConfig) -> Cluster {
         failure_detection_secs: 30.0,
         max_recovery_attempts: 100,
         executor,
+        shuffle: Default::default(),
         seed: 23,
     })
 }
@@ -349,6 +350,7 @@ fn permanent_shuffle_flake_exhausts_retry_budget() {
         failure_detection_secs: 30.0,
         max_recovery_attempts: 100,
         executor: ExecutorConfig::from_env_or_default(),
+        shuffle: Default::default(),
         seed: 23,
     });
     let mut gen = DataGenConfig::test("input", 1, 4_000);
@@ -388,6 +390,7 @@ fn failed_run_traces_every_injected_fault() {
         failure_detection_secs: 30.0,
         max_recovery_attempts: 100,
         executor: ExecutorConfig::from_env_or_default(),
+        shuffle: Default::default(),
         seed: 23,
     });
     let mut gen = DataGenConfig::test("input", 1, 4_000);
@@ -460,6 +463,7 @@ fn unrecoverable_input_exhausts_chain_restart_budget() {
         failure_detection_secs: 30.0,
         max_recovery_attempts: 3,
         executor: ExecutorConfig::from_env_or_default(),
+        shuffle: Default::default(),
         seed: 23,
     });
     generate_input(cl.dfs(), &DataGenConfig::test("input", NODES, 15_000)).unwrap();

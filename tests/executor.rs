@@ -71,6 +71,7 @@ fn engine_run(
         max_recovery_attempts: 100,
         seed: 9,
         executor,
+        shuffle: Default::default(),
     });
     generate_input(cl.dfs(), &DataGenConfig::test("input", 4, 20_000)).unwrap();
     let chain = ChainBuilder::new(1, 4).build();
@@ -121,6 +122,7 @@ fn crash_run(
         max_recovery_attempts: 100,
         seed: 11,
         executor,
+        shuffle: Default::default(),
     });
     generate_input(cl.dfs(), &DataGenConfig::test("input", 4, 33_000)).unwrap();
     let chain = ChainBuilder::new(1, 4).build();

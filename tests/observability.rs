@@ -32,6 +32,7 @@ fn chaos_chain_trace() -> Trace {
         failure_detection_secs: 30.0,
         max_recovery_attempts: 100,
         executor: rcmp::model::ExecutorConfig::default(),
+        shuffle: Default::default(),
         seed: 7,
     });
     generate_input(cl.dfs(), &DataGenConfig::test("input", NODES, 12_000)).unwrap();

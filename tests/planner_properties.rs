@@ -23,6 +23,7 @@ fn setup() -> (Cluster, rcmp::workloads::ChainSpec, JobGraph) {
         failure_detection_secs: 30.0,
         max_recovery_attempts: 100,
         executor: rcmp::model::ExecutorConfig::default(),
+        shuffle: Default::default(),
         seed: 77,
     });
     generate_input(cluster.dfs(), &DataGenConfig::test("input", NODES, 12_000)).unwrap();

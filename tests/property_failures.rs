@@ -23,6 +23,7 @@ fn cluster() -> Cluster {
         failure_detection_secs: 30.0,
         max_recovery_attempts: 100,
         executor: rcmp::model::ExecutorConfig::default(),
+        shuffle: Default::default(),
         seed: 11,
     })
 }

@@ -26,6 +26,7 @@ fn engine_run() -> rcmp::engine::JobReport {
         max_recovery_attempts: 100,
         seed: 5,
         executor: ExecutorConfig::from_env_or_default(),
+        shuffle: Default::default(),
     });
     let cfg = DataGenConfig {
         value_size: 100,
@@ -129,6 +130,7 @@ fn recompute_fractions_agree() {
         max_recovery_attempts: 100,
         seed: 5,
         executor: ExecutorConfig::from_env_or_default(),
+        shuffle: Default::default(),
     });
     let cfg = DataGenConfig {
         value_size: 100,
