@@ -10,6 +10,7 @@
 //! previous one, RCMP's behavior remains unchanged").
 
 use crate::dag::JobGraph;
+use crate::dynamic::{AdaptationStep, AdaptivePolicy, FaultObserver};
 use crate::events::{ChainEvent, EventLog};
 use crate::planner::plan_recovery;
 use crate::reclaim::reclaim_before;
@@ -18,7 +19,9 @@ use rcmp_engine::{
     Cluster, FailureInjector, JobReport, JobRun, JobSpec, JobTracker, NoFailures,
     RecomputeInstructions, RunMode,
 };
+use rcmp_model::rng::derive_indexed;
 use rcmp_model::{Error, JobId, Result};
+use rcmp_obs::SpanKind;
 use std::sync::Arc;
 
 /// How a cancelled job is re-run once its input is restored.
@@ -46,6 +49,9 @@ pub struct ChainOutcome {
     pub jobs_started: u64,
     /// Whole-chain restarts (OPTIMISTIC, exhausted replication).
     pub restarts: u32,
+    /// The adaptive policy's decision after each completed chain job
+    /// (empty unless the strategy is [`Strategy::AdaptiveHybrid`]).
+    pub adaptation: Vec<AdaptationStep>,
 }
 
 impl ChainOutcome {
@@ -71,6 +77,16 @@ pub struct ChainDriver<'a> {
     injector: Arc<dyn FailureInjector>,
     strategy: Strategy,
     restart_mode: RestartMode,
+}
+
+/// Feeds observed faults into the closed-loop estimator, when the
+/// strategy runs one.
+fn observe_faults(adaptive: &mut Option<AdaptivePolicy>, faults: u32) {
+    if faults > 0 {
+        if let Some(policy) = adaptive.as_mut() {
+            policy.record_fault(faults);
+        }
+    }
 }
 
 impl<'a> ChainDriver<'a> {
@@ -106,6 +122,12 @@ impl<'a> ChainDriver<'a> {
         let persist = self.strategy.persists_outputs();
 
         let max_attempts = self.cluster.config().max_recovery_attempts;
+        // The closed loop (§IV-C future work): survives chain restarts
+        // so the failure-intensity estimate keeps everything observed.
+        let mut adaptive: Option<AdaptivePolicy> = match self.strategy {
+            Strategy::AdaptiveHybrid { adapt, .. } => Some(AdaptivePolicy::new(adapt)),
+            _ => None,
+        };
         let mut attempts = 0u32;
         'chain: loop {
             attempts += 1;
@@ -142,7 +164,8 @@ impl<'a> ChainDriver<'a> {
                 let live_before = self.cluster.live_nodes();
                 match tracker.run(&run, seq) {
                     Ok(report) => {
-                        self.record_losses(seq, &report, &mut outcome);
+                        let faults = self.record_losses(seq, &report, &mut outcome);
+                        observe_faults(&mut adaptive, faults);
                         outcome.events.push(ChainEvent::JobCompleted {
                             seq,
                             job,
@@ -155,13 +178,17 @@ impl<'a> ChainDriver<'a> {
                             &graph,
                             &order,
                             idx,
+                            seq,
                             &mut jobs_since_point,
+                            &mut adaptive,
                             &mut outcome,
                         )?;
                         idx += 1;
                     }
                     Err(Error::JobInputLost { .. }) => {
-                        self.record_losses_by_diff(seq, &live_before, &graph, &mut outcome);
+                        let faults =
+                            self.record_losses_by_diff(seq, &live_before, &graph, &mut outcome);
+                        observe_faults(&mut adaptive, faults);
                         outcome.events.push(ChainEvent::JobCancelled { seq, job });
                         job_recoveries += 1;
                         if job_recoveries > max_attempts {
@@ -170,6 +197,22 @@ impl<'a> ChainDriver<'a> {
                                 attempts: job_recoveries,
                                 reason: "job kept losing its input after recovery".into(),
                             });
+                        }
+                        // Seeded full-jitter backoff before another
+                        // cancel → recover → retry cycle of the same
+                        // job, so repeated cycles don't hammer a flaky
+                        // path in lockstep.
+                        let retry = self.cluster.config().retry;
+                        let delay = retry.backoff_ms(
+                            derive_indexed(
+                                self.cluster.config().seed,
+                                "chain-backoff",
+                                u64::from(job.0),
+                            ),
+                            job_recoveries,
+                        );
+                        if delay > 0 {
+                            std::thread::sleep(std::time::Duration::from_millis(delay));
                         }
                         match self.strategy {
                             Strategy::Optimistic | Strategy::Replication { .. } => {
@@ -190,12 +233,14 @@ impl<'a> ChainDriver<'a> {
                                     split,
                                     hotspot,
                                     persist,
+                                    &mut adaptive,
                                     &mut outcome,
                                 )?;
                                 resume_job = Some(job);
                             }
                             Strategy::Hybrid { split, .. }
-                            | Strategy::DynamicHybrid { split, .. } => {
+                            | Strategy::DynamicHybrid { split, .. }
+                            | Strategy::AdaptiveHybrid { split, .. } => {
                                 self.recover(
                                     &tracker,
                                     &graph,
@@ -203,6 +248,7 @@ impl<'a> ChainDriver<'a> {
                                     split,
                                     HotspotMitigation::SplitReducers,
                                     persist,
+                                    &mut adaptive,
                                     &mut outcome,
                                 )?;
                                 resume_job = Some(job);
@@ -255,7 +301,9 @@ impl<'a> ChainDriver<'a> {
         })
     }
 
-    fn record_losses(&self, seq: u64, report: &JobReport, outcome: &mut ChainOutcome) {
+    /// Returns the number of loss records observed (one per failed
+    /// node), which is what feeds the adaptive estimator.
+    fn record_losses(&self, seq: u64, report: &JobReport, outcome: &mut ChainOutcome) -> u32 {
         for loss in &report.losses {
             outcome.events.push(ChainEvent::LossObserved {
                 seq,
@@ -263,6 +311,7 @@ impl<'a> ChainDriver<'a> {
                 lost_partitions: loss.lost_partition_count(),
             });
         }
+        report.losses.len() as u32
     }
 
     /// A cancelled run's report (and its loss records) is consumed by
@@ -275,12 +324,13 @@ impl<'a> ChainDriver<'a> {
         live_before: &[rcmp_model::NodeId],
         graph: &JobGraph,
         outcome: &mut ChainOutcome,
-    ) {
+    ) -> u32 {
         let lost_now: usize = graph
             .jobs()
             .filter_map(|(_, spec)| self.cluster.dfs().file_meta(&spec.output).ok())
             .map(|m| m.lost_partitions().len())
             .sum();
+        let mut observed = 0u32;
         for &node in live_before {
             if !self.cluster.is_alive(node) {
                 outcome.events.push(ChainEvent::LossObserved {
@@ -288,18 +338,24 @@ impl<'a> ChainDriver<'a> {
                     node: Some(node),
                     lost_partitions: lost_now,
                 });
+                observed += 1;
             }
         }
+        observed
     }
 
-    /// Hybrid replication points: static modulus (§IV-C) or the
-    /// dynamic expected-cost policy (§IV-C future work).
+    /// Hybrid replication points: static modulus (§IV-C), the dynamic
+    /// expected-cost policy, or the closed-loop adaptive policy (§IV-C
+    /// future work).
+    #[allow(clippy::too_many_arguments)]
     fn maybe_replicate(
         &self,
         graph: &JobGraph,
         order: &[JobId],
         idx: usize,
+        seq: u64,
         jobs_since_point: &mut u32,
+        adaptive: &mut Option<AdaptivePolicy>,
         outcome: &mut ChainOutcome,
     ) -> Result<()> {
         let (factor, reclaim, due) = match self.strategy {
@@ -325,6 +381,19 @@ impl<'a> ChainDriver<'a> {
                 *jobs_since_point += 1;
                 (factor, reclaim, policy.should_replicate(*jobs_since_point))
             }
+            Strategy::AdaptiveHybrid {
+                factor, reclaim, ..
+            } => {
+                let policy = adaptive.as_mut().expect("AdaptiveHybrid carries a policy");
+                let due = policy.job_completed();
+                let step = *policy
+                    .trajectory()
+                    .last()
+                    .expect("job_completed records a step");
+                outcome.adaptation.push(step);
+                self.publish_adaptation(seq, &step);
+                (factor, reclaim, due)
+            }
             _ => return Ok(()),
         };
         if !due {
@@ -347,6 +416,33 @@ impl<'a> ChainDriver<'a> {
         Ok(())
     }
 
+    /// Publishes one adaptive decision to the observability layer:
+    /// gauges for dashboards, and an `AdaptationPoint` instant span
+    /// whose `cause` is the fault lineage that moved the estimate.
+    fn publish_adaptation(&self, seq: u64, step: &AdaptationStep) {
+        let metrics = self.cluster.metrics();
+        let rate_ppm = (step.rate * 1e6).round();
+        metrics
+            .gauge("policy.failure_rate_est")
+            .set(rate_ppm as i64);
+        // `0` encodes "never replicate" — a real interval is ≥ 1.
+        metrics
+            .gauge("policy.k_current")
+            .set(step.interval.map_or(0, i64::from));
+        let tracer = self.cluster.tracer();
+        tracer.instant(
+            SpanKind::AdaptationPoint {
+                seq,
+                rate_ppm: rate_ppm as u64,
+                interval: step.interval,
+                switched: step.switched,
+            },
+            None,
+            tracer.current_cause(),
+            None,
+        );
+    }
+
     /// Executes cascading recomputation until `target`'s input is whole,
     /// replanning after nested failures.
     #[allow(clippy::too_many_arguments)]
@@ -358,6 +454,7 @@ impl<'a> ChainDriver<'a> {
         split: SplitPolicy,
         hotspot: HotspotMitigation,
         persist: bool,
+        adaptive: &mut Option<AdaptivePolicy>,
         outcome: &mut ChainOutcome,
     ) -> Result<()> {
         let max_attempts = self.cluster.config().max_recovery_attempts;
@@ -391,7 +488,8 @@ impl<'a> ChainDriver<'a> {
                 match tracker.run(&run, seq) {
                     Ok(report) => {
                         let had_losses = !report.losses.is_empty();
-                        self.record_losses(seq, &report, outcome);
+                        let faults = self.record_losses(seq, &report, outcome);
+                        observe_faults(adaptive, faults);
                         outcome.events.push(ChainEvent::JobCompleted {
                             seq,
                             job: step.job,
@@ -408,7 +506,8 @@ impl<'a> ChainDriver<'a> {
                         }
                     }
                     Err(Error::JobInputLost { .. }) => {
-                        self.record_losses_by_diff(seq, &live_before, graph, outcome);
+                        let faults = self.record_losses_by_diff(seq, &live_before, graph, outcome);
+                        observe_faults(adaptive, faults);
                         outcome
                             .events
                             .push(ChainEvent::JobCancelled { seq, job: step.job });

@@ -2,160 +2,14 @@
 //!
 //! "As future work we are considering a dynamic approach that
 //! intelligently chooses between replication and recomputation using
-//! job and environment-related information." This module implements
-//! that approach as an expected-cost threshold.
-//!
-//! Replicating job `j`'s output costs `(factor − 1) × bytes` of extra
-//! I/O, paid with certainty. *Not* replicating exposes the jobs since
-//! the last replication point: if a data-loss failure arrives during a
-//! job run (probability `p`, calibratable from failure traces —
-//! `rcmp-traces` reproduces the paper's ~12–17% failure *days*), the
-//! cascade recomputes ≈ `d × recompute_fraction` jobs' worth of work,
-//! where `d` is the distance to the last point and the fraction is the
-//! ~1/N a single failure costs per job (§IV-B).
-//!
-//! Setting the two expected costs equal yields a break-even distance:
-//! place a replication point whenever the un-replicated suffix reaches
-//! it. The closed form makes the paper's qualitative argument
-//! quantitative: at moderate cluster sizes failure probabilities are so
-//! low that the break-even distance is enormous — continuous
-//! replication is unwarranted (§III-A) — while failure-heavy
-//! environments shrink the interval toward REPL-k behaviour.
+//! job and environment-related information." The expected-cost
+//! threshold implementing that approach — and its closed-loop successor
+//! that learns the failure intensity online — live in the shared policy
+//! kernel (`rcmp_policy::adapt`) so the engine and the simulator derive
+//! replication cadences from literally the same code; this module
+//! re-exports them under their historical `rcmp-core` paths.
 
-use serde::{Deserialize, Serialize};
-
-/// Cost-model parameters for dynamic replication points.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
-pub struct DynamicPolicy {
-    /// Probability that a data-loss failure strikes during one job run.
-    pub failure_prob_per_job: f64,
-    /// Extra replicas a replication point writes (factor − 1).
-    pub extra_replicas: u32,
-    /// Cost of writing one replica byte relative to recomputing one
-    /// byte of lineage (≈ 1.0 when replication and recomputation move
-    /// bytes through the same disks).
-    pub replication_byte_cost: f64,
-    /// Fraction of a job a single failure forces to recompute
-    /// (≈ 1/N with balanced data, §IV-B).
-    pub recompute_fraction: f64,
-}
-
-impl DynamicPolicy {
-    /// A policy calibrated from a failure-day fraction (Fig. 2 style)
-    /// and the expected number of job runs per day.
-    pub fn from_trace_stats(
-        failure_day_fraction: f64,
-        jobs_per_day: f64,
-        nodes: u32,
-        extra_replicas: u32,
-    ) -> Self {
-        Self {
-            failure_prob_per_job: (failure_day_fraction / jobs_per_day.max(1.0)).min(1.0),
-            extra_replicas,
-            replication_byte_cost: 1.0,
-            recompute_fraction: 1.0 / nodes.max(1) as f64,
-        }
-    }
-
-    /// Break-even distance: the number of un-replicated jobs at which
-    /// the expected recomputation exposure equals the certain cost of
-    /// one replication point. `None` means "never replicate" (the
-    /// exposure can never reach the cost — e.g. failures impossible).
-    pub fn break_even_interval(&self) -> Option<u32> {
-        let exposure_per_job = self.failure_prob_per_job * self.recompute_fraction;
-        if exposure_per_job <= 0.0 {
-            return None;
-        }
-        let cost = self.extra_replicas as f64 * self.replication_byte_cost;
-        let d = (cost / exposure_per_job).ceil();
-        if d.is_finite() && d < u32::MAX as f64 {
-            Some((d as u32).max(1))
-        } else {
-            None
-        }
-    }
-
-    /// Should a replication point be placed after `jobs_since_point`
-    /// un-replicated jobs?
-    pub fn should_replicate(&self, jobs_since_point: u32) -> bool {
-        match self.break_even_interval() {
-            Some(k) => jobs_since_point >= k,
-            None => false,
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn policy(p: f64, nodes: u32) -> DynamicPolicy {
-        DynamicPolicy {
-            failure_prob_per_job: p,
-            extra_replicas: 1,
-            replication_byte_cost: 1.0,
-            recompute_fraction: 1.0 / nodes as f64,
-        }
-    }
-
-    #[test]
-    fn rare_failures_mean_huge_intervals() {
-        // The paper's moderate-cluster regime: failures days apart.
-        let p = DynamicPolicy::from_trace_stats(0.17, 100.0, 10, 1);
-        let k = p.break_even_interval().unwrap();
-        assert!(
-            k > 1000,
-            "rare failures → replication points essentially never: {k}"
-        );
-        assert!(!p.should_replicate(100));
-    }
-
-    #[test]
-    fn failure_heavy_environments_replicate_often() {
-        // A failure nearly every job: behave like frequent checkpoints.
-        let p = policy(0.5, 10);
-        let k = p.break_even_interval().unwrap();
-        assert!(k <= 20, "heavy failures → short interval, got {k}");
-        assert!(p.should_replicate(k));
-        assert!(!p.should_replicate(k - 1));
-    }
-
-    #[test]
-    fn interval_monotone_in_failure_probability() {
-        let mut last = u32::MAX;
-        for p in [0.01, 0.05, 0.2, 0.8] {
-            let k = policy(p, 10).break_even_interval().unwrap();
-            assert!(k <= last, "higher failure prob → shorter interval");
-            last = k;
-        }
-    }
-
-    #[test]
-    fn interval_grows_with_cluster_size() {
-        // Bigger clusters lose a smaller fraction per failure, so the
-        // exposure per job shrinks and points spread out.
-        let small = policy(0.1, 10).break_even_interval().unwrap();
-        let large = policy(0.1, 100).break_even_interval().unwrap();
-        assert!(large > small);
-    }
-
-    #[test]
-    fn zero_probability_never_replicates() {
-        let p = policy(0.0, 10);
-        assert_eq!(p.break_even_interval(), None);
-        assert!(!p.should_replicate(u32::MAX));
-    }
-
-    #[test]
-    fn higher_factor_costs_more() {
-        let f1 = DynamicPolicy {
-            extra_replicas: 1,
-            ..policy(0.3, 10)
-        };
-        let f2 = DynamicPolicy {
-            extra_replicas: 2,
-            ..policy(0.3, 10)
-        };
-        assert!(f2.break_even_interval().unwrap() >= f1.break_even_interval().unwrap());
-    }
-}
+pub use rcmp_policy::adapt::{
+    expected_chain_time, optimal_interval, AdaptConfig, AdaptationStep, AdaptivePolicy,
+    DynamicPolicy, FailureIntensityEstimator, FaultObserver,
+};

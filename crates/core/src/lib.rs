@@ -35,7 +35,10 @@ pub mod strategy;
 pub use budget::{enforce_budget, StorageBudget};
 pub use dag::JobGraph;
 pub use driver::{ChainDriver, ChainOutcome};
-pub use dynamic::DynamicPolicy;
+pub use dynamic::{
+    AdaptConfig, AdaptationStep, AdaptivePolicy, DynamicPolicy, FailureIntensityEstimator,
+    FaultObserver,
+};
 pub use events::{ChainEvent, EventLog};
 pub use planner::{plan_recovery, RecoveryPlan, RecoveryStep};
 pub use strategy::{HotspotMitigation, SplitPolicy, Strategy};

@@ -5,7 +5,7 @@
 //! and the chain simulator resolve them identically; this module keeps
 //! the strategy *menu* the evaluation compares.
 
-use crate::dynamic::DynamicPolicy;
+use crate::dynamic::{AdaptConfig, DynamicPolicy};
 use serde::{Deserialize, Serialize};
 
 pub use rcmp_policy::{HotspotMitigation, SplitPolicy};
@@ -44,6 +44,16 @@ pub enum Strategy {
         policy: DynamicPolicy,
         reclaim: bool,
     },
+    /// The closed loop: hybrid whose replication interval is re-derived
+    /// after every job from an online failure-intensity estimate fed by
+    /// the faults the chain actually observes (`rcmp_policy::adapt`),
+    /// instead of a frozen prior.
+    AdaptiveHybrid {
+        split: SplitPolicy,
+        factor: u32,
+        adapt: AdaptConfig,
+        reclaim: bool,
+    },
 }
 
 impl Strategy {
@@ -75,7 +85,10 @@ impl Strategy {
     pub fn persists_outputs(&self) -> bool {
         matches!(
             self,
-            Strategy::Rcmp { .. } | Strategy::Hybrid { .. } | Strategy::DynamicHybrid { .. }
+            Strategy::Rcmp { .. }
+                | Strategy::Hybrid { .. }
+                | Strategy::DynamicHybrid { .. }
+                | Strategy::AdaptiveHybrid { .. }
         )
     }
 }
@@ -102,6 +115,13 @@ mod tests {
             split: SplitPolicy::None,
             factor: 2,
             policy: DynamicPolicy::from_trace_stats(0.17, 10.0, 10, 1),
+            reclaim: false,
+        }
+        .persists_outputs());
+        assert!(Strategy::AdaptiveHybrid {
+            split: SplitPolicy::None,
+            factor: 2,
+            adapt: AdaptConfig::default_for(10),
             reclaim: false,
         }
         .persists_outputs());

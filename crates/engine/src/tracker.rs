@@ -51,14 +51,9 @@ use std::time::Instant;
 /// (defensive; real scenarios converge in a handful).
 const MAX_RECOVERY_ROUNDS: u32 = 1000;
 
-/// Transient shuffle failures absorbed per reduce-task execution before
-/// the attempt is abandoned and the task rescheduled.
-const MAX_SHUFFLE_ATTEMPTS: u32 = 4;
-
-/// Times a single reduce task may come back retryable before the job
-/// gives up with [`Error::RecoveryExhausted`] — a task that fails this
-/// often is not suffering transient bad luck.
-const MAX_TASK_RETRIES: u32 = 8;
+// Shuffle-attempt and task-retry budgets live in
+// `ClusterConfig::retry` (`rcmp_model::RetryPolicy`), together with the
+// seeded full-jitter backoff that paces the retries.
 
 /// The per-job master.
 pub struct JobTracker<'a> {
@@ -73,6 +68,7 @@ pub struct JobTracker<'a> {
     m_shuffle_transients: Counter,
     m_shuffle_bytes: Counter,
     m_shuffle_us: Histogram,
+    m_backoff_ms: Histogram,
     m_shuffle: ShuffleMetrics,
 }
 
@@ -115,6 +111,7 @@ impl<'a> JobTracker<'a> {
                 "tracker.shuffle_fetch_us",
                 &[100, 1_000, 10_000, 100_000, 1_000_000],
             ),
+            m_backoff_ms: metrics.histogram("retry.backoff_ms", &[1, 2, 4, 8, 16, 32, 64]),
             m_shuffle: ShuffleMetrics::register(metrics),
             cluster,
         }
@@ -418,7 +415,7 @@ impl<'a> JobTracker<'a> {
                                     report.task_retries += 1;
                                     let count = reduce_retry_counts.entry(id).or_insert(0);
                                     *count += 1;
-                                    if *count > MAX_TASK_RETRIES {
+                                    if *count > self.cluster.config().retry.task_retries {
                                         return Err(Error::RecoveryExhausted {
                                             job: spec.job,
                                             attempts: *count,
@@ -1014,6 +1011,39 @@ impl<'a> JobTracker<'a> {
     }
 
     #[allow(clippy::too_many_arguments)]
+    /// Stable per-retry-site seed for shuffle backoff: distinct reduce
+    /// tasks (including distinct splits of one partition) derive
+    /// distinct jitter schedules from the one cluster seed, so a storm
+    /// of concurrent transient failures de-synchronises instead of
+    /// retrying as a herd — while a replay of the same seed reproduces
+    /// every delay exactly.
+    fn backoff_site_seed(&self, id: ReduceTaskId) -> u64 {
+        let mut site = derive_indexed(
+            self.cluster.config().seed,
+            "shuffle-backoff",
+            (u64::from(id.job.raw()) << 32) | u64::from(id.partition.raw()),
+        );
+        if let Some((split, of)) = id.split {
+            site = derive_indexed(
+                site,
+                "split",
+                (u64::from(split.raw()) << 32) | u64::from(of),
+            );
+        }
+        site
+    }
+
+    /// Sleeps the policy's full-jitter delay before retry `attempt` and
+    /// records it in the `retry.backoff_ms` histogram.
+    fn backoff(&self, retry: &rcmp_model::RetryPolicy, site_seed: u64, attempt: u32) {
+        let delay = retry.backoff_ms(site_seed, attempt);
+        self.m_backoff_ms.observe(delay);
+        if delay > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(delay));
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn reduce_task_inner(
         &self,
         node: NodeId,
@@ -1027,6 +1057,8 @@ impl<'a> JobTracker<'a> {
         let t0 = Instant::now();
         let store = self.cluster.map_outputs();
         let shuffle_cfg = self.cluster.config().shuffle;
+        let retry = self.cluster.config().retry;
+        let backoff_site = self.backoff_site_seed(task.id);
         let block_size = self.cluster.config().block_size.as_u64() as usize;
         let mut out = ChunkingWriter::new(block_size);
         let shuffle_start = self.tracer.now_us();
@@ -1058,9 +1090,13 @@ impl<'a> JobTracker<'a> {
                         self.m_shuffle_transients.inc();
                         // Retryable in place, but not forever: a path
                         // this flaky needs the task rescheduled.
-                        if attempt >= MAX_SHUFFLE_ATTEMPTS {
+                        if attempt >= retry.shuffle_attempts {
                             return ReduceOutcome::Retry(task.id);
                         }
+                        // Seeded full-jitter backoff: concurrent
+                        // failing fetches spread out instead of
+                        // hammering the flaky path in lockstep.
+                        self.backoff(&retry, backoff_site, attempt);
                     }
                 }
             };
@@ -1109,9 +1145,10 @@ impl<'a> JobTracker<'a> {
                     }
                     Err(ShuffleFailure::Transient { .. }) => {
                         self.m_shuffle_transients.inc();
-                        if attempt >= MAX_SHUFFLE_ATTEMPTS {
+                        if attempt >= retry.shuffle_attempts {
                             return ReduceOutcome::Retry(task.id);
                         }
+                        self.backoff(&retry, backoff_site, attempt);
                     }
                 }
             };

@@ -1,6 +1,7 @@
 //! Cluster-level configuration shared by the engine and the simulator.
 
 use crate::error::{Error, Result};
+use crate::rng::derive_indexed;
 use crate::units::ByteSize;
 use serde::{Deserialize, Serialize};
 
@@ -173,6 +174,96 @@ impl ShuffleConfig {
     }
 }
 
+/// Retry budgets and seeded exponential backoff for the engine's
+/// recovery paths (and the simulator's model of them).
+///
+/// The budgets replace the tracker's historical flat constants; the
+/// backoff replaces immediate lockstep retries, which under a chaos
+/// storm made every failing fetch hammer the flaky path at the same
+/// instant (the retry-herd hazard). Delays use *full jitter*: attempt
+/// `a` sleeps a uniform value in `[0, min(max, base·2^(a−1))]` ms.
+///
+/// The jitter is a pure function of `(site_seed, attempt)` — no RNG
+/// state, no wall clock — so two retry sites with distinct seeds get
+/// distinct schedules while a replay of the same seed reproduces every
+/// delay exactly, keeping chaos replays under `async:1` byte-identical.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Transient shuffle failures absorbed per reduce-task execution
+    /// before the attempt is abandoned and the task rescheduled.
+    pub shuffle_attempts: u32,
+    /// Times a single reduce task may come back retryable before the
+    /// job gives up with a typed `RecoveryExhausted` error.
+    pub task_retries: u32,
+    /// Backoff ceiling for the first retry, milliseconds.
+    pub base_backoff_ms: u64,
+    /// Hard cap on any single backoff delay, milliseconds.
+    pub max_backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            shuffle_attempts: 4,
+            task_retries: 8,
+            base_backoff_ms: 2,
+            max_backoff_ms: 16,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Disables backoff delays (budgets still apply) — the historical
+    /// immediate-retry behaviour, kept for tests that count retries
+    /// without wanting to sleep.
+    pub fn no_backoff() -> Self {
+        Self {
+            base_backoff_ms: 0,
+            max_backoff_ms: 0,
+            ..Self::default()
+        }
+    }
+
+    /// Full-jitter delay before retry `attempt` (1-based) at the retry
+    /// site identified by `site_seed`: uniform in `[0, min(max_backoff,
+    /// base_backoff · 2^(attempt−1))]`, deterministically derived.
+    pub fn backoff_ms(&self, site_seed: u64, attempt: u32) -> u64 {
+        if self.base_backoff_ms == 0 || self.max_backoff_ms == 0 {
+            return 0;
+        }
+        let exp = attempt.saturating_sub(1).min(16);
+        let ceiling = self
+            .base_backoff_ms
+            .saturating_mul(1u64 << exp)
+            .min(self.max_backoff_ms);
+        derive_indexed(site_seed, "retry-backoff", u64::from(attempt)) % (ceiling + 1)
+    }
+
+    /// The whole backoff schedule a site would follow over its attempt
+    /// budget (diagnostics and lockstep-regression tests).
+    pub fn schedule(&self, site_seed: u64, attempts: u32) -> Vec<u64> {
+        (1..=attempts)
+            .map(|a| self.backoff_ms(site_seed, a))
+            .collect()
+    }
+
+    /// Sanity-checks the policy.
+    pub fn validate(&self) -> Result<()> {
+        if self.shuffle_attempts == 0 {
+            return Err(Error::Config("shuffle attempts must be at least 1".into()));
+        }
+        if self.task_retries == 0 {
+            return Err(Error::Config("task retries must be at least 1".into()));
+        }
+        if self.max_backoff_ms < self.base_backoff_ms {
+            return Err(Error::Config(
+                "max backoff must be at least the base backoff".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Static description of a collocated cluster (every node both computes
 /// and stores, §II).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -200,6 +291,9 @@ pub struct ClusterConfig {
     /// Shuffle data-path tuning (streaming merge, fan-in, store shards).
     #[serde(default)]
     pub shuffle: ShuffleConfig,
+    /// Retry budgets and seeded backoff for recovery paths.
+    #[serde(default)]
+    pub retry: RetryPolicy,
 }
 
 impl ClusterConfig {
@@ -214,6 +308,7 @@ impl ClusterConfig {
             max_recovery_attempts: 100,
             executor: ExecutorConfig::default(),
             shuffle: ShuffleConfig::default(),
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -228,6 +323,7 @@ impl ClusterConfig {
             max_recovery_attempts: 100,
             executor: ExecutorConfig::default(),
             shuffle: ShuffleConfig::default(),
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -242,6 +338,7 @@ impl ClusterConfig {
             max_recovery_attempts: 100,
             executor: ExecutorConfig::default(),
             shuffle: ShuffleConfig::default(),
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -272,6 +369,7 @@ impl ClusterConfig {
         if self.shuffle.store_shards == 0 {
             return Err(Error::Config("store shards must be at least 1".into()));
         }
+        self.retry.validate()?;
         Ok(())
     }
 
@@ -351,6 +449,53 @@ mod tests {
                 cancel_on_fatal: true,
             }
         );
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_site_distinct() {
+        let r = RetryPolicy::default();
+        // Same (site, attempt) always yields the same delay.
+        assert_eq!(r.backoff_ms(42, 1), r.backoff_ms(42, 1));
+        assert_eq!(r.schedule(42, 4), r.schedule(42, 4));
+        // Every delay respects the per-attempt ceiling and the hard cap.
+        for attempt in 1..=32 {
+            let ceiling = r
+                .base_backoff_ms
+                .saturating_mul(1u64 << (attempt - 1).min(16))
+                .min(r.max_backoff_ms);
+            assert!(r.backoff_ms(7, attempt) <= ceiling);
+        }
+        // Distinct sites get distinct schedules (no retry herd).
+        let schedules: Vec<_> = (0..8u64).map(|s| r.schedule(s, 6)).collect();
+        let mut uniq = schedules.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert!(uniq.len() > 1, "all sites backed off in lockstep");
+        // Zero base or cap disables delays entirely.
+        assert_eq!(RetryPolicy::no_backoff().backoff_ms(42, 5), 0);
+    }
+
+    #[test]
+    fn retry_validation() {
+        assert!(RetryPolicy::default().validate().is_ok());
+        let r = RetryPolicy {
+            shuffle_attempts: 0,
+            ..Default::default()
+        };
+        assert!(r.validate().is_err());
+        let r = RetryPolicy {
+            task_retries: 0,
+            ..Default::default()
+        };
+        assert!(r.validate().is_err());
+        let r = RetryPolicy {
+            max_backoff_ms: RetryPolicy::default().base_backoff_ms - 1,
+            ..Default::default()
+        };
+        assert!(r.validate().is_err());
+        let mut c = ClusterConfig::small_test(4);
+        c.retry.shuffle_attempts = 0;
+        assert!(c.validate().is_err());
     }
 
     #[test]

@@ -22,7 +22,9 @@ pub mod record;
 pub mod rng;
 pub mod units;
 
-pub use config::{ClusterConfig, ExecutorConfig, ExecutorKind, ShuffleConfig, SlotConfig};
+pub use config::{
+    ClusterConfig, ExecutorConfig, ExecutorKind, RetryPolicy, ShuffleConfig, SlotConfig,
+};
 pub use error::{Error, Result};
 pub use ids::{BlockId, JobId, MapTaskId, NodeId, PartitionId, ReduceTaskId, SplitId, TaskId};
 pub use partition::{HashPartitioner, Partitioner, SplitPartitioner};

@@ -54,6 +54,14 @@ fn event_name(span: &Span) -> String {
             workers,
             ..
         } => format!("{backend} wave ({tasks} tasks / {workers} workers)"),
+        SpanKind::AdaptationPoint {
+            interval, switched, ..
+        } => match (interval, switched) {
+            (Some(k), true) => format!("adapt -> k={k}"),
+            (None, true) => "adapt -> never".to_string(),
+            (Some(k), false) => format!("adapt k={k}"),
+            (None, false) => "adapt never".to_string(),
+        },
         SpanKind::Event { label, .. } => label.clone(),
     }
 }
@@ -134,6 +142,7 @@ pub fn summary(trace: &Trace) -> String {
         "Loss",
         "RecoveryPlan",
         "ExecutorWave",
+        "AdaptationPoint",
         "Event",
     ];
     for k in kinds {

@@ -157,6 +157,22 @@ pub enum SpanKind {
         /// Tasks cooperatively cancelled before running.
         cancelled: u32,
     },
+    /// The closed-loop adaptive policy re-derived its replication
+    /// interval after a job completed (`rcmp_policy::adapt`). The
+    /// `cause` link points at the Fault span that moved the estimate,
+    /// when one did.
+    AdaptationPoint {
+        /// Run sequence number of the job whose completion triggered
+        /// the re-derivation.
+        seq: u64,
+        /// Failure-rate estimate at the decision, parts per million.
+        rate_ppm: u64,
+        /// Replication interval chosen (`None` = pure RCMP, never
+        /// replicate).
+        interval: Option<u32>,
+        /// Whether the interval changed from the previous decision.
+        switched: bool,
+    },
     /// A structured middleware event that has no richer span shape
     /// (chain restarts, replication points, storage reclaim, ...).
     Event {
@@ -182,6 +198,7 @@ impl SpanKind {
             SpanKind::Loss { .. } => "Loss",
             SpanKind::RecoveryPlan { .. } => "RecoveryPlan",
             SpanKind::ExecutorWave { .. } => "ExecutorWave",
+            SpanKind::AdaptationPoint { .. } => "AdaptationPoint",
             SpanKind::Event { .. } => "Event",
         }
     }

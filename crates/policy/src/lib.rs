@@ -28,15 +28,25 @@
 //!   spread-output, §IV-B2) shared by the middleware and the simulator.
 //! * [`PolicyCtx`] — optional `rcmp-obs` instrumentation: every
 //!   placement decision can emit a span, in both backends.
+//! * [`adapt`] — closed-loop adaptive resilience: the online
+//!   failure-intensity estimator and the [`AdaptivePolicy`] that
+//!   re-derives the replication cadence from it, shared (like the wave
+//!   kernels) by the engine and the simulator so their decision
+//!   sequences agree byte for byte.
 
 #![deny(missing_docs)]
 
+pub mod adapt;
 mod mitigation;
 mod plan;
 mod tasks;
 mod topology;
 mod waves;
 
+pub use adapt::{
+    expected_chain_time, optimal_interval, AdaptConfig, AdaptationStep, AdaptivePolicy,
+    DynamicPolicy, FailureIntensityEstimator, FaultObserver,
+};
 pub use mitigation::{choose_mitigation, HotspotMitigation, MitigationChoice, SplitPolicy};
 pub use plan::RecomputePlan;
 pub use tasks::{FnMapTasks, FnReduceTasks, MapTaskSet, ReduceTaskSet};

@@ -14,7 +14,9 @@ use crate::report::{SimChainReport, SimEvent};
 use crate::state::{Node, SimState};
 use crate::workload::WorkloadCfg;
 use rcmp_core::strategy::{HotspotMitigation, SplitPolicy, Strategy};
-use rcmp_policy::choose_mitigation;
+use rcmp_model::rng::derive_indexed;
+use rcmp_model::RetryPolicy;
+use rcmp_policy::{choose_mitigation, AdaptivePolicy, FaultObserver};
 use std::collections::BTreeSet;
 
 /// One scripted failure: kill `node` `offset` seconds into run `seq`
@@ -46,6 +48,13 @@ pub struct ChainSimConfig {
     pub wl: WorkloadCfg,
     pub strategy: Strategy,
     pub failures: Vec<FailureAt>,
+    /// Retry budgets and seeded backoff, mirroring the engine's
+    /// `ClusterConfig::retry`: the same full-jitter delays the engine
+    /// sleeps show up here as simulated time.
+    pub retry: RetryPolicy,
+    /// Seed the backoff jitter derives from (the engine uses
+    /// `ClusterConfig::seed`).
+    pub seed: u64,
 }
 
 impl ChainSimConfig {
@@ -55,11 +64,20 @@ impl ChainSimConfig {
             wl,
             strategy,
             failures: Vec::new(),
+            retry: RetryPolicy::default(),
+            seed: 0,
         }
     }
 
     pub fn with_failures(mut self, failures: Vec<FailureAt>) -> Self {
         self.failures = failures;
+        self
+    }
+
+    /// Overrides the retry policy and the seed its jitter derives from.
+    pub fn with_retry(mut self, retry: RetryPolicy, seed: u64) -> Self {
+        self.retry = retry;
+        self.seed = seed;
         self
     }
 }
@@ -79,6 +97,14 @@ struct Runner<'a> {
     seq: u64,
     /// Jobs completed since the last replication point (dynamic hybrid).
     jobs_since_point: u32,
+    /// The closed-loop policy (AdaptiveHybrid): literally the same
+    /// `rcmp_policy::adapt` kernel the engine driver runs, fed from the
+    /// sim's failure timeline, so decision sequences agree byte for
+    /// byte given the same fault sequence.
+    adaptive: Option<AdaptivePolicy>,
+    /// Cancel → recover → retry cycles this chain pass (the engine's
+    /// `job_recoveries` counter), which paces the chain-level backoff.
+    job_recoveries: u32,
 }
 
 enum RunOutcome {
@@ -96,6 +122,11 @@ impl<'a> Runner<'a> {
             t: 0.0,
             seq: 0,
             jobs_since_point: 0,
+            adaptive: match cfg.strategy {
+                Strategy::AdaptiveHybrid { adapt, .. } => Some(AdaptivePolicy::new(adapt)),
+                _ => None,
+            },
+            job_recoveries: 0,
         }
     }
 
@@ -124,6 +155,7 @@ impl<'a> Runner<'a> {
         let mut restarts = 0u32;
         'chain: loop {
             let mut j = 1u32;
+            self.job_recoveries = 0;
             while j <= jobs {
                 match self.run_one(j) {
                     RunOutcome::Completed => {
@@ -131,6 +163,18 @@ impl<'a> Runner<'a> {
                         j += 1;
                     }
                     RunOutcome::Cancelled => {
+                        // Seeded backoff before another recovery cycle,
+                        // mirroring the engine driver's delay.
+                        self.job_recoveries += 1;
+                        let delay_ms = self.cfg.retry.backoff_ms(
+                            derive_indexed(self.cfg.seed, "chain-backoff", u64::from(j)),
+                            self.job_recoveries,
+                        );
+                        if delay_ms > 0 {
+                            let secs = delay_ms as f64 / 1000.0;
+                            self.t += secs;
+                            self.report.backoff_secs += secs;
+                        }
                         match self.cfg.strategy {
                             Strategy::Optimistic | Strategy::Replication { .. } => {
                                 // Restart the whole computation.
@@ -151,7 +195,8 @@ impl<'a> Runner<'a> {
                                 self.recover(j, split, hotspot);
                             }
                             Strategy::Hybrid { split, .. }
-                            | Strategy::DynamicHybrid { split, .. } => {
+                            | Strategy::DynamicHybrid { split, .. }
+                            | Strategy::AdaptiveHybrid { split, .. } => {
                                 self.recover(j, split, HotspotMitigation::SplitReducers);
                             }
                         }
@@ -184,6 +229,7 @@ impl<'a> Runner<'a> {
                 node: f.node,
             });
             self.state.fail_node(f.node);
+            self.observe_fault(1);
             assert!(
                 !self.state.live_nodes().is_empty(),
                 "every node failed: unrecoverable"
@@ -279,6 +325,7 @@ impl<'a> Runner<'a> {
                         node: f.node,
                     });
                     self.state.fail_node(f.node);
+                    self.observe_fault(1);
                 }
                 // Replan from merged damage and continue recovering.
                 return self.recover(target, split, hotspot);
@@ -301,9 +348,19 @@ impl<'a> Runner<'a> {
         }
     }
 
-    /// Hybrid replication point: static modulus (§IV-C) or the dynamic
-    /// expected-cost policy (§IV-C future work). After a due job, raise
-    /// its output to `factor` replicas, paying the copy time.
+    /// Feeds an observed node failure into the closed-loop estimator,
+    /// when the strategy runs one (the sim-timeline analogue of the
+    /// engine driver's loss records).
+    fn observe_fault(&mut self, n: u32) {
+        if let Some(policy) = self.adaptive.as_mut() {
+            policy.record_fault(n);
+        }
+    }
+
+    /// Hybrid replication point: static modulus (§IV-C), the dynamic
+    /// expected-cost policy, or the closed-loop adaptive policy (§IV-C
+    /// future work). After a due job, raise its output to `factor`
+    /// replicas, paying the copy time.
     fn maybe_replicate(&mut self, j: u32) {
         let (factor, reclaim, due) = match self.cfg.strategy {
             Strategy::Hybrid {
@@ -324,6 +381,21 @@ impl<'a> Runner<'a> {
                     reclaim,
                     policy.should_replicate(self.jobs_since_point),
                 )
+            }
+            Strategy::AdaptiveHybrid {
+                factor, reclaim, ..
+            } => {
+                let policy = self
+                    .adaptive
+                    .as_mut()
+                    .expect("AdaptiveHybrid carries a policy");
+                let due = policy.job_completed();
+                let step = *policy
+                    .trajectory()
+                    .last()
+                    .expect("job_completed records a step");
+                self.report.adaptation.push(step);
+                (factor, reclaim, due)
             }
             _ => return,
         };

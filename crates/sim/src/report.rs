@@ -71,6 +71,14 @@ pub struct SimChainReport {
     pub runs: Vec<SimJobReport>,
     pub events: Vec<SimEvent>,
     pub jobs_started: u64,
+    /// Simulated time spent in seeded retry backoff (modelled from
+    /// `rcmp_model::RetryPolicy`, mirroring the engine's delays).
+    #[serde(default)]
+    pub backoff_secs: f64,
+    /// The adaptive policy's decision after each completed chain job
+    /// (empty unless the strategy is `AdaptiveHybrid`).
+    #[serde(default)]
+    pub adaptation: Vec<rcmp_policy::AdaptationStep>,
 }
 
 impl SimChainReport {

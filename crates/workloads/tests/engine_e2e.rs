@@ -17,6 +17,7 @@ fn test_cluster(nodes: u32) -> Cluster {
         max_recovery_attempts: 100,
         executor: rcmp_model::ExecutorConfig::default(),
         shuffle: Default::default(),
+        retry: Default::default(),
         seed: 42,
     };
     Cluster::new(cfg)

@@ -26,6 +26,7 @@ fn cluster() -> Cluster {
         max_recovery_attempts: 100,
         executor: ExecutorConfig::from_env_or_default(),
         shuffle: Default::default(),
+        retry: Default::default(),
         seed: 7,
     })
 }
@@ -117,6 +118,7 @@ fn main() {
             max_recovery_attempts: 100,
             executor: ExecutorConfig::from_env_or_default(),
             shuffle: Default::default(),
+            retry: Default::default(),
             seed: 7,
         });
         let mut gen = DataGenConfig::test("input", 1, 4_000);

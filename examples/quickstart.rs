@@ -27,6 +27,7 @@ fn main() {
         // schedule on the cooperative reactor instead.
         executor: ExecutorConfig::from_env_or_default(),
         shuffle: Default::default(),
+        retry: Default::default(),
         seed: 1,
     });
 

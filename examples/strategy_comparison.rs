@@ -31,6 +31,7 @@ fn run(strategy: Strategy, label: &str) {
         max_recovery_attempts: 100,
         executor: ExecutorConfig::from_env_or_default(),
         shuffle: Default::default(),
+        retry: Default::default(),
         seed: 99,
     });
     generate_input(cluster.dfs(), &DataGenConfig::test("input", NODES, 30_000)).unwrap();

@@ -34,6 +34,7 @@ fn main() {
         max_recovery_attempts: 100,
         executor: ExecutorConfig::from_env_or_default(),
         shuffle: Default::default(),
+        retry: Default::default(),
         seed: 7,
     });
     // Replicate the input everywhere so every map read is served by a

@@ -25,6 +25,7 @@ fn cluster(nodes: u32) -> Cluster {
         max_recovery_attempts: 100,
         executor: rcmp::model::ExecutorConfig::default(),
         shuffle: Default::default(),
+        retry: Default::default(),
         seed: 7,
     })
 }

@@ -32,6 +32,7 @@ fn cluster_with(executor: ExecutorConfig) -> Cluster {
         max_recovery_attempts: 100,
         executor,
         shuffle: Default::default(),
+        retry: Default::default(),
         seed: 23,
     })
 }
@@ -351,6 +352,7 @@ fn permanent_shuffle_flake_exhausts_retry_budget() {
         max_recovery_attempts: 100,
         executor: ExecutorConfig::from_env_or_default(),
         shuffle: Default::default(),
+        retry: Default::default(),
         seed: 23,
     });
     let mut gen = DataGenConfig::test("input", 1, 4_000);
@@ -391,6 +393,7 @@ fn failed_run_traces_every_injected_fault() {
         max_recovery_attempts: 100,
         executor: ExecutorConfig::from_env_or_default(),
         shuffle: Default::default(),
+        retry: Default::default(),
         seed: 23,
     });
     let mut gen = DataGenConfig::test("input", 1, 4_000);
@@ -464,6 +467,7 @@ fn unrecoverable_input_exhausts_chain_restart_budget() {
         max_recovery_attempts: 3,
         executor: ExecutorConfig::from_env_or_default(),
         shuffle: Default::default(),
+        retry: Default::default(),
         seed: 23,
     });
     generate_input(cl.dfs(), &DataGenConfig::test("input", NODES, 15_000)).unwrap();
@@ -490,6 +494,109 @@ fn unrecoverable_input_exhausts_chain_restart_budget() {
             assert_eq!(attempts, 4, "budget of 3 restarts, failing on the 4th");
         }
         other => panic!("expected RecoveryExhausted, got {other}"),
+    }
+}
+
+/// Everything a failing soak needs to be triaged in one string: which
+/// scripted faults never fired (a schedule that silently lost its
+/// teeth) and the adaptive estimator's full trajectory (what the
+/// closed loop believed at each job).
+fn soak_diagnostics(
+    injector: &ScriptedInjector,
+    adaptation: &[rcmp::policy::AdaptationStep],
+) -> String {
+    let unfired = injector.unfired_faults();
+    let mut out = format!("unfired faults ({}):\n", unfired.len());
+    for f in &unfired {
+        out.push_str(&format!("  {f:?}\n"));
+    }
+    out.push_str(&format!(
+        "estimator trajectory ({} steps):\n",
+        adaptation.len()
+    ));
+    for s in adaptation {
+        out.push_str(&format!(
+            "  job {:>2}: rate {:.4} interval {:?} switched {}\n",
+            s.job, s.rate, s.interval, s.switched
+        ));
+    }
+    out
+}
+
+/// The closed-loop strategy under full-shape chaos — a kill, shuffle
+/// flakes and replica corruption across the 7-job chain. Converges to
+/// the golden digest; any divergence dumps the unfired-fault list and
+/// the estimator trajectory so the failure is triageable from the log
+/// alone.
+#[test]
+fn adaptive_hybrid_soaks_through_mixed_chaos() {
+    use rcmp::core::SplitPolicy;
+    use rcmp::policy::AdaptConfig;
+
+    let expected = golden();
+    let cl = cluster();
+    let chain = setup(&cl);
+    let injector = Arc::new(ScriptedInjector::default().tolerate_unfired());
+    injector.add_fault(FaultTrigger {
+        seq: 2,
+        point: TriggerPoint::JobStart,
+        fault: Fault::NodeCrash(NodeId(1)),
+    });
+    injector.add_fault(FaultTrigger {
+        seq: 4,
+        point: TriggerPoint::JobStart,
+        fault: Fault::ShuffleFlake {
+            node: NodeId(0),
+            times: 2,
+        },
+    });
+    injector.add_fault(FaultTrigger {
+        seq: 5,
+        point: TriggerPoint::JobStart,
+        fault: Fault::CorruptReplica { node: NodeId(3) },
+    });
+    let strategy = Strategy::AdaptiveHybrid {
+        split: SplitPolicy::Fixed(4),
+        factor: 2,
+        adapt: AdaptConfig {
+            prior_rate: 0.3,
+            horizon: JOBS,
+            ..AdaptConfig::default_for(NODES)
+        },
+        reclaim: false,
+    };
+    let as_dyn: Arc<dyn rcmp::engine::FailureInjector> = Arc::clone(&injector) as _;
+    match ChainDriver::new(&cl, strategy)
+        .with_injector(as_dyn)
+        .run(&chain.jobs)
+    {
+        Ok(outcome) => {
+            assert_eq!(
+                outcome.adaptation.len(),
+                JOBS as usize,
+                "one trajectory step per chain job\n{}",
+                soak_diagnostics(&injector, &outcome.adaptation)
+            );
+            // The kill at job 2 must be visible to the estimator.
+            assert!(
+                outcome.adaptation[1].rate > outcome.adaptation[0].rate,
+                "the job-2 kill never reached the estimator\n{}",
+                soak_diagnostics(&injector, &outcome.adaptation)
+            );
+            let digest = digest_file(cl.dfs(), chain.final_output(), cl.live_nodes()[0])
+                .unwrap()
+                .0;
+            assert_eq!(
+                digest,
+                expected,
+                "adaptive soak diverged from golden\n{}",
+                soak_diagnostics(&injector, &outcome.adaptation)
+            );
+        }
+        Err(e) => panic!(
+            "adaptive soak died with {e}\n{}",
+            soak_diagnostics(&injector, &[])
+        ),
     }
 }
 

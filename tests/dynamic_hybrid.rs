@@ -18,6 +18,7 @@ fn cluster() -> Cluster {
         max_recovery_attempts: 100,
         executor: rcmp::model::ExecutorConfig::default(),
         shuffle: Default::default(),
+        retry: Default::default(),
         seed: 31,
     })
 }

@@ -20,6 +20,7 @@ fn cluster(nodes: u32, slots: SlotConfig) -> Cluster {
         // CI reruns this binary with RCMP_EXECUTOR=async (executor matrix).
         executor: ExecutorConfig::from_env_or_default(),
         shuffle: Default::default(),
+        retry: Default::default(),
     })
 }
 

@@ -72,6 +72,7 @@ fn engine_run(
         seed: 9,
         executor,
         shuffle: Default::default(),
+        retry: Default::default(),
     });
     generate_input(cl.dfs(), &DataGenConfig::test("input", 4, 20_000)).unwrap();
     let chain = ChainBuilder::new(1, 4).build();
@@ -123,6 +124,7 @@ fn crash_run(
         seed: 11,
         executor,
         shuffle: Default::default(),
+        retry: Default::default(),
     });
     generate_input(cl.dfs(), &DataGenConfig::test("input", 4, 33_000)).unwrap();
     let chain = ChainBuilder::new(1, 4).build();

@@ -33,6 +33,7 @@ fn chaos_chain_trace() -> Trace {
         max_recovery_attempts: 100,
         executor: rcmp::model::ExecutorConfig::default(),
         shuffle: Default::default(),
+        retry: Default::default(),
         seed: 7,
     });
     generate_input(cl.dfs(), &DataGenConfig::test("input", NODES, 12_000)).unwrap();

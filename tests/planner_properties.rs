@@ -24,6 +24,7 @@ fn setup() -> (Cluster, rcmp::workloads::ChainSpec, JobGraph) {
         max_recovery_attempts: 100,
         executor: rcmp::model::ExecutorConfig::default(),
         shuffle: Default::default(),
+        retry: Default::default(),
         seed: 77,
     });
     generate_input(cluster.dfs(), &DataGenConfig::test("input", NODES, 12_000)).unwrap();

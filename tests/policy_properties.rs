@@ -10,7 +10,10 @@ use rcmp::engine::scheduler as eng;
 use rcmp::engine::task::{MapTask, ReduceTask};
 use rcmp::engine::MapInputKey;
 use rcmp::model::{BlockId, ByteSize, Error, JobId, MapTaskId, NodeId, PartitionId, ReduceTaskId};
-use rcmp::policy::{PolicyCtx, ReduceAssignment};
+use rcmp::policy::{
+    expected_chain_time, optimal_interval, AdaptConfig, AdaptivePolicy, FaultObserver, PolicyCtx,
+    ReduceAssignment,
+};
 use rcmp::sim::sched as sim;
 use std::collections::BTreeMap;
 
@@ -208,5 +211,68 @@ proptest! {
         .unwrap_err();
         prop_assert!(matches!(e, Error::NoLiveNodes));
         prop_assert!(matches!(s, Error::NoLiveNodes));
+    }
+
+    /// The adaptive cadence is the argmin of the analytic chain-time
+    /// model, so it dominates every fixed cadence — any rate, chain
+    /// length or cost mix (the guarantee `BENCH_resilience` documents).
+    #[test]
+    fn adaptive_cadence_dominates_every_fixed(
+        rate_m in 0u32..1500,
+        jobs in 1u32..40,
+        replicate_m in 10u32..2000,
+        recompute_m in 10u32..2000,
+        detect_m in 0u32..3000,
+    ) {
+        // The vendored proptest has no float strategies; sample
+        // millis and scale.
+        let rate = f64::from(rate_m) / 1000.0;
+        let cfg = AdaptConfig {
+            horizon: jobs,
+            replicate_cost: f64::from(replicate_m) / 1000.0,
+            recompute_cost: f64::from(recompute_m) / 1000.0,
+            detect_cost: f64::from(detect_m) / 1000.0,
+            ..AdaptConfig::default_for(10)
+        };
+        let best = optimal_interval(rate, jobs, &cfg);
+        let t_best = expected_chain_time(best, rate, jobs, &cfg);
+        for k in (1..=jobs).map(Some).chain([None]) {
+            let t = expected_chain_time(k, rate, jobs, &cfg);
+            prop_assert!(
+                t_best <= t + 1e-9,
+                "argmin {best:?} ({t_best}) beaten by fixed {k:?} ({t}) at rate {rate}"
+            );
+        }
+    }
+
+    /// The closed loop through the `FaultObserver` seam: the engine
+    /// reports a job's losses in one batch, the simulator one fault per
+    /// `fail_node` — identical fault/completion sequences must yield
+    /// byte-identical trajectories either way.
+    #[test]
+    fn adaptation_trajectories_agree_across_observers(
+        faults in prop::collection::vec(0u32..3, 1usize..60),
+        prior_m in 0u32..800,
+        hysteresis_m in 0u32..600,
+    ) {
+        let cfg = AdaptConfig {
+            prior_rate: f64::from(prior_m) / 1000.0,
+            hysteresis: f64::from(hysteresis_m) / 1000.0,
+            ..AdaptConfig::default_for(8)
+        };
+        let mut engine_side = AdaptivePolicy::new(cfg);
+        let mut sim_side = AdaptivePolicy::new(cfg);
+        for &f in &faults {
+            engine_side.record_fault(f);
+            for _ in 0..f {
+                sim_side.record_fault(1);
+            }
+            prop_assert_eq!(engine_side.job_completed(), sim_side.job_completed());
+            prop_assert_eq!(
+                engine_side.current_interval(),
+                sim_side.current_interval()
+            );
+        }
+        prop_assert_eq!(engine_side.trajectory(), sim_side.trajectory());
     }
 }

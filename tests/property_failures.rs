@@ -24,6 +24,7 @@ fn cluster() -> Cluster {
         max_recovery_attempts: 100,
         executor: rcmp::model::ExecutorConfig::default(),
         shuffle: Default::default(),
+        retry: Default::default(),
         seed: 11,
     })
 }

@@ -33,6 +33,7 @@ fn cluster(seed: u64, shuffle: ShuffleConfig, executor: ExecutorConfig) -> Clust
         seed,
         executor,
         shuffle,
+        retry: Default::default(),
     })
 }
 

@@ -27,6 +27,7 @@ fn engine_run() -> rcmp::engine::JobReport {
         seed: 5,
         executor: ExecutorConfig::from_env_or_default(),
         shuffle: Default::default(),
+        retry: Default::default(),
     });
     let cfg = DataGenConfig {
         value_size: 100,
@@ -131,6 +132,7 @@ fn recompute_fractions_agree() {
         seed: 5,
         executor: ExecutorConfig::from_env_or_default(),
         shuffle: Default::default(),
+        retry: Default::default(),
     });
     let cfg = DataGenConfig {
         value_size: 100,
