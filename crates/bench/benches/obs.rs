@@ -1,0 +1,65 @@
+//! Telemetry-overhead benchmarks: the flight recorder's single-call
+//! cost, the phase profiler's attribution cost, and the full-tier
+//! A/B wave from the `obs` pseudo-figure. After the Criterion groups
+//! run, the 4800-task acceptance gate is re-measured and written to
+//! `results/BENCH_obs.json` (`fig_runner obs --json results` produces
+//! the same file), and the process fails if the full tier exceeds the
+//! 5% wall-clock budget.
+
+use criterion::{criterion_group, Criterion};
+use rcmp_bench::figures::obsfig;
+use rcmp_obs::{Clock, EventCode, FlightRecorder, PhaseKind, PhaseProfiler};
+use std::io::Write;
+
+fn bench_record(c: &mut Criterion) {
+    let recorder = FlightRecorder::with_defaults(Clock::monotonic());
+    let disabled = FlightRecorder::disabled();
+    let mut g = c.benchmark_group("obs_record");
+    g.bench_function("enabled", |b| {
+        b.iter(|| recorder.record(EventCode::Probe, None, 1, 2))
+    });
+    g.bench_function("disabled", |b| {
+        b.iter(|| disabled.record(EventCode::Probe, None, 1, 2))
+    });
+    g.finish();
+}
+
+fn bench_profiler(c: &mut Criterion) {
+    let profiler = PhaseProfiler::new(Clock::monotonic());
+    let mut g = c.benchmark_group("obs_profiler");
+    g.bench_function("add_ns", |b| {
+        b.iter(|| profiler.add_ns(PhaseKind::MapCompute, 1_000))
+    });
+    g.bench_function("span", |b| {
+        b.iter(|| drop(profiler.span(PhaseKind::MapCompute)))
+    });
+    g.finish();
+}
+
+fn bench_wave_ab(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_wave_1200");
+    g.sample_size(10);
+    g.bench_function("ab", |b| b.iter(|| obsfig::run_with(1200, 1)));
+    g.finish();
+}
+
+criterion_group!(obs, bench_record, bench_profiler, bench_wave_ab);
+
+fn main() {
+    obs();
+    let bench = obsfig::run_scaled(1);
+    println!("{}", bench.render());
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let json = serde_json::to_string_pretty(&serde_json::to_value(&bench).unwrap()).unwrap();
+        match std::fs::File::create(format!("{dir}/BENCH_obs.json")) {
+            Ok(mut f) => f.write_all(json.as_bytes()).expect("write BENCH_obs.json"),
+            Err(e) => eprintln!("skipping BENCH_obs.json: {e}"),
+        }
+    }
+    assert!(
+        bench.within_budget,
+        "telemetry overhead {:.2}% exceeds the {:.1}% budget",
+        bench.overhead_pct, bench.budget_pct
+    );
+}

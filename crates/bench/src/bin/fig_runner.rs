@@ -1,7 +1,7 @@
 //! Regenerates the paper's figures.
 //!
 //! ```text
-//! fig_runner [all|fig02|fig08a|fig08b|fig08c|fig09|fig10|fig11|fig12|fig13|fig14|trace|exec|shuffle|resilience]...
+//! fig_runner [all|fig02|fig08a|fig08b|fig08c|fig09|fig10|fig11|fig12|fig13|fig14|trace|exec|shuffle|resilience|obs]...
 //!            [--quick] [--json <dir>]
 //! ```
 //!
@@ -122,6 +122,18 @@ fn main() {
                 let r = resiliencefig::run_scaled(scale);
                 println!("{}", r.render());
                 write_json("BENCH_resilience", serde_json::to_value(&r).unwrap());
+            }
+            "obs" => {
+                let r = obsfig::run_scaled(scale);
+                println!("{}", r.render());
+                write_json("BENCH_obs", serde_json::to_value(&r).unwrap());
+                if !r.within_budget {
+                    eprintln!(
+                        "obs: telemetry overhead {:.2}% exceeds the {:.1}% budget",
+                        r.overhead_pct, r.budget_pct
+                    );
+                    std::process::exit(1);
+                }
             }
             "extras" => {
                 let loc = extras::locality_ablation(scale);

@@ -12,6 +12,7 @@ pub mod fig11;
 pub mod fig12;
 pub mod fig13;
 pub mod fig14;
+pub mod obsfig;
 pub mod resiliencefig;
 pub mod shufflefig;
 pub mod tracefig;

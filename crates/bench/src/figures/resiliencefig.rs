@@ -17,6 +17,7 @@
 //! failure schedules, as an integration spot-check.
 
 use rcmp_core::strategy::{SplitPolicy, Strategy};
+use rcmp_obs::PhaseKind;
 use rcmp_policy::{expected_chain_time, optimal_interval, AdaptConfig};
 use rcmp_sim::{simulate_chain, ChainSimConfig, FailureAt, HwProfile, WorkloadCfg};
 use serde::{Deserialize, Serialize};
@@ -38,6 +39,20 @@ pub struct ResilienceRow {
     pub adaptive_interval: Option<u32>,
 }
 
+/// Measured recovery-time decomposition of one spot run, projected
+/// through the engine's 14-phase schema (`SimChainReport::
+/// phase_breakdown`) — the Fig.-7-style "where did the recovery
+/// seconds go" split, from measurement rather than the cost model.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct RecoveryDecomposition {
+    /// Simulated microseconds inside recomputation runs.
+    pub recompute_us: u64,
+    /// Simulated microseconds in seeded retry backoff.
+    pub backoff_us: u64,
+    /// Recovery plans drawn up.
+    pub plans: u64,
+}
+
 /// One end-to-end simulator run of a strategy under a scripted
 /// failure schedule.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -52,6 +67,9 @@ pub struct SimSpotRow {
     pub replication_points: usize,
     /// Final interval the adaptive loop settled on (adaptive rows).
     pub final_interval: Option<u32>,
+    /// Measured recovery-time decomposition of this run.
+    #[serde(default)]
+    pub recovery: RecoveryDecomposition,
 }
 
 /// The full resilience benchmark result.
@@ -137,12 +155,18 @@ fn spot_run(rate: f64, label: &str, strategy: Strategy, scale: u64) -> SimSpotRo
         .iter()
         .filter(|e| matches!(e, rcmp_sim::SimEvent::ReplicationPoint { .. }))
         .count();
+    let phases = rep.phase_breakdown();
     SimSpotRow {
         rate,
         strategy: label.to_string(),
         total_secs: rep.total_time,
         replication_points: points,
         final_interval: rep.adaptation.last().and_then(|s| s.interval),
+        recovery: RecoveryDecomposition {
+            recompute_us: phases.total_us(PhaseKind::RecomputeWave),
+            backoff_us: phases.total_us(PhaseKind::RetryBackoff),
+            plans: phases.entries[PhaseKind::RecoveryPlanning.index()].count,
+        },
     }
 }
 
@@ -221,16 +245,21 @@ impl ResilienceResult {
             ));
         }
         out.push_str("\nsim spot-checks (scripted failures, end-to-end):\n");
-        out.push_str("rate  | strategy  | total s  | points | final k\n");
+        out.push_str(
+            "rate  | strategy  | total s  | points | final k | recompute s | backoff s | plans\n",
+        );
         for s in &self.sim_spot {
             out.push_str(&format!(
-                "{:<5} | {:<9} | {:8.1} | {:>6} | {}\n",
+                "{:<5} | {:<9} | {:8.1} | {:>6} | {:<7} | {:>11.1} | {:>9.2} | {:>5}\n",
                 s.rate,
                 s.strategy,
                 s.total_secs,
                 s.replication_points,
                 s.final_interval
                     .map_or_else(|| "-".to_string(), |k| k.to_string()),
+                s.recovery.recompute_us as f64 / 1e6,
+                s.recovery.backoff_us as f64 / 1e6,
+                s.recovery.plans,
             ));
         }
         out
@@ -270,6 +299,20 @@ mod tests {
                 "interval loosened as rate rose: {ks:?}"
             );
         }
+    }
+
+    #[test]
+    fn spot_runs_carry_measured_recovery_decomposition() {
+        let r = run_scaled(8);
+        // The high-rate schedules inject failures, so at least one spot
+        // run must have measured recompute time and a recovery plan.
+        assert!(
+            r.sim_spot
+                .iter()
+                .any(|s| s.recovery.recompute_us > 0 && s.recovery.plans > 0),
+            "no spot run measured any recovery work: {:?}",
+            r.sim_spot
+        );
     }
 
     #[test]

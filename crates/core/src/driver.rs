@@ -21,7 +21,7 @@ use rcmp_engine::{
 };
 use rcmp_model::rng::derive_indexed;
 use rcmp_model::{Error, JobId, Result};
-use rcmp_obs::SpanKind;
+use rcmp_obs::{BlackboxDump, EventCode, Gauge, PhaseBreakdown, PhaseKind, SpanKind};
 use std::sync::Arc;
 
 /// How a cancelled job is re-run once its input is restored.
@@ -52,6 +52,12 @@ pub struct ChainOutcome {
     /// The adaptive policy's decision after each completed chain job
     /// (empty unless the strategy is [`Strategy::AdaptiveHybrid`]).
     pub adaptation: Vec<AdaptationStep>,
+    /// Whole-chain phase time-budget (the Fig.-7-style decomposition),
+    /// snapshotted from the cluster profiler when the chain completes.
+    pub phases: PhaseBreakdown,
+    /// Per-run phase deltas: `(seq, what that run added to the
+    /// budget)`, in submission order, successful runs only.
+    pub job_phases: Vec<(u64, PhaseBreakdown)>,
 }
 
 impl ChainOutcome {
@@ -77,6 +83,11 @@ pub struct ChainDriver<'a> {
     injector: Arc<dyn FailureInjector>,
     strategy: Strategy,
     restart_mode: RestartMode,
+    /// Pre-resolved adaptation gauges: [`Self::publish_adaptation`]
+    /// runs once per completed chain job, potentially with a wave in
+    /// flight elsewhere, so it must never resolve by name.
+    g_failure_rate: Gauge,
+    g_k_current: Gauge,
 }
 
 /// Feeds observed faults into the closed-loop estimator, when the
@@ -91,11 +102,14 @@ fn observe_faults(adaptive: &mut Option<AdaptivePolicy>, faults: u32) {
 
 impl<'a> ChainDriver<'a> {
     pub fn new(cluster: &'a Cluster, strategy: Strategy) -> Self {
+        let metrics = cluster.metrics();
         Self {
             cluster,
             injector: Arc::new(NoFailures),
             strategy,
             restart_mode: RestartMode::Discard,
+            g_failure_rate: metrics.gauge("policy.failure_rate_est"),
+            g_k_current: metrics.gauge("policy.k_current"),
         }
     }
 
@@ -110,7 +124,35 @@ impl<'a> ChainDriver<'a> {
     }
 
     /// Runs the computation to completion.
+    ///
+    /// Every typed-error exit captures a post-mortem [`BlackboxDump`]
+    /// first — the most recent flight-recorder events, the causal
+    /// fault → loss → plan → recompute lineage, a metric snapshot and
+    /// the phase time-budget — and parks it on the cluster for
+    /// [`Cluster::take_blackbox`]. Set `RCMP_BLACKBOX_DIR` to also
+    /// write the dump as `rcmp-blackbox.json` in that directory.
     pub fn run(&self, specs: &[JobSpec]) -> Result<ChainOutcome> {
+        self.run_chain(specs).inspect_err(|e| {
+            let dump = BlackboxDump::capture(
+                e.to_string(),
+                self.cluster.recorder(),
+                &self.cluster.tracer().snapshot(),
+                self.cluster.metrics().snapshot(),
+                self.cluster.profiler().snapshot(),
+            );
+            if let Ok(dir) = std::env::var("RCMP_BLACKBOX_DIR") {
+                // Best-effort: a failed dump write must not mask the
+                // chain error itself.
+                let _ = std::fs::write(
+                    std::path::Path::new(&dir).join("rcmp-blackbox.json"),
+                    dump.to_json(),
+                );
+            }
+            self.cluster.store_blackbox(dump);
+        })
+    }
+
+    fn run_chain(&self, specs: &[JobSpec]) -> Result<ChainOutcome> {
         let graph = JobGraph::new(specs.iter().cloned())?;
         let order = graph.submission_order()?;
         let tracker = JobTracker::new(self.cluster, self.injector.clone());
@@ -162,8 +204,13 @@ impl<'a> ChainDriver<'a> {
                 resume_job = None;
 
                 let live_before = self.cluster.live_nodes();
+                let phases_before = self.cluster.profiler().snapshot();
                 match tracker.run(&run, seq) {
                     Ok(report) => {
+                        outcome.job_phases.push((
+                            seq,
+                            self.cluster.profiler().snapshot().delta(&phases_before),
+                        ));
                         let faults = self.record_losses(seq, &report, &mut outcome);
                         observe_faults(&mut adaptive, faults);
                         outcome.events.push(ChainEvent::JobCompleted {
@@ -264,6 +311,7 @@ impl<'a> ChainDriver<'a> {
             if let Err(msg) = self.injector.finish() {
                 return Err(Error::Config(format!("failure injector: {msg}")));
             }
+            outcome.phases = self.cluster.profiler().snapshot();
             return Ok(outcome);
         }
     }
@@ -420,15 +468,18 @@ impl<'a> ChainDriver<'a> {
     /// gauges for dashboards, and an `AdaptationPoint` instant span
     /// whose `cause` is the fault lineage that moved the estimate.
     fn publish_adaptation(&self, seq: u64, step: &AdaptationStep) {
-        let metrics = self.cluster.metrics();
         let rate_ppm = (step.rate * 1e6).round();
-        metrics
-            .gauge("policy.failure_rate_est")
-            .set(rate_ppm as i64);
+        self.g_failure_rate.set(rate_ppm as i64);
         // `0` encodes "never replicate" — a real interval is ≥ 1.
-        metrics
-            .gauge("policy.k_current")
-            .set(step.interval.map_or(0, i64::from));
+        self.g_k_current.set(step.interval.map_or(0, i64::from));
+        if step.switched {
+            self.cluster.recorder().record(
+                EventCode::CadenceSwitched,
+                None,
+                seq,
+                u64::from(step.interval.unwrap_or(0)),
+            );
+        }
         let tracer = self.cluster.tracer();
         tracer.instant(
             SpanKind::AdaptationPoint {
@@ -459,7 +510,16 @@ impl<'a> ChainDriver<'a> {
     ) -> Result<()> {
         let max_attempts = self.cluster.config().max_recovery_attempts;
         for _attempt in 0..max_attempts {
-            let plan = plan_recovery(self.cluster, graph, target, split, hotspot)?;
+            let plan = {
+                let _timer = self.cluster.profiler().span(PhaseKind::RecoveryPlanning);
+                plan_recovery(self.cluster, graph, target, split, hotspot)?
+            };
+            self.cluster.recorder().record(
+                EventCode::RecoveryPlanned,
+                None,
+                plan.steps.len() as u64,
+                plan.partition_count() as u64,
+            );
             outcome.events.push(ChainEvent::RecoveryPlanned {
                 target,
                 steps: plan.steps.len(),
@@ -484,9 +544,20 @@ impl<'a> ChainDriver<'a> {
                     mode: RunMode::Recompute(step.instructions),
                     persist_map_outputs: persist,
                 };
+                self.cluster.recorder().record(
+                    EventCode::RecomputeStarted,
+                    None,
+                    seq,
+                    u64::from(step.job.0),
+                );
                 let live_before = self.cluster.live_nodes();
+                let phases_before = self.cluster.profiler().snapshot();
                 match tracker.run(&run, seq) {
                     Ok(report) => {
+                        outcome.job_phases.push((
+                            seq,
+                            self.cluster.profiler().snapshot().delta(&phases_before),
+                        ));
                         let had_losses = !report.losses.is_empty();
                         let faults = self.record_losses(seq, &report, outcome);
                         observe_faults(adaptive, faults);

@@ -12,7 +12,10 @@ use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rcmp_model::rng::rng_for;
 use rcmp_model::{BlockId, ByteSize, Error, NodeId, PartitionId, Result};
-use rcmp_obs::{SpanKind, Tracer};
+use rcmp_obs::{
+    EventCode, FlightRecorder, Histogram, MetricsRegistry, PhaseKind, PhaseProfiler, SpanKind,
+    Tracer,
+};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -61,6 +64,23 @@ impl DfsConfig {
     }
 }
 
+/// Pre-resolved production-telemetry handles for DFS I/O, attached via
+/// [`Dfs::with_obs`]. Resolved once so reads and writes never take the
+/// registry lock.
+struct DfsObs {
+    /// Verified block-read latency, microseconds.
+    read_us: Histogram,
+    /// Partition-write latency (all chunks, all replicas), microseconds.
+    write_us: Histogram,
+    profiler: Arc<PhaseProfiler>,
+    recorder: Arc<FlightRecorder>,
+}
+
+/// Microsecond latency buckets for DFS I/O histograms: 50 µs … 100 ms.
+const IO_US_BOUNDS: [u64; 11] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000,
+];
+
 /// The distributed file system.
 ///
 /// Thread-safe: the engine's node executors read and write concurrently.
@@ -73,6 +93,7 @@ pub struct Dfs {
     next_block: AtomicU64,
     rng: Mutex<SmallRng>,
     tracer: Arc<Tracer>,
+    obs: Option<DfsObs>,
 }
 
 impl Dfs {
@@ -100,7 +121,28 @@ impl Dfs {
             next_block: AtomicU64::new(1),
             rng,
             tracer,
+            obs: None,
         }
+    }
+
+    /// Attaches the production telemetry tier: `dfs.read_us` /
+    /// `dfs.write_us` latency histograms resolved against `registry`,
+    /// [`PhaseKind::DfsRead`]/[`PhaseKind::DfsWrite`]/
+    /// [`PhaseKind::BlockVerify`] time on `profiler`, and
+    /// checksum-failure events on `recorder`.
+    pub fn with_obs(
+        mut self,
+        registry: &MetricsRegistry,
+        profiler: Arc<PhaseProfiler>,
+        recorder: Arc<FlightRecorder>,
+    ) -> Self {
+        self.obs = Some(DfsObs {
+            read_us: registry.histogram("dfs.read_us", &IO_US_BOUNDS),
+            write_us: registry.histogram("dfs.write_us", &IO_US_BOUNDS),
+            profiler,
+            recorder,
+        });
+        self
     }
 
     pub fn config(&self) -> &DfsConfig {
@@ -299,6 +341,11 @@ impl Dfs {
             None,
             Some(writer),
         );
+        if let Some(obs) = &self.obs {
+            let dur = self.tracer.now_us().saturating_sub(open.start_us);
+            obs.write_us.observe(dur);
+            obs.profiler.add_us(PhaseKind::DfsWrite, dur);
+        }
         let segment = SegmentMeta { writer, blocks };
         let mut ns = self.namespace.write();
         let meta = ns
@@ -379,7 +426,15 @@ impl Dfs {
             let Some(data) = self.stores[source.index()].get(loc.id, self.cfg.read_delay) else {
                 continue;
             };
-            if rcmp_model::hash::hash_bytes(&data) == loc.content_hash {
+            let verify_started = std::time::Instant::now();
+            let verified = rcmp_model::hash::hash_bytes(&data) == loc.content_hash;
+            if let Some(obs) = &self.obs {
+                obs.profiler.add_ns(
+                    PhaseKind::BlockVerify,
+                    verify_started.elapsed().as_nanos() as u64,
+                );
+            }
+            if verified {
                 self.tracer.close(
                     open,
                     SpanKind::BlockRead {
@@ -390,6 +445,11 @@ impl Dfs {
                     None,
                     Some(reader),
                 );
+                if let Some(obs) = &self.obs {
+                    let dur = self.tracer.now_us().saturating_sub(open.start_us);
+                    obs.read_us.observe(dur);
+                    obs.profiler.add_us(PhaseKind::DfsRead, dur);
+                }
                 return Ok((data, source));
             }
             self.tracer.instant(
@@ -398,6 +458,10 @@ impl Dfs {
                 None,
                 Some(source),
             );
+            if let Some(obs) = &self.obs {
+                obs.recorder
+                    .record(EventCode::BlockVerifyFailed, Some(source), loc.id.0, 0);
+            }
             self.demote_replica(loc.id, source);
         }
         Err(Error::DataLoss {

@@ -1,10 +1,11 @@
 //! The collocated cluster: DFS + map-output store + liveness.
 
 use crate::mapstore::MapOutputStore;
+use parking_lot::Mutex;
 use rcmp_dfs::{Dfs, DfsConfig, LossReport};
 use rcmp_exec::BackendExecutor;
 use rcmp_model::{ClusterConfig, NodeId};
-use rcmp_obs::{MetricsRegistry, Tracer};
+use rcmp_obs::{BlackboxDump, Clock, FlightRecorder, MetricsRegistry, PhaseProfiler, Tracer};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -15,8 +16,12 @@ use std::time::Duration;
 ///
 /// The cluster owns the run's observability state: one [`Tracer`]
 /// shared with the DFS (so block spans and task spans merge into a
-/// single trace) and one [`MetricsRegistry`] the tracker registers its
-/// hot-path counters in.
+/// single trace), one [`MetricsRegistry`] the tracker registers its
+/// hot-path counters in, plus the production telemetry tier — an
+/// always-on [`FlightRecorder`], a [`PhaseProfiler`] fed by the
+/// tracker, the DFS and the reactor, and a slot the driver parks a
+/// post-mortem [`BlackboxDump`] in when a chain dies. All timestamps
+/// flow through one shared [`Clock`].
 pub struct Cluster {
     cfg: ClusterConfig,
     dfs: Arc<Dfs>,
@@ -24,6 +29,9 @@ pub struct Cluster {
     tracer: Arc<Tracer>,
     metrics: Arc<MetricsRegistry>,
     executor: BackendExecutor,
+    recorder: Arc<FlightRecorder>,
+    profiler: Arc<PhaseProfiler>,
+    blackbox: Mutex<Option<BlackboxDump>>,
 }
 
 impl Cluster {
@@ -50,10 +58,16 @@ impl Cluster {
         topology: Option<rcmp_dfs::RackTopology>,
     ) -> Self {
         cfg.validate().expect("invalid cluster config");
-        let tracer = Arc::new(Tracer::new());
+        // One clock for the whole run: tracer spans, flight-recorder
+        // timestamps and phase-profiler guards all agree on an epoch.
+        let clock = Clock::monotonic();
+        let tracer = Arc::new(Tracer::with_clock(clock.clone()));
         let metrics = Arc::new(MetricsRegistry::new());
-        let executor =
-            BackendExecutor::from_config(&cfg.executor).with_obs(tracer.clone(), &metrics);
+        let recorder = Arc::new(FlightRecorder::with_defaults(clock.clone()));
+        let profiler = Arc::new(PhaseProfiler::new(clock));
+        let executor = BackendExecutor::from_config(&cfg.executor)
+            .with_obs(tracer.clone(), &metrics)
+            .with_profiler(profiler.clone());
         let dfs_cfg = DfsConfig {
             nodes: cfg.nodes,
             block_size: cfg.block_size,
@@ -62,13 +76,21 @@ impl Cluster {
             topology,
             store_shards: cfg.shuffle.store_shards,
         };
+        let dfs = Dfs::new_traced(dfs_cfg, tracer.clone()).with_obs(
+            &metrics,
+            profiler.clone(),
+            recorder.clone(),
+        );
         Self {
             cfg,
-            dfs: Arc::new(Dfs::new_traced(dfs_cfg, tracer.clone())),
+            dfs: Arc::new(dfs),
             map_outputs: MapOutputStore::new(),
             tracer,
             metrics,
             executor,
+            recorder,
+            profiler,
+            blackbox: Mutex::new(None),
         }
     }
 
@@ -85,6 +107,30 @@ impl Cluster {
     /// The cluster-wide metrics registry.
     pub fn metrics(&self) -> &Arc<MetricsRegistry> {
         &self.metrics
+    }
+
+    /// The always-on flight recorder: compact events from the tracker,
+    /// the DFS and the driver, retained in fixed-capacity rings.
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
+    }
+
+    /// The phase profiler: the cluster-wide time-budget decomposition
+    /// the tracker, the DFS and the reactor accumulate into.
+    pub fn profiler(&self) -> &Arc<PhaseProfiler> {
+        &self.profiler
+    }
+
+    /// Parks a post-mortem dump on the cluster (the driver calls this
+    /// when a chain dies with a typed error). A later failure replaces
+    /// an unclaimed earlier dump — newest death wins.
+    pub fn store_blackbox(&self, dump: BlackboxDump) {
+        *self.blackbox.lock() = Some(dump);
+    }
+
+    /// Takes the parked post-mortem dump, if a chain death produced one.
+    pub fn take_blackbox(&self) -> Option<BlackboxDump> {
+        self.blackbox.lock().take()
     }
 
     /// The wave-executor backend selected by

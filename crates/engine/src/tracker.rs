@@ -41,7 +41,10 @@ use rcmp_model::{
     Error, HashPartitioner, JobId, MapTaskId, NodeId, PartitionId, Record, RecordReader,
     RecordWriter, ReduceTaskId, Result, SplitId, SplitPartitioner, TaskId,
 };
-use rcmp_obs::{Counter, FaultKind, Histogram, Phase, SpanId, SpanKind, Tracer};
+use rcmp_obs::{
+    Counter, EventCode, FaultKind, FlightRecorder, Histogram, Phase, PhaseKind, PhaseProfiler,
+    SpanId, SpanKind, Tracer,
+};
 use rcmp_policy::PolicyCtx;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
@@ -63,6 +66,10 @@ pub struct JobTracker<'a> {
     /// only a strict prefix of its chunks and the node dies mid-write.
     torn: Mutex<BTreeSet<NodeId>>,
     tracer: Arc<Tracer>,
+    /// Always-on flight recorder (compact events, ring-buffered).
+    recorder: Arc<FlightRecorder>,
+    /// Phase profiler fed by the map/reduce task bodies and wave loops.
+    profiler: Arc<PhaseProfiler>,
     /// Hot-path metric handles, resolved once at tracker construction.
     m_task_retries: Counter,
     m_shuffle_transients: Counter,
@@ -104,6 +111,8 @@ impl<'a> JobTracker<'a> {
             injector,
             torn: Mutex::new(BTreeSet::new()),
             tracer: cluster.tracer().clone(),
+            recorder: cluster.recorder().clone(),
+            profiler: cluster.profiler().clone(),
             m_task_retries: metrics.counter("tracker.task_retries"),
             m_shuffle_transients: metrics.counter("tracker.shuffle_transient_failures"),
             m_shuffle_bytes: metrics.counter("tracker.shuffle_fetch_bytes"),
@@ -131,8 +140,16 @@ impl<'a> JobTracker<'a> {
             None
         };
         let live_nodes = self.cluster.live_nodes().len() as u32;
+        self.recorder.record(
+            EventCode::JobStart,
+            None,
+            seq,
+            u64::from(run.spec.job.0) | (u64::from(run.mode.is_recompute()) << 32),
+        );
         let open = self.tracer.open();
         let result = self.run_inner(run, seq, open.id);
+        self.recorder
+            .record(EventCode::JobEnd, None, seq, u64::from(result.is_ok()));
         let slots = self.cluster.config().slots;
         self.tracer.close(
             open,
@@ -310,6 +327,12 @@ impl<'a> JobTracker<'a> {
                                 tasks: wave.len() as u32,
                                 capacity: live.len() as u32 * self.cluster.config().slots.map,
                             };
+                            self.recorder.record(
+                                EventCode::WaveStart,
+                                None,
+                                u64::from(map_wave_counter),
+                                wave.len() as u64,
+                            );
                             let had_failures = self.execute_map_wave(
                                 session,
                                 wave,
@@ -322,6 +345,16 @@ impl<'a> JobTracker<'a> {
                             );
                             self.tracer
                                 .close(wave_open, wave_kind, Some(job_span), None, None);
+                            let wave_us = self.tracer.now_us().saturating_sub(wave_open.start_us);
+                            if run.mode.is_recompute() {
+                                self.profiler.add_us(PhaseKind::RecomputeWave, wave_us);
+                            }
+                            self.recorder.record(
+                                EventCode::WaveEnd,
+                                None,
+                                u64::from(map_wave_counter),
+                                wave_us,
+                            );
                             let had_failures = had_failures?;
                             let point = TriggerPoint::AfterMapWave(map_wave_counter);
                             map_wave_counter += 1;
@@ -384,6 +417,12 @@ impl<'a> JobTracker<'a> {
                             tasks: wave.len() as u32,
                             capacity: live.len() as u32 * self.cluster.config().slots.reduce,
                         };
+                        self.recorder.record(
+                            EventCode::WaveStart,
+                            None,
+                            u64::from(reduce_wave_counter),
+                            wave.len() as u64,
+                        );
                         let outcomes = self.execute_reduce_wave(
                             session,
                             wave,
@@ -396,6 +435,16 @@ impl<'a> JobTracker<'a> {
                         );
                         self.tracer
                             .close(wave_open, wave_kind, Some(job_span), None, None);
+                        let wave_us = self.tracer.now_us().saturating_sub(wave_open.start_us);
+                        if run.mode.is_recompute() {
+                            self.profiler.add_us(PhaseKind::RecomputeWave, wave_us);
+                        }
+                        self.recorder.record(
+                            EventCode::WaveEnd,
+                            None,
+                            u64::from(reduce_wave_counter),
+                            wave_us,
+                        );
                         let outcomes = outcomes?;
                         let mut wave_had_failures = false;
                         for outcome in outcomes {
@@ -549,6 +598,14 @@ impl<'a> JobTracker<'a> {
                 Fault::TornWrite { node } => (FaultKind::TornWrite, *node),
                 Fault::ShuffleFlake { node, .. } => (FaultKind::ShuffleFlake, *node),
             };
+            let fault_code = match kind {
+                FaultKind::NodeCrash => 0,
+                FaultKind::CorruptReplica => 1,
+                FaultKind::TornWrite => 2,
+                FaultKind::ShuffleFlake => 3,
+            };
+            self.recorder
+                .record(EventCode::FaultInjected, Some(at_node), seq, fault_code);
             let fault_span = self.tracer.instant(
                 SpanKind::Fault {
                     seq,
@@ -562,6 +619,12 @@ impl<'a> JobTracker<'a> {
             match fault {
                 Fault::NodeCrash(node) => {
                     let loss = self.cluster.fail_node(node);
+                    self.recorder.record(
+                        EventCode::PartitionsLost,
+                        Some(node),
+                        seq,
+                        loss.lost_partition_count() as u64,
+                    );
                     let loss_span = self.tracer.instant(
                         SpanKind::Loss {
                             seq,
@@ -706,16 +769,30 @@ impl<'a> JobTracker<'a> {
                 })
             })
             .collect();
-        let outcomes = session.run_wave(&exec_spec, tasks);
+        let outcomes = {
+            // Wave in flight: by-name metric resolution debug-asserts
+            // until the guard drops — hot paths must use the handles
+            // resolved at construction time.
+            let _hot = self.cluster.metrics().enter_hot_scope();
+            session.run_wave(&exec_spec, tasks)
+        };
         let mut had_failures = false;
         for outcome in outcomes {
             match outcome {
                 SlotOutcome::Completed(Ok(rec)) => {
+                    self.recorder.record(
+                        EventCode::TaskDone,
+                        Some(rec.node),
+                        u64::from(rec.id.job().0),
+                        u64::from(wave_idx),
+                    );
                     report.io += rec.io;
                     report.tasks.push(rec);
                     report.map_tasks_run += 1;
                 }
                 SlotOutcome::Completed(Err(_)) => {
+                    self.recorder
+                        .record(EventCode::TaskRetry, None, 0, u64::from(wave_idx));
                     had_failures = true;
                     report.task_retries += 1;
                 }
@@ -785,6 +862,12 @@ impl<'a> JobTracker<'a> {
             .map(|(set, k)| (set, SplitPartitioner::new(*k), *k));
         let mut raw: HashMap<ReduceTaskId, Vec<Record>> = HashMap::new();
         let job = spec.job;
+        // Phase accounting: local accumulators, flushed to the profiler
+        // once per task (three clock reads per bucket, none per record).
+        let mut compute_ns;
+        let mut combine_ns = 0u64;
+        let mut write_ns = 0u64;
+        let mark = Instant::now();
         for rec in RecordReader::new(data) {
             let rec = rec?;
             spec.mapper.map(rec, &mut |out: Record| {
@@ -798,11 +881,15 @@ impl<'a> JobTracker<'a> {
                 raw.entry(rtid).or_default().push(out);
             });
         }
+        compute_ns = mark.elapsed().as_nanos() as u64;
         let mut buckets: HashMap<ReduceTaskId, (Bytes, BucketIndex)> =
             HashMap::with_capacity(raw.len());
         let mut output_bytes = 0u64;
         for (rtid, mut recs) in raw {
+            let bucket_start = Instant::now();
             recs.sort_unstable_by(|a, b| a.key.cmp(&b.key).then_with(|| a.value.cmp(&b.value)));
+            let sorted_at = Instant::now();
+            compute_ns += (sorted_at - bucket_start).as_nanos() as u64;
             // Map-side combine, whole-partition buckets only: a split
             // task's regenerated partition must stay byte-identical to
             // the whole run's (the Fig.-5 reuse rule), so split-keyed
@@ -812,6 +899,8 @@ impl<'a> JobTracker<'a> {
                     recs = self.combine_bucket(c.as_ref(), recs);
                 }
             }
+            let combined_at = Instant::now();
+            combine_ns += (combined_at - sorted_at).as_nanos() as u64;
             let mut w = RecordWriter::default();
             for r in &recs {
                 w.push(r);
@@ -825,6 +914,7 @@ impl<'a> JobTracker<'a> {
             };
             output_bytes += index.bytes;
             buckets.insert(rtid, (w.finish(), index));
+            write_ns += combined_at.elapsed().as_nanos() as u64;
         }
         // Storing on a node that died mid-wave is pointless but harmless:
         // the kill's drop_node already ran or will never run again for
@@ -832,9 +922,16 @@ impl<'a> JobTracker<'a> {
         if !self.cluster.is_alive(node) {
             return Err(Error::NodeUnavailable(node));
         }
+        let insert_start = Instant::now();
         self.cluster
             .map_outputs()
             .insert_indexed(task.key, node, task.block.content_hash, buckets);
+        write_ns += insert_start.elapsed().as_nanos() as u64;
+        self.profiler.add_ns(PhaseKind::MapCompute, compute_ns);
+        if combine_ns > 0 {
+            self.profiler.add_ns(PhaseKind::Combine, combine_ns);
+        }
+        self.profiler.add_ns(PhaseKind::MapOutputWrite, write_ns);
         let mut io = IoBytes::default();
         if source == node {
             io.map_input_local = input_bytes;
@@ -959,6 +1056,9 @@ impl<'a> JobTracker<'a> {
                 })
             })
             .collect();
+        // Wave in flight: by-name metric resolution debug-asserts until
+        // the guard drops.
+        let _hot = self.cluster.metrics().enter_hot_scope();
         session
             .run_wave(&exec_spec, tasks)
             .into_iter()
@@ -1034,12 +1134,18 @@ impl<'a> JobTracker<'a> {
     }
 
     /// Sleeps the policy's full-jitter delay before retry `attempt` and
-    /// records it in the `retry.backoff_ms` histogram.
+    /// records it in the `retry.backoff_ms` histogram, the flight
+    /// recorder and the [`PhaseKind::RetryBackoff`] budget.
     fn backoff(&self, retry: &rcmp_model::RetryPolicy, site_seed: u64, attempt: u32) {
         let delay = retry.backoff_ms(site_seed, attempt);
         self.m_backoff_ms.observe(delay);
+        self.recorder
+            .record(EventCode::BackoffWait, None, delay, u64::from(attempt));
         if delay > 0 {
+            let slept = Instant::now();
             std::thread::sleep(std::time::Duration::from_millis(delay));
+            self.profiler
+                .add_ns(PhaseKind::RetryBackoff, slept.elapsed().as_nanos() as u64);
         }
     }
 
@@ -1088,6 +1194,12 @@ impl<'a> JobTracker<'a> {
                     }
                     Err(ShuffleFailure::Transient { .. }) => {
                         self.m_shuffle_transients.inc();
+                        self.recorder.record(
+                            EventCode::ShuffleRetry,
+                            Some(node),
+                            u64::from(task.id.partition.0),
+                            u64::from(attempt),
+                        );
                         // Retryable in place, but not forever: a path
                         // this flaky needs the task rescheduled.
                         if attempt >= retry.shuffle_attempts {
@@ -1103,6 +1215,10 @@ impl<'a> JobTracker<'a> {
             let shuffle_end = self.tracer.now_us();
             self.m_shuffle_us
                 .observe(shuffle_end.saturating_sub(shuffle_start));
+            self.profiler.add_us(
+                PhaseKind::ShuffleFetch,
+                shuffle_end.saturating_sub(shuffle_start),
+            );
             self.record_fetches(
                 &merge.per_source,
                 node,
@@ -1111,12 +1227,19 @@ impl<'a> JobTracker<'a> {
                 shuffle_end,
             );
             let (local, remote) = (merge.local_bytes, merge.remote_bytes);
+            // Merge vs UDF attribution: the loop interleaves both, so
+            // the UDF is timed per group and the remainder of the loop
+            // is the merge (two clock reads per group, flushed once).
+            let merge_started = Instant::now();
+            let mut udf_ns = 0u64;
             for group in merge.by_ref() {
                 match group {
                     Ok((key, values)) => {
+                        let udf_start = Instant::now();
                         spec.reducer.reduce(key, &values, &mut |rec: Record| {
                             out.push(&rec);
                         });
+                        udf_ns += udf_start.elapsed().as_nanos() as u64;
                     }
                     // A lazily-decoded run can surface corruption
                     // mid-merge; treat it exactly like plan-time
@@ -1129,6 +1252,10 @@ impl<'a> JobTracker<'a> {
                     Err(ShuffleFailure::Transient { .. }) => return ReduceOutcome::Retry(task.id),
                 }
             }
+            let loop_ns = merge_started.elapsed().as_nanos() as u64;
+            self.profiler
+                .add_ns(PhaseKind::StreamingMerge, loop_ns.saturating_sub(udf_ns));
+            self.profiler.add_ns(PhaseKind::ReduceUdf, udf_ns);
             self.m_shuffle.observe_merge(&merge.stats());
             (local, remote)
         } else {
@@ -1145,6 +1272,12 @@ impl<'a> JobTracker<'a> {
                     }
                     Err(ShuffleFailure::Transient { .. }) => {
                         self.m_shuffle_transients.inc();
+                        self.recorder.record(
+                            EventCode::ShuffleRetry,
+                            Some(node),
+                            u64::from(task.id.partition.0),
+                            u64::from(attempt),
+                        );
                         if attempt >= retry.shuffle_attempts {
                             return ReduceOutcome::Retry(task.id);
                         }
@@ -1155,6 +1288,10 @@ impl<'a> JobTracker<'a> {
             let shuffle_end = self.tracer.now_us();
             self.m_shuffle_us
                 .observe(shuffle_end.saturating_sub(shuffle_start));
+            self.profiler.add_us(
+                PhaseKind::ShuffleFetch,
+                shuffle_end.saturating_sub(shuffle_start),
+            );
             self.record_fetches(
                 &shuffled.per_source,
                 node,
@@ -1162,11 +1299,14 @@ impl<'a> JobTracker<'a> {
                 shuffle_start,
                 shuffle_end,
             );
+            let udf_start = Instant::now();
             for (key, values) in &shuffled.groups {
                 spec.reducer.reduce(*key, values, &mut |rec: Record| {
                     out.push(&rec);
                 });
             }
+            self.profiler
+                .add_ns(PhaseKind::ReduceUdf, udf_start.elapsed().as_nanos() as u64);
             (shuffled.local_bytes, shuffled.remote_bytes)
         };
         let output_bytes = out.byte_count();

@@ -114,6 +114,15 @@ impl BackendExecutor {
         }
     }
 
+    /// Attaches a phase profiler for reactor poll/park attribution (a
+    /// no-op for the threaded backend, which has no reactor).
+    pub fn with_profiler(self, profiler: Arc<rcmp_obs::PhaseProfiler>) -> Self {
+        match self {
+            BackendExecutor::Threaded(t) => BackendExecutor::Threaded(t),
+            BackendExecutor::Async(a) => BackendExecutor::Async(a.with_profiler(profiler)),
+        }
+    }
+
     /// Stable backend name (`"threaded"` / `"async"`).
     pub fn name(&self) -> &'static str {
         match self {

@@ -21,6 +21,10 @@ pub struct ExecMetrics {
     pub polls_per_task_milli: Gauge,
     /// Total future polls across all waves.
     pub polls: Counter,
+    /// Nanoseconds spent inside `Future::poll` across all waves.
+    pub poll_ns: Counter,
+    /// Nanoseconds workers spent parked waiting for ready tasks.
+    pub park_ns: Counter,
     /// Tasks that ran to completion.
     pub tasks_completed: Counter,
     /// Tasks skipped by cooperative cancellation.
@@ -44,6 +48,8 @@ impl ExecMetrics {
             workers: registry.gauge("exec.workers"),
             polls_per_task_milli: registry.gauge("exec.polls_per_task_milli"),
             polls: registry.counter("exec.polls"),
+            poll_ns: registry.counter("exec.poll_ns"),
+            park_ns: registry.counter("exec.park_ns"),
             tasks_completed: registry.counter("exec.tasks_completed"),
             tasks_cancelled: registry.counter("exec.tasks_cancelled"),
             tasks_abandoned: registry.counter("exec.tasks_abandoned"),

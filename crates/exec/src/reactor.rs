@@ -21,13 +21,14 @@ use crate::task::{CancelToken, SlotOutcome, SlotTask, TaskCtx};
 use crate::{Executor, WaveSpec};
 use rand::seq::SliceRandom;
 use rcmp_model::rng::rng_for;
-use rcmp_obs::{MetricsRegistry, SpanKind, Tracer};
+use rcmp_obs::{MetricsRegistry, PhaseKind, PhaseProfiler, SpanKind, Tracer};
 use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::task::{Context, Poll, Wake, Waker};
+use std::time::Instant;
 
 /// Locks ignoring poisoning: task panics are contained inside
 /// [`TaskFuture::poll`], so a poisoned reactor lock can only come from a
@@ -50,6 +51,12 @@ struct Shared {
     remaining: AtomicUsize,
     polls: AtomicU64,
     parked: AtomicUsize,
+    /// Nanoseconds workers spent inside `Future::poll` this wave.
+    poll_ns: AtomicU64,
+    /// Nanoseconds workers spent parked on the ready condvar this wave.
+    park_ns: AtomicU64,
+    /// Number of park episodes this wave (each condvar wait counts one).
+    parks: AtomicU64,
     /// Completion latch for session mode: the wave submitter waits here,
     /// never on `ready` — `enqueue`'s `notify_one` could otherwise wake
     /// the submitter instead of a parked worker and stall the wave.
@@ -66,6 +73,9 @@ impl Shared {
             remaining: AtomicUsize::new(tasks),
             polls: AtomicU64::new(0),
             parked: AtomicUsize::new(0),
+            poll_ns: AtomicU64::new(0),
+            park_ns: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
             done: Mutex::new(false),
             done_cv: Condvar::new(),
             metrics,
@@ -106,7 +116,11 @@ impl Shared {
                 m.parked_workers
                     .set(self.parked.load(Ordering::Relaxed) as i64);
             }
+            let parked_at = Instant::now();
             q = self.ready.wait(q).unwrap_or_else(PoisonError::into_inner);
+            self.park_ns
+                .fetch_add(parked_at.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            self.parks.fetch_add(1, Ordering::Relaxed);
             self.parked.fetch_sub(1, Ordering::Relaxed);
             if let Some(m) = &self.metrics {
                 m.parked_workers
@@ -179,7 +193,12 @@ fn worker_loop<T: Send>(shared: &Arc<Shared>, slots: &[Mutex<Slot<'_, T>>]) {
         }));
         let mut cx = Context::from_waker(&waker);
         shared.polls.fetch_add(1, Ordering::Relaxed);
-        match Pin::new(&mut fut).poll(&mut cx) {
+        let poll_started = Instant::now();
+        let polled = Pin::new(&mut fut).poll(&mut cx);
+        shared
+            .poll_ns
+            .fetch_add(poll_started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        match polled {
             Poll::Pending => {
                 slot.fut = Some(fut);
             }
@@ -336,6 +355,7 @@ impl<'env> AsyncSession<'_, 'env> {
             .iter()
             .map(|m| lock(m).outcome.take().unwrap_or(SlotOutcome::Cancelled))
             .collect();
+        exec.flush_reactor_time(&shared);
         let polls = shared.polls.load(Ordering::Relaxed);
         let cancelled = outcomes.iter().filter(|o| o.is_cancelled()).count();
         if let Some(m) = &exec.metrics {
@@ -384,6 +404,7 @@ pub struct AsyncExecutor {
     workers: usize,
     tracer: Option<Arc<Tracer>>,
     metrics: Option<ExecMetrics>,
+    profiler: Option<Arc<PhaseProfiler>>,
 }
 
 impl AsyncExecutor {
@@ -401,6 +422,7 @@ impl AsyncExecutor {
             workers,
             tracer: None,
             metrics: None,
+            profiler: None,
         }
     }
 
@@ -410,6 +432,32 @@ impl AsyncExecutor {
         self.tracer = Some(tracer);
         self.metrics = Some(ExecMetrics::register(registry));
         self
+    }
+
+    /// Attaches a phase profiler: reactor poll and park time flow into
+    /// [`PhaseKind::ReactorPoll`] / [`PhaseKind::ReactorPark`] at the
+    /// end of each wave.
+    pub fn with_profiler(mut self, profiler: Arc<PhaseProfiler>) -> Self {
+        self.profiler = Some(profiler);
+        self
+    }
+
+    /// Flushes one wave's accumulated poll/park time into the exec
+    /// metrics and the phase profiler (one flush per wave — the hot
+    /// loop only touches the wave-local atomics in [`Shared`]).
+    fn flush_reactor_time(&self, shared: &Shared) {
+        let poll_ns = shared.poll_ns.load(Ordering::Relaxed);
+        let park_ns = shared.park_ns.load(Ordering::Relaxed);
+        let polls = shared.polls.load(Ordering::Relaxed);
+        let parks = shared.parks.load(Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.poll_ns.add(poll_ns);
+            m.park_ns.add(park_ns);
+        }
+        if let Some(p) = &self.profiler {
+            p.add_many_ns(PhaseKind::ReactorPoll, poll_ns, polls);
+            p.add_many_ns(PhaseKind::ReactorPark, park_ns, parks);
+        }
     }
 
     /// The resolved OS worker-thread count.
@@ -517,6 +565,7 @@ impl Executor for AsyncExecutor {
                 });
             }
         });
+        self.flush_reactor_time(&shared);
         let polls = shared.polls.load(Ordering::Relaxed);
         let outcomes: Vec<SlotOutcome<T>> = slots
             .into_iter()
@@ -691,6 +740,29 @@ mod tests {
             }
             other => panic!("unexpected kind {other:?}"),
         }
+    }
+
+    #[test]
+    fn reactor_time_flows_into_metrics_and_profiler() {
+        let reg = MetricsRegistry::new();
+        let profiler = Arc::new(PhaseProfiler::new(rcmp_obs::Clock::monotonic()));
+        let exec = AsyncExecutor::new(2)
+            .with_obs(Arc::new(Tracer::new()), &reg)
+            .with_profiler(Arc::clone(&profiler));
+        let tasks: Vec<SlotTask<'_, ()>> = (0..16)
+            .map(|_| {
+                SlotTask::new(move |_: &TaskCtx| {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                })
+            })
+            .collect();
+        exec.run_wave(&WaveSpec::new("timed", 1), tasks);
+        // 16 × 1 ms of task body runs inside `poll`, so well over a
+        // millisecond of poll time must have been attributed.
+        assert!(reg.snapshot().counter("exec.poll_ns").unwrap() > 1_000_000);
+        assert!(profiler.total_ns(PhaseKind::ReactorPoll) > 1_000_000);
+        let polled = profiler.snapshot().entries[PhaseKind::ReactorPoll.index()].count;
+        assert_eq!(polled, 32, "two polls per task");
     }
 
     #[test]

@@ -1,0 +1,283 @@
+//! Post-mortem blackbox dumps.
+//!
+//! When a chain dies with a typed error (or a chaos soak fails its
+//! assertion), the pieces needed to explain the death are scattered
+//! across the flight recorder (the last-N compact events), the tracer
+//! (the causal fault → loss → plan → recompute lineage), the metrics
+//! registry and the phase profiler. A [`BlackboxDump`] gathers all
+//! four into one serializable artifact at the moment of failure — the
+//! Recovery-Oriented-Computing stance that a production failure must
+//! be triageable *after the fact*, from the dump alone.
+
+use crate::metrics::MetricsSnapshot;
+use crate::profile::PhaseBreakdown;
+use crate::ring::{FlightLog, FlightRecorder};
+use crate::span::{Span, SpanId, SpanKind, Trace};
+use serde::Serialize;
+use std::collections::BTreeSet;
+
+/// How many of the newest flight-recorder events a dump retains.
+pub const RECENT_EVENTS: usize = 512;
+
+/// Everything needed to triage one failure, frozen at dump time.
+#[derive(Clone, Debug, Serialize)]
+pub struct BlackboxDump {
+    /// Why the dump was taken (typically the typed error's rendering).
+    pub reason: String,
+    /// The newest flight-recorder events (≤ [`RECENT_EVENTS`]),
+    /// oldest first.
+    pub recent: Vec<crate::ring::FlightEvent>,
+    /// Total events the recorder ever recorded.
+    pub recorded: u64,
+    /// Events the recorder evicted to stay within capacity.
+    pub dropped: u64,
+    /// The causal failure lineage: every span participating in a
+    /// `cause` chain (faults, losses, recovery plans, recomputation
+    /// runs), in trace order.
+    pub lineage: Vec<Span>,
+    /// Metric values at dump time.
+    pub metrics: MetricsSnapshot,
+    /// Phase time-budget at dump time.
+    pub phases: PhaseBreakdown,
+}
+
+/// Extracts the causal failure lineage from a trace: the set of spans
+/// reachable by following `cause` links, closed over transitively.
+/// Fault spans seed the walk even when nothing referenced them yet
+/// (a fault that killed the chain before recovery could be planned).
+pub fn causal_lineage(trace: &Trace) -> Vec<Span> {
+    let mut keep: BTreeSet<SpanId> = BTreeSet::new();
+    // Seeds: every span that carries a cause link, plus every fault
+    // and loss marker.
+    for s in trace.spans() {
+        if s.cause.is_some() || matches!(s.kind, SpanKind::Fault { .. } | SpanKind::Loss { .. }) {
+            keep.insert(s.id);
+        }
+    }
+    // Close over cause targets until the set stops growing (chains are
+    // short — fault → loss → plan → run — so this converges fast).
+    loop {
+        let mut grew = false;
+        for s in trace.spans() {
+            if keep.contains(&s.id) {
+                if let Some(c) = s.cause {
+                    grew |= keep.insert(c);
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    trace
+        .spans()
+        .iter()
+        .filter(|s| keep.contains(&s.id))
+        .cloned()
+        .collect()
+}
+
+impl BlackboxDump {
+    /// Builds a dump from the live observability surfaces.
+    pub fn capture(
+        reason: impl Into<String>,
+        recorder: &FlightRecorder,
+        trace: &Trace,
+        metrics: MetricsSnapshot,
+        phases: PhaseBreakdown,
+    ) -> Self {
+        let log: FlightLog = recorder.snapshot();
+        Self {
+            reason: reason.into(),
+            recent: log.last(RECENT_EVENTS).to_vec(),
+            recorded: log.recorded,
+            dropped: log.dropped,
+            lineage: causal_lineage(trace),
+            metrics,
+            phases,
+        }
+    }
+
+    /// Spans of one kind in the lineage, in trace order.
+    pub fn lineage_of_kind<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Span> {
+        self.lineage.iter().filter(move |s| s.kind.name() == name)
+    }
+
+    /// True when the lineage holds the full fault → loss → plan →
+    /// recompute chain: at least one fault, a loss caused by it, and a
+    /// recovery plan whose cause chain reaches that loss.
+    pub fn lineage_is_complete(&self) -> bool {
+        let fault = match self.lineage_of_kind("Fault").next() {
+            Some(f) => f.id,
+            None => return false,
+        };
+        let loss = self
+            .lineage
+            .iter()
+            .find(|s| matches!(s.kind, SpanKind::Loss { .. }) && s.cause == Some(fault));
+        let loss = match loss {
+            Some(l) => l.id,
+            None => return false,
+        };
+        self.lineage
+            .iter()
+            .any(|s| matches!(s.kind, SpanKind::RecoveryPlan { .. }) && s.cause == Some(loss))
+    }
+
+    /// Serializes the dump to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
+    }
+
+    /// Deterministic text triage view: reason, drop accounting, the
+    /// lineage chain, and the non-zero phase rows.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "=== blackbox dump ===\nreason: {}\nflight recorder: {} recorded, {} retained here, {} dropped\nlineage ({} spans):\n",
+            self.reason,
+            self.recorded,
+            self.recent.len(),
+            self.dropped,
+            self.lineage.len(),
+        );
+        for s in &self.lineage {
+            out.push_str(&format!(
+                "  #{:<4} {:<18} cause={:<6} node={:<6} {:?}\n",
+                s.id.0,
+                s.kind.name(),
+                s.cause.map_or_else(|| "-".to_string(), |c| c.0.to_string()),
+                s.node.map_or_else(|| "-".to_string(), |n| n.to_string()),
+                s.kind,
+            ));
+        }
+        out.push_str("phases:\n");
+        out.push_str(&self.phases.render());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::Clock;
+    use crate::metrics::MetricsRegistry;
+    use crate::ring::EventCode;
+    use crate::span::FaultKind;
+    use crate::tracer::Tracer;
+    use rcmp_model::JobId;
+
+    /// Builds a trace with a fault→loss→plan→recompute chain plus
+    /// unrelated noise spans.
+    fn chained_trace(t: &Tracer) -> Trace {
+        t.instant(
+            SpanKind::Event {
+                seq: 0,
+                label: "noise".into(),
+            },
+            None,
+            None,
+            None,
+        );
+        let fault = t.instant(
+            SpanKind::Fault {
+                seq: 3,
+                kind: FaultKind::NodeCrash,
+                at: "JobStart".into(),
+            },
+            None,
+            None,
+            None,
+        );
+        let loss = t.instant(
+            SpanKind::Loss {
+                seq: 3,
+                lost_partitions: 4,
+            },
+            None,
+            Some(fault),
+            None,
+        );
+        let plan = t.instant(
+            SpanKind::RecoveryPlan {
+                target: JobId(2),
+                steps: 2,
+                partitions: 4,
+            },
+            None,
+            Some(loss),
+            None,
+        );
+        t.instant(
+            SpanKind::JobRun {
+                seq: 4,
+                job: JobId(1),
+                recompute: true,
+                live_nodes: 3,
+                map_slots: 1,
+                reduce_slots: 1,
+                ok: true,
+            },
+            None,
+            Some(plan),
+            None,
+        );
+        t.snapshot()
+    }
+
+    #[test]
+    fn lineage_extracts_full_causal_chain_without_noise() {
+        let t = Tracer::new();
+        let trace = chained_trace(&t);
+        let lineage = causal_lineage(&trace);
+        assert_eq!(lineage.len(), 4, "fault, loss, plan, recompute run");
+        assert!(lineage.iter().all(|s| s.kind.name() != "Event"));
+    }
+
+    #[test]
+    fn capture_bundles_all_surfaces_and_detects_completeness() {
+        let t = Tracer::new();
+        let trace = chained_trace(&t);
+        let recorder = FlightRecorder::new(Clock::monotonic(), 8, 1);
+        recorder.record(EventCode::FaultInjected, None, 3, 0);
+        let reg = MetricsRegistry::new();
+        reg.counter("task.retries").add(2);
+        let dump = BlackboxDump::capture(
+            "recovery budget exhausted",
+            &recorder,
+            &trace,
+            reg.snapshot(),
+            PhaseBreakdown::from_parts(&[]),
+        );
+        assert!(dump.lineage_is_complete());
+        assert_eq!(dump.recent.len(), 1);
+        assert_eq!(dump.recorded, 1);
+        assert_eq!(dump.metrics.counter("task.retries"), Some(2));
+        assert!(dump.render().contains("recovery budget exhausted"));
+        assert!(dump.to_json().contains("RecoveryPlan"));
+    }
+
+    #[test]
+    fn incomplete_lineage_is_reported_as_such() {
+        let t = Tracer::new();
+        t.instant(
+            SpanKind::Fault {
+                seq: 1,
+                kind: FaultKind::NodeCrash,
+                at: "JobStart".into(),
+            },
+            None,
+            None,
+            None,
+        );
+        let recorder = FlightRecorder::new(Clock::monotonic(), 8, 1);
+        let dump = BlackboxDump::capture(
+            "died before planning",
+            &recorder,
+            &t.snapshot(),
+            MetricsSnapshot::default(),
+            PhaseBreakdown::default(),
+        );
+        assert_eq!(dump.lineage.len(), 1);
+        assert!(!dump.lineage_is_complete());
+    }
+}

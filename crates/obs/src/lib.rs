@@ -25,12 +25,34 @@
 //! * [`export`] — **exporters**: JSONL span dump, Chrome `trace_event`
 //!   JSON (opens directly in Perfetto / `chrome://tracing`), and a
 //!   deterministic text summary table.
+//!
+//! The production telemetry tier sits next to the full-fidelity tracer:
+//!
+//! * [`clock`] — the **clock seam**: every timestamp in this crate goes
+//!   through an injectable [`clock::Clock`], so tests and the simulator
+//!   can drive virtual time deterministically.
+//! * [`ring`] — the always-on **flight recorder**: fixed-capacity
+//!   per-shard ring buffers of compact events with exact drop
+//!   accounting and self-measured record cost.
+//! * [`profile`] — the **phase profiler**: pre-resolved atomic timers
+//!   around the engine's real phases, emitting a Fig.-7-style
+//!   [`profile::PhaseBreakdown`] with one schema for engine and sim.
+//! * [`snapshot`] — **snapshot deltas and rate views** over
+//!   [`metrics::MetricsSnapshot`], the seam a per-tenant scrape sits on.
+//! * [`blackbox`] — **post-mortem dumps**: last-N flight events + the
+//!   causal failure lineage + metrics + phases, frozen when a chain
+//!   dies.
 
 #![deny(missing_docs)]
 
 pub mod analyze;
+pub mod blackbox;
+pub mod clock;
 pub mod export;
 pub mod metrics;
+pub mod profile;
+pub mod ring;
+pub mod snapshot;
 pub mod span;
 pub mod tracer;
 
@@ -38,7 +60,14 @@ pub use analyze::{
     hotspot_report, recomputation_critical_path, slot_occupancy, CriticalPath, HotspotReport,
     NodeLoad, PathStep, RunOccupancy, WaveOccupancy,
 };
+pub use blackbox::{causal_lineage, BlackboxDump};
+pub use clock::{Clock, ManualClock};
 pub use export::{chrome_trace_value, summary, to_chrome_json, to_jsonl};
-pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, SnapshotValue};
+pub use metrics::{
+    Counter, Gauge, Histogram, HotScopeGuard, MetricsRegistry, MetricsSnapshot, SnapshotValue,
+};
+pub use profile::{PhaseBreakdown, PhaseEntry, PhaseKind, PhaseProfiler, PhaseTimer};
+pub use ring::{EventCode, FlightEvent, FlightLog, FlightRecorder, RecorderStats};
+pub use snapshot::{DeltaValue, MetricsDelta};
 pub use span::{FaultKind, Phase, Span, SpanId, SpanKind, Trace};
 pub use tracer::{OpenSpan, Tracer};

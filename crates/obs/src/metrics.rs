@@ -10,7 +10,7 @@
 use parking_lot::Mutex;
 use serde::Serialize;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Monotonically increasing counter.
@@ -119,6 +119,24 @@ enum Metric {
 #[derive(Default)]
 pub struct MetricsRegistry {
     inner: Mutex<BTreeMap<String, Metric>>,
+    /// Depth of active hot scopes (waves in flight). Non-zero depth
+    /// makes by-name resolution a debug-assertion failure: hot paths
+    /// must use pre-resolved handles.
+    hot_depth: Arc<AtomicUsize>,
+}
+
+/// RAII marker from [`MetricsRegistry::enter_hot_scope`]: while alive,
+/// by-name metric resolution on the registry debug-asserts. Metric
+/// *handles* (already resolved) stay usable — they never touch the
+/// registry.
+pub struct HotScopeGuard {
+    depth: Arc<AtomicUsize>,
+}
+
+impl Drop for HotScopeGuard {
+    fn drop(&mut self) {
+        self.depth.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 /// Snapshot value of one metric.
@@ -186,8 +204,31 @@ impl MetricsRegistry {
         Self::default()
     }
 
+    /// Marks the start of a hot region (a wave in flight): until the
+    /// returned guard drops, by-name metric resolution debug-asserts.
+    /// Pre-resolve handles before entering; this catches the
+    /// regression where a hot path quietly reintroduces a registry
+    /// lock mid-wave.
+    pub fn enter_hot_scope(&self) -> HotScopeGuard {
+        self.hot_depth.fetch_add(1, Ordering::Relaxed);
+        HotScopeGuard {
+            depth: Arc::clone(&self.hot_depth),
+        }
+    }
+
+    #[track_caller]
+    fn assert_not_hot(&self, name: &str) {
+        debug_assert_eq!(
+            self.hot_depth.load(Ordering::Relaxed),
+            0,
+            "by-name metric resolution of {name:?} inside a hot scope (a wave is in flight); \
+             pre-resolve the handle at construction time",
+        );
+    }
+
     /// Gets or creates a counter.
     pub fn counter(&self, name: &str) -> Counter {
+        self.assert_not_hot(name);
         let mut inner = self.inner.lock();
         match inner
             .entry(name.to_string())
@@ -200,6 +241,7 @@ impl MetricsRegistry {
 
     /// Gets or creates a gauge.
     pub fn gauge(&self, name: &str) -> Gauge {
+        self.assert_not_hot(name);
         let mut inner = self.inner.lock();
         match inner
             .entry(name.to_string())
@@ -213,6 +255,7 @@ impl MetricsRegistry {
     /// Gets or creates a fixed-bucket histogram. `bounds` only applies
     /// on first registration.
     pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        self.assert_not_hot(name);
         let mut inner = self.inner.lock();
         match inner
             .entry(name.to_string())
@@ -292,6 +335,29 @@ mod tests {
         let g = reg.gauge("x"); // wrong type: detached
         g.set(99);
         assert_eq!(reg.snapshot().counter("x"), Some(1));
+    }
+
+    #[test]
+    fn hot_scope_permits_handle_use_and_nested_guards() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("pre.resolved");
+        let outer = reg.enter_hot_scope();
+        {
+            let _inner = reg.enter_hot_scope();
+            c.add(5); // handles never touch the registry
+        }
+        drop(outer);
+        // All guards dropped: by-name resolution is legal again.
+        assert_eq!(reg.counter("pre.resolved").get(), 5);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "inside a hot scope")]
+    fn by_name_resolution_inside_hot_scope_panics_in_debug() {
+        let reg = MetricsRegistry::new();
+        let _guard = reg.enter_hot_scope();
+        let _ = reg.counter("late.lookup");
     }
 
     #[test]

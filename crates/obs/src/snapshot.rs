@@ -1,0 +1,197 @@
+//! Snapshot deltas and rate views over [`MetricsSnapshot`].
+//!
+//! The future `rcmp-serve` per-tenant scrape sits on this seam: a
+//! scraper keeps the previous [`MetricsSnapshot`], takes a new one,
+//! and derives what changed ([`MetricsSnapshot::delta`]) or how fast
+//! ([`MetricsDelta::rates`]) without the registry growing any
+//! scrape-specific state.
+
+use crate::metrics::{MetricsSnapshot, SnapshotValue};
+use serde::Serialize;
+
+/// What one metric did between two snapshots.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub enum DeltaValue {
+    /// Counter increase (saturating at 0 — counters are monotone).
+    Counter(u64),
+    /// Gauge movement (signed) and its current value.
+    Gauge {
+        /// `current − earlier`.
+        change: i64,
+        /// Value at the later snapshot.
+        current: i64,
+    },
+    /// Histogram: new observations between the snapshots, with the
+    /// per-bucket increase (overflow bucket last).
+    Histogram {
+        /// Total new observations.
+        observed: u64,
+        /// Per-bucket count increase.
+        bucket_deltas: Vec<u64>,
+    },
+}
+
+/// The change between two metric snapshots, name-ordered.
+///
+/// Metrics present only in the later snapshot are treated as starting
+/// from zero; metrics that disappeared (impossible today — the
+/// registry never unregisters) are skipped.
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
+pub struct MetricsDelta {
+    /// Seconds the delta spans, when the caller supplied an interval
+    /// (0.0 = unknown; rates are then unavailable).
+    pub interval_secs: f64,
+    /// `(name, change)` pairs in ascending name order.
+    pub entries: Vec<(String, DeltaValue)>,
+}
+
+impl MetricsDelta {
+    /// Looks one metric's change up by name.
+    pub fn get(&self, name: &str) -> Option<&DeltaValue> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Convenience: a counter's increase (`None` for other types).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            DeltaValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Per-second rates for every counter (and histogram observation
+    /// stream), computed over `interval_secs`. Empty when the delta
+    /// carries no interval.
+    pub fn rates(&self) -> Vec<(String, f64)> {
+        if self.interval_secs <= 0.0 {
+            return Vec::new();
+        }
+        self.entries
+            .iter()
+            .filter_map(|(name, v)| {
+                let events = match v {
+                    DeltaValue::Counter(c) => *c,
+                    DeltaValue::Histogram { observed, .. } => *observed,
+                    DeltaValue::Gauge { .. } => return None,
+                };
+                Some((name.clone(), events as f64 / self.interval_secs))
+            })
+            .collect()
+    }
+}
+
+impl MetricsSnapshot {
+    /// The change from `earlier` to `self`. `interval_secs` is the
+    /// wall-clock (or virtual) seconds between the two snapshots; pass
+    /// 0.0 when unknown (deltas still work, rates become empty).
+    pub fn delta(&self, earlier: &MetricsSnapshot, interval_secs: f64) -> MetricsDelta {
+        let entries = self
+            .entries
+            .iter()
+            .filter_map(|(name, cur)| {
+                let prev = earlier.get(name);
+                let v = match (cur, prev) {
+                    (SnapshotValue::Counter(c), Some(SnapshotValue::Counter(p))) => {
+                        DeltaValue::Counter(c.saturating_sub(*p))
+                    }
+                    (SnapshotValue::Counter(c), None) => DeltaValue::Counter(*c),
+                    (SnapshotValue::Gauge(g), Some(SnapshotValue::Gauge(p))) => DeltaValue::Gauge {
+                        change: g - p,
+                        current: *g,
+                    },
+                    (SnapshotValue::Gauge(g), None) => DeltaValue::Gauge {
+                        change: *g,
+                        current: *g,
+                    },
+                    (
+                        SnapshotValue::Histogram { counts, total, .. },
+                        Some(SnapshotValue::Histogram {
+                            counts: pc,
+                            total: pt,
+                            ..
+                        }),
+                    ) => DeltaValue::Histogram {
+                        observed: total.saturating_sub(*pt),
+                        bucket_deltas: counts
+                            .iter()
+                            .enumerate()
+                            .map(|(i, c)| c.saturating_sub(pc.get(i).copied().unwrap_or(0)))
+                            .collect(),
+                    },
+                    (SnapshotValue::Histogram { counts, total, .. }, None) => {
+                        DeltaValue::Histogram {
+                            observed: *total,
+                            bucket_deltas: counts.clone(),
+                        }
+                    }
+                    // Same name changed type between snapshots: the
+                    // registry cannot produce this; skip defensively.
+                    _ => return None,
+                };
+                Some((name.clone(), v))
+            })
+            .collect();
+        MetricsDelta {
+            interval_secs,
+            entries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    #[test]
+    fn counter_and_histogram_deltas() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("shuffle.bytes");
+        let h = reg.histogram("shuffle.us", &[10, 100]);
+        c.add(100);
+        h.observe(5);
+        let before = reg.snapshot();
+        c.add(40);
+        h.observe(50);
+        h.observe(5_000);
+        let d = reg.snapshot().delta(&before, 2.0);
+        assert_eq!(d.counter("shuffle.bytes"), Some(40));
+        assert_eq!(
+            d.get("shuffle.us"),
+            Some(&DeltaValue::Histogram {
+                observed: 2,
+                bucket_deltas: vec![0, 1, 1],
+            })
+        );
+    }
+
+    #[test]
+    fn gauge_delta_carries_change_and_current() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("exec.workers");
+        g.set(4);
+        let before = reg.snapshot();
+        g.set(7);
+        let d = reg.snapshot().delta(&before, 0.0);
+        assert_eq!(
+            d.get("exec.workers"),
+            Some(&DeltaValue::Gauge {
+                change: 3,
+                current: 7
+            })
+        );
+        // No interval → no rates.
+        assert!(d.rates().is_empty());
+    }
+
+    #[test]
+    fn new_metric_counts_from_zero_and_rates_divide_by_interval() {
+        let reg = MetricsRegistry::new();
+        let before = reg.snapshot();
+        reg.counter("tasks.done").add(10);
+        let d = reg.snapshot().delta(&before, 5.0);
+        assert_eq!(d.counter("tasks.done"), Some(10));
+        let rates = d.rates();
+        assert_eq!(rates, vec![("tasks.done".to_string(), 2.0)]);
+    }
+}

@@ -15,12 +15,12 @@
 //! to link the new span to the loss that provoked it — without any
 //! plumbing through the `JobTracker` / `ChainDriver` call signatures.
 
+use crate::clock::Clock;
 use crate::span::{Span, SpanId, SpanKind, Trace};
 use parking_lot::Mutex;
 use rcmp_model::NodeId;
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::time::Instant;
 
 /// Number of independent recording shards. Threads are assigned
 /// round-robin; more threads than shards only means occasional sharing.
@@ -47,7 +47,7 @@ pub struct OpenSpan {
 
 /// Shared, thread-safe span recorder.
 pub struct Tracer {
-    epoch: Instant,
+    clock: Clock,
     next_id: AtomicU64,
     /// Lineage register: id of the most recent loss-like span, 0 = none.
     cause: AtomicU64,
@@ -63,17 +63,28 @@ impl Default for Tracer {
 impl Tracer {
     /// Creates an empty tracer; its epoch is the creation instant.
     pub fn new() -> Self {
+        Self::with_clock(Clock::monotonic())
+    }
+
+    /// Creates an empty tracer timestamping through `clock` (the clock
+    /// seam: tests and the simulator pass a manual clock).
+    pub fn with_clock(clock: Clock) -> Self {
         Self {
-            epoch: Instant::now(),
+            clock,
             next_id: AtomicU64::new(1),
             cause: AtomicU64::new(0),
             shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
         }
     }
 
+    /// The clock this tracer timestamps with.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
     /// Microseconds since the tracer epoch.
     pub fn now_us(&self) -> u64 {
-        self.epoch.elapsed().as_micros() as u64
+        self.clock.now_us()
     }
 
     /// Starts a span: allocates its id and records the start time.
@@ -245,6 +256,18 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), threads * per);
+    }
+
+    #[test]
+    fn manual_clock_drives_span_timestamps() {
+        let (clock, hand) = crate::clock::Clock::manual();
+        let t = Tracer::with_clock(clock);
+        let open = t.open();
+        hand.advance_us(1_234);
+        t.close(open, ev("timed"), None, None, None);
+        let trace = t.snapshot();
+        assert_eq!(trace.spans[0].start_us, 0);
+        assert_eq!(trace.spans[0].end_us, 1_234);
     }
 
     #[test]

@@ -1,7 +1,13 @@
 //! Simulation reports.
 
 use crate::speculate::SpeculationStats;
+use rcmp_obs::{PhaseBreakdown, PhaseKind};
 use serde::{Deserialize, Serialize};
+
+/// Simulated seconds → profiler microseconds.
+fn secs_to_us(s: f64) -> u64 {
+    (s * 1e6).round() as u64
+}
 
 /// Byte volumes of one simulated job run (mirrors the engine's
 /// `IoBytes`, validated against it on matched configurations).
@@ -87,6 +93,55 @@ impl SimChainReport {
         self.runs.iter().filter(|r| r.recompute)
     }
 
+    /// Projects the simulated chain onto the engine's 14-phase
+    /// time-budget schema: the returned [`PhaseBreakdown`] has the same
+    /// rows in the same order as the engine profiler's snapshot, so
+    /// engine and simulator figures render and diff through one code
+    /// path. Phases the simulator does not model (reactor poll/park,
+    /// block verify, DFS byte I/O timing) stay at zero — visible,
+    /// rather than silently absent from the schema.
+    pub fn phase_breakdown(&self) -> PhaseBreakdown {
+        let (mut map_us, mut map_n) = (0u64, 0u64);
+        let (mut reduce_us, mut reduce_n) = (0u64, 0u64);
+        let (mut rc_us, mut rc_n) = (0u64, 0u64);
+        for run in &self.runs {
+            map_n += run.mapper_durations.len() as u64;
+            map_us += run
+                .mapper_durations
+                .iter()
+                .map(|&d| secs_to_us(d))
+                .sum::<u64>();
+            reduce_n += run.reducer_durations.len() as u64;
+            reduce_us += run
+                .reducer_durations
+                .iter()
+                .map(|&d| secs_to_us(d))
+                .sum::<u64>();
+            if run.recompute {
+                rc_us += secs_to_us(run.duration);
+                rc_n += u64::from(run.map_waves + run.reduce_waves);
+            }
+        }
+        let planned = self
+            .events
+            .iter()
+            .filter(|e| matches!(e, SimEvent::RecoveryPlanned { .. }))
+            .count() as u64;
+        PhaseBreakdown::from_parts(&[
+            (PhaseKind::MapCompute, map_us, map_n),
+            (PhaseKind::ReduceUdf, reduce_us, reduce_n),
+            (PhaseKind::RecomputeWave, rc_us, rc_n),
+            (
+                PhaseKind::RetryBackoff,
+                secs_to_us(self.backoff_secs),
+                u64::from(self.backoff_secs > 0.0),
+            ),
+            // Simulated planning is instantaneous; the count still
+            // records how many plans were drawn up.
+            (PhaseKind::RecoveryPlanning, 0, planned),
+        ])
+    }
+
     /// Average duration of the initial (non-recompute) runs of jobs that
     /// completed before any failure — the per-job baseline used by the
     /// paper's numerical analysis (Fig. 10).
@@ -143,5 +198,42 @@ mod tests {
         });
         assert!((r.mean_initial_job_time() - 15.0).abs() < 1e-9);
         assert_eq!(r.recompute_runs().count(), 1);
+    }
+
+    #[test]
+    fn phase_breakdown_matches_engine_schema() {
+        let mut r = SimChainReport::default();
+        r.runs.push(SimJobReport {
+            duration: 2.0,
+            map_waves: 1,
+            reduce_waves: 1,
+            mapper_durations: vec![0.5, 0.5],
+            reducer_durations: vec![1.0],
+            ..Default::default()
+        });
+        r.runs.push(SimJobReport {
+            duration: 3.0,
+            map_waves: 1,
+            reduce_waves: 1,
+            mapper_durations: vec![1.5],
+            recompute: true,
+            ..Default::default()
+        });
+        r.backoff_secs = 0.25;
+        r.events.push(SimEvent::RecoveryPlanned {
+            steps: 1,
+            partitions: 4,
+        });
+
+        let b = r.phase_breakdown();
+        // Same rows, same order as an engine profiler snapshot.
+        let engine_schema: Vec<&str> = PhaseKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(b.schema(), engine_schema);
+        assert_eq!(b.total_us(PhaseKind::MapCompute), 2_500_000);
+        assert_eq!(b.total_us(PhaseKind::ReduceUdf), 1_000_000);
+        assert_eq!(b.total_us(PhaseKind::RecomputeWave), 3_000_000);
+        assert_eq!(b.total_us(PhaseKind::RetryBackoff), 250_000);
+        assert_eq!(b.entries[PhaseKind::RecoveryPlanning.index()].count, 1);
+        assert_eq!(b.total_us(PhaseKind::ReactorPoll), 0);
     }
 }

@@ -499,9 +499,12 @@ fn unrecoverable_input_exhausts_chain_restart_budget() {
 
 /// Everything a failing soak needs to be triaged in one string: which
 /// scripted faults never fired (a schedule that silently lost its
-/// teeth) and the adaptive estimator's full trajectory (what the
-/// closed loop believed at each job).
+/// teeth), the adaptive estimator's full trajectory (what the closed
+/// loop believed at each job), and — when the chain died with a typed
+/// error — the post-mortem blackbox the driver parked on the cluster
+/// (flight-recorder tail, causal lineage, phase budget).
 fn soak_diagnostics(
+    cl: &Cluster,
     injector: &ScriptedInjector,
     adaptation: &[rcmp::policy::AdaptationStep],
 ) -> String {
@@ -519,6 +522,10 @@ fn soak_diagnostics(
             "  job {:>2}: rate {:.4} interval {:?} switched {}\n",
             s.job, s.rate, s.interval, s.switched
         ));
+    }
+    match cl.take_blackbox() {
+        Some(dump) => out.push_str(&dump.render()),
+        None => out.push_str("no blackbox dump parked (chain did not die with a typed error)\n"),
     }
     out
 }
@@ -575,13 +582,13 @@ fn adaptive_hybrid_soaks_through_mixed_chaos() {
                 outcome.adaptation.len(),
                 JOBS as usize,
                 "one trajectory step per chain job\n{}",
-                soak_diagnostics(&injector, &outcome.adaptation)
+                soak_diagnostics(&cl, &injector, &outcome.adaptation)
             );
             // The kill at job 2 must be visible to the estimator.
             assert!(
                 outcome.adaptation[1].rate > outcome.adaptation[0].rate,
                 "the job-2 kill never reached the estimator\n{}",
-                soak_diagnostics(&injector, &outcome.adaptation)
+                soak_diagnostics(&cl, &injector, &outcome.adaptation)
             );
             let digest = digest_file(cl.dfs(), chain.final_output(), cl.live_nodes()[0])
                 .unwrap()
@@ -590,12 +597,12 @@ fn adaptive_hybrid_soaks_through_mixed_chaos() {
                 digest,
                 expected,
                 "adaptive soak diverged from golden\n{}",
-                soak_diagnostics(&injector, &outcome.adaptation)
+                soak_diagnostics(&cl, &injector, &outcome.adaptation)
             );
         }
         Err(e) => panic!(
             "adaptive soak died with {e}\n{}",
-            soak_diagnostics(&injector, &[])
+            soak_diagnostics(&cl, &injector, &[])
         ),
     }
 }

@@ -5,12 +5,13 @@
 //! showing recomputation runs strictly under-utilizing the cluster
 //! (Fig. 4).
 
-use rcmp::core::{ChainDriver, Strategy};
+use rcmp::core::{ChainDriver, ChainEvent, ChainOutcome, Strategy};
+use rcmp::engine::failure::{Fault, FaultTrigger};
 use rcmp::engine::{Cluster, ScriptedInjector, TriggerPoint};
-use rcmp::model::{ByteSize, ClusterConfig, NodeId, SlotConfig, TaskId};
+use rcmp::model::{ByteSize, ClusterConfig, Error, NodeId, SlotConfig, TaskId};
 use rcmp::obs::{
     chrome_trace_value, hotspot_report, recomputation_critical_path, slot_occupancy, summary,
-    SpanId, SpanKind, Trace,
+    Clock, EventCode, FlightRecorder, PhaseKind, SpanId, SpanKind, Trace,
 };
 use rcmp::workloads::{generate_input, ChainBuilder, DataGenConfig};
 use serde::Value;
@@ -22,20 +23,23 @@ const JOBS: u32 = 7;
 const KILL_SEQ: u64 = 4;
 const VICTIM: NodeId = NodeId(2);
 
-/// Runs the paper's 7-job chain with a node crash at the start of run
-/// 4, under RCMP without splitting, and snapshots the trace.
-fn chaos_chain_trace() -> Trace {
-    let cl = Cluster::new(ClusterConfig {
+fn cluster(max_recovery_attempts: u32) -> Cluster {
+    Cluster::new(ClusterConfig {
         nodes: NODES,
         slots: SlotConfig::ONE_ONE,
         block_size: ByteSize::kib(4),
         failure_detection_secs: 30.0,
-        max_recovery_attempts: 100,
+        max_recovery_attempts,
         executor: rcmp::model::ExecutorConfig::default(),
         shuffle: Default::default(),
         retry: Default::default(),
         seed: 7,
-    });
+    })
+}
+
+/// Runs the paper's 7-job chain with a node crash at the start of run
+/// 4, under RCMP without splitting.
+fn chaos_chain(cl: &Cluster) -> ChainOutcome {
     generate_input(cl.dfs(), &DataGenConfig::test("input", NODES, 12_000)).unwrap();
     let chain = ChainBuilder::new(JOBS, NODES).build();
     let injector = Arc::new(ScriptedInjector::single(
@@ -43,12 +47,19 @@ fn chaos_chain_trace() -> Trace {
         TriggerPoint::JobStart,
         VICTIM,
     ));
-    let outcome = ChainDriver::new(&cl, Strategy::rcmp_no_split())
+    let outcome = ChainDriver::new(cl, Strategy::rcmp_no_split())
         .with_injector(injector)
         .run(&chain.jobs)
         .unwrap();
     assert!(outcome.jobs_started > JOBS as u64, "failure forced reruns");
     assert!(outcome.events.recompute_runs() > 0);
+    outcome
+}
+
+/// Same scenario, snapshotting only the trace.
+fn chaos_chain_trace() -> Trace {
+    let cl = cluster(100);
+    chaos_chain(&cl);
     cl.tracer().snapshot()
 }
 
@@ -262,5 +273,230 @@ fn critical_path_covers_the_cascade() {
         ),
         "cascade roots at the injected fault/loss, got {:?}",
         root_span.kind
+    );
+}
+
+/// The engine's phase profiler and the simulator's projection emit the
+/// *same* Fig.-7-style schema for the 7-job chain — every phase row in
+/// the same order — so a breakdown from either source renders and
+/// diffs through one code path. The engine side must actually have
+/// attributed time to the real phases of the chaos chain.
+#[test]
+fn engine_and_sim_phase_breakdowns_share_one_schema() {
+    let cl = cluster(100);
+    let outcome = chaos_chain(&cl);
+
+    let mut wl = rcmp::sim::WorkloadCfg::stic(SlotConfig::ONE_ONE);
+    wl.jobs = JOBS;
+    wl.per_node_input = wl.per_node_input / 16;
+    let sim = rcmp::sim::simulate_chain(&rcmp::sim::ChainSimConfig::new(
+        rcmp::sim::HwProfile::stic(),
+        wl,
+        Strategy::rcmp_no_split(),
+    ));
+    let sim_phases = sim.phase_breakdown();
+
+    assert_eq!(
+        outcome.phases.schema(),
+        sim_phases.schema(),
+        "engine and simulator must emit identical phase schemas"
+    );
+    // The engine run attributed real time to the real phases.
+    for phase in [
+        PhaseKind::MapCompute,
+        PhaseKind::MapOutputWrite,
+        PhaseKind::ShuffleFetch,
+        PhaseKind::DfsRead,
+        PhaseKind::DfsWrite,
+        PhaseKind::RecoveryPlanning,
+        PhaseKind::RecomputeWave,
+    ] {
+        assert!(
+            outcome.phases.entries[phase.index()].count > 0,
+            "engine chaos chain attributed nothing to {phase:?}:\n{}",
+            outcome.phases.render()
+        );
+    }
+    assert!(sim_phases.total_us(PhaseKind::MapCompute) > 0);
+    assert!(sim_phases.total_us(PhaseKind::ReduceUdf) > 0);
+    // Per-run deltas cover every successful run and never exceed the
+    // whole-chain budget.
+    assert_eq!(outcome.job_phases.len(), outcome.runs.len());
+    let delta_sum: u64 = outcome
+        .job_phases
+        .iter()
+        .map(|(_, d)| d.grand_total_us())
+        .sum();
+    assert!(delta_sum <= outcome.phases.grand_total_us());
+}
+
+/// Ring overflow at the integration level: a small recorder under a
+/// burst keeps exact accounting (`recorded == retained + dropped`),
+/// evicts oldest-first, and `snapshot` returns the newest events in
+/// global sequence order — from every shard, under concurrency.
+#[test]
+fn flight_recorder_overflow_keeps_exact_accounting() {
+    // Single shard: eviction order is fully observable.
+    let rec = FlightRecorder::new(Clock::monotonic(), 64, 1);
+    for i in 0..1_000u64 {
+        rec.record(EventCode::Probe, None, i, 0);
+    }
+    let log = rec.snapshot();
+    assert_eq!(log.recorded, 1_000);
+    assert_eq!(log.events.len(), 64, "capacity bounds retention");
+    assert_eq!(log.dropped, 1_000 - 64);
+    assert_eq!(
+        log.recorded,
+        log.events.len() as u64 + log.dropped,
+        "no event unaccounted for"
+    );
+    let seqs: Vec<u64> = log.events.iter().map(|e| e.seq).collect();
+    assert_eq!(
+        seqs,
+        (936..1_000).collect::<Vec<u64>>(),
+        "oldest evicted first, newest retained in order"
+    );
+
+    // Sharded + concurrent: the invariant still holds exactly.
+    let rec = Arc::new(FlightRecorder::new(Clock::monotonic(), 32, 4));
+    let threads: Vec<_> = (0..4u64)
+        .map(|t| {
+            let rec = rec.clone();
+            std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    rec.record(EventCode::Probe, None, t, i);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let stats = rec.stats();
+    assert_eq!(stats.recorded, 2_000);
+    assert_eq!(stats.recorded, stats.retained + stats.dropped);
+    let log = rec.snapshot();
+    assert_eq!(log.events.len() as u64, stats.retained);
+    assert!(
+        log.events.windows(2).all(|w| w[0].seq < w[1].seq),
+        "merged snapshot is in global sequence order"
+    );
+}
+
+/// A chaos-induced chain death parks a blackbox dump whose causal
+/// lineage is *complete* — fault → loss → recovery plan → recompute —
+/// and whose flight-recorder tail holds the matching compact events.
+/// The scenario: the same job loses its input again right after a
+/// successful recovery, exceeding a budget of one recovery per job.
+#[test]
+fn chaos_chain_death_parks_a_complete_blackbox() {
+    // Probe run (generous budget): learn which seq the cancelled job's
+    // retry lands on. The engine is deterministic for a fixed seed, so
+    // the seq replays exactly in the second run.
+    let (cancelled_job, retry_seq) = {
+        let cl = cluster(100);
+        let outcome = chaos_chain(&cl);
+        let job = outcome
+            .events
+            .iter()
+            .find_map(|e| match e {
+                ChainEvent::JobCancelled { seq, job } if *seq == KILL_SEQ => Some(*job),
+                _ => None,
+            })
+            .expect("run 4 was cancelled");
+        let retry = outcome
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                ChainEvent::JobStarted {
+                    seq,
+                    job: j,
+                    recompute: false,
+                } if *j == job && *seq > KILL_SEQ => Some(*seq),
+                _ => None,
+            })
+            .min()
+            .expect("cancelled job retried");
+        (job, retry)
+    };
+
+    // Real run: budget of one recovery, and a second kill at the
+    // retry — the repeated input loss exhausts the budget.
+    let cl = cluster(1);
+    generate_input(cl.dfs(), &DataGenConfig::test("input", NODES, 12_000)).unwrap();
+    let chain = ChainBuilder::new(JOBS, NODES).build();
+    let injector = Arc::new(ScriptedInjector::default().tolerate_unfired());
+    injector.add_fault(FaultTrigger {
+        seq: KILL_SEQ,
+        point: TriggerPoint::JobStart,
+        fault: Fault::NodeCrash(VICTIM),
+    });
+    injector.add_fault(FaultTrigger {
+        seq: retry_seq,
+        point: TriggerPoint::JobStart,
+        fault: Fault::NodeCrash(NodeId(1)),
+    });
+    let err = ChainDriver::new(&cl, Strategy::rcmp_no_split())
+        .with_injector(injector)
+        .run(&chain.jobs)
+        .unwrap_err();
+    assert!(
+        matches!(err, Error::RecoveryExhausted { job, .. } if job == cancelled_job),
+        "expected RecoveryExhausted for {cancelled_job:?}, got {err}"
+    );
+
+    let dump = cl
+        .take_blackbox()
+        .expect("a typed chain death parks a blackbox dump");
+    assert_eq!(dump.reason, err.to_string(), "reason is the typed error");
+    assert!(
+        dump.lineage_is_complete(),
+        "lineage must chain fault -> loss -> plan -> recompute:\n{}",
+        dump.render()
+    );
+    // The recompute run hangs off the recovery plan in the lineage.
+    assert!(
+        dump.lineage.iter().any(|s| matches!(
+            s.kind,
+            SpanKind::JobRun {
+                recompute: true,
+                ..
+            }
+        )),
+        "recompute run missing from lineage:\n{}",
+        dump.render()
+    );
+    // The flight-recorder tail carries the matching compact events.
+    for code in [
+        EventCode::FaultInjected,
+        EventCode::PartitionsLost,
+        EventCode::RecoveryPlanned,
+        EventCode::RecomputeStarted,
+    ] {
+        assert!(
+            dump.recent.iter().any(|e| e.code == code),
+            "recent events missing {code:?}:\n{}",
+            dump.render()
+        );
+    }
+    // Nothing was silently lost, and the phase budget rode along.
+    assert_eq!(dump.recorded, dump.recent.len() as u64 + dump.dropped);
+    assert!(dump.phases.entries[PhaseKind::RecoveryPlanning.index()].count >= 1);
+    // A second driver on the same cluster would overwrite; the dump we
+    // took is ours alone.
+    assert!(cl.take_blackbox().is_none());
+    // The dump is JSON-serializable for `RCMP_BLACKBOX_DIR`-style
+    // export, lineage included.
+    let json = dump.to_json();
+    assert!(json.contains("RecoveryPlan") && json.contains("reason"));
+    // The free-text error names the job, matching the typed field.
+    assert_eq!(dump.reason, err.to_string());
+    // Run 4's wave events reached the recorder before the death.
+    assert!(
+        dump.recent
+            .iter()
+            .any(|e| e.code == EventCode::WaveStart || e.code == EventCode::TaskDone),
+        "wave-level events missing from the tail:\n{}",
+        dump.render()
     );
 }
