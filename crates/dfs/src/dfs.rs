@@ -3,7 +3,7 @@
 use crate::block::{BlockInfo, BlockLocation};
 use crate::namespace::{FileMeta, PartitionMeta, SegmentMeta};
 use crate::placement::{place_block, PlacementPolicy};
-use crate::report::LossReport;
+use crate::report::{LossReport, RebalanceReport};
 use crate::storage::{NodeAccessStats, NodeStore};
 use crate::topology::RackTopology;
 use bytes::{Bytes, BytesMut};
@@ -16,8 +16,9 @@ use rcmp_obs::{
     EventCode, FlightRecorder, Histogram, MetricsRegistry, PhaseKind, PhaseProfiler, SpanKind,
     Tracer,
 };
+use rcmp_policy::NodeStatus;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -81,15 +82,40 @@ const IO_US_BOUNDS: [u64; 11] = [
     50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000,
 ];
 
+/// One member node of the DFS: its block store plus its membership
+/// lifecycle status. Dynamic membership (join / drain / decommission /
+/// rejoin) mutates the status in place — indices are dense and stable,
+/// a node keeps its `NodeId` for the lifetime of the cluster.
+struct NodeSlot {
+    store: Arc<NodeStore>,
+    status: NodeStatus,
+}
+
+impl NodeSlot {
+    fn new(shards: u32) -> Self {
+        Self {
+            store: Arc::new(NodeStore::with_shards(shards)),
+            status: NodeStatus::Up,
+        }
+    }
+}
+
 /// The distributed file system.
 ///
 /// Thread-safe: the engine's node executors read and write concurrently.
 /// The namespace lock is never held while block payloads are copied.
+///
+/// Membership semantics (mirroring `rcmp_policy::Membership`):
+/// **readable** nodes (Up or Draining) serve reads and appear in
+/// [`Dfs::live_nodes`]; **schedulable** nodes (Up only) receive new
+/// replicas and appear in [`Dfs::placement_targets`]. A draining node
+/// therefore stops accumulating data immediately while everything it
+/// already holds stays reachable — the graceful counterpart to
+/// [`Dfs::fail_node`].
 pub struct Dfs {
     cfg: DfsConfig,
     namespace: RwLock<HashMap<String, FileMeta>>,
-    stores: Vec<NodeStore>,
-    alive: Vec<AtomicBool>,
+    nodes: RwLock<Vec<NodeSlot>>,
     next_block: AtomicU64,
     rng: Mutex<SmallRng>,
     tracer: Arc<Tracer>,
@@ -108,16 +134,14 @@ impl Dfs {
     pub fn new_traced(cfg: DfsConfig, tracer: Arc<Tracer>) -> Self {
         assert!(cfg.nodes > 0, "DFS needs at least one node");
         assert!(!cfg.block_size.is_zero(), "block size must be positive");
-        let stores = (0..cfg.nodes)
-            .map(|_| NodeStore::with_shards(cfg.store_shards))
+        let nodes = (0..cfg.nodes)
+            .map(|_| NodeSlot::new(cfg.store_shards))
             .collect();
-        let alive = (0..cfg.nodes).map(|_| AtomicBool::new(true)).collect();
         let rng = Mutex::new(rng_for(cfg.seed, "dfs-placement"));
         Self {
             cfg,
             namespace: RwLock::new(HashMap::new()),
-            stores,
-            alive,
+            nodes: RwLock::new(nodes),
             next_block: AtomicU64::new(1),
             rng,
             tracer,
@@ -154,19 +178,247 @@ impl Dfs {
         &self.tracer
     }
 
-    /// Nodes currently alive.
+    /// Nodes whose data is currently reachable (Up or Draining),
+    /// ascending.
     pub fn live_nodes(&self) -> Vec<NodeId> {
-        (0..self.cfg.nodes)
-            .map(NodeId)
-            .filter(|n| self.is_alive(*n))
+        self.filtered_nodes(NodeStatus::is_readable)
+    }
+
+    /// Nodes new replicas may land on (Up only), ascending. A draining
+    /// node still serves its data but stops accumulating more.
+    pub fn placement_targets(&self) -> Vec<NodeId> {
+        self.filtered_nodes(NodeStatus::is_schedulable)
+    }
+
+    fn filtered_nodes(&self, pred: fn(NodeStatus) -> bool) -> Vec<NodeId> {
+        self.nodes
+            .read()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| pred(s.status))
+            .map(|(i, _)| NodeId(i as u32))
             .collect()
     }
 
+    /// May data on `node` still be read (Up or Draining)?
     pub fn is_alive(&self, node: NodeId) -> bool {
-        self.alive
+        self.node_status(node).is_some_and(NodeStatus::is_readable)
+    }
+
+    /// Membership lifecycle status of `node`, if it is a member.
+    pub fn node_status(&self, node: NodeId) -> Option<NodeStatus> {
+        self.nodes.read().get(node.index()).map(|s| s.status)
+    }
+
+    /// Total member count, including drained, decommissioned and dead
+    /// nodes (indices are never reused).
+    pub fn num_nodes(&self) -> u32 {
+        self.nodes.read().len() as u32
+    }
+
+    fn store(&self, node: NodeId) -> Option<Arc<NodeStore>> {
+        self.nodes
+            .read()
             .get(node.index())
-            .map(|a| a.load(Ordering::SeqCst))
-            .unwrap_or(false)
+            .map(|s| Arc::clone(&s.store))
+    }
+
+    // ----------------------------------------------------------- membership
+
+    /// Adds a fresh, empty node and returns its id. Joined nodes start
+    /// Up: immediately schedulable as placement targets.
+    pub fn join_node(&self) -> NodeId {
+        let mut nodes = self.nodes.write();
+        nodes.push(NodeSlot::new(self.cfg.store_shards));
+        NodeId(nodes.len() as u32 - 1)
+    }
+
+    /// Starts draining `node` (Up → Draining): its data stays readable
+    /// but no new replicas land on it. In-flight writers that name it as
+    /// their local node keep working — their blocks are simply placed on
+    /// the remaining Up nodes.
+    pub fn drain_node(&self, node: NodeId) -> Result<()> {
+        self.set_status(node, &[NodeStatus::Up], NodeStatus::Draining, "drain")
+    }
+
+    /// Brings a drained or decommissioned node back into service
+    /// (→ Up). A decommissioned node rejoins empty, like a fresh join
+    /// that kept its id.
+    pub fn rejoin_node(&self, node: NodeId) -> Result<()> {
+        self.set_status(
+            node,
+            &[NodeStatus::Draining, NodeStatus::Decommissioned],
+            NodeStatus::Up,
+            "rejoin",
+        )
+    }
+
+    fn set_status(
+        &self,
+        node: NodeId,
+        from: &[NodeStatus],
+        to: NodeStatus,
+        what: &str,
+    ) -> Result<()> {
+        let mut nodes = self.nodes.write();
+        let Some(slot) = nodes.get_mut(node.index()) else {
+            return Err(Error::Config(format!("dfs: {what} of unknown {node}")));
+        };
+        if !from.contains(&slot.status) {
+            return Err(Error::Config(format!(
+                "dfs: cannot {what} {node} in state {:?}",
+                slot.status
+            )));
+        }
+        slot.status = to;
+        Ok(())
+    }
+
+    /// Gracefully removes `node`: every block replica it holds is first
+    /// copied to the lowest-id Up node that does not already hold that
+    /// block (incremental rebalance preserving the persisted-output
+    /// lineage — content hashes never change), then the node's store is
+    /// wiped and its status set to Decommissioned.
+    ///
+    /// Plan-then-commit like [`Dfs::replicate_file`]: targets for every
+    /// block are validated before any byte is copied, so an
+    /// impossible rebalance (a sole surviving replica with no Up node to
+    /// take it) fails the whole call with namespace and stores
+    /// unchanged. Blocks whose every placement target already holds a
+    /// copy are dropped rather than moved (they stay readable, merely
+    /// less replicated) and counted in the report.
+    pub fn decommission_node(&self, node: NodeId) -> Result<RebalanceReport> {
+        match self.node_status(node) {
+            None => {
+                return Err(Error::Config(format!(
+                    "dfs: decommission of unknown {node}"
+                )))
+            }
+            Some(s) if !s.is_readable() => {
+                return Err(Error::Config(format!(
+                    "dfs: cannot decommission {node} in state {s:?}"
+                )))
+            }
+            Some(_) => {}
+        }
+        let pool: Vec<NodeId> = self
+            .placement_targets()
+            .into_iter()
+            .filter(|&n| n != node)
+            .collect();
+
+        // Phase 1: plan. (block, hash, verified-read sources, target).
+        // `None` target means drop-in-place: some other readable replica
+        // keeps the block alive.
+        let mut plan: Vec<(BlockId, u64, Vec<NodeId>, Option<NodeId>)> = Vec::new();
+        let mut dropped = 0usize;
+        {
+            let ns = self.namespace.read();
+            for meta in ns.values() {
+                for p in &meta.partitions {
+                    for b in p.blocks() {
+                        if !b.replicas.contains(&node) {
+                            continue;
+                        }
+                        let sources: Vec<NodeId> = b
+                            .replicas
+                            .iter()
+                            .copied()
+                            .filter(|&r| self.is_alive(r))
+                            .collect();
+                        match pool.iter().copied().find(|t| !b.replicas.contains(t)) {
+                            Some(t) => {
+                                plan.push((b.id, b.content_hash, sources, Some(t)));
+                            }
+                            None if sources.iter().any(|&s| s != node) => dropped += 1,
+                            None => {
+                                return Err(Error::InsufficientReplicaTargets {
+                                    wanted: 1,
+                                    alive: pool.len(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Phase 2: copy payloads per the validated plan, verifying
+        // against the recorded content hash (a corrupt source is
+        // demoted, never propagated — same discipline as
+        // `replicate_file`).
+        let mut report = RebalanceReport {
+            node: Some(node),
+            blocks_dropped: dropped,
+            ..Default::default()
+        };
+        let mut added: Vec<(BlockId, NodeId)> = Vec::new();
+        for (id, content_hash, sources, target) in plan {
+            let Some(target) = target else { continue };
+            let mut data = None;
+            for source in sources {
+                let Some(store) = self.store(source) else {
+                    continue;
+                };
+                let Some(d) = store.get(id, None) else {
+                    continue;
+                };
+                if rcmp_model::hash::hash_bytes(&d) == content_hash {
+                    data = Some(d);
+                    break;
+                }
+                self.demote_replica(id, source);
+            }
+            let data = data.ok_or_else(|| Error::DataLoss {
+                path: format!("block {id}"),
+                partition: None,
+            })?;
+            report.blocks_moved += 1;
+            report.bytes_moved += data.len() as u64;
+            if let Some(store) = self.store(target) {
+                store.put(id, data);
+            }
+            added.push((id, target));
+        }
+
+        // Phase 3: commit — new holders into the namespace, the leaving
+        // node out of every replica set, store wiped, status flipped.
+        {
+            let mut by_block: HashMap<BlockId, NodeId> = added.into_iter().collect();
+            let mut ns = self.namespace.write();
+            for meta in ns.values_mut() {
+                for p in &mut meta.partitions {
+                    for s in &mut p.segments {
+                        for b in &mut s.blocks {
+                            if let Some(t) = by_block.remove(&b.id) {
+                                b.replicas.push(t);
+                            }
+                            b.drop_replica(node);
+                        }
+                    }
+                }
+            }
+        }
+        let store = {
+            let mut nodes = self.nodes.write();
+            let slot = &mut nodes[node.index()];
+            slot.status = NodeStatus::Decommissioned;
+            Arc::clone(&slot.store)
+        };
+        store.wipe();
+        self.tracer.instant(
+            SpanKind::Event {
+                seq: 0,
+                label: format!(
+                    "dfs.decommission moved={} bytes={} dropped={}",
+                    report.blocks_moved, report.bytes_moved, report.blocks_dropped
+                ),
+            },
+            None,
+            None,
+            Some(node),
+        );
+        Ok(report)
     }
 
     // ---------------------------------------------------------------- files
@@ -216,7 +468,7 @@ impl Dfs {
     fn free_blocks(&self, p: &PartitionMeta) {
         for b in p.blocks() {
             for &n in &b.replicas {
-                if let Some(store) = self.stores.get(n.index()) {
+                if let Some(store) = self.store(n) {
                     store.remove(b.id);
                 }
             }
@@ -294,7 +546,10 @@ impl Dfs {
         // Place blocks without holding the namespace lock (payload
         // copies happen here). Feasibility is checked up front so a
         // failing write never leaves earlier chunks orphaned in stores.
-        let live = self.live_nodes();
+        // Only schedulable (Up) nodes are placement targets: a draining
+        // writer can finish its in-flight work, but its output lands on
+        // nodes that are staying.
+        let live = self.placement_targets();
         if (replication as usize) > live.len() {
             return Err(Error::InsufficientReplicaTargets {
                 wanted: replication as usize,
@@ -320,7 +575,9 @@ impl Dfs {
             };
             let content_hash = rcmp_model::hash::hash_bytes(&chunk);
             for &t in &targets {
-                self.stores[t.index()].put(id, chunk.clone());
+                if let Some(store) = self.store(t) {
+                    store.put(id, chunk.clone());
+                }
             }
             blocks.push(BlockInfo {
                 id,
@@ -423,7 +680,10 @@ impl Dfs {
         let mut candidates = vec![preferred];
         candidates.extend(live_replicas.into_iter().filter(|&n| n != preferred));
         for source in candidates {
-            let Some(data) = self.stores[source.index()].get(loc.id, self.cfg.read_delay) else {
+            let Some(data) = self
+                .store(source)
+                .and_then(|s| s.get(loc.id, self.cfg.read_delay))
+            else {
                 continue;
             };
             let verify_started = std::time::Instant::now();
@@ -476,7 +736,7 @@ impl Dfs {
     /// corrupt copy indistinguishable downstream from one lost to a node
     /// death (`lost_partitions`, loss reports, recovery planning).
     fn demote_replica(&self, id: BlockId, node: NodeId) {
-        if let Some(store) = self.stores.get(node.index()) {
+        if let Some(store) = self.store(node) {
             store.remove(id);
         }
         let mut ns = self.namespace.write();
@@ -503,7 +763,7 @@ impl Dfs {
     /// discovered by the next verified read. Returns the victim block,
     /// or `None` when the node stores nothing corruptible.
     pub fn corrupt_replica_on(&self, node: NodeId) -> Option<BlockId> {
-        let store = self.stores.get(node.index())?;
+        let store = self.store(node)?;
         store
             .block_ids()
             .into_iter()
@@ -515,7 +775,7 @@ impl Dfs {
     /// Returns false when that node does not store the block (or the
     /// payload is empty).
     pub fn corrupt_block_replica(&self, id: BlockId, node: NodeId) -> bool {
-        self.stores.get(node.index()).is_some_and(|s| s.corrupt(id))
+        self.store(node).is_some_and(|s| s.corrupt(id))
     }
 
     /// Reads a whole partition (all segments concatenated).
@@ -548,9 +808,11 @@ impl Dfs {
         if factor == 0 {
             return Err(Error::Config("replication factor must be >= 1".into()));
         }
-        // Phase 1: plan. No mutation; all errors surface here.
+        // Phase 1: plan. No mutation; all errors surface here. New
+        // copies land only on schedulable nodes; existing replicas on
+        // draining nodes still count as readable sources.
         let meta = self.file_meta(path)?;
-        let live = self.live_nodes();
+        let live = self.placement_targets();
         let mut plan: Vec<(BlockId, u64, Vec<NodeId>, Vec<NodeId>)> = Vec::new();
         for p in &meta.partitions {
             for b in p.blocks() {
@@ -593,7 +855,7 @@ impl Dfs {
         for (id, content_hash, have, targets) in plan {
             let mut data = None;
             for source in have {
-                let Some(d) = self.stores[source.index()].get(id, None) else {
+                let Some(d) = self.store(source).and_then(|s| s.get(id, None)) else {
                     continue;
                 };
                 if rcmp_model::hash::hash_bytes(&d) == content_hash {
@@ -607,7 +869,9 @@ impl Dfs {
                 partition: None,
             })?;
             for &t in &targets {
-                self.stores[t.index()].put(id, data.clone());
+                if let Some(store) = self.store(t) {
+                    store.put(id, data.clone());
+                }
             }
             added.push((id, targets));
         }
@@ -634,17 +898,25 @@ impl Dfs {
 
     /// Kills a node: wipes its store and reports every partition that
     /// lost all replicas (irreversible data loss) or some replicas
-    /// (under-replication). Idempotent for an already-dead node.
+    /// (under-replication). Idempotent for an already-dead node; a
+    /// draining node can also crash (drain offers no immunity).
     pub fn fail_node(&self, node: NodeId) -> LossReport {
         let mut report = LossReport {
             node: Some(node),
             ..Default::default()
         };
-        if node.index() >= self.stores.len() {
-            return report;
-        }
-        let was_alive = self.alive[node.index()].swap(false, Ordering::SeqCst);
-        self.stores[node.index()].wipe();
+        let (was_alive, store) = {
+            let mut nodes = self.nodes.write();
+            let Some(slot) = nodes.get_mut(node.index()) else {
+                return report;
+            };
+            let was = slot.status.is_readable();
+            if was {
+                slot.status = NodeStatus::Dead;
+            }
+            (was, Arc::clone(&slot.store))
+        };
+        store.wipe();
         if !was_alive {
             return report;
         }
@@ -682,31 +954,28 @@ impl Dfs {
 
     /// Access counters for one node's store.
     pub fn node_stats(&self, node: NodeId) -> NodeAccessStats {
-        self.stores
-            .get(node.index())
-            .map(|s| s.stats())
-            .unwrap_or_default()
+        self.store(node).map(|s| s.stats()).unwrap_or_default()
     }
 
     /// Bytes currently stored on one node.
     pub fn node_used(&self, node: NodeId) -> ByteSize {
-        self.stores
-            .get(node.index())
-            .map(|s| s.used())
-            .unwrap_or(ByteSize::ZERO)
+        self.store(node).map(|s| s.used()).unwrap_or(ByteSize::ZERO)
     }
 
     /// Bytes currently stored across the cluster.
     pub fn total_used(&self) -> ByteSize {
-        self.stores.iter().map(|s| s.used()).sum()
+        let stores: Vec<Arc<NodeStore>> = self
+            .nodes
+            .read()
+            .iter()
+            .map(|s| Arc::clone(&s.store))
+            .collect();
+        stores.iter().map(|s| s.used()).sum()
     }
 
     /// Number of block replicas currently stored on one node.
     pub fn node_block_count(&self, node: NodeId) -> usize {
-        self.stores
-            .get(node.index())
-            .map(|s| s.block_count())
-            .unwrap_or(0)
+        self.store(node).map(|s| s.block_count()).unwrap_or(0)
     }
 }
 
@@ -1160,6 +1429,170 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, Error::Config(_)));
+    }
+
+    #[test]
+    fn drained_node_keeps_serving_but_stops_accumulating() {
+        let d = dfs(4);
+        d.create_file("f", 1, 2).unwrap();
+        let data = payload(128, 4);
+        d.write_partition_segment(
+            "f",
+            PartitionId(0),
+            data.clone(),
+            NodeId(0),
+            PlacementPolicy::WriterLocal,
+        )
+        .unwrap();
+        d.drain_node(NodeId(0)).unwrap();
+        assert_eq!(d.node_status(NodeId(0)), Some(NodeStatus::Draining));
+        assert_eq!(d.live_nodes().len(), 4, "draining stays readable");
+        assert_eq!(d.placement_targets(), vec![NodeId(1), NodeId(2), NodeId(3)]);
+        // Existing data still serves.
+        assert_eq!(
+            d.read_partition("f", PartitionId(0), NodeId(2)).unwrap(),
+            data
+        );
+        // An in-flight writer on the draining node finishes, but its
+        // blocks land on nodes that are staying.
+        d.write_partition_segment(
+            "f",
+            PartitionId(1),
+            payload(64, 5),
+            NodeId(0),
+            PlacementPolicy::WriterLocal,
+        )
+        .unwrap();
+        for b in d.file_meta("f").unwrap().partitions[1].blocks() {
+            assert!(!b.replicas.contains(&NodeId(0)), "no new data on drainer");
+        }
+        // Rejoin restores placement eligibility.
+        d.rejoin_node(NodeId(0)).unwrap();
+        assert_eq!(d.placement_targets().len(), 4);
+    }
+
+    #[test]
+    fn decommission_rebalances_then_wipes() {
+        let d = dfs(3);
+        d.create_file("f", 1, 1).unwrap();
+        let data = payload(200, 6); // 4 blocks, all on node 0
+        d.write_partition_segment(
+            "f",
+            PartitionId(0),
+            data.clone(),
+            NodeId(0),
+            PlacementPolicy::WriterLocal,
+        )
+        .unwrap();
+        let report = d.decommission_node(NodeId(0)).unwrap();
+        assert_eq!(report.node, Some(NodeId(0)));
+        assert_eq!(report.blocks_moved, 4);
+        assert_eq!(report.bytes_moved, 200);
+        assert_eq!(report.blocks_dropped, 0);
+        assert_eq!(d.node_used(NodeId(0)), ByteSize::ZERO);
+        assert_eq!(d.live_nodes(), vec![NodeId(1), NodeId(2)]);
+        // Deterministic target: lowest-id Up node not already holding.
+        let meta = d.file_meta("f").unwrap();
+        for b in meta.partitions[0].blocks() {
+            assert_eq!(b.replicas, vec![NodeId(1)]);
+        }
+        assert_eq!(
+            d.read_partition("f", PartitionId(0), NodeId(2)).unwrap(),
+            data
+        );
+    }
+
+    #[test]
+    fn decommission_drops_already_everywhere_blocks() {
+        let d = dfs(2);
+        d.create_file("f", 2, 1).unwrap();
+        let data = payload(64, 8);
+        d.write_partition_segment(
+            "f",
+            PartitionId(0),
+            data.clone(),
+            NodeId(0),
+            PlacementPolicy::WriterLocal,
+        )
+        .unwrap();
+        // Both nodes hold the block; node 1 keeps it alive, so node 0's
+        // copy is dropped rather than moved.
+        let report = d.decommission_node(NodeId(0)).unwrap();
+        assert_eq!(report.blocks_moved, 0);
+        assert_eq!(report.blocks_dropped, 1);
+        assert_eq!(
+            d.read_partition("f", PartitionId(0), NodeId(1)).unwrap(),
+            data
+        );
+    }
+
+    #[test]
+    fn decommission_with_no_target_for_sole_replica_fails_clean() {
+        let d = dfs(1);
+        d.create_file("f", 1, 1).unwrap();
+        let data = payload(64, 2);
+        d.write_partition_segment(
+            "f",
+            PartitionId(0),
+            data.clone(),
+            NodeId(0),
+            PlacementPolicy::WriterLocal,
+        )
+        .unwrap();
+        let err = d.decommission_node(NodeId(0)).unwrap_err();
+        assert!(matches!(err, Error::InsufficientReplicaTargets { .. }));
+        // State unchanged: still up, still serving.
+        assert_eq!(d.node_status(NodeId(0)), Some(NodeStatus::Up));
+        assert_eq!(
+            d.read_partition("f", PartitionId(0), NodeId(0)).unwrap(),
+            data
+        );
+    }
+
+    #[test]
+    fn joined_node_becomes_placement_target() {
+        let d = dfs(2);
+        d.create_file("f", 3, 1).unwrap();
+        // Factor 3 on 2 nodes is infeasible...
+        assert!(d
+            .write_partition_segment(
+                "f",
+                PartitionId(0),
+                payload(64, 1),
+                NodeId(0),
+                PlacementPolicy::WriterLocal,
+            )
+            .is_err());
+        // ...until a third node joins.
+        let n = d.join_node();
+        assert_eq!(n, NodeId(2));
+        assert_eq!(d.num_nodes(), 3);
+        d.write_partition_segment(
+            "f",
+            PartitionId(0),
+            payload(64, 1),
+            NodeId(0),
+            PlacementPolicy::WriterLocal,
+        )
+        .unwrap();
+        let b = d.file_meta("f").unwrap().partitions[0]
+            .blocks()
+            .next()
+            .unwrap()
+            .replicas
+            .clone();
+        assert!(b.contains(&NodeId(2)), "joined node holds a replica: {b:?}");
+    }
+
+    #[test]
+    fn invalid_membership_transitions_are_typed_errors() {
+        let d = dfs(2);
+        assert!(d.drain_node(NodeId(9)).is_err(), "unknown node");
+        assert!(d.rejoin_node(NodeId(0)).is_err(), "up nodes cannot rejoin");
+        d.fail_node(NodeId(0));
+        assert!(d.drain_node(NodeId(0)).is_err(), "cannot drain the dead");
+        assert!(d.decommission_node(NodeId(0)).is_err());
+        assert_eq!(d.node_status(NodeId(0)), Some(NodeStatus::Dead));
     }
 
     #[test]

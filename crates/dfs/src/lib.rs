@@ -16,7 +16,13 @@
 //!   (§IV-B2) where reducers scatter their output over many nodes;
 //! * **node failure** atomically drops the node's block store and
 //!   reports which partitions of which files lost *all* replicas —
-//!   the irreversible-data-loss events that trigger RCMP recovery.
+//!   the irreversible-data-loss events that trigger RCMP recovery;
+//! * **membership is elastic**: nodes can join (fresh, empty,
+//!   immediately placable), drain (readable but no longer a placement
+//!   target), decommission (replicas rebalanced away deterministically,
+//!   then the store is wiped — nothing is ever lost) and rejoin. The
+//!   lifecycle states are `rcmp_policy::NodeStatus`, the same model the
+//!   scheduler's membership snapshots use.
 //!
 //! Everything is in-memory (a node's "disk" is a locked hash map): the
 //! engine exercises real data paths and real concurrency, while wall
@@ -35,6 +41,6 @@ pub use block::{BlockInfo, BlockLocation};
 pub use dfs::{Dfs, DfsConfig};
 pub use namespace::{FileMeta, PartitionMeta, SegmentMeta};
 pub use placement::PlacementPolicy;
-pub use report::LossReport;
+pub use report::{LossReport, RebalanceReport};
 pub use storage::NodeAccessStats;
 pub use topology::RackTopology;

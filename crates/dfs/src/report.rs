@@ -63,6 +63,23 @@ impl LossReport {
     }
 }
 
+/// What a graceful decommission moved, as seen by the DFS master — the
+/// benign counterpart of [`LossReport`]: nothing is ever lost, replicas
+/// are copied off the leaving node before its store is wiped.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RebalanceReport {
+    /// The decommissioned node.
+    pub node: Option<NodeId>,
+    /// Block replicas copied to a new holder before the wipe.
+    pub blocks_moved: usize,
+    /// Payload bytes copied.
+    pub bytes_moved: u64,
+    /// Block replicas simply dropped because every placement target
+    /// already held a copy (the block stays readable elsewhere, merely
+    /// less replicated).
+    pub blocks_dropped: usize,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -2,10 +2,13 @@
 
 use crate::mapstore::MapOutputStore;
 use parking_lot::Mutex;
-use rcmp_dfs::{Dfs, DfsConfig, LossReport};
+use rcmp_dfs::{Dfs, DfsConfig, LossReport, RebalanceReport};
 use rcmp_exec::BackendExecutor;
-use rcmp_model::{ClusterConfig, NodeId};
-use rcmp_obs::{BlackboxDump, Clock, FlightRecorder, MetricsRegistry, PhaseProfiler, Tracer};
+use rcmp_model::{ClusterConfig, NodeId, Result};
+use rcmp_obs::{
+    BlackboxDump, Clock, FlightRecorder, Gauge, MetricsRegistry, PhaseProfiler, SpanKind, Tracer,
+};
+use rcmp_policy::Membership;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -26,6 +29,9 @@ pub struct Cluster {
     cfg: ClusterConfig,
     dfs: Arc<Dfs>,
     map_outputs: MapOutputStore,
+    membership: Mutex<Membership>,
+    epoch_gauge: Gauge,
+    live_gauge: Gauge,
     tracer: Arc<Tracer>,
     metrics: Arc<MetricsRegistry>,
     executor: BackendExecutor,
@@ -81,10 +87,22 @@ impl Cluster {
             profiler.clone(),
             recorder.clone(),
         );
+        // The authoritative membership record both backends schedule
+        // against: same node→rack layout as the DFS placement topology.
+        let membership = match &dfs.config().topology {
+            Some(t) => Membership::with_racks(cfg.nodes, t.racks),
+            None => Membership::uniform(cfg.nodes),
+        };
+        let epoch_gauge = metrics.gauge("membership.epoch");
+        let live_gauge = metrics.gauge("membership.live_nodes");
+        live_gauge.set(membership.schedulable().len() as i64);
         Self {
             cfg,
             dfs: Arc::new(dfs),
             map_outputs: MapOutputStore::new(),
+            membership: Mutex::new(membership),
+            epoch_gauge,
+            live_gauge,
             tracer,
             metrics,
             executor,
@@ -148,12 +166,97 @@ impl Cluster {
         &self.map_outputs
     }
 
+    /// Nodes whose data is reachable (Up or Draining), ascending.
     pub fn live_nodes(&self) -> Vec<NodeId> {
         self.dfs.live_nodes()
     }
 
+    /// Nodes tasks may be scheduled on (Up only), ascending. A draining
+    /// node keeps serving its data but takes no new work.
+    pub fn schedulable_nodes(&self) -> Vec<NodeId> {
+        self.dfs.placement_targets()
+    }
+
     pub fn is_alive(&self, node: NodeId) -> bool {
         self.dfs.is_alive(node)
+    }
+
+    // ----------------------------------------------------------- membership
+
+    /// A snapshot of the authoritative membership record. Every
+    /// scheduling decision is made against such a snapshot; the
+    /// simulator builds the identical record from the same transition
+    /// sequence, which is what keeps engine and sim schedules
+    /// byte-identical across membership epochs.
+    pub fn membership(&self) -> Membership {
+        self.membership.lock().clone()
+    }
+
+    /// Current membership epoch: bumped by every join / drain /
+    /// decommission / rejoin / death.
+    pub fn membership_epoch(&self) -> u64 {
+        self.membership.lock().epoch()
+    }
+
+    /// Updates the membership gauges and emits a `membership.*` span
+    /// after a successful transition.
+    fn note_transition(&self, what: &str, node: NodeId) {
+        let (epoch, live) = {
+            let m = self.membership.lock();
+            (m.epoch(), m.schedulable().len())
+        };
+        self.epoch_gauge.set(epoch as i64);
+        self.live_gauge.set(live as i64);
+        self.tracer.instant(
+            SpanKind::Event {
+                seq: 0,
+                label: format!("membership.{what} epoch={epoch} live={live}"),
+            },
+            None,
+            None,
+            Some(node),
+        );
+    }
+
+    /// Adds a fresh node (Up, empty) and returns its id. Bumps the
+    /// membership epoch.
+    pub fn join_node(&self, capacity: u32, rack: u32) -> NodeId {
+        let id = self.dfs.join_node();
+        let idx = self.membership.lock().join(capacity, rack);
+        debug_assert_eq!(idx, id.raw(), "dfs and membership indices agree");
+        self.note_transition("join", id);
+        id
+    }
+
+    /// Starts draining `node` (Up → Draining): no new tasks or replicas,
+    /// data stays readable. Bumps the membership epoch.
+    pub fn drain_node(&self, node: NodeId) -> Result<()> {
+        self.dfs.drain_node(node)?;
+        self.membership.lock().drain(node.raw())?;
+        self.note_transition("drain", node);
+        Ok(())
+    }
+
+    /// Brings a drained or decommissioned node back (→ Up). Bumps the
+    /// membership epoch.
+    pub fn rejoin_node(&self, node: NodeId) -> Result<()> {
+        self.dfs.rejoin_node(node)?;
+        self.membership.lock().rejoin(node.raw())?;
+        self.note_transition("rejoin", node);
+        Ok(())
+    }
+
+    /// Gracefully removes `node`: its DFS replicas are rebalanced onto
+    /// the remaining Up nodes first (preserving the persisted-output
+    /// lineage — nothing is lost, nothing recomputed), then its store is
+    /// wiped and its persisted map outputs dropped. Bumps the membership
+    /// epoch.
+    pub fn decommission_node(&self, node: NodeId) -> Result<RebalanceReport> {
+        let report = self.dfs.decommission_node(node)?;
+        self.membership.lock().decommission(node.raw())?;
+        self.map_outputs.drop_node(node);
+        self.note_transition("decommission", node);
+        Ok(report)
     }
 
     /// Kills a node: DFS blocks *and* persisted map outputs on it are
@@ -162,6 +265,9 @@ impl Cluster {
     pub fn fail_node(&self, node: NodeId) -> LossReport {
         let report = self.dfs.fail_node(node);
         self.map_outputs.drop_node(node);
+        if self.membership.lock().mark_dead(node.raw()).is_ok() {
+            self.note_transition("dead", node);
+        }
         report
     }
 }
@@ -201,6 +307,69 @@ mod tests {
         assert!(cl.map_outputs().lookup(&key).is_none());
         assert_eq!(cl.live_nodes(), vec![NodeId(0), NodeId(2)]);
         assert!(!cl.is_alive(NodeId(1)));
+    }
+
+    #[test]
+    fn membership_transitions_track_epoch_and_gauges() {
+        let cl = Cluster::new(ClusterConfig::small_test(3));
+        assert_eq!(cl.membership_epoch(), 0);
+        assert_eq!(cl.schedulable_nodes().len(), 3);
+
+        cl.drain_node(NodeId(1)).unwrap();
+        assert_eq!(cl.membership_epoch(), 1);
+        assert_eq!(cl.schedulable_nodes(), vec![NodeId(0), NodeId(2)]);
+        assert_eq!(cl.live_nodes().len(), 3, "draining stays readable");
+
+        let joined = cl.join_node(1, 0);
+        assert_eq!(joined, NodeId(3));
+        assert_eq!(cl.membership_epoch(), 2);
+
+        cl.rejoin_node(NodeId(1)).unwrap();
+        assert_eq!(cl.schedulable_nodes().len(), 4);
+
+        cl.fail_node(NodeId(2));
+        assert_eq!(cl.membership_epoch(), 4);
+        let snap = cl.metrics().snapshot();
+        assert!(snap.get("membership.epoch").is_some());
+        assert_eq!(
+            cl.schedulable_nodes(),
+            vec![NodeId(0), NodeId(1), NodeId(3)]
+        );
+        // The membership snapshot agrees with the DFS view.
+        let m = cl.membership();
+        assert_eq!(
+            m.schedulable(),
+            cl.schedulable_nodes()
+                .iter()
+                .map(|n| n.raw())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn decommission_preserves_lineage() {
+        let cl = Cluster::new(ClusterConfig::small_test(3));
+        cl.dfs().create_file("f", 1, 1).unwrap();
+        let data = Bytes::from(vec![5u8; 200]);
+        cl.dfs()
+            .write_partition_segment(
+                "f",
+                PartitionId(0),
+                data.clone(),
+                NodeId(0),
+                PlacementPolicy::WriterLocal,
+            )
+            .unwrap();
+        let report = cl.decommission_node(NodeId(0)).unwrap();
+        assert!(report.blocks_moved > 0);
+        assert_eq!(
+            cl.dfs()
+                .read_partition("f", PartitionId(0), NodeId(1))
+                .unwrap(),
+            data,
+            "rebalanced data reads back byte-identical"
+        );
+        assert_eq!(cl.schedulable_nodes(), vec![NodeId(1), NodeId(2)]);
     }
 
     #[test]

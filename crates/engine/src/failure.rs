@@ -7,12 +7,24 @@
 //! there. Deterministic injection points make every failure experiment
 //! exactly reproducible, which the paper's wall-clock injection is not.
 //!
-//! Beyond whole-node kills, injectors can raise partial-failure
-//! [`Fault`]s: silent replica corruption (caught by DFS checksums),
-//! torn partition writes (a node dies after committing a strict prefix
-//! of its output chunks) and transient shuffle-fetch flakes (absorbed
-//! by bounded retry). The [`RandomizedInjector`] turns these into
-//! seeded chaos schedules for soak testing.
+//! The fault set (one variant per detection/recovery mechanism, see
+//! DESIGN.md "Fault model"):
+//!
+//! * [`Fault::NodeCrash`] — fail-stop kill; recovered by the
+//!   loss-report → recomputation path.
+//! * [`Fault::CorruptReplica`] — silent bit-flip in one stored replica;
+//!   caught by checksum verification on read.
+//! * [`Fault::TornWrite`] — a node dies mid-write after committing a
+//!   strict prefix of its output chunks; healed by the tracker's
+//!   torn-partition re-enqueue.
+//! * [`Fault::ShuffleFlake`] — transient shuffle-fetch failures;
+//!   absorbed by bounded retry.
+//! * [`Fault::NodeDrain`] — graceful membership removal (the benign
+//!   counterpart of a crash): the node stops taking tasks and replicas
+//!   but its data stays readable, so nothing needs recovery at all.
+//!
+//! The [`RandomizedInjector`] turns these into seeded chaos schedules
+//! for soak testing.
 
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
@@ -75,6 +87,11 @@ pub enum Fault {
     /// Arm transient shuffle failures: the next `times` shuffle attempts
     /// by reducers running on this node fail retryably.
     ShuffleFlake { node: NodeId, times: u32 },
+    /// Gracefully drain the node (Up → Draining): it stops receiving
+    /// tasks and new replicas, but everything it stores stays readable.
+    /// The tracker skips the drain when the node is not Up or when it is
+    /// the last schedulable node, so a drain can never strand a chain.
+    NodeDrain { node: NodeId },
 }
 
 impl Fault {
@@ -84,7 +101,8 @@ impl Fault {
             Fault::NodeCrash(n)
             | Fault::CorruptReplica { node: n }
             | Fault::TornWrite { node: n }
-            | Fault::ShuffleFlake { node: n, .. } => n,
+            | Fault::ShuffleFlake { node: n, .. }
+            | Fault::NodeDrain { node: n } => n,
         }
     }
 }
@@ -264,6 +282,7 @@ pub struct RandomizedInjector {
     fault_prob: f64,
     max_kills: u32,
     max_other: u32,
+    with_drains: bool,
     kills_used: Mutex<u32>,
     others_used: Mutex<u32>,
 }
@@ -279,9 +298,18 @@ impl RandomizedInjector {
             fault_prob: 0.12,
             max_kills: 2,
             max_other: 6,
+            with_drains: false,
             kills_used: Mutex::new(0),
             others_used: Mutex::new(0),
         }
+    }
+
+    /// Adds graceful node drains to the fault mix (a fourth non-kill
+    /// shape). Opt-in so existing seeded schedules replay unchanged:
+    /// without drains the shape draw keeps its historical 0..3 range.
+    pub fn with_drains(mut self) -> Self {
+        self.with_drains = true;
+        self
     }
 
     /// Per-event probability of a node kill (budget permitting).
@@ -350,7 +378,8 @@ impl FailureInjector for RandomizedInjector {
         let node = NodeId(rng.gen_range(0..self.nodes));
         let kill_roll = rng.gen_bool(self.kill_prob);
         let fault_roll = rng.gen_bool(self.fault_prob);
-        let shape = rng.gen_range(0..3u32);
+        let shapes = if self.with_drains { 4u32 } else { 3 };
+        let shape = rng.gen_range(0..shapes);
         let times = rng.gen_range(1..4u32);
         if kill_roll {
             let mut used = self.kills_used.lock();
@@ -366,7 +395,8 @@ impl FailureInjector for RandomizedInjector {
                 let fault = match shape {
                     0 => Fault::CorruptReplica { node },
                     1 => Fault::TornWrite { node },
-                    _ => Fault::ShuffleFlake { node, times },
+                    2 => Fault::ShuffleFlake { node, times },
+                    _ => Fault::NodeDrain { node },
                 };
                 return vec![fault];
             }
@@ -505,6 +535,36 @@ mod tests {
             .fault_probability(0.5);
         let sched_c: Vec<Vec<Fault>> = events.iter().map(|e| c.poll_faults(e)).collect();
         assert_ne!(sched_a, sched_c, "different seeds diverge");
+    }
+
+    #[test]
+    fn drains_are_opt_in() {
+        let events: Vec<ProgressEvent> = (1..=50u64)
+            .flat_map(|seq| {
+                [
+                    ev(seq, TriggerPoint::JobStart),
+                    ev(seq, TriggerPoint::MidMapWave(0)),
+                ]
+            })
+            .collect();
+        let plain = RandomizedInjector::new(11, 5)
+            .fault_probability(1.0)
+            .max_other_faults(100);
+        let drains = RandomizedInjector::new(11, 5)
+            .fault_probability(1.0)
+            .max_other_faults(100)
+            .with_drains();
+        let is_drain = |f: &Fault| matches!(f, Fault::NodeDrain { .. });
+        let plain_sched: Vec<Fault> = events.iter().flat_map(|e| plain.poll_faults(e)).collect();
+        let drain_sched: Vec<Fault> = events.iter().flat_map(|e| drains.poll_faults(e)).collect();
+        assert!(
+            !plain_sched.iter().any(is_drain),
+            "default shape range excludes drains"
+        );
+        assert!(
+            drain_sched.iter().any(is_drain),
+            "opt-in injector mixes in drains"
+        );
     }
 
     #[test]

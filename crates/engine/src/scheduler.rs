@@ -11,8 +11,10 @@
 //! back onto tasks.
 
 use crate::task::{MapTask, ReduceTask};
-use rcmp_model::{NodeId, Result};
-use rcmp_policy::{FnReduceTasks, MapTaskSet, PolicyCtx, SliceTopology, WaveAssignment};
+use rcmp_model::{NodeId, PlacementKernel, Result};
+use rcmp_policy::{
+    FnReduceTasks, KernelTopology, MapTaskSet, Membership, PolicyCtx, SliceTopology, WaveAssignment,
+};
 
 pub use rcmp_policy::ReduceAssignment;
 
@@ -66,6 +68,26 @@ pub fn assign_map_waves(
     Ok(resolve(assignment, tasks))
 }
 
+/// Like [`assign_map_waves`] but through the configured placement
+/// kernel, with per-node capacity and rack hints drawn from a
+/// membership snapshot (aligned position-for-position with `live`).
+pub fn assign_map_waves_kernel(
+    tasks: Vec<MapTask>,
+    live: &[NodeId],
+    slots: u32,
+    kernel: PlacementKernel,
+    membership: &Membership,
+    ctx: PolicyCtx<'_>,
+) -> Result<Waves<MapTask>> {
+    let raw: Vec<u32> = live.iter().map(|n| n.raw()).collect();
+    let caps = membership.caps_for(&raw);
+    let racks = membership.racks_for(&raw);
+    let topo = KernelTopology::uniform(live, slots, &caps, &racks);
+    let assignment =
+        rcmp_policy::assign_map_waves_kernel(&topo, &MapTaskSlice(&tasks), kernel, ctx)?;
+    Ok(resolve(assignment, tasks))
+}
+
 /// Assigns reduce tasks to waves over the live nodes via the shared
 /// kernel. Errors with [`rcmp_model::Error::NoLiveNodes`] when the
 /// cluster has no survivors.
@@ -79,6 +101,26 @@ pub fn assign_reduce_waves(
     let topo = SliceTopology::uniform(live, slots);
     let set = FnReduceTasks::new(tasks.len(), |t| tasks[t].id.partition.index());
     let assignment = rcmp_policy::assign_reduce_waves(&topo, &set, style, ctx)?;
+    Ok(resolve(assignment, tasks))
+}
+
+/// Like [`assign_reduce_waves`] but through the configured placement
+/// kernel, with capacity/rack hints from a membership snapshot.
+pub fn assign_reduce_waves_kernel(
+    tasks: Vec<ReduceTask>,
+    live: &[NodeId],
+    slots: u32,
+    style: ReduceAssignment,
+    kernel: PlacementKernel,
+    membership: &Membership,
+    ctx: PolicyCtx<'_>,
+) -> Result<Waves<ReduceTask>> {
+    let raw: Vec<u32> = live.iter().map(|n| n.raw()).collect();
+    let caps = membership.caps_for(&raw);
+    let racks = membership.racks_for(&raw);
+    let topo = KernelTopology::uniform(live, slots, &caps, &racks);
+    let set = FnReduceTasks::new(tasks.len(), |t| tasks[t].id.partition.index());
+    let assignment = rcmp_policy::assign_reduce_waves_kernel(&topo, &set, style, kernel, ctx)?;
     Ok(resolve(assignment, tasks))
 }
 
@@ -232,6 +274,56 @@ mod tests {
         )
         .unwrap();
         assert!(waves.is_empty());
+    }
+
+    #[test]
+    fn default_kernel_matches_plain_assignment() {
+        let m = Membership::uniform(4);
+        let mk = |i| map_task(i, &[i % 4]);
+        let tasks: Vec<MapTask> = (0..7).map(mk).collect();
+        let plain = assign_map_waves(tasks.clone(), &nodes(4), 1, PolicyCtx::disabled()).unwrap();
+        let kernel = assign_map_waves_kernel(
+            tasks,
+            &nodes(4),
+            1,
+            PlacementKernel::Default,
+            &m,
+            PolicyCtx::disabled(),
+        )
+        .unwrap();
+        let ids = |w: &Waves<MapTask>| -> Vec<Vec<(NodeId, u32)>> {
+            w.iter()
+                .map(|wave| wave.iter().map(|(n, t)| (*n, t.id.index)).collect())
+                .collect()
+        };
+        assert_eq!(ids(&plain), ids(&kernel));
+    }
+
+    #[test]
+    fn capacity_weighted_kernel_uses_membership_caps() {
+        let mut m = Membership::uniform(1);
+        m.join(3, 0); // node 1 weighs 3×
+        let tasks: Vec<MapTask> = (0..8).map(|i| map_task(i, &[])).collect();
+        let waves = assign_map_waves_kernel(
+            tasks,
+            &nodes(2),
+            1,
+            PlacementKernel::CapacityWeighted,
+            &m,
+            PolicyCtx::disabled(),
+        )
+        .unwrap();
+        assert_eq!(
+            waves.len(),
+            2,
+            "3×-weighted node packs the job into 2 waves"
+        );
+        let on_big = waves
+            .iter()
+            .flatten()
+            .filter(|(n, _)| *n == NodeId(1))
+            .count();
+        assert_eq!(on_big, 6);
     }
 
     #[test]

@@ -28,7 +28,9 @@ use crate::failure::{FailureInjector, Fault, ProgressEvent, TriggerPoint};
 use crate::job::{JobRun, JobSpec, RunMode};
 use crate::mapstore::{BucketIndex, MapInputKey};
 use crate::metrics::{IoBytes, JobReport, ShuffleMetrics, TaskRecord};
-use crate::scheduler::{assign_map_waves, assign_reduce_waves, ReduceAssignment, Waves};
+use crate::scheduler::{
+    assign_map_waves_kernel, assign_reduce_waves_kernel, ReduceAssignment, Waves,
+};
 use crate::shuffle::{shuffle_for_reduce, ShuffleFailure, StreamingShuffle};
 use crate::task::{MapTask, ReduceTask};
 use crate::udf::Combiner;
@@ -303,10 +305,13 @@ impl<'a> JobTracker<'a> {
                     while !pending_maps.is_empty() {
                         self.check_inputs_available(spec, &pending_maps)?;
                         let live = self.live_or_fail()?;
-                        let waves = assign_map_waves(
+                        let membership = self.cluster.membership();
+                        let waves = assign_map_waves_kernel(
                             pending_maps.clone(),
                             &live,
                             self.cluster.config().slots.map,
+                            self.cluster.config().placement,
+                            &membership,
                             PolicyCtx::new(&self.tracer, Some(job_span)),
                         )?;
                         let mut interrupted = false;
@@ -388,11 +393,14 @@ impl<'a> JobTracker<'a> {
                     } else {
                         ReduceAssignment::RoundRobinByPartition
                     };
-                    let waves: Waves<ReduceTask> = assign_reduce_waves(
+                    let membership = self.cluster.membership();
+                    let waves: Waves<ReduceTask> = assign_reduce_waves_kernel(
                         pending_reduces.clone(),
                         &live,
                         self.cluster.config().slots.reduce,
                         style,
+                        self.cluster.config().placement,
+                        &membership,
                         PolicyCtx::new(&self.tracer, Some(job_span)),
                     )?;
                     // Owned by `Arc` because session workers may briefly outlive
@@ -597,12 +605,14 @@ impl<'a> JobTracker<'a> {
                 Fault::CorruptReplica { node } => (FaultKind::CorruptReplica, *node),
                 Fault::TornWrite { node } => (FaultKind::TornWrite, *node),
                 Fault::ShuffleFlake { node, .. } => (FaultKind::ShuffleFlake, *node),
+                Fault::NodeDrain { node } => (FaultKind::NodeDrain, *node),
             };
             let fault_code = match kind {
                 FaultKind::NodeCrash => 0,
                 FaultKind::CorruptReplica => 1,
                 FaultKind::TornWrite => 2,
                 FaultKind::ShuffleFlake => 3,
+                FaultKind::NodeDrain => 4,
             };
             self.recorder
                 .record(EventCode::FaultInjected, Some(at_node), seq, fault_code);
@@ -650,13 +660,26 @@ impl<'a> JobTracker<'a> {
                 Fault::ShuffleFlake { node, times } => {
                     self.cluster.map_outputs().arm_flake(node, times);
                 }
+                Fault::NodeDrain { node } => {
+                    // Graceful membership change, not a failure: the
+                    // drain is skipped when the node is not currently
+                    // schedulable or is the last schedulable node, so an
+                    // injected drain can never strand the chain. Data on
+                    // the drained node stays readable — no recovery runs.
+                    let schedulable = self.cluster.schedulable_nodes();
+                    if schedulable.len() > 1 && schedulable.contains(&node) {
+                        let _ = self.cluster.drain_node(node);
+                    }
+                }
             }
         }
         kills
     }
 
+    /// Nodes the next wave may be scheduled on (Up only — draining
+    /// nodes keep serving data but take no new tasks).
     fn live_or_fail(&self) -> Result<Vec<NodeId>> {
-        let live = self.cluster.live_nodes();
+        let live = self.cluster.schedulable_nodes();
         if live.is_empty() {
             return Err(Error::NoLiveNodes);
         }

@@ -134,6 +134,80 @@ impl ExecutorConfig {
     }
 }
 
+/// Which placement kernel assigns tasks to nodes.
+///
+/// All kernels run the same wave arithmetic (§II) and produce
+/// schedules byte-identical between the engine and the simulator; they
+/// differ only in *which* pending task a node claims (and, for
+/// [`PlacementKernel::CapacityWeighted`], how many).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementKernel {
+    /// Hadoop's slot-pull: primary-local first, then any local replica,
+    /// then steal the oldest pending task (the historical behaviour).
+    #[default]
+    Default,
+    /// Like `Default`, but the steal fallback prefers a task with a
+    /// replica anywhere in the claimer's *rack* before going truly
+    /// remote (HDFS-style rack locality, §III-A).
+    RackAware,
+    /// Delay scheduling: a node with no local task skips its claim for
+    /// up to `rounds` claim rounds, waiting for a local one to surface,
+    /// before falling back to stealing.
+    Delay {
+        /// Claim rounds a node waits for a local task before stealing.
+        rounds: u32,
+    },
+    /// Heterogeneous slot-pull: each node claims tasks (and packs
+    /// waves) in proportion to its capacity weight from the membership
+    /// record, so big nodes pull more work per round.
+    CapacityWeighted,
+}
+
+impl PlacementKernel {
+    /// Kernel override from the `RCMP_PLACEMENT` environment variable
+    /// (`default`, `rack`, `delay:<rounds>`, or `capacity`), falling
+    /// back to the default when unset or unparseable. Lets whole test
+    /// binaries be re-run under another kernel (the CI placement
+    /// matrix) without touching each construction site.
+    pub fn from_env_or_default() -> Self {
+        match std::env::var("RCMP_PLACEMENT") {
+            Ok(v) => Self::parse(&v).unwrap_or_default(),
+            Err(_) => Self::default(),
+        }
+    }
+
+    /// Parses a kernel spec (`default` | `rack` | `delay:<rounds>` |
+    /// `capacity`).
+    pub fn parse(spec: &str) -> Option<Self> {
+        let spec = spec.trim();
+        if spec.eq_ignore_ascii_case("default") {
+            return Some(Self::Default);
+        }
+        if spec.eq_ignore_ascii_case("rack") {
+            return Some(Self::RackAware);
+        }
+        if spec.eq_ignore_ascii_case("capacity") {
+            return Some(Self::CapacityWeighted);
+        }
+        let rest = spec
+            .strip_prefix("delay:")
+            .or_else(|| spec.strip_prefix("DELAY:"))?;
+        rest.parse::<u32>()
+            .ok()
+            .map(|rounds| Self::Delay { rounds })
+    }
+
+    /// Short label for figure tables and CI logs.
+    pub fn label(&self) -> String {
+        match self {
+            Self::Default => "default".into(),
+            Self::RackAware => "rack".into(),
+            Self::Delay { rounds } => format!("delay:{rounds}"),
+            Self::CapacityWeighted => "capacity".into(),
+        }
+    }
+}
+
 /// Shuffle data-path tuning: streaming merge vs the legacy sort-all
 /// oracle, merge fan-in, and block-store sharding.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -294,6 +368,9 @@ pub struct ClusterConfig {
     /// Retry budgets and seeded backoff for recovery paths.
     #[serde(default)]
     pub retry: RetryPolicy,
+    /// Which placement kernel the scheduler assigns waves with.
+    #[serde(default)]
+    pub placement: PlacementKernel,
 }
 
 impl ClusterConfig {
@@ -309,6 +386,7 @@ impl ClusterConfig {
             executor: ExecutorConfig::default(),
             shuffle: ShuffleConfig::default(),
             retry: RetryPolicy::default(),
+            placement: PlacementKernel::default(),
         }
     }
 
@@ -324,6 +402,7 @@ impl ClusterConfig {
             executor: ExecutorConfig::default(),
             shuffle: ShuffleConfig::default(),
             retry: RetryPolicy::default(),
+            placement: PlacementKernel::default(),
         }
     }
 
@@ -339,6 +418,7 @@ impl ClusterConfig {
             executor: ExecutorConfig::default(),
             shuffle: ShuffleConfig::default(),
             retry: RetryPolicy::default(),
+            placement: PlacementKernel::default(),
         }
     }
 
@@ -496,6 +576,33 @@ mod tests {
         let mut c = ClusterConfig::small_test(4);
         c.retry.shuffle_attempts = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn placement_spec_parsing() {
+        assert_eq!(
+            PlacementKernel::parse("default"),
+            Some(PlacementKernel::Default)
+        );
+        assert_eq!(
+            PlacementKernel::parse("rack"),
+            Some(PlacementKernel::RackAware)
+        );
+        assert_eq!(
+            PlacementKernel::parse("delay:3"),
+            Some(PlacementKernel::Delay { rounds: 3 })
+        );
+        assert_eq!(
+            PlacementKernel::parse("capacity"),
+            Some(PlacementKernel::CapacityWeighted)
+        );
+        assert_eq!(PlacementKernel::parse("delay:soon"), None);
+        assert_eq!(PlacementKernel::parse("anywhere"), None);
+        assert_eq!(PlacementKernel::Delay { rounds: 3 }.label(), "delay:3");
+        assert_eq!(
+            ClusterConfig::small_test(2).placement,
+            PlacementKernel::Default
+        );
     }
 
     #[test]

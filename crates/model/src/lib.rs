@@ -23,7 +23,8 @@ pub mod rng;
 pub mod units;
 
 pub use config::{
-    ClusterConfig, ExecutorConfig, ExecutorKind, RetryPolicy, ShuffleConfig, SlotConfig,
+    ClusterConfig, ExecutorConfig, ExecutorKind, PlacementKernel, RetryPolicy, ShuffleConfig,
+    SlotConfig,
 };
 pub use error::{Error, Result};
 pub use ids::{BlockId, JobId, MapTaskId, NodeId, PartitionId, ReduceTaskId, SplitId, TaskId};

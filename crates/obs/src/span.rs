@@ -42,6 +42,9 @@ pub enum FaultKind {
     TornWrite,
     /// The node's shuffle path fails transiently.
     ShuffleFlake,
+    /// The node was gracefully drained: no new tasks or replicas, data
+    /// still readable (the benign counterpart of `NodeCrash`).
+    NodeDrain,
 }
 
 /// What a span describes, with its kind-specific payload.

@@ -33,10 +33,21 @@
 //!   re-derives the replication cadence from it, shared (like the wave
 //!   kernels) by the engine and the simulator so their decision
 //!   sequences agree byte for byte.
+//! * [`Membership`] — the versioned, mutable node set: join / drain /
+//!   decommission / rejoin transitions with epoch numbers, snapshotted
+//!   identically by both backends.
+//! * [`assign_map_waves_kernel`] / [`assign_reduce_waves_kernel`] —
+//!   pluggable placement kernels (rack-aware, delay scheduling,
+//!   capacity-weighted) selected via
+//!   `rcmp_model::PlacementKernel`, all sharing one claim loop.
+//! * [`RackTopology`] — the single node→rack layout shared by DFS
+//!   replica placement and the rack-aware kernel (formerly duplicated
+//!   in `rcmp-dfs`).
 
 #![deny(missing_docs)]
 
 pub mod adapt;
+mod membership;
 mod mitigation;
 mod plan;
 mod tasks;
@@ -47,11 +58,12 @@ pub use adapt::{
     expected_chain_time, optimal_interval, AdaptConfig, AdaptationStep, AdaptivePolicy,
     DynamicPolicy, FailureIntensityEstimator, FaultObserver,
 };
+pub use membership::{Membership, NodeInfo, NodeStatus};
 pub use mitigation::{choose_mitigation, HotspotMitigation, MitigationChoice, SplitPolicy};
 pub use plan::RecomputePlan;
 pub use tasks::{FnMapTasks, FnReduceTasks, MapTaskSet, ReduceTaskSet};
-pub use topology::{SliceTopology, TopologyView};
+pub use topology::{rack_aware_order, KernelTopology, RackTopology, SliceTopology, TopologyView};
 pub use waves::{
-    assign_map_waves, assign_reduce_waves, queues_to_waves, PolicyCtx, ReduceAssignment,
-    WaveAssignment,
+    assign_map_waves, assign_map_waves_kernel, assign_reduce_waves, assign_reduce_waves_kernel,
+    queues_to_waves, queues_to_waves_weighted, PolicyCtx, ReduceAssignment, WaveAssignment,
 };

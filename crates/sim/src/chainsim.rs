@@ -15,8 +15,8 @@ use crate::state::{Node, SimState};
 use crate::workload::WorkloadCfg;
 use rcmp_core::strategy::{HotspotMitigation, SplitPolicy, Strategy};
 use rcmp_model::rng::derive_indexed;
-use rcmp_model::RetryPolicy;
-use rcmp_policy::{choose_mitigation, AdaptivePolicy, FaultObserver};
+use rcmp_model::{PlacementKernel, RetryPolicy};
+use rcmp_policy::{choose_mitigation, AdaptivePolicy, FaultObserver, Membership};
 use std::collections::BTreeSet;
 
 /// One scripted failure: kill `node` `offset` seconds into run `seq`
@@ -55,6 +55,11 @@ pub struct ChainSimConfig {
     /// Seed the backoff jitter derives from (the engine uses
     /// `ClusterConfig::seed`).
     pub seed: u64,
+    /// Placement kernel, mirroring `ClusterConfig::placement`.
+    pub placement: PlacementKernel,
+    /// Optional initial membership (racks, heterogeneous capacities).
+    /// `None` = uniform over `wl.nodes`.
+    pub membership: Option<Membership>,
 }
 
 impl ChainSimConfig {
@@ -66,6 +71,8 @@ impl ChainSimConfig {
             failures: Vec::new(),
             retry: RetryPolicy::default(),
             seed: 0,
+            placement: PlacementKernel::Default,
+            membership: None,
         }
     }
 
@@ -78,6 +85,19 @@ impl ChainSimConfig {
     pub fn with_retry(mut self, retry: RetryPolicy, seed: u64) -> Self {
         self.retry = retry;
         self.seed = seed;
+        self
+    }
+
+    /// Selects the placement kernel every run schedules with.
+    pub fn with_placement(mut self, kernel: PlacementKernel) -> Self {
+        self.placement = kernel;
+        self
+    }
+
+    /// Starts the chain from an explicit membership (racked or
+    /// heterogeneous) instead of a uniform one. Must cover `wl.nodes`.
+    pub fn with_membership(mut self, membership: Membership) -> Self {
+        self.membership = Some(membership);
         self
     }
 }
@@ -114,10 +134,14 @@ enum RunOutcome {
 
 impl<'a> Runner<'a> {
     fn new(cfg: &'a ChainSimConfig) -> Self {
+        let mut state = SimState::new(&cfg.wl);
+        if let Some(m) = &cfg.membership {
+            state.set_membership(m.clone());
+        }
         Self {
             cfg,
-            js: JobSim::new(cfg.hw.clone(), cfg.wl.clone()),
-            state: SimState::new(&cfg.wl),
+            js: JobSim::new(cfg.hw.clone(), cfg.wl.clone()).with_placement(cfg.placement),
+            state,
             report: SimChainReport::default(),
             t: 0.0,
             seq: 0,

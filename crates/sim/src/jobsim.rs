@@ -21,11 +21,11 @@
 
 use crate::hw::HwProfile;
 use crate::report::SimJobReport;
-use crate::sched::{assign_map_waves, assign_reduce_waves};
+use crate::sched::{assign_map_waves_kernel, assign_reduce_waves_kernel};
 use crate::speculate::{speculate_wave, SpeculationCfg, WaveTask};
 use crate::state::{MapOutputRec, Node, Segment, SimState};
 use crate::workload::WorkloadCfg;
-use rcmp_model::Result;
+use rcmp_model::{PlacementKernel, Result};
 use rcmp_obs::Tracer;
 use rcmp_policy::{PolicyCtx, ReduceAssignment};
 use std::collections::BTreeMap;
@@ -49,6 +49,9 @@ pub struct JobSim {
     /// the network; data locality does not exist. "Our contributions
     /// directly apply also to the non-collocated case."
     pub noncollocated: bool,
+    /// Placement kernel driving wave assignment (`Default` reproduces
+    /// the historical slot-pull byte for byte).
+    pub placement: PlacementKernel,
     /// Optional tracer: scheduling decisions emit `policy.*` spans.
     pub tracer: Option<Arc<Tracer>>,
 }
@@ -60,6 +63,7 @@ impl std::fmt::Debug for JobSim {
             .field("wl", &self.wl)
             .field("speculation", &self.speculation)
             .field("noncollocated", &self.noncollocated)
+            .field("placement", &self.placement)
             .field("traced", &self.tracer.is_some())
             .finish()
     }
@@ -79,6 +83,7 @@ impl JobSim {
             wl,
             speculation: None,
             noncollocated: false,
+            placement: PlacementKernel::Default,
             tracer: None,
         }
     }
@@ -86,6 +91,12 @@ impl JobSim {
     /// Enables speculative execution of map-wave stragglers.
     pub fn with_speculation(mut self, cfg: SpeculationCfg) -> Self {
         self.speculation = Some(cfg);
+        self
+    }
+
+    /// Selects the placement kernel waves are assigned with.
+    pub fn with_placement(mut self, kernel: PlacementKernel) -> Self {
+        self.placement = kernel;
         self
     }
 
@@ -145,6 +156,10 @@ impl JobSim {
         let input_file = job - 1;
         let block = wl.block_size.as_u64();
         let live = state.live_nodes();
+        // A membership snapshot for this run's scheduling decisions —
+        // mid-run transitions (none today) would only affect later runs,
+        // matching the engine's snapshot-per-phase behaviour.
+        let membership = state.membership().clone();
         let ctx = PolicyCtx::maybe(self.tracer.as_deref(), None);
 
         let mut report = SimJobReport {
@@ -191,10 +206,12 @@ impl JobSim {
         // ---------------- map phase -------------------------------------
         let mut map_phase = 0.0f64;
         let noncol = self.noncollocated;
-        let waves = assign_map_waves(
+        let waves = assign_map_waves_kernel(
             to_run.len(),
             &live,
             wl.slots.map,
+            self.placement,
+            &membership,
             |ti, n| !noncol && all_tasks[to_run[ti]].holders.first() == Some(&n),
             |ti, n| !noncol && all_tasks[to_run[ti]].holders.contains(&n),
             ctx,
@@ -375,11 +392,13 @@ impl JobSim {
             None => ReduceAssignment::RoundRobinByPartition,
             Some(_) => ReduceAssignment::Balance,
         };
-        let r_waves = assign_reduce_waves(
+        let r_waves = assign_reduce_waves_kernel(
             reduce_tasks.len(),
             &live,
             wl.slots.reduce,
             r_style,
+            self.placement,
+            &membership,
             |t| reduce_tasks[t].0 as usize,
             ctx,
         )?;

@@ -3,8 +3,11 @@
 //! implementation of RCMP's slot-pull and round-robin placement.
 
 use crate::state::Node;
-use rcmp_model::Result;
-use rcmp_policy::{FnMapTasks, FnReduceTasks, PolicyCtx, ReduceAssignment, SliceTopology};
+use rcmp_model::{PlacementKernel, Result};
+use rcmp_policy::{
+    FnMapTasks, FnReduceTasks, KernelTopology, Membership, PolicyCtx, ReduceAssignment,
+    SliceTopology,
+};
 
 /// Assigns tasks with Hadoop's slot-pull semantics: nodes claim tasks in
 /// rounds, preferring a task whose *primary* replica they hold (the
@@ -45,6 +48,55 @@ where
     let topo = SliceTopology::new(live, slots, slots);
     let tasks = FnReduceTasks::new(num_tasks, key);
     rcmp_policy::assign_reduce_waves(&topo, &tasks, style, ctx)
+}
+
+/// Kernel-selectable variant of [`assign_map_waves`]: capacity and rack
+/// hints come from the membership, aligned with `live` — the same
+/// plumbing `rcmp-engine`'s scheduler does, so both backends hand the
+/// policy kernel byte-identical inputs. `PlacementKernel::Default`
+/// reproduces [`assign_map_waves`] exactly.
+#[allow(clippy::too_many_arguments)]
+pub fn assign_map_waves_kernel<P, Q>(
+    num_tasks: usize,
+    live: &[Node],
+    slots: u32,
+    kernel: PlacementKernel,
+    membership: &Membership,
+    primary: Q,
+    prefers: P,
+    ctx: PolicyCtx<'_>,
+) -> Result<Vec<Vec<(Node, usize)>>>
+where
+    P: Fn(usize, Node) -> bool,
+    Q: Fn(usize, Node) -> bool,
+{
+    let caps = membership.caps_for(live);
+    let racks = membership.racks_for(live);
+    let topo = KernelTopology::uniform(live, slots, &caps, &racks);
+    let tasks = FnMapTasks::new(num_tasks, primary, prefers);
+    rcmp_policy::assign_map_waves_kernel(&topo, &tasks, kernel, ctx)
+}
+
+/// Kernel-selectable variant of [`assign_reduce_waves`].
+#[allow(clippy::too_many_arguments)]
+pub fn assign_reduce_waves_kernel<K>(
+    num_tasks: usize,
+    live: &[Node],
+    slots: u32,
+    style: ReduceAssignment,
+    kernel: PlacementKernel,
+    membership: &Membership,
+    key: K,
+    ctx: PolicyCtx<'_>,
+) -> Result<Vec<Vec<(Node, usize)>>>
+where
+    K: Fn(usize) -> usize,
+{
+    let caps = membership.caps_for(live);
+    let racks = membership.racks_for(live);
+    let topo = KernelTopology::new(live, slots, slots, &caps, &racks);
+    let tasks = FnReduceTasks::new(num_tasks, key);
+    rcmp_policy::assign_reduce_waves_kernel(&topo, &tasks, style, kernel, ctx)
 }
 
 #[cfg(test)]
@@ -115,6 +167,54 @@ mod tests {
         )
         .unwrap()
         .is_empty());
+    }
+
+    #[test]
+    fn default_kernel_matches_plain_adapter() {
+        let live: Vec<Node> = (0..4).collect();
+        let m = Membership::uniform(4);
+        let plain = assign_map_waves(
+            8,
+            &live,
+            1,
+            |_, _| false,
+            |_, n| n == 1,
+            PolicyCtx::disabled(),
+        )
+        .unwrap();
+        let kernel = assign_map_waves_kernel(
+            8,
+            &live,
+            1,
+            PlacementKernel::Default,
+            &m,
+            |_, _| false,
+            |_, n| n == 1,
+            PolicyCtx::disabled(),
+        )
+        .unwrap();
+        assert_eq!(plain, kernel);
+    }
+
+    #[test]
+    fn capacity_kernel_reads_membership_caps() {
+        let mut m = Membership::uniform(1);
+        m.join(3, 0);
+        let live = m.schedulable();
+        let waves = assign_map_waves_kernel(
+            8,
+            &live,
+            1,
+            PlacementKernel::CapacityWeighted,
+            &m,
+            |_, _| false,
+            |_, _| false,
+            PolicyCtx::disabled(),
+        )
+        .unwrap();
+        assert_eq!(waves.len(), 2, "3+1 capacity drains 8 tasks in 2 waves");
+        let on_big = waves.iter().flatten().filter(|(n, _)| *n == 1).count();
+        assert_eq!(on_big, 6);
     }
 
     #[test]

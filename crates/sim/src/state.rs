@@ -7,6 +7,8 @@
 //! transitions the real `rcmp-dfs`/`rcmp-engine` pair performs.
 
 use crate::workload::WorkloadCfg;
+use rcmp_model::{Error, Result};
+use rcmp_policy::Membership;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Node index (dense, 0-based).
@@ -91,7 +93,11 @@ pub type MapKey = (u32, u32, u32);
 /// The simulated cluster state.
 #[derive(Clone, Debug, Default)]
 pub struct SimState {
-    alive: Vec<bool>,
+    /// Versioned membership — the same `rcmp-policy` model the engine's
+    /// `Cluster` keeps, so epoch numbers and live sets agree across
+    /// backends. Readable (Up | Draining) nodes serve data; schedulable
+    /// (Up) nodes take tasks and new replicas.
+    membership: Membership,
     /// file id → file.
     pub files: BTreeMap<FileId, SimFile>,
     /// Persisted map outputs.
@@ -140,20 +146,39 @@ impl SimState {
         let mut files = BTreeMap::new();
         files.insert(0, input);
         Self {
-            alive: vec![true; n as usize],
+            membership: Membership::uniform(n),
             files,
             map_outputs: BTreeMap::new(),
         }
     }
 
-    pub fn is_alive(&self, node: Node) -> bool {
-        self.alive.get(node as usize).copied().unwrap_or(false)
+    /// Current membership snapshot (statuses, capacities, racks, epoch).
+    pub fn membership(&self) -> &Membership {
+        &self.membership
     }
 
+    /// Replaces the membership wholesale — for heterogeneous or racked
+    /// simulations built before any data movement happened. The new
+    /// view must cover every node that holds data.
+    pub fn set_membership(&mut self, membership: Membership) {
+        assert!(
+            membership.len() >= self.membership.len(),
+            "membership must cover all {} existing nodes",
+            self.membership.len()
+        );
+        self.membership = membership;
+    }
+
+    /// True while the node's data remains readable (Up | Draining).
+    pub fn is_alive(&self, node: Node) -> bool {
+        self.membership.is_readable(node)
+    }
+
+    /// Nodes that take new tasks and replicas (Up only): a draining
+    /// node keeps serving its data but schedules nothing new — the same
+    /// split the engine's `Cluster::schedulable_nodes` makes.
     pub fn live_nodes(&self) -> Vec<Node> {
-        (0..self.alive.len() as u32)
-            .filter(|&n| self.is_alive(n))
-            .collect()
+        self.membership.schedulable()
     }
 
     /// Kills a node: its map outputs vanish; partitions report lost via
@@ -164,9 +189,7 @@ impl SimState {
             .iter()
             .map(|(&f, file)| (f, file.lost_partitions(self)))
             .collect();
-        if let Some(a) = self.alive.get_mut(node as usize) {
-            *a = false;
-        }
+        let _ = self.membership.mark_dead(node);
         self.map_outputs.retain(|_, rec| rec.node != node);
         let mut newly = BTreeMap::new();
         for (&f, file) in &self.files {
@@ -180,6 +203,98 @@ impl SimState {
             }
         }
         newly
+    }
+
+    /// Adds a fresh empty node (Up) and returns its index. It becomes a
+    /// placement target immediately; it holds no data yet.
+    pub fn join_node(&mut self, capacity: u32, rack: u32) -> Node {
+        self.membership.join(capacity, rack)
+    }
+
+    /// Starts draining a node: no new tasks or replicas land on it, but
+    /// every replica it holds keeps serving (nothing is lost).
+    pub fn drain_node(&mut self, node: Node) -> Result<()> {
+        self.membership.drain(node)
+    }
+
+    /// Brings a drained or decommissioned node back as a schedulable
+    /// target (a decommissioned node rejoins empty).
+    pub fn rejoin_node(&mut self, node: Node) -> Result<()> {
+        self.membership.rejoin(node)
+    }
+
+    /// Gracefully removes a node: every segment replica it holds is
+    /// re-homed onto the first schedulable node not already holding the
+    /// segment (the sim mirror of `rcmp-dfs`'s plan/copy/commit
+    /// rebalance), its map outputs are dropped, and it leaves the
+    /// membership `Decommissioned`. Returns `(moved, dropped)` replica
+    /// counts; a replica is dropped in place when every target already
+    /// holds the segment. Fails with
+    /// [`Error::InsufficientReplicaTargets`] — leaving all state
+    /// unchanged — when a sole-replica segment has nowhere to go.
+    pub fn decommission_node(&mut self, node: Node) -> Result<(usize, usize)> {
+        if !self.membership.is_readable(node) {
+            // Surface the membership's own typed transition error.
+            self.membership.decommission(node)?;
+            unreachable!("decommission of a non-readable node must fail");
+        }
+        let pool: Vec<Node> = self
+            .membership
+            .schedulable()
+            .into_iter()
+            .filter(|&n| n != node)
+            .collect();
+        // Plan: (file, pid, seg) → Some(target) moves the replica,
+        // None drops it in place (other readable holders remain).
+        let mut plan: Vec<(FileId, usize, usize, Option<Node>)> = Vec::new();
+        for (&f, file) in &self.files {
+            for (pid, p) in file.partitions.iter().enumerate() {
+                for (si, seg) in p.segments.iter().enumerate() {
+                    if !seg.holders.contains(&node) {
+                        continue;
+                    }
+                    let others_readable = seg
+                        .holders
+                        .iter()
+                        .any(|&h| h != node && self.membership.is_readable(h));
+                    match pool.iter().copied().find(|t| !seg.holders.contains(t)) {
+                        Some(t) => plan.push((f, pid, si, Some(t))),
+                        None if others_readable => plan.push((f, pid, si, None)),
+                        None => {
+                            return Err(Error::InsufficientReplicaTargets {
+                                wanted: 1,
+                                alive: pool.len(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // Commit: contents are byte-identical on the new holder, so no
+        // version bump — downstream lineage (map-output validity) is
+        // preserved, exactly like the engine's verified copies.
+        let (mut moved, mut dropped) = (0usize, 0usize);
+        for (f, pid, si, target) in plan {
+            let seg = &mut self
+                .files
+                .get_mut(&f)
+                .expect("planned file exists")
+                .partitions[pid]
+                .segments[si];
+            seg.holders.retain(|&h| h != node);
+            match target {
+                Some(t) => {
+                    seg.holders.push(t);
+                    moved += 1;
+                }
+                None => dropped += 1,
+            }
+        }
+        self.map_outputs.retain(|_, rec| rec.node != node);
+        self.membership
+            .decommission(node)
+            .expect("validated readable above");
+        Ok((moved, dropped))
     }
 
     /// Blocks of one partition: `(block_bytes, holders)` per block, in
@@ -445,5 +560,77 @@ mod tests {
         assert!(!s.map_output_valid((1, 0, 0), 0));
         assert!(s.map_output_valid((2, 0, 0), 0));
         assert_eq!(s.persisted_bytes(), 7);
+    }
+
+    #[test]
+    fn drained_node_serves_but_takes_no_new_placements() {
+        let mut s = SimState::new(&wl());
+        let e0 = s.membership().epoch();
+        s.drain_node(2).unwrap();
+        assert!(s.membership().epoch() > e0);
+        assert!(s.is_alive(2), "draining data stays readable");
+        assert!(!s.live_nodes().contains(&2), "no longer schedulable");
+        assert!(s.files[&0].lost_partitions(&s).is_empty(), "nothing lost");
+        s.rejoin_node(2).unwrap();
+        assert!(s.live_nodes().contains(&2));
+    }
+
+    #[test]
+    fn decommission_rehomes_replicas_and_drops_its_outputs() {
+        let mut s = SimState::new(&wl());
+        let rec = |node| MapOutputRec {
+            node,
+            input_version: 0,
+            bytes: 5,
+        };
+        s.record_map_output((1, 0, 0), rec(2));
+        s.record_map_output((1, 0, 1), rec(0));
+        let (moved, dropped) = s.decommission_node(2).unwrap();
+        assert!(moved > 0);
+        assert_eq!(dropped, 0);
+        assert!(!s.is_alive(2));
+        assert!(s.files[&0].lost_partitions(&s).is_empty(), "no data lost");
+        for p in &s.files[&0].partitions {
+            for seg in &p.segments {
+                assert!(!seg.holders.contains(&2), "replicas re-homed");
+                assert_eq!(seg.holders.len(), 3, "replication factor kept");
+            }
+        }
+        assert!(!s.map_output_valid((1, 0, 0), 0), "leaver's outputs gone");
+        assert!(s.map_output_valid((1, 0, 1), 0), "survivors untouched");
+    }
+
+    #[test]
+    fn decommission_sole_replica_without_target_fails_clean() {
+        let mut s = SimState::new(&wl());
+        s.fail_node(0);
+        s.fail_node(1);
+        s.fail_node(3);
+        let epoch = s.membership().epoch();
+        let err = s.decommission_node(2).unwrap_err();
+        assert!(matches!(err, Error::InsufficientReplicaTargets { .. }));
+        assert_eq!(s.membership().epoch(), epoch, "state unchanged");
+        assert!(s.is_alive(2), "node 2 still serving");
+    }
+
+    #[test]
+    fn join_grows_the_placement_pool() {
+        let mut s = SimState::new(&wl());
+        let n = s.join_node(2, 1);
+        assert_eq!(n, 4);
+        assert!(s.live_nodes().contains(&4));
+        s.rewrite_partition(
+            1,
+            0,
+            vec![Segment {
+                holders: vec![0],
+                bytes: 100,
+            }],
+        );
+        s.replicate_file(1, 5);
+        assert!(
+            s.files[&1].partitions[0].segments[0].holders.contains(&4),
+            "new node absorbs replicas"
+        );
     }
 }

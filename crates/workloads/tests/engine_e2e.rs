@@ -18,6 +18,7 @@ fn test_cluster(nodes: u32) -> Cluster {
         executor: rcmp_model::ExecutorConfig::default(),
         shuffle: Default::default(),
         retry: Default::default(),
+        placement: Default::default(),
         seed: 42,
     };
     Cluster::new(cfg)

@@ -27,6 +27,7 @@ fn cluster() -> Cluster {
         executor: ExecutorConfig::from_env_or_default(),
         shuffle: Default::default(),
         retry: Default::default(),
+        placement: Default::default(),
         seed: 7,
     })
 }
@@ -119,6 +120,7 @@ fn main() {
             executor: ExecutorConfig::from_env_or_default(),
             shuffle: Default::default(),
             retry: Default::default(),
+            placement: Default::default(),
             seed: 7,
         });
         let mut gen = DataGenConfig::test("input", 1, 4_000);

@@ -28,6 +28,7 @@ fn main() {
         executor: ExecutorConfig::from_env_or_default(),
         shuffle: Default::default(),
         retry: Default::default(),
+        placement: Default::default(),
         seed: 1,
     });
 

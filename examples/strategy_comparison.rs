@@ -32,6 +32,7 @@ fn run(strategy: Strategy, label: &str) {
         executor: ExecutorConfig::from_env_or_default(),
         shuffle: Default::default(),
         retry: Default::default(),
+        placement: Default::default(),
         seed: 99,
     });
     generate_input(cluster.dfs(), &DataGenConfig::test("input", NODES, 30_000)).unwrap();

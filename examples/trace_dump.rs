@@ -35,6 +35,7 @@ fn main() {
         executor: ExecutorConfig::from_env_or_default(),
         shuffle: Default::default(),
         retry: Default::default(),
+        placement: Default::default(),
         seed: 7,
     });
     // Replicate the input everywhere so every map read is served by a

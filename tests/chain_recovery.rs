@@ -26,6 +26,7 @@ fn cluster(nodes: u32) -> Cluster {
         executor: rcmp::model::ExecutorConfig::default(),
         shuffle: Default::default(),
         retry: Default::default(),
+        placement: Default::default(),
         seed: 7,
     })
 }

@@ -11,7 +11,7 @@ use proptest::prelude::*;
 use rcmp::core::{ChainDriver, Strategy};
 use rcmp::engine::failure::{Fault, FaultTrigger};
 use rcmp::engine::{Cluster, RandomizedInjector, ScriptedInjector, TriggerPoint};
-use rcmp::model::{ClusterConfig, Error, ExecutorConfig, NodeId, SlotConfig};
+use rcmp::model::{ClusterConfig, Error, ExecutorConfig, NodeId, PlacementKernel, SlotConfig};
 use rcmp::workloads::checksum::{digest_file, OutputDigest};
 use rcmp::workloads::{generate_input, ChainBuilder, DataGenConfig};
 use std::sync::Arc;
@@ -33,6 +33,7 @@ fn cluster_with(executor: ExecutorConfig) -> Cluster {
         executor,
         shuffle: Default::default(),
         retry: Default::default(),
+        placement: PlacementKernel::from_env_or_default(),
         seed: 23,
     })
 }
@@ -353,6 +354,7 @@ fn permanent_shuffle_flake_exhausts_retry_budget() {
         executor: ExecutorConfig::from_env_or_default(),
         shuffle: Default::default(),
         retry: Default::default(),
+        placement: PlacementKernel::from_env_or_default(),
         seed: 23,
     });
     let mut gen = DataGenConfig::test("input", 1, 4_000);
@@ -394,6 +396,7 @@ fn failed_run_traces_every_injected_fault() {
         executor: ExecutorConfig::from_env_or_default(),
         shuffle: Default::default(),
         retry: Default::default(),
+        placement: PlacementKernel::from_env_or_default(),
         seed: 23,
     });
     let mut gen = DataGenConfig::test("input", 1, 4_000);
@@ -468,6 +471,7 @@ fn unrecoverable_input_exhausts_chain_restart_budget() {
         executor: ExecutorConfig::from_env_or_default(),
         shuffle: Default::default(),
         retry: Default::default(),
+        placement: PlacementKernel::from_env_or_default(),
         seed: 23,
     });
     generate_input(cl.dfs(), &DataGenConfig::test("input", NODES, 15_000)).unwrap();
@@ -605,6 +609,173 @@ fn adaptive_hybrid_soaks_through_mixed_chaos() {
             soak_diagnostics(&cl, &injector, &[])
         ),
     }
+}
+
+/// Elastic membership under chaos (ISSUE 8): a node crash forces
+/// recomputation, and a scripted `NodeDrain` lands on the recovery
+/// run while it is in flight. The drained node stops taking tasks but
+/// keeps serving its replicas, so the chain still converges to the
+/// exact golden digest — and the node ends the run `Draining`, not
+/// dead.
+#[test]
+fn drain_during_recompute_converges_to_golden() {
+    use rcmp::policy::NodeStatus;
+
+    let expected = golden();
+    let cl = cluster();
+    let chain = setup(&cl);
+    let injector = Arc::new(ScriptedInjector::default());
+    // Seq 2 (job 2) dies at start → seq 3 is the recomputation of job
+    // 1's lost partitions. Drain node 2 after that run's first map
+    // wave: the strict injector check proves the drain really fired
+    // mid-recompute.
+    injector.add_fault(FaultTrigger {
+        seq: 2,
+        point: TriggerPoint::JobStart,
+        fault: Fault::NodeCrash(NodeId(1)),
+    });
+    injector.add_fault(FaultTrigger {
+        seq: 3,
+        point: TriggerPoint::AfterMapWave(0),
+        fault: Fault::NodeDrain { node: NodeId(2) },
+    });
+    let outcome = ChainDriver::new(&cl, Strategy::rcmp_no_split())
+        .with_injector(injector)
+        .run(&chain.jobs)
+        .unwrap();
+    assert!(
+        outcome.jobs_started > JOBS as u64,
+        "the crash must force recovery runs, got {}",
+        outcome.jobs_started
+    );
+    let m = cl.membership();
+    assert_eq!(m.status(2), Some(NodeStatus::Draining), "still draining");
+    assert_eq!(m.status(1), Some(NodeStatus::Dead));
+    assert!(
+        !cl.schedulable_nodes().contains(&NodeId(2)),
+        "a draining node takes no new tasks"
+    );
+    let digest = digest_file(cl.dfs(), chain.final_output(), cl.live_nodes()[0])
+        .unwrap()
+        .0;
+    assert_eq!(digest, expected, "drain mid-recompute changed the output");
+}
+
+/// Randomized chaos with graceful drains mixed in (`with_drains`): the
+/// binary contract holds — golden digest or a typed recovery error.
+#[test]
+fn drain_chaos_converges_or_fails_typed() {
+    let expected = golden();
+    for chaos_seed in [7u64, 1234, 99_999, 424_242] {
+        let cl = cluster();
+        let chain = setup(&cl);
+        let injector = Arc::new(
+            RandomizedInjector::new(chaos_seed, NODES)
+                .kill_probability(0.08)
+                .fault_probability(0.3)
+                .max_kills(1)
+                .max_other_faults(6)
+                .with_drains(),
+        );
+        match ChainDriver::new(&cl, Strategy::rcmp_split(3))
+            .with_injector(injector)
+            .run(&chain.jobs)
+        {
+            Ok(_) => {
+                let digest = digest_file(cl.dfs(), chain.final_output(), cl.live_nodes()[0])
+                    .unwrap()
+                    .0;
+                assert_eq!(digest, expected, "seed {chaos_seed} wrong output");
+            }
+            Err(Error::RecoveryExhausted { .. }) => {}
+            Err(Error::DataLoss { ref path, .. }) if path == "input" => {}
+            Err(e) => panic!("seed {chaos_seed}: expected golden or typed error, got {e}"),
+        }
+    }
+}
+
+/// Acceptance gate (ISSUE 8): all four placement kernels drive the
+/// chaos-injected 7-job chain — a kill, transient flakes and a replica
+/// corruption — to the same golden digest. Placement moves tasks;
+/// contents must not move with them.
+#[test]
+fn every_placement_kernel_converges_chaos_chain_to_golden() {
+    let expected = golden();
+    for kernel in [
+        PlacementKernel::Default,
+        PlacementKernel::RackAware,
+        PlacementKernel::Delay { rounds: 2 },
+        PlacementKernel::CapacityWeighted,
+    ] {
+        let cl = Cluster::new(ClusterConfig {
+            nodes: NODES,
+            slots: SlotConfig::ONE_ONE,
+            block_size: rcmp::model::ByteSize::kib(4),
+            failure_detection_secs: 30.0,
+            max_recovery_attempts: 100,
+            executor: ExecutorConfig::from_env_or_default(),
+            shuffle: Default::default(),
+            retry: Default::default(),
+            placement: kernel,
+            seed: 23,
+        });
+        let chain = setup(&cl);
+        let injector = Arc::new(ScriptedInjector::default().tolerate_unfired());
+        injector.add_fault(FaultTrigger {
+            seq: 2,
+            point: TriggerPoint::JobStart,
+            fault: Fault::NodeCrash(NodeId(1)),
+        });
+        injector.add_fault(FaultTrigger {
+            seq: 4,
+            point: TriggerPoint::JobStart,
+            fault: Fault::ShuffleFlake {
+                node: NodeId(0),
+                times: 2,
+            },
+        });
+        injector.add_fault(FaultTrigger {
+            seq: 5,
+            point: TriggerPoint::JobStart,
+            fault: Fault::CorruptReplica { node: NodeId(3) },
+        });
+        let outcome = ChainDriver::new(&cl, Strategy::rcmp_split(3))
+            .with_injector(injector)
+            .run(&chain.jobs)
+            .unwrap_or_else(|e| panic!("kernel {kernel:?} died with {e}"));
+        assert!(
+            outcome.jobs_started > JOBS as u64,
+            "kernel {kernel:?}: the crash must force recovery runs"
+        );
+        let digest = digest_file(cl.dfs(), chain.final_output(), cl.live_nodes()[0])
+            .unwrap()
+            .0;
+        assert_eq!(digest, expected, "kernel {kernel:?} diverged from golden");
+    }
+}
+
+/// Decommission after a completed chain: the incremental rebalance
+/// re-homes every replica the leaver held, so the persisted outputs —
+/// and their lineage — survive byte-exact with the node gone.
+#[test]
+fn decommission_preserves_chain_output() {
+    let expected = golden();
+    let cl = cluster();
+    let chain = setup(&cl);
+    ChainDriver::new(&cl, Strategy::rcmp_no_split())
+        .run(&chain.jobs)
+        .unwrap();
+    let report = cl.decommission_node(NodeId(1)).unwrap();
+    assert!(
+        report.blocks_moved > 0,
+        "node 1 held replicas that must re-home: {report:?}"
+    );
+    let live = cl.live_nodes();
+    assert!(!live.contains(&NodeId(1)), "leaver no longer serves");
+    let digest = digest_file(cl.dfs(), chain.final_output(), live[0])
+        .unwrap()
+        .0;
+    assert_eq!(digest, expected, "decommission must not disturb outputs");
 }
 
 /// The driver's strict end-of-chain injector check: a scripted trigger

@@ -19,6 +19,7 @@ fn cluster() -> Cluster {
         executor: rcmp::model::ExecutorConfig::default(),
         shuffle: Default::default(),
         retry: Default::default(),
+        placement: Default::default(),
         seed: 31,
     })
 }

@@ -5,7 +5,9 @@ use rcmp::core::{ChainDriver, Strategy};
 use rcmp::engine::{
     Cluster, JobRun, JobTracker, NoFailures, RecomputeInstructions, ScriptedInjector, TriggerPoint,
 };
-use rcmp::model::{ByteSize, ClusterConfig, ExecutorConfig, NodeId, SlotConfig, TaskId};
+use rcmp::model::{
+    ByteSize, ClusterConfig, ExecutorConfig, NodeId, PlacementKernel, SlotConfig, TaskId,
+};
 use rcmp::workloads::{generate_input, ChainBuilder, DataGenConfig};
 use std::sync::Arc;
 
@@ -21,6 +23,7 @@ fn cluster(nodes: u32, slots: SlotConfig) -> Cluster {
         executor: ExecutorConfig::from_env_or_default(),
         shuffle: Default::default(),
         retry: Default::default(),
+        placement: PlacementKernel::from_env_or_default(),
     })
 }
 

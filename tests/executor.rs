@@ -73,6 +73,7 @@ fn engine_run(
         executor,
         shuffle: Default::default(),
         retry: Default::default(),
+        placement: Default::default(),
     });
     generate_input(cl.dfs(), &DataGenConfig::test("input", 4, 20_000)).unwrap();
     let chain = ChainBuilder::new(1, 4).build();
@@ -125,6 +126,7 @@ fn crash_run(
         executor,
         shuffle: Default::default(),
         retry: Default::default(),
+        placement: Default::default(),
     });
     generate_input(cl.dfs(), &DataGenConfig::test("input", 4, 33_000)).unwrap();
     let chain = ChainBuilder::new(1, 4).build();

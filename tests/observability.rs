@@ -33,6 +33,7 @@ fn cluster(max_recovery_attempts: u32) -> Cluster {
         executor: rcmp::model::ExecutorConfig::default(),
         shuffle: Default::default(),
         retry: Default::default(),
+        placement: Default::default(),
         seed: 7,
     })
 }

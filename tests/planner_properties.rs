@@ -25,6 +25,7 @@ fn setup() -> (Cluster, rcmp::workloads::ChainSpec, JobGraph) {
         executor: rcmp::model::ExecutorConfig::default(),
         shuffle: Default::default(),
         retry: Default::default(),
+        placement: Default::default(),
         seed: 77,
     });
     generate_input(cluster.dfs(), &DataGenConfig::test("input", NODES, 12_000)).unwrap();

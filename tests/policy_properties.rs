@@ -9,10 +9,11 @@ use rcmp::dfs::BlockLocation;
 use rcmp::engine::scheduler as eng;
 use rcmp::engine::task::{MapTask, ReduceTask};
 use rcmp::engine::MapInputKey;
+use rcmp::model::PlacementKernel;
 use rcmp::model::{BlockId, ByteSize, Error, JobId, MapTaskId, NodeId, PartitionId, ReduceTaskId};
 use rcmp::policy::{
-    expected_chain_time, optimal_interval, AdaptConfig, AdaptivePolicy, FaultObserver, PolicyCtx,
-    ReduceAssignment,
+    expected_chain_time, optimal_interval, AdaptConfig, AdaptivePolicy, FaultObserver, Membership,
+    PolicyCtx, ReduceAssignment,
 };
 use rcmp::sim::sched as sim;
 use std::collections::BTreeMap;
@@ -192,6 +193,196 @@ proptest! {
             .flat_map(|(w, wave)| wave.iter().map(move |&(n, t)| (w, n, parts_ref[t])))
             .collect();
         prop_assert_eq!(ef, sf, "schedules");
+    }
+
+    /// Elastic membership churn (ISSUE 8): drive a shared membership
+    /// through random join/drain/decommission/rejoin/crash transitions
+    /// and re-derive map schedules at *every epoch* with each placement
+    /// kernel — the engine and simulator adapters must stay
+    /// byte-identical the whole way through.
+    #[test]
+    fn kernel_map_waves_agree_across_membership_churn(
+        nodes in 2u32..10,
+        slots in 1u32..4,
+        kernel_sel in 0u8..4,
+        delay_rounds in 0u32..4,
+        churn in prop::collection::vec((0u8..5, 0u32..64), 1usize..12),
+        raw_layout in prop::collection::vec(
+            prop::collection::vec(0u32..16, 0usize..4),
+            0usize..40,
+        ),
+    ) {
+        let kernel = match kernel_sel {
+            0 => PlacementKernel::Default,
+            1 => PlacementKernel::RackAware,
+            2 => PlacementKernel::Delay { rounds: delay_rounds },
+            _ => PlacementKernel::CapacityWeighted,
+        };
+        let mut m = Membership::with_racks(nodes, 1 + nodes / 3);
+
+        let check = |m: &Membership| -> Result<(), TestCaseError> {
+            let live_sim = m.schedulable();
+            let live_eng: Vec<NodeId> =
+                live_sim.iter().copied().map(NodeId).collect();
+            // Holders land on any known node, live or not.
+            let layout: Vec<Vec<u32>> = raw_layout
+                .iter()
+                .map(|hs| {
+                    let mut seen = Vec::new();
+                    for &h in hs {
+                        let n = h % m.len() as u32;
+                        if !seen.contains(&n) {
+                            seen.push(n);
+                        }
+                    }
+                    seen
+                })
+                .collect();
+            let eng_tasks: Vec<MapTask> = layout
+                .iter()
+                .enumerate()
+                .map(|(i, hs)| map_task(i, hs))
+                .collect();
+            let eng = eng::assign_map_waves_kernel(
+                eng_tasks, &live_eng, slots, kernel, m, PolicyCtx::disabled(),
+            );
+            let sim = sim::assign_map_waves_kernel(
+                layout.len(),
+                &live_sim,
+                slots,
+                kernel,
+                m,
+                |t, n| layout[t].first() == Some(&n),
+                |t, n| layout[t].contains(&n),
+                PolicyCtx::disabled(),
+            );
+            match (eng, sim) {
+                (Ok(e), Ok(s)) => {
+                    prop_assert_eq!(
+                        flatten_engine(&e),
+                        flatten_sim(&s),
+                        "schedules diverged at epoch {}",
+                        m.epoch()
+                    );
+                }
+                (Err(e), Err(s)) => {
+                    prop_assert!(matches!(e, Error::NoLiveNodes));
+                    prop_assert!(matches!(s, Error::NoLiveNodes));
+                }
+                (e, s) => prop_assert!(
+                    false,
+                    "one adapter failed at epoch {}: {e:?} vs {s:?}",
+                    m.epoch()
+                ),
+            }
+            Ok(())
+        };
+
+        check(&m)?;
+        for &(op, target) in &churn {
+            let t = target % m.len() as u32;
+            // Failed transitions are typed no-ops; apply whatever lands.
+            match op {
+                0 => drop(m.drain(t)),
+                1 => drop(m.rejoin(t)),
+                2 => drop(m.decommission(t)),
+                3 => drop(m.mark_dead(t)),
+                _ => drop(m.join(1 + target % 4, target % 3)),
+            }
+            check(&m)?;
+        }
+    }
+
+    /// Same churn property for reduce scheduling, both styles, all
+    /// kernels.
+    #[test]
+    fn kernel_reduce_waves_agree_across_membership_churn(
+        nodes in 2u32..10,
+        slots in 1u32..4,
+        kernel_sel in 0u8..4,
+        balance in prop::bool::ANY,
+        churn in prop::collection::vec((0u8..5, 0u32..64), 1usize..10),
+        parts in prop::collection::vec(0u32..40, 0usize..40),
+    ) {
+        let kernel = match kernel_sel {
+            0 => PlacementKernel::Default,
+            1 => PlacementKernel::RackAware,
+            2 => PlacementKernel::Delay { rounds: 2 },
+            _ => PlacementKernel::CapacityWeighted,
+        };
+        let style = if balance {
+            ReduceAssignment::Balance
+        } else {
+            ReduceAssignment::RoundRobinByPartition
+        };
+        let mut m = Membership::with_racks(nodes, 1 + nodes / 3);
+
+        let check = |m: &Membership| -> Result<(), TestCaseError> {
+            let live_sim = m.schedulable();
+            let live_eng: Vec<NodeId> =
+                live_sim.iter().copied().map(NodeId).collect();
+            let eng_tasks: Vec<ReduceTask> = parts
+                .iter()
+                .map(|&p| ReduceTask::new(ReduceTaskId::whole(JobId(1), PartitionId(p))))
+                .collect();
+            let eng = eng::assign_reduce_waves_kernel(
+                eng_tasks, &live_eng, slots, style, kernel, m, PolicyCtx::disabled(),
+            );
+            let sim = sim::assign_reduce_waves_kernel(
+                parts.len(),
+                &live_sim,
+                slots,
+                style,
+                kernel,
+                m,
+                |t| parts[t] as usize,
+                PolicyCtx::disabled(),
+            );
+            match (eng, sim) {
+                (Ok(e), Ok(s)) => {
+                    let ef: Vec<(usize, u32, u32)> = e
+                        .iter()
+                        .enumerate()
+                        .flat_map(|(w, wave)| {
+                            wave.iter()
+                                .map(move |(n, t)| (w, n.raw(), t.id.partition.raw()))
+                        })
+                        .collect();
+                    let parts_ref = &parts;
+                    let sf: Vec<(usize, u32, u32)> = s
+                        .iter()
+                        .enumerate()
+                        .flat_map(|(w, wave)| {
+                            wave.iter().map(move |&(n, t)| (w, n, parts_ref[t]))
+                        })
+                        .collect();
+                    prop_assert_eq!(ef, sf, "schedules diverged at epoch {}", m.epoch());
+                }
+                (Err(e), Err(s)) => {
+                    prop_assert!(matches!(e, Error::NoLiveNodes));
+                    prop_assert!(matches!(s, Error::NoLiveNodes));
+                }
+                (e, s) => prop_assert!(
+                    false,
+                    "one adapter failed at epoch {}: {e:?} vs {s:?}",
+                    m.epoch()
+                ),
+            }
+            Ok(())
+        };
+
+        check(&m)?;
+        for &(op, target) in &churn {
+            let t = target % m.len() as u32;
+            match op {
+                0 => drop(m.drain(t)),
+                1 => drop(m.rejoin(t)),
+                2 => drop(m.decommission(t)),
+                3 => drop(m.mark_dead(t)),
+                _ => drop(m.join(1 + target % 4, target % 3)),
+            }
+            check(&m)?;
+        }
     }
 
     /// A fully-dead cluster is the same typed error everywhere.

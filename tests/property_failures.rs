@@ -25,6 +25,7 @@ fn cluster() -> Cluster {
         executor: rcmp::model::ExecutorConfig::default(),
         shuffle: Default::default(),
         retry: Default::default(),
+        placement: Default::default(),
         seed: 11,
     })
 }

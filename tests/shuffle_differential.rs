@@ -34,6 +34,7 @@ fn cluster(seed: u64, shuffle: ShuffleConfig, executor: ExecutorConfig) -> Clust
         executor,
         shuffle,
         retry: Default::default(),
+        placement: Default::default(),
     })
 }
 

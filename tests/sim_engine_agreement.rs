@@ -28,6 +28,7 @@ fn engine_run() -> rcmp::engine::JobReport {
         executor: ExecutorConfig::from_env_or_default(),
         shuffle: Default::default(),
         retry: Default::default(),
+        placement: Default::default(),
     });
     let cfg = DataGenConfig {
         value_size: 100,
@@ -133,6 +134,7 @@ fn recompute_fractions_agree() {
         executor: ExecutorConfig::from_env_or_default(),
         shuffle: Default::default(),
         retry: Default::default(),
+        placement: Default::default(),
     });
     let cfg = DataGenConfig {
         value_size: 100,
