@@ -1,7 +1,7 @@
 //! Regenerates the paper's figures.
 //!
 //! ```text
-//! fig_runner [all|fig02|fig08a|fig08b|fig08c|fig09|fig10|fig11|fig12|fig13|fig14|trace|exec|shuffle|placement|resilience|obs]...
+//! fig_runner [all|fig02|fig08a|fig08b|fig08c|fig09|fig10|fig11|fig12|fig13|fig14|trace|exec|shuffle|placement|resilience|obs|serve]...
 //!            [--quick] [--json <dir>]
 //! ```
 //!
@@ -127,6 +127,18 @@ fn main() {
                 let r = resiliencefig::run_scaled(scale);
                 println!("{}", r.render());
                 write_json("BENCH_resilience", serde_json::to_value(&r).unwrap());
+            }
+            "serve" => {
+                let r = servefig::run(0x5eed);
+                println!("{}", r.render());
+                write_json("BENCH_serve", serde_json::to_value(&r).unwrap());
+                if !r.gate_passed {
+                    eprintln!(
+                        "serve: balanced scenario failed the fairness gate (jain >= {:.2})",
+                        servefig::JAIN_GATE
+                    );
+                    std::process::exit(1);
+                }
             }
             "obs" => {
                 let r = obsfig::run_scaled(scale);

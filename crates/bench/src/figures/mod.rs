@@ -15,6 +15,7 @@ pub mod fig14;
 pub mod obsfig;
 pub mod placementfig;
 pub mod resiliencefig;
+pub mod servefig;
 pub mod shufflefig;
 pub mod tracefig;
 

@@ -1,0 +1,106 @@
+//! BENCH: multi-tenant serving (the `serve` pseudo-figure).
+//!
+//! Runs the three canonical [`SoakScenario`]s of the job service —
+//! balanced quotas, 1/2/4 weighted shares, and balanced-with-chaos —
+//! and tabulates throughput, p50/p99 chain latency and Jain's fairness
+//! index over weight-normalised early grants. The fairness gate
+//! asserts the balanced scenario schedules with Jain ≥
+//! [`JAIN_GATE`] and zero digest mismatches; the chaos scenario
+//! additionally demonstrates that recomputation under multi-tenant
+//! contention stays byte-exact (or fails typed).
+
+use crate::table;
+use rcmp_serve::soak::{run_scenario, SoakReport, SoakScenario};
+use serde::Serialize;
+
+/// Minimum Jain's index the balanced-quota scenario must reach.
+pub const JAIN_GATE: f64 = 0.9;
+
+/// The serve benchmark: one report per scenario plus the gate verdict.
+#[derive(Clone, Debug, Serialize)]
+pub struct ServeBench {
+    /// One soak report per scenario, in run order.
+    pub scenarios: Vec<SoakReport>,
+    /// The fairness gate threshold applied to the balanced scenario.
+    pub jain_gate: f64,
+    /// Whether the balanced scenario passed the gate (fair and
+    /// byte-exact).
+    pub gate_passed: bool,
+}
+
+/// Runs the three scenarios. `chaos_seed` feeds the chaos scenario's
+/// randomized injector (replayable).
+pub fn run(chaos_seed: u64) -> ServeBench {
+    let scenarios = vec![
+        run_scenario(&SoakScenario::balanced()).expect("balanced scenario"),
+        run_scenario(&SoakScenario::weighted()).expect("weighted scenario"),
+        run_scenario(&SoakScenario::chaos(chaos_seed)).expect("chaos scenario"),
+    ];
+    let gate_passed = scenarios
+        .iter()
+        .find(|s| s.scenario == "balanced")
+        .is_some_and(|s| s.jain >= JAIN_GATE && s.digest_mismatches == 0 && s.failed == 0);
+    ServeBench {
+        scenarios,
+        jain_gate: JAIN_GATE,
+        gate_passed,
+    }
+}
+
+impl ServeBench {
+    /// ASCII table, one row per scenario.
+    pub fn render(&self) -> String {
+        let mut rows = vec![vec![
+            "scenario".to_string(),
+            "chains".to_string(),
+            "ok".to_string(),
+            "failed".to_string(),
+            "rejects".to_string(),
+            "thr c/s".to_string(),
+            "p50 ms".to_string(),
+            "p99 ms".to_string(),
+            "jain".to_string(),
+            "verified".to_string(),
+            "mismatch".to_string(),
+        ]];
+        for s in &self.scenarios {
+            rows.push(vec![
+                s.scenario.clone(),
+                s.chains.to_string(),
+                s.completed.to_string(),
+                s.failed.to_string(),
+                s.rejected_submissions.to_string(),
+                format!("{:.1}", s.throughput_cps),
+                s.p50_ms.to_string(),
+                s.p99_ms.to_string(),
+                format!("{:.3}", s.jain),
+                s.digests_verified.to_string(),
+                s.digest_mismatches.to_string(),
+            ]);
+        }
+        let mut out = table::render(&rows);
+        out.push_str(&format!(
+            "balanced fairness gate (jain >= {:.2}): {}\n",
+            self.jain_gate,
+            if self.gate_passed { "PASS" } else { "FAIL" }
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_bench_passes_its_own_gate() {
+        let bench = run(0x5eed);
+        assert_eq!(bench.scenarios.len(), 3);
+        assert!(bench.gate_passed, "balanced scenario must be fair");
+        for s in &bench.scenarios {
+            assert_eq!(s.digest_mismatches, 0, "{}: wrong bytes", s.scenario);
+        }
+        let text = bench.render();
+        assert!(text.contains("balanced") && text.contains("chaos"));
+    }
+}

@@ -83,6 +83,17 @@ pub struct ChainDriver<'a> {
     injector: Arc<dyn FailureInjector>,
     strategy: Strategy,
     restart_mode: RestartMode,
+    /// Chain key for post-mortems: blackbox dumps are parked on the
+    /// cluster (and written to `RCMP_BLACKBOX_DIR`) under this label so
+    /// concurrent chains never clobber each other's dumps.
+    chain_label: String,
+    /// Tenant attribution for the job service: stamped on every
+    /// `JobRun` span this chain produces.
+    tenant: Option<rcmp_model::TenantId>,
+    /// Per-chain wave-executor session override (leased from the job
+    /// service's global worker budget). `None` uses the cluster's
+    /// shared backend.
+    executor: Option<Arc<rcmp_exec::BackendExecutor>>,
     /// Pre-resolved adaptation gauges: [`Self::publish_adaptation`]
     /// runs once per completed chain job, potentially with a wave in
     /// flight elsewhere, so it must never resolve by name.
@@ -108,6 +119,9 @@ impl<'a> ChainDriver<'a> {
             injector: Arc::new(NoFailures),
             strategy,
             restart_mode: RestartMode::Discard,
+            chain_label: "chain".to_string(),
+            tenant: None,
+            executor: None,
             g_failure_rate: metrics.gauge("policy.failure_rate_est"),
             g_k_current: metrics.gauge("policy.k_current"),
         }
@@ -123,14 +137,39 @@ impl<'a> ChainDriver<'a> {
         self
     }
 
+    /// Keys this chain's post-mortem dumps (cluster slot and the
+    /// `RCMP_BLACKBOX_DIR` file name). The label must be filesystem-safe;
+    /// path separators are replaced with `-` when writing the file.
+    pub fn with_chain_label(mut self, label: impl Into<String>) -> Self {
+        self.chain_label = label.into();
+        self
+    }
+
+    /// Attributes every job run of this chain to a tenant (job-service
+    /// chains): the tag lands on `JobRun` spans for per-tenant analysis.
+    pub fn with_tenant(mut self, tenant: rcmp_model::TenantId) -> Self {
+        self.tenant = Some(tenant);
+        self
+    }
+
+    /// Runs this chain's waves on a dedicated executor session instead
+    /// of the cluster's shared backend (the job service leases one per
+    /// admitted chain from its global worker budget).
+    pub fn with_executor(mut self, executor: Arc<rcmp_exec::BackendExecutor>) -> Self {
+        self.executor = Some(executor);
+        self
+    }
+
     /// Runs the computation to completion.
     ///
     /// Every typed-error exit captures a post-mortem [`BlackboxDump`]
     /// first — the most recent flight-recorder events, the causal
     /// fault → loss → plan → recompute lineage, a metric snapshot and
     /// the phase time-budget — and parks it on the cluster for
-    /// [`Cluster::take_blackbox`]. Set `RCMP_BLACKBOX_DIR` to also
-    /// write the dump as `rcmp-blackbox.json` in that directory.
+    /// [`Cluster::take_blackbox`] under this driver's chain label. Set
+    /// `RCMP_BLACKBOX_DIR` to also write the dump as
+    /// `rcmp-blackbox-<label>.json` in that directory, so concurrent
+    /// chains' dumps never overwrite each other.
     pub fn run(&self, specs: &[JobSpec]) -> Result<ChainOutcome> {
         self.run_chain(specs).inspect_err(|e| {
             let dump = BlackboxDump::capture(
@@ -143,19 +182,26 @@ impl<'a> ChainDriver<'a> {
             if let Ok(dir) = std::env::var("RCMP_BLACKBOX_DIR") {
                 // Best-effort: a failed dump write must not mask the
                 // chain error itself.
-                let _ = std::fs::write(
-                    std::path::Path::new(&dir).join("rcmp-blackbox.json"),
-                    dump.to_json(),
+                let file = format!(
+                    "rcmp-blackbox-{}.json",
+                    self.chain_label.replace(['/', '\\'], "-")
                 );
+                let _ = std::fs::write(std::path::Path::new(&dir).join(file), dump.to_json());
             }
-            self.cluster.store_blackbox(dump);
+            self.cluster.store_blackbox(&self.chain_label, dump);
         })
     }
 
     fn run_chain(&self, specs: &[JobSpec]) -> Result<ChainOutcome> {
         let graph = JobGraph::new(specs.iter().cloned())?;
         let order = graph.submission_order()?;
-        let tracker = JobTracker::new(self.cluster, self.injector.clone());
+        let mut tracker = JobTracker::new(self.cluster, self.injector.clone());
+        if let Some(t) = self.tenant {
+            tracker = tracker.with_tenant(t);
+        }
+        if let Some(e) = &self.executor {
+            tracker = tracker.with_executor(e.clone());
+        }
         let mut outcome = ChainOutcome {
             events: EventLog::with_tracer(self.cluster.tracer().clone()),
             ..ChainOutcome::default()

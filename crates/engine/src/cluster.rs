@@ -9,6 +9,7 @@ use rcmp_obs::{
     BlackboxDump, Clock, FlightRecorder, Gauge, MetricsRegistry, PhaseProfiler, SpanKind, Tracer,
 };
 use rcmp_policy::Membership;
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -37,7 +38,7 @@ pub struct Cluster {
     executor: BackendExecutor,
     recorder: Arc<FlightRecorder>,
     profiler: Arc<PhaseProfiler>,
-    blackbox: Mutex<Option<BlackboxDump>>,
+    blackbox: Mutex<HashMap<String, BlackboxDump>>,
 }
 
 impl Cluster {
@@ -108,7 +109,7 @@ impl Cluster {
             executor,
             recorder,
             profiler,
-            blackbox: Mutex::new(None),
+            blackbox: Mutex::new(HashMap::new()),
         }
     }
 
@@ -139,16 +140,29 @@ impl Cluster {
         &self.profiler
     }
 
-    /// Parks a post-mortem dump on the cluster (the driver calls this
-    /// when a chain dies with a typed error). A later failure replaces
-    /// an unclaimed earlier dump — newest death wins.
-    pub fn store_blackbox(&self, dump: BlackboxDump) {
-        *self.blackbox.lock() = Some(dump);
+    /// Parks a post-mortem dump on the cluster under the dying chain's
+    /// key (the driver calls this when a chain dies with a typed
+    /// error). Dumps are keyed so concurrent chains — e.g. different
+    /// tenants on the job service — can neither clobber nor steal each
+    /// other's post-mortems; a later failure of the *same* chain
+    /// replaces its unclaimed earlier dump (newest death wins).
+    pub fn store_blackbox(&self, chain: &str, dump: BlackboxDump) {
+        self.blackbox.lock().insert(chain.to_string(), dump);
     }
 
-    /// Takes the parked post-mortem dump, if a chain death produced one.
-    pub fn take_blackbox(&self) -> Option<BlackboxDump> {
-        self.blackbox.lock().take()
+    /// Takes the parked post-mortem dump for one chain key, if that
+    /// chain's death produced one.
+    pub fn take_blackbox(&self, chain: &str) -> Option<BlackboxDump> {
+        self.blackbox.lock().remove(chain)
+    }
+
+    /// Takes any parked post-mortem dump (smallest chain key first, so
+    /// the choice is deterministic). Single-chain drivers that don't
+    /// track chain keys use this.
+    pub fn take_any_blackbox(&self) -> Option<BlackboxDump> {
+        let mut parked = self.blackbox.lock();
+        let key = parked.keys().min().cloned()?;
+        parked.remove(&key)
     }
 
     /// The wave-executor backend selected by

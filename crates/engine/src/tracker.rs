@@ -37,11 +37,11 @@ use crate::udf::Combiner;
 use bytes::Bytes;
 use parking_lot::Mutex;
 use rcmp_dfs::{LossReport, PlacementPolicy};
-use rcmp_exec::{SessionExecutor, SlotOutcome, SlotTask, TaskCtx, WaveSpec};
+use rcmp_exec::{BackendExecutor, SessionExecutor, SlotOutcome, SlotTask, TaskCtx, WaveSpec};
 use rcmp_model::rng::derive_indexed;
 use rcmp_model::{
     Error, HashPartitioner, JobId, MapTaskId, NodeId, PartitionId, Record, RecordReader,
-    RecordWriter, ReduceTaskId, Result, SplitId, SplitPartitioner, TaskId,
+    RecordWriter, ReduceTaskId, Result, SplitId, SplitPartitioner, TaskId, TenantId,
 };
 use rcmp_obs::{
     Counter, EventCode, FaultKind, FlightRecorder, Histogram, Phase, PhaseKind, PhaseProfiler,
@@ -64,6 +64,13 @@ const MAX_RECOVERY_ROUNDS: u32 = 1000;
 pub struct JobTracker<'a> {
     cluster: &'a Cluster,
     injector: Arc<dyn FailureInjector>,
+    /// Owning tenant when driven by the job service; stamped on the
+    /// `JobRun` span so analyzers can filter per tenant.
+    tenant: Option<TenantId>,
+    /// Per-chain executor session override (the job service leases each
+    /// admitted chain its own reactor session from a global worker
+    /// budget). `None` runs on the cluster's shared executor.
+    executor: Option<Arc<BackendExecutor>>,
     /// Nodes armed for a torn write: their next partition write commits
     /// only a strict prefix of its chunks and the node dies mid-write.
     torn: Mutex<BTreeSet<NodeId>>,
@@ -111,6 +118,8 @@ impl<'a> JobTracker<'a> {
         let metrics = cluster.metrics();
         Self {
             injector,
+            tenant: None,
+            executor: None,
             torn: Mutex::new(BTreeSet::new()),
             tracer: cluster.tracer().clone(),
             recorder: cluster.recorder().clone(),
@@ -125,6 +134,29 @@ impl<'a> JobTracker<'a> {
             m_backoff_ms: metrics.histogram("retry.backoff_ms", &[1, 2, 4, 8, 16, 32, 64]),
             m_shuffle: ShuffleMetrics::register(metrics),
             cluster,
+        }
+    }
+
+    /// Attributes this tracker's runs to a tenant: every `JobRun` span
+    /// it closes carries the tag.
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = Some(tenant);
+        self
+    }
+
+    /// Runs every wave on `executor` instead of the cluster's shared
+    /// backend (per-chain reactor sessions under the job service).
+    pub fn with_executor(mut self, executor: Arc<BackendExecutor>) -> Self {
+        self.executor = Some(executor);
+        self
+    }
+
+    /// The wave-executor backend this tracker submits to: the per-chain
+    /// override when one was leased, else the cluster's shared backend.
+    fn wave_executor(&self) -> &BackendExecutor {
+        match &self.executor {
+            Some(e) => e,
+            None => self.cluster.executor(),
         }
     }
 
@@ -163,6 +195,7 @@ impl<'a> JobTracker<'a> {
                 map_slots: slots.map,
                 reduce_slots: slots.reduce,
                 ok: result.is_ok(),
+                tenant: self.tenant,
             },
             None,
             cause,
@@ -297,149 +330,54 @@ impl<'a> JobTracker<'a> {
         let mut map_wave_counter = 0u32;
         let mut reduce_wave_counter = 0u32;
         let mut reduce_retry_counts: HashMap<ReduceTaskId, u32> = HashMap::new();
-        self.cluster
-            .executor()
-            .with_session(|session| -> Result<()> {
-                for _round in 0..MAX_RECOVERY_ROUNDS {
-                    // MAP PHASE: ensure every needed map output exists.
-                    while !pending_maps.is_empty() {
-                        self.check_inputs_available(spec, &pending_maps)?;
-                        let live = self.live_or_fail()?;
-                        let membership = self.cluster.membership();
-                        let waves = assign_map_waves_kernel(
-                            pending_maps.clone(),
-                            &live,
-                            self.cluster.config().slots.map,
-                            self.cluster.config().placement,
-                            &membership,
-                            PolicyCtx::new(&self.tracer, Some(job_span)),
-                        )?;
-                        let mut interrupted = false;
-                        for wave in waves {
-                            // Mid-wave kills land after assignment, before
-                            // execution: tasks placed on the victim fail with it.
-                            let mid_kills = self.fire(
-                                seq,
-                                spec.job,
-                                TriggerPoint::MidMapWave(map_wave_counter),
-                                job_span,
-                                &mut report,
-                            );
-                            let wave_open = self.tracer.open();
-                            let wave_kind = SpanKind::Wave {
-                                phase: Phase::Map,
-                                index: map_wave_counter,
-                                tasks: wave.len() as u32,
-                                capacity: live.len() as u32 * self.cluster.config().slots.map,
-                            };
-                            self.recorder.record(
-                                EventCode::WaveStart,
-                                None,
-                                u64::from(map_wave_counter),
-                                wave.len() as u64,
-                            );
-                            let had_failures = self.execute_map_wave(
-                                session,
-                                wave,
-                                spec,
-                                &split_plan,
-                                seq,
-                                map_wave_counter,
-                                wave_open.id,
-                                &mut report,
-                            );
-                            self.tracer
-                                .close(wave_open, wave_kind, Some(job_span), None, None);
-                            let wave_us = self.tracer.now_us().saturating_sub(wave_open.start_us);
-                            if run.mode.is_recompute() {
-                                self.profiler.add_us(PhaseKind::RecomputeWave, wave_us);
-                            }
-                            self.recorder.record(
-                                EventCode::WaveEnd,
-                                None,
-                                u64::from(map_wave_counter),
-                                wave_us,
-                            );
-                            let had_failures = had_failures?;
-                            let point = TriggerPoint::AfterMapWave(map_wave_counter);
-                            map_wave_counter += 1;
-                            let kills = self.fire(seq, spec.job, point, job_span, &mut report);
-                            if had_failures || !kills.is_empty() || !mid_kills.is_empty() {
-                                interrupted = true;
-                                break;
-                            }
-                        }
-                        // Refresh: which map outputs are still missing?
-                        inputs = self.enumerate_inputs(spec)?;
-                        pending_maps = inputs
-                            .iter()
-                            .filter(|t| !self.map_output_present(t, ignore_fp))
-                            .cloned()
-                            .collect();
-                        if !interrupted && !pending_maps.is_empty() {
-                            // Defensive: tasks ran without interruption but
-                            // outputs still missing would mean a bug.
-                            report.task_retries += pending_maps.len();
-                        }
-                    }
-
-                    // REDUCE PHASE.
-                    if pending_reduces.is_empty() {
-                        break;
-                    }
+        self.wave_executor().with_session(|session| -> Result<()> {
+            for _round in 0..MAX_RECOVERY_ROUNDS {
+                // MAP PHASE: ensure every needed map output exists.
+                while !pending_maps.is_empty() {
+                    self.check_inputs_available(spec, &pending_maps)?;
                     let live = self.live_or_fail()?;
-                    let style = if run.mode.is_recompute() {
-                        ReduceAssignment::Balance
-                    } else {
-                        ReduceAssignment::RoundRobinByPartition
-                    };
                     let membership = self.cluster.membership();
-                    let waves: Waves<ReduceTask> = assign_reduce_waves_kernel(
-                        pending_reduces.clone(),
+                    let waves = assign_map_waves_kernel(
+                        pending_maps.clone(),
                         &live,
-                        self.cluster.config().slots.reduce,
-                        style,
+                        self.cluster.config().slots.map,
                         self.cluster.config().placement,
                         &membership,
                         PolicyCtx::new(&self.tracer, Some(job_span)),
                     )?;
-                    // Owned by `Arc` because session workers may briefly outlive
-                    // one wave's call frame: the slot closures clone the handle
-                    // instead of borrowing this round-local vector.
-                    let input_keys: Arc<Vec<MapInputKey>> =
-                        Arc::new(inputs.iter().map(|t| t.key).collect());
                     let mut interrupted = false;
-                    let mut torn_partitions: BTreeSet<PartitionId> = BTreeSet::new();
                     for wave in waves {
+                        // Mid-wave kills land after assignment, before
+                        // execution: tasks placed on the victim fail with it.
                         let mid_kills = self.fire(
                             seq,
                             spec.job,
-                            TriggerPoint::MidReduceWave(reduce_wave_counter),
+                            TriggerPoint::MidMapWave(map_wave_counter),
                             job_span,
                             &mut report,
                         );
                         let wave_open = self.tracer.open();
                         let wave_kind = SpanKind::Wave {
-                            phase: Phase::Reduce,
-                            index: reduce_wave_counter,
+                            phase: Phase::Map,
+                            index: map_wave_counter,
                             tasks: wave.len() as u32,
-                            capacity: live.len() as u32 * self.cluster.config().slots.reduce,
+                            capacity: live.len() as u32 * self.cluster.config().slots.map,
                         };
                         self.recorder.record(
                             EventCode::WaveStart,
                             None,
-                            u64::from(reduce_wave_counter),
+                            u64::from(map_wave_counter),
                             wave.len() as u64,
                         );
-                        let outcomes = self.execute_reduce_wave(
+                        let had_failures = self.execute_map_wave(
                             session,
                             wave,
-                            &input_keys,
                             spec,
-                            placement,
+                            &split_plan,
                             seq,
-                            reduce_wave_counter,
+                            map_wave_counter,
                             wave_open.id,
+                            &mut report,
                         );
                         self.tracer
                             .close(wave_open, wave_kind, Some(job_span), None, None);
@@ -450,115 +388,206 @@ impl<'a> JobTracker<'a> {
                         self.recorder.record(
                             EventCode::WaveEnd,
                             None,
-                            u64::from(reduce_wave_counter),
+                            u64::from(map_wave_counter),
                             wave_us,
                         );
-                        let outcomes = outcomes?;
-                        let mut wave_had_failures = false;
-                        for outcome in outcomes {
-                            match outcome {
-                                ReduceOutcome::Done(task, rec) => {
-                                    report.io += rec.io;
-                                    report.tasks.push(rec);
-                                    report.reduce_tasks_run += 1;
-                                    pending_reduces.retain(|t| t.id != task.id);
-                                }
-                                ReduceOutcome::Missing => {
-                                    wave_had_failures = true;
-                                    report.task_retries += 1;
-                                }
-                                ReduceOutcome::Retry(id) => {
-                                    wave_had_failures = true;
-                                    report.task_retries += 1;
-                                    let count = reduce_retry_counts.entry(id).or_insert(0);
-                                    *count += 1;
-                                    if *count > self.cluster.config().retry.task_retries {
-                                        return Err(Error::RecoveryExhausted {
-                                            job: spec.job,
-                                            attempts: *count,
-                                            reason: format!(
-                                                "reduce task {id} kept failing retryably"
-                                            ),
-                                        });
-                                    }
-                                }
-                                ReduceOutcome::Cancelled => {
-                                    wave_had_failures = true;
-                                    report.tasks_cancelled += 1;
-                                }
-                                ReduceOutcome::Torn { task, loss } => {
-                                    wave_had_failures = true;
-                                    report.task_retries += 1;
-                                    // A torn write silently damaged the output
-                                    // partition — a loss in its own right.
-                                    let loss_span = self.tracer.instant(
-                                        SpanKind::Loss {
-                                            seq,
-                                            lost_partitions: 1,
-                                        },
-                                        Some(job_span),
-                                        None,
-                                        loss.node,
-                                    );
-                                    self.tracer.mark_cause(loss_span);
-                                    report.losses.push(loss);
-                                    torn_partitions.insert(task.id.partition);
-                                }
-                            }
-                        }
-                        let point = TriggerPoint::AfterReduceWave(reduce_wave_counter);
-                        reduce_wave_counter += 1;
+                        let had_failures = had_failures?;
+                        let point = TriggerPoint::AfterMapWave(map_wave_counter);
+                        map_wave_counter += 1;
                         let kills = self.fire(seq, spec.job, point, job_span, &mut report);
-                        if wave_had_failures || !kills.is_empty() || !mid_kills.is_empty() {
+                        if had_failures || !kills.is_empty() || !mid_kills.is_empty() {
                             interrupted = true;
                             break;
                         }
                     }
-
-                    // Damage check: target partitions that lost blocks — or were
-                    // left half-written by a torn write (which may look healthy:
-                    // the committed prefix chunks can still be fully replicated)
-                    // — must be cleared and fully re-reduced.
-                    let meta = dfs.file_meta(&spec.output)?;
-                    for &p in &target_partitions {
-                        if meta.partitions[p.index()].is_lost() || torn_partitions.contains(&p) {
-                            dfs.clear_partition(&spec.output, p)?;
-                            let tasks: Vec<ReduceTask> = match &split_plan {
-                                Some((set, k)) if set.contains(&p) => (0..*k)
-                                    .map(|s| {
-                                        ReduceTask::new(ReduceTaskId::split(
-                                            spec.job,
-                                            p,
-                                            SplitId(s),
-                                            *k,
-                                        ))
-                                    })
-                                    .collect(),
-                                _ => vec![ReduceTask::new(ReduceTaskId::whole(spec.job, p))],
-                            };
-                            for t in tasks {
-                                if !pending_reduces.iter().any(|x| x.id == t.id) {
-                                    pending_reduces.push(t);
-                                }
-                            }
-                        }
-                    }
-
-                    // Refresh missing map outputs for the next round.
+                    // Refresh: which map outputs are still missing?
                     inputs = self.enumerate_inputs(spec)?;
                     pending_maps = inputs
                         .iter()
                         .filter(|t| !self.map_output_present(t, ignore_fp))
                         .cloned()
                         .collect();
+                    if !interrupted && !pending_maps.is_empty() {
+                        // Defensive: tasks ran without interruption but
+                        // outputs still missing would mean a bug.
+                        report.task_retries += pending_maps.len();
+                    }
+                }
 
-                    if pending_reduces.is_empty() && pending_maps.is_empty() {
+                // REDUCE PHASE.
+                if pending_reduces.is_empty() {
+                    break;
+                }
+                let live = self.live_or_fail()?;
+                let style = if run.mode.is_recompute() {
+                    ReduceAssignment::Balance
+                } else {
+                    ReduceAssignment::RoundRobinByPartition
+                };
+                let membership = self.cluster.membership();
+                let waves: Waves<ReduceTask> = assign_reduce_waves_kernel(
+                    pending_reduces.clone(),
+                    &live,
+                    self.cluster.config().slots.reduce,
+                    style,
+                    self.cluster.config().placement,
+                    &membership,
+                    PolicyCtx::new(&self.tracer, Some(job_span)),
+                )?;
+                // Owned by `Arc` because session workers may briefly outlive
+                // one wave's call frame: the slot closures clone the handle
+                // instead of borrowing this round-local vector.
+                let input_keys: Arc<Vec<MapInputKey>> =
+                    Arc::new(inputs.iter().map(|t| t.key).collect());
+                let mut interrupted = false;
+                let mut torn_partitions: BTreeSet<PartitionId> = BTreeSet::new();
+                for wave in waves {
+                    let mid_kills = self.fire(
+                        seq,
+                        spec.job,
+                        TriggerPoint::MidReduceWave(reduce_wave_counter),
+                        job_span,
+                        &mut report,
+                    );
+                    let wave_open = self.tracer.open();
+                    let wave_kind = SpanKind::Wave {
+                        phase: Phase::Reduce,
+                        index: reduce_wave_counter,
+                        tasks: wave.len() as u32,
+                        capacity: live.len() as u32 * self.cluster.config().slots.reduce,
+                    };
+                    self.recorder.record(
+                        EventCode::WaveStart,
+                        None,
+                        u64::from(reduce_wave_counter),
+                        wave.len() as u64,
+                    );
+                    let outcomes = self.execute_reduce_wave(
+                        session,
+                        wave,
+                        &input_keys,
+                        spec,
+                        placement,
+                        seq,
+                        reduce_wave_counter,
+                        wave_open.id,
+                    );
+                    self.tracer
+                        .close(wave_open, wave_kind, Some(job_span), None, None);
+                    let wave_us = self.tracer.now_us().saturating_sub(wave_open.start_us);
+                    if run.mode.is_recompute() {
+                        self.profiler.add_us(PhaseKind::RecomputeWave, wave_us);
+                    }
+                    self.recorder.record(
+                        EventCode::WaveEnd,
+                        None,
+                        u64::from(reduce_wave_counter),
+                        wave_us,
+                    );
+                    let outcomes = outcomes?;
+                    let mut wave_had_failures = false;
+                    for outcome in outcomes {
+                        match outcome {
+                            ReduceOutcome::Done(task, rec) => {
+                                report.io += rec.io;
+                                report.tasks.push(rec);
+                                report.reduce_tasks_run += 1;
+                                pending_reduces.retain(|t| t.id != task.id);
+                            }
+                            ReduceOutcome::Missing => {
+                                wave_had_failures = true;
+                                report.task_retries += 1;
+                            }
+                            ReduceOutcome::Retry(id) => {
+                                wave_had_failures = true;
+                                report.task_retries += 1;
+                                let count = reduce_retry_counts.entry(id).or_insert(0);
+                                *count += 1;
+                                if *count > self.cluster.config().retry.task_retries {
+                                    return Err(Error::RecoveryExhausted {
+                                        job: spec.job,
+                                        attempts: *count,
+                                        reason: format!("reduce task {id} kept failing retryably"),
+                                    });
+                                }
+                            }
+                            ReduceOutcome::Cancelled => {
+                                wave_had_failures = true;
+                                report.tasks_cancelled += 1;
+                            }
+                            ReduceOutcome::Torn { task, loss } => {
+                                wave_had_failures = true;
+                                report.task_retries += 1;
+                                // A torn write silently damaged the output
+                                // partition — a loss in its own right.
+                                let loss_span = self.tracer.instant(
+                                    SpanKind::Loss {
+                                        seq,
+                                        lost_partitions: 1,
+                                    },
+                                    Some(job_span),
+                                    None,
+                                    loss.node,
+                                );
+                                self.tracer.mark_cause(loss_span);
+                                report.losses.push(loss);
+                                torn_partitions.insert(task.id.partition);
+                            }
+                        }
+                    }
+                    let point = TriggerPoint::AfterReduceWave(reduce_wave_counter);
+                    reduce_wave_counter += 1;
+                    let kills = self.fire(seq, spec.job, point, job_span, &mut report);
+                    if wave_had_failures || !kills.is_empty() || !mid_kills.is_empty() {
+                        interrupted = true;
                         break;
                     }
-                    let _ = interrupted;
                 }
-                Ok(())
-            })?;
+
+                // Damage check: target partitions that lost blocks — or were
+                // left half-written by a torn write (which may look healthy:
+                // the committed prefix chunks can still be fully replicated)
+                // — must be cleared and fully re-reduced.
+                let meta = dfs.file_meta(&spec.output)?;
+                for &p in &target_partitions {
+                    if meta.partitions[p.index()].is_lost() || torn_partitions.contains(&p) {
+                        dfs.clear_partition(&spec.output, p)?;
+                        let tasks: Vec<ReduceTask> = match &split_plan {
+                            Some((set, k)) if set.contains(&p) => (0..*k)
+                                .map(|s| {
+                                    ReduceTask::new(ReduceTaskId::split(
+                                        spec.job,
+                                        p,
+                                        SplitId(s),
+                                        *k,
+                                    ))
+                                })
+                                .collect(),
+                            _ => vec![ReduceTask::new(ReduceTaskId::whole(spec.job, p))],
+                        };
+                        for t in tasks {
+                            if !pending_reduces.iter().any(|x| x.id == t.id) {
+                                pending_reduces.push(t);
+                            }
+                        }
+                    }
+                }
+
+                // Refresh missing map outputs for the next round.
+                inputs = self.enumerate_inputs(spec)?;
+                pending_maps = inputs
+                    .iter()
+                    .filter(|t| !self.map_output_present(t, ignore_fp))
+                    .cloned()
+                    .collect();
+
+                if pending_reduces.is_empty() && pending_maps.is_empty() {
+                    break;
+                }
+                let _ = interrupted;
+            }
+            Ok(())
+        })?;
 
         if !pending_reduces.is_empty() {
             return Err(Error::JobFailed {

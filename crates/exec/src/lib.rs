@@ -25,12 +25,14 @@
 
 #![deny(missing_docs)]
 
+mod budget;
 mod future;
 mod metrics;
 mod reactor;
 mod task;
 mod threaded;
 
+pub use budget::{WorkerBudget, WorkerLease};
 pub use future::TaskFuture;
 pub use metrics::ExecMetrics;
 pub use reactor::{AsyncExecutor, AsyncSession};

@@ -338,6 +338,77 @@ impl RetryPolicy {
     }
 }
 
+/// Configuration of the multi-tenant job service (`rcmp-serve`): the
+/// long-lived serving layer that admits a stream of chain submissions
+/// from many tenants and multiplexes them onto one shared cluster.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Bounded submission-queue depth *per tenant*. A submission that
+    /// would exceed it is refused with `Error::AdmissionRejected`
+    /// (typed backpressure) instead of queueing unboundedly.
+    pub queue_depth: u32,
+    /// Chains allowed in flight concurrently across all tenants (the
+    /// service's session slots).
+    pub max_concurrent_chains: u32,
+    /// Global wave-executor worker budget shared by every in-flight
+    /// chain session: a new session leases up to
+    /// [`ServeConfig::workers_per_chain`] workers from what remains.
+    pub worker_budget: u32,
+    /// Reactor workers requested per chain session (the lease is capped
+    /// by what the global budget has left, never below 1).
+    pub workers_per_chain: u32,
+    /// Deficit round-robin quantum (cost units credited per tenant
+    /// weight per arbitration round). Chain cost is its job count, so
+    /// the default lets a weight-1 tenant win a short chain each round.
+    pub quantum: u64,
+    /// Seed for admission-rejection backoff hints.
+    pub seed: u64,
+    /// Backoff shape for admission retry-after hints (reuses the
+    /// engine's seeded full-jitter convention).
+    pub retry: RetryPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            queue_depth: 8,
+            max_concurrent_chains: 4,
+            worker_budget: 8,
+            workers_per_chain: 2,
+            quantum: 4,
+            seed: 0x5e7e,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Sanity-checks the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.queue_depth == 0 {
+            return Err(Error::Config("serve queue depth must be at least 1".into()));
+        }
+        if self.max_concurrent_chains == 0 {
+            return Err(Error::Config(
+                "serve needs at least one concurrent chain slot".into(),
+            ));
+        }
+        if self.worker_budget == 0 {
+            return Err(Error::Config("serve worker budget must be positive".into()));
+        }
+        if self.workers_per_chain == 0 {
+            return Err(Error::Config(
+                "serve workers per chain must be positive".into(),
+            ));
+        }
+        if self.quantum == 0 {
+            return Err(Error::Config("serve quantum must be positive".into()));
+        }
+        self.retry.validate()?;
+        Ok(())
+    }
+}
+
 /// Static description of a collocated cluster (every node both computes
 /// and stores, §II).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]

@@ -4,7 +4,7 @@
 //! planner crates; variants carry enough context to render a useful
 //! message without borrowing.
 
-use crate::ids::{JobId, NodeId, PartitionId, TaskId};
+use crate::ids::{JobId, NodeId, PartitionId, TaskId, TenantId};
 use std::fmt;
 
 /// Workspace-wide result alias.
@@ -48,6 +48,15 @@ pub enum Error {
         job: JobId,
         attempts: u32,
         reason: String,
+    },
+    /// The job service refused a chain submission: the tenant's bounded
+    /// submission queue is full (or the tenant is unknown). Carries a
+    /// seeded-backoff retry hint so rejected clients don't hammer the
+    /// admission path in lockstep (the PR 6 retry-herd convention).
+    AdmissionRejected {
+        tenant: TenantId,
+        /// Suggested wait before resubmitting, milliseconds.
+        retry_after_ms: u64,
     },
     /// The wave executor shut down before running a task to completion:
     /// a worker observed a poisoned wave (panicked task or fatal-fault
@@ -95,6 +104,13 @@ impl fmt::Display for Error {
             } => write!(
                 f,
                 "recovery exhausted for job {job} after {attempts} attempts: {reason}"
+            ),
+            Error::AdmissionRejected {
+                tenant,
+                retry_after_ms,
+            } => write!(
+                f,
+                "admission rejected for tenant {tenant}: queue full, retry after {retry_after_ms} ms"
             ),
             Error::ExecutorShutdown { reason } => {
                 write!(f, "executor shut down: {reason}")
@@ -145,6 +161,18 @@ mod tests {
         assert_eq!(
             e.to_string(),
             "recovery exhausted for job j3 after 8 attempts: reduce task kept failing"
+        );
+    }
+
+    #[test]
+    fn admission_rejected_message() {
+        let e = Error::AdmissionRejected {
+            tenant: TenantId(3),
+            retry_after_ms: 12,
+        };
+        assert_eq!(
+            e.to_string(),
+            "admission rejected for tenant t3: queue full, retry after 12 ms"
         );
     }
 

@@ -90,6 +90,15 @@ id_type!(
     "b",
     u64
 );
+id_type!(
+    /// A tenant of the multi-tenant job service (`rcmp-serve`). Every
+    /// admitted chain belongs to exactly one tenant; the id scopes
+    /// fair-share accounting, quota enforcement, span attribution and
+    /// per-tenant observability.
+    TenantId,
+    "t",
+    u32
+);
 
 /// Identifies one mapper task: the `index`-th input block of `job`.
 ///

@@ -23,11 +23,13 @@ pub mod rng;
 pub mod units;
 
 pub use config::{
-    ClusterConfig, ExecutorConfig, ExecutorKind, PlacementKernel, RetryPolicy, ShuffleConfig,
-    SlotConfig,
+    ClusterConfig, ExecutorConfig, ExecutorKind, PlacementKernel, RetryPolicy, ServeConfig,
+    ShuffleConfig, SlotConfig,
 };
 pub use error::{Error, Result};
-pub use ids::{BlockId, JobId, MapTaskId, NodeId, PartitionId, ReduceTaskId, SplitId, TaskId};
+pub use ids::{
+    BlockId, JobId, MapTaskId, NodeId, PartitionId, ReduceTaskId, SplitId, TaskId, TenantId,
+};
 pub use partition::{HashPartitioner, Partitioner, SplitPartitioner};
 pub use record::{Record, RecordReader, RecordWriter};
 pub use units::ByteSize;

@@ -11,8 +11,8 @@
 //!   causal lineage) whose total duration bounded recovery time.
 
 use crate::span::{Span, SpanId, SpanKind, Trace};
-use rcmp_model::{JobId, NodeId};
-use std::collections::{BTreeMap, HashMap};
+use rcmp_model::{JobId, NodeId, TenantId};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Occupancy of one scheduling wave.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -109,6 +109,49 @@ pub fn slot_occupancy(trace: &Trace) -> Vec<RunOccupancy> {
         }
     }
     runs.into_values().collect()
+}
+
+/// Restricts a trace to one tenant's runs: keeps every `JobRun` span
+/// tagged with `tenant` plus all spans contained in them (via `parent`
+/// links). The result is a plain [`Trace`], so every existing analyzer
+/// ([`slot_occupancy`], [`hotspot_report`],
+/// [`recomputation_critical_path`]) filters by tenant without a schema
+/// fork. Spans outside any run (cluster-level events) are dropped.
+pub fn tenant_view(trace: &Trace, tenant: TenantId) -> Trace {
+    let mut keep: HashSet<SpanId> = trace
+        .spans()
+        .iter()
+        .filter(|s| {
+            matches!(
+                s.kind,
+                SpanKind::JobRun { tenant: Some(t), .. } if t == tenant
+            )
+        })
+        .map(|s| s.id)
+        .collect();
+    // Containment is parent-before-child in span-id issue order, but be
+    // robust to arbitrary ordering: iterate until the closure is stable.
+    loop {
+        let before = keep.len();
+        for s in trace.spans() {
+            if let Some(p) = s.parent {
+                if keep.contains(&p) {
+                    keep.insert(s.id);
+                }
+            }
+        }
+        if keep.len() == before {
+            break;
+        }
+    }
+    Trace {
+        spans: trace
+            .spans()
+            .iter()
+            .filter(|s| keep.contains(&s.id))
+            .cloned()
+            .collect(),
+    }
 }
 
 /// Read load attributed to one node over a run window.
@@ -350,6 +393,7 @@ mod tests {
                 map_slots: 1,
                 reduce_slots: 1,
                 ok: true,
+                tenant: None,
             },
         }
     }
@@ -462,6 +506,35 @@ mod tests {
         assert_eq!(p.steps.len(), 2);
         assert_eq!(p.steps[0].seq, 5);
         assert!(p.render().contains("2 step(s)"));
+    }
+
+    #[test]
+    fn tenant_view_keeps_only_that_tenants_runs() {
+        let tag = |mut s: Span, t: u32| {
+            if let SpanKind::JobRun { tenant, .. } = &mut s.kind {
+                *tenant = Some(TenantId(t));
+            }
+            s
+        };
+        let t = Trace {
+            spans: vec![
+                tag(job_run(1, 1, false, None, 10), 0),
+                wave(2, 1, 4, 4),
+                tag(job_run(3, 2, false, None, 10), 1),
+                wave(4, 3, 2, 4),
+                // Untenanted run: invisible to every tenant view.
+                job_run(5, 3, false, None, 10),
+            ],
+        };
+        let v0 = tenant_view(&t, TenantId(0));
+        assert_eq!(v0.spans.len(), 2);
+        let occ = slot_occupancy(&v0);
+        assert_eq!(occ.len(), 1);
+        assert_eq!(occ[0].waves.len(), 1);
+        assert_eq!(occ[0].waves[0].tasks, 4);
+        let v1 = tenant_view(&t, TenantId(1));
+        assert_eq!(v1.spans.len(), 2);
+        assert!(tenant_view(&t, TenantId(7)).spans.is_empty());
     }
 
     #[test]

@@ -215,6 +215,7 @@ mod tests {
                         map_slots: 1,
                         reduce_slots: 1,
                         ok: true,
+                        tenant: None,
                     },
                 },
                 Span {

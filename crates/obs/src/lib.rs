@@ -57,8 +57,8 @@ pub mod span;
 pub mod tracer;
 
 pub use analyze::{
-    hotspot_report, recomputation_critical_path, slot_occupancy, CriticalPath, HotspotReport,
-    NodeLoad, PathStep, RunOccupancy, WaveOccupancy,
+    hotspot_report, recomputation_critical_path, slot_occupancy, tenant_view, CriticalPath,
+    HotspotReport, NodeLoad, PathStep, RunOccupancy, WaveOccupancy,
 };
 pub use blackbox::{causal_lineage, BlackboxDump};
 pub use clock::{Clock, ManualClock};

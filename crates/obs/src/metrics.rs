@@ -10,7 +10,7 @@
 use parking_lot::Mutex;
 use serde::Serialize;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Monotonically increasing counter.
@@ -119,23 +119,31 @@ enum Metric {
 #[derive(Default)]
 pub struct MetricsRegistry {
     inner: Mutex<BTreeMap<String, Metric>>,
-    /// Depth of active hot scopes (waves in flight). Non-zero depth
-    /// makes by-name resolution a debug-assertion failure: hot paths
-    /// must use pre-resolved handles.
-    hot_depth: Arc<AtomicUsize>,
+}
+
+thread_local! {
+    /// Depth of active hot scopes on *this thread* (waves this thread
+    /// is driving). Non-zero depth makes by-name resolution a
+    /// debug-assertion failure: hot paths must use pre-resolved
+    /// handles. Per-thread on purpose — a multi-tenant service starts
+    /// new chains (which legitimately resolve their handles by name at
+    /// construction) while other chains' waves are in flight on other
+    /// threads.
+    static HOT_DEPTH: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
 }
 
 /// RAII marker from [`MetricsRegistry::enter_hot_scope`]: while alive,
-/// by-name metric resolution on the registry debug-asserts. Metric
-/// *handles* (already resolved) stay usable — they never touch the
-/// registry.
+/// by-name metric resolution *on the owning thread* debug-asserts.
+/// Metric *handles* (already resolved) stay usable — they never touch
+/// the registry. Deliberately `!Send`: the depth is thread-local, so
+/// the guard must drop on the thread that created it.
 pub struct HotScopeGuard {
-    depth: Arc<AtomicUsize>,
+    _not_send: std::marker::PhantomData<*const ()>,
 }
 
 impl Drop for HotScopeGuard {
     fn drop(&mut self) {
-        self.depth.fetch_sub(1, Ordering::Relaxed);
+        HOT_DEPTH.with(|d| d.set(d.get() - 1));
     }
 }
 
@@ -204,22 +212,24 @@ impl MetricsRegistry {
         Self::default()
     }
 
-    /// Marks the start of a hot region (a wave in flight): until the
-    /// returned guard drops, by-name metric resolution debug-asserts.
-    /// Pre-resolve handles before entering; this catches the
-    /// regression where a hot path quietly reintroduces a registry
-    /// lock mid-wave.
+    /// Marks the start of a hot region (a wave in flight on this
+    /// thread): until the returned guard drops, by-name metric
+    /// resolution *from this thread* debug-asserts. Pre-resolve handles
+    /// before entering; this catches the regression where a hot path
+    /// quietly reintroduces a registry lock mid-wave. The scope is
+    /// per-thread so that other chains' control planes (which resolve
+    /// their handles at construction) may run concurrently.
     pub fn enter_hot_scope(&self) -> HotScopeGuard {
-        self.hot_depth.fetch_add(1, Ordering::Relaxed);
+        HOT_DEPTH.with(|d| d.set(d.get() + 1));
         HotScopeGuard {
-            depth: Arc::clone(&self.hot_depth),
+            _not_send: std::marker::PhantomData,
         }
     }
 
     #[track_caller]
     fn assert_not_hot(&self, name: &str) {
         debug_assert_eq!(
-            self.hot_depth.load(Ordering::Relaxed),
+            HOT_DEPTH.with(std::cell::Cell::get),
             0,
             "by-name metric resolution of {name:?} inside a hot scope (a wave is in flight); \
              pre-resolve the handle at construction time",
@@ -358,6 +368,22 @@ mod tests {
         let reg = MetricsRegistry::new();
         let _guard = reg.enter_hot_scope();
         let _ = reg.counter("late.lookup");
+    }
+
+    #[test]
+    fn hot_scope_is_per_thread() {
+        // A wave in flight on this thread must not block another
+        // chain's control plane (a different thread) from resolving
+        // its handles by name.
+        let reg = Arc::new(MetricsRegistry::new());
+        let _guard = reg.enter_hot_scope();
+        let reg2 = Arc::clone(&reg);
+        let other = std::thread::spawn(move || {
+            reg2.counter("other.chain").inc();
+        });
+        other.join().expect("no panic on the other thread");
+        drop(_guard);
+        assert_eq!(reg.snapshot().counter("other.chain"), Some(1));
     }
 
     #[test]

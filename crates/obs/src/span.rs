@@ -8,7 +8,7 @@
 //! clock) and `rcmp-sim` (simulated clock), so traces from both can be
 //! diffed and fed to the same analyzers and exporters.
 
-use rcmp_model::{JobId, NodeId, TaskId};
+use rcmp_model::{JobId, NodeId, TaskId, TenantId};
 use serde::{Deserialize, Serialize};
 
 /// Unique identifier of a span within one [`Trace`].
@@ -66,6 +66,9 @@ pub enum SpanKind {
         reduce_slots: u32,
         /// Whether the run completed successfully.
         ok: bool,
+        /// Owning tenant when the run was admitted through the job
+        /// service (`rcmp-serve`); `None` for single-tenant drivers.
+        tenant: Option<TenantId>,
     },
     /// One scheduling wave within a job run.
     Wave {
@@ -327,6 +330,7 @@ mod tests {
                         map_slots: 1,
                         reduce_slots: 1,
                         ok: true,
+                        tenant: None,
                     },
                 ),
                 span(

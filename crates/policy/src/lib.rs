@@ -43,10 +43,15 @@
 //! * [`RackTopology`] — the single node→rack layout shared by DFS
 //!   replica placement and the rack-aware kernel (formerly duplicated
 //!   in `rcmp-dfs`).
+//! * [`DrrArbiter`] — cross-tenant fair-share arbitration (weighted
+//!   deficit round-robin with per-tenant in-flight quotas), the tier
+//!   *above* the wave kernels that the `rcmp-serve` job service uses to
+//!   decide whose chain runs next; [`jain_index`] scores the outcome.
 
 #![deny(missing_docs)]
 
 pub mod adapt;
+mod fair;
 mod membership;
 mod mitigation;
 mod plan;
@@ -58,6 +63,7 @@ pub use adapt::{
     expected_chain_time, optimal_interval, AdaptConfig, AdaptationStep, AdaptivePolicy,
     DynamicPolicy, FailureIntensityEstimator, FaultObserver,
 };
+pub use fair::{jain_index, DrrArbiter, Grant, TenantShare};
 pub use membership::{Membership, NodeInfo, NodeStatus};
 pub use mitigation::{choose_mitigation, HotspotMitigation, MitigationChoice, SplitPolicy};
 pub use plan::RecomputePlan;

@@ -144,6 +144,7 @@ fn emit_run(
             map_slots: 0,
             reduce_slots: 0,
             ok: true,
+            tenant: None,
         },
         None,
         cause,

@@ -99,6 +99,19 @@ pub struct ChainBuilder {
     /// Output bytes per shuffle byte (the paper's ratio last term).
     pub reduce_ratio: f64,
     pub input_path: String,
+    /// DFS namespace prefix for the chain's outputs: job `j` writes
+    /// `"<prefix>out/<j>"`. Empty by default (the classic `"out/<j>"`
+    /// layout); concurrent chains — e.g. per-tenant submissions on the
+    /// job service — set a distinct prefix (like `"t3/c0/"`) so their
+    /// output files never collide. The prefix does not feed any UDF
+    /// salt, so digests stay invariant across namespaces.
+    pub output_prefix: String,
+    /// Base added to each job's [`JobId`] (job `j` gets
+    /// `JobId(job_base + j)`). Map-output store entries are keyed by
+    /// `JobId`, so concurrent chains need disjoint id ranges; the
+    /// mapper salt uses the *local* index `j`, keeping digests
+    /// identical for any base.
+    pub job_base: u32,
     /// Optional map-side combiner applied to every job of the chain.
     /// The chain's reducer re-emits values rather than aggregating
     /// them, so the default is `None`; aggregation workloads (see
@@ -130,6 +143,8 @@ impl ChainBuilder {
             map_ratio: 1.0,
             reduce_ratio: 1.0,
             input_path: "input".to_string(),
+            output_prefix: String::new(),
+            job_base: 0,
             combiner: None,
         }
     }
@@ -156,6 +171,23 @@ impl ChainBuilder {
         self
     }
 
+    /// Reads the generated input from `path` instead of `"input"`.
+    pub fn input(mut self, path: impl Into<String>) -> Self {
+        self.input_path = path.into();
+        self
+    }
+
+    /// Namespaces the chain for concurrent execution: outputs land
+    /// under `"<prefix>out/<j>"` and job ids start at `base + 1`. Use a
+    /// distinct `(prefix, base)` per in-flight chain so DFS paths and
+    /// map-output store keys never collide across chains. Digests are
+    /// unaffected: the mapper salt depends only on the local job index.
+    pub fn namespace(mut self, prefix: impl Into<String>, base: u32) -> Self {
+        self.output_prefix = prefix.into();
+        self.job_base = base;
+        self
+    }
+
     pub fn build(&self) -> ChainSpec {
         assert!(self.jobs >= 1);
         let jobs = (1..=self.jobs)
@@ -163,12 +195,12 @@ impl ChainBuilder {
                 let input = if j == 1 {
                     self.input_path.clone()
                 } else {
-                    output_path(j - 1)
+                    prefixed_output_path(&self.output_prefix, j - 1)
                 };
                 JobSpec {
-                    job: JobId(j),
+                    job: JobId(self.job_base + j),
                     input,
-                    output: output_path(j),
+                    output: prefixed_output_path(&self.output_prefix, j),
                     num_reducers: self.num_reducers,
                     output_replication: self.output_replication,
                     placement: self.placement,
@@ -193,6 +225,11 @@ pub fn output_path(j: u32) -> String {
     format!("out/{j}")
 }
 
+/// DFS path of job `j`'s output under a chain namespace prefix.
+fn prefixed_output_path(prefix: &str, j: u32) -> String {
+    format!("{prefix}out/{j}")
+}
+
 /// A built chain: `jobs[0]` is job 1.
 #[derive(Clone, Debug)]
 pub struct ChainSpec {
@@ -208,7 +245,8 @@ impl ChainSpec {
         self.jobs.is_empty()
     }
 
-    /// Spec of job `j` (1-based, matching [`JobId`]).
+    /// Spec of job `j` (1-based *local* chain position; equals
+    /// [`JobId`] when the chain is unnamespaced, i.e. `job_base == 0`).
     pub fn job(&self, j: u32) -> &JobSpec {
         &self.jobs[(j - 1) as usize]
     }
@@ -301,6 +339,30 @@ mod tests {
             .build();
         assert_eq!(chain.job(1).output_replication, 3);
         assert!(!chain.job(2).splittable);
+    }
+
+    #[test]
+    fn namespaced_chain_keeps_udfs_but_moves_paths_and_ids() {
+        let plain = ChainBuilder::new(3, 4).build();
+        let ns = ChainBuilder::new(3, 4)
+            .input("t2/input")
+            .namespace("t2/c5/", 300)
+            .build();
+        assert_eq!(ns.job(1).input, "t2/input");
+        assert_eq!(ns.job(1).output, "t2/c5/out/1");
+        assert_eq!(ns.job(3).input, "t2/c5/out/2");
+        assert_eq!(ns.final_output(), "t2/c5/out/3");
+        assert_eq!(ns.job(2).job, JobId(302));
+        // Same local index → same mapper behaviour: digests can't
+        // depend on the namespace.
+        let rec = Record::new(1, value_of(1, 20));
+        for j in 1..=3 {
+            let mut a = Vec::new();
+            plain.job(j).mapper.map(rec.clone(), &mut |r| a.push(r));
+            let mut b = Vec::new();
+            ns.job(j).mapper.map(rec.clone(), &mut |r| b.push(r));
+            assert_eq!(a, b, "job {j} mapper diverged under namespacing");
+        }
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //! * [`core`] — RCMP itself: planner, strategies, driver;
 //! * [`obs`] — causal span tracing, metrics, and trace analyzers
 //!   (slot occupancy, hot-spot skew, recomputation critical path);
+//! * [`serve`] — the multi-tenant job service: admission control,
+//!   fair-share (DRR) scheduling, per-tenant execution sessions and
+//!   observability over one shared cluster;
 //! * [`sim`] — the discrete-event cluster simulator;
 //! * [`workloads`] — the paper's 7-job I/O-intensive chain;
 //! * [`traces`] — failure-trace synthesis and CDF analysis (Fig. 2).
@@ -49,6 +52,7 @@ pub use rcmp_exec as exec;
 pub use rcmp_model as model;
 pub use rcmp_obs as obs;
 pub use rcmp_policy as policy;
+pub use rcmp_serve as serve;
 pub use rcmp_sim as sim;
 pub use rcmp_traces as traces;
 pub use rcmp_workloads as workloads;

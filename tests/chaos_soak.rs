@@ -527,7 +527,7 @@ fn soak_diagnostics(
             s.job, s.rate, s.interval, s.switched
         ));
     }
-    match cl.take_blackbox() {
+    match cl.take_blackbox("chain") {
         Some(dump) => out.push_str(&dump.render()),
         None => out.push_str("no blackbox dump parked (chain did not die with a typed error)\n"),
     }

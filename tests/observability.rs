@@ -447,7 +447,7 @@ fn chaos_chain_death_parks_a_complete_blackbox() {
     );
 
     let dump = cl
-        .take_blackbox()
+        .take_blackbox("chain")
         .expect("a typed chain death parks a blackbox dump");
     assert_eq!(dump.reason, err.to_string(), "reason is the typed error");
     assert!(
@@ -483,9 +483,10 @@ fn chaos_chain_death_parks_a_complete_blackbox() {
     // Nothing was silently lost, and the phase budget rode along.
     assert_eq!(dump.recorded, dump.recent.len() as u64 + dump.dropped);
     assert!(dump.phases.entries[PhaseKind::RecoveryPlanning.index()].count >= 1);
-    // A second driver on the same cluster would overwrite; the dump we
-    // took is ours alone.
-    assert!(cl.take_blackbox().is_none());
+    // A second driver with the same label would overwrite; the dump we
+    // took is ours alone (and no other chain key is parked either).
+    assert!(cl.take_blackbox("chain").is_none());
+    assert!(cl.take_any_blackbox().is_none());
     // The dump is JSON-serializable for `RCMP_BLACKBOX_DIR`-style
     // export, lineage included.
     let json = dump.to_json();
