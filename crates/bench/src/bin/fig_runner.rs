@@ -1,7 +1,7 @@
 //! Regenerates the paper's figures.
 //!
 //! ```text
-//! fig_runner [all|fig02|fig08a|fig08b|fig08c|fig09|fig10|fig11|fig12|fig13|fig14|trace|exec|shuffle|placement|resilience|obs|serve]...
+//! fig_runner [all|fig02|fig08a|fig08b|fig08c|fig09|fig10|fig11|fig12|fig13|fig14|trace|exec|shuffle|placement|resilience|obs|serve|chain]...
 //!            [--quick] [--json <dir>]
 //! ```
 //!
@@ -136,6 +136,19 @@ fn main() {
                     eprintln!(
                         "serve: balanced scenario failed the fairness gate (jain >= {:.2})",
                         servefig::JAIN_GATE
+                    );
+                    std::process::exit(1);
+                }
+            }
+            "chain" => {
+                let r = chainfig::run_scaled(scale);
+                println!("{}", r.render());
+                write_json("BENCH_chain", serde_json::to_value(&r).unwrap());
+                if !r.gate_passed {
+                    eprintln!(
+                        "chain: cached chain not faster than uncached, or node-local hits \
+                         below {:.0}%, or tiny budget failed to spill through",
+                        chainfig::GATE_LOCAL_PCT
                     );
                     std::process::exit(1);
                 }

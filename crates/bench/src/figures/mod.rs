@@ -2,6 +2,7 @@
 //! a serializable result with a `render()` ASCII table matching the
 //! figure's rows/series.
 
+pub mod chainfig;
 pub mod execfig;
 pub mod extras;
 pub mod fig02;

@@ -365,6 +365,18 @@ impl<'a> ChainDriver<'a> {
     /// Builds the submission for a (re)run of a job at the head of the
     /// chain loop.
     fn build_run(&self, spec: &JobSpec, retry: bool, persist: bool) -> Result<JobRun> {
+        if retry {
+            // A retried job re-derives its output from the DFS ground
+            // truth. Drop any chain-cached partitions of the previous
+            // attempt up front — the hash guard on cache reads would
+            // catch stale bytes anyway, but a cancelled run's failure
+            // may have raced the per-hook invalidations, and the resume
+            // decision below must not be able to observe cache state
+            // that DFS metadata no longer backs.
+            if let Some(cache) = self.cluster.dfs().chain_cache() {
+                cache.invalidate_file(&spec.output);
+            }
+        }
         let mode = if retry
             && self.restart_mode == RestartMode::ResumePartial
             && self.cluster.dfs().file_exists(&spec.output)

@@ -1,6 +1,7 @@
 //! The DFS master: namespace + per-node stores + failure handling.
 
 use crate::block::{BlockInfo, BlockLocation};
+use crate::chain_cache::ChainCache;
 use crate::namespace::{FileMeta, PartitionMeta, SegmentMeta};
 use crate::placement::{place_block, PlacementPolicy};
 use crate::report::{LossReport, RebalanceReport};
@@ -120,6 +121,7 @@ pub struct Dfs {
     rng: Mutex<SmallRng>,
     tracer: Arc<Tracer>,
     obs: Option<DfsObs>,
+    chain_cache: Option<Arc<ChainCache>>,
 }
 
 impl Dfs {
@@ -146,7 +148,22 @@ impl Dfs {
             rng,
             tracer,
             obs: None,
+            chain_cache: None,
         }
+    }
+
+    /// Attaches the inter-job [`ChainCache`]. The DFS owns invalidation:
+    /// node death/drain/decommission, partition clears, file deletes and
+    /// injected corruption all drop the covering cache entries, so a
+    /// cached read can never outlive the persisted state it mirrors.
+    pub fn with_chain_cache(mut self, cache: Arc<ChainCache>) -> Self {
+        self.chain_cache = Some(cache);
+        self
+    }
+
+    /// The attached inter-job cache, if any.
+    pub fn chain_cache(&self) -> Option<&Arc<ChainCache>> {
+        self.chain_cache.as_ref()
     }
 
     /// Attaches the production telemetry tier: `dfs.read_us` /
@@ -238,7 +255,14 @@ impl Dfs {
     /// their local node keep working — their blocks are simply placed on
     /// the remaining Up nodes.
     pub fn drain_node(&self, node: NodeId) -> Result<()> {
-        self.set_status(node, &[NodeStatus::Up], NodeStatus::Draining, "drain")
+        self.set_status(node, &[NodeStatus::Up], NodeStatus::Draining, "drain")?;
+        // A draining node's DFS data stays readable, but its in-memory
+        // cached partitions stop being scheduling targets: conservative
+        // invalidation keeps stable placement off departing nodes.
+        if let Some(cache) = &self.chain_cache {
+            cache.invalidate_node(node);
+        }
+        Ok(())
     }
 
     /// Brings a drained or decommissioned node back into service
@@ -406,6 +430,9 @@ impl Dfs {
             Arc::clone(&slot.store)
         };
         store.wipe();
+        if let Some(cache) = &self.chain_cache {
+            cache.invalidate_node(node);
+        }
         self.tracer.instant(
             SpanKind::Event {
                 seq: 0,
@@ -461,6 +488,9 @@ impl Dfs {
         };
         for p in &meta.partitions {
             self.free_blocks(p);
+        }
+        if let Some(cache) = &self.chain_cache {
+            cache.invalidate_file(path);
         }
         Ok(())
     }
@@ -626,6 +656,9 @@ impl Dfs {
             std::mem::replace(&mut meta.partitions[pid.index()], PartitionMeta::new(pid))
         };
         self.free_blocks(&old);
+        if let Some(cache) = &self.chain_cache {
+            cache.invalidate_partition(path, pid);
+        }
         Ok(())
     }
 
@@ -671,11 +704,22 @@ impl Dfs {
                 partition: None,
             });
         }
+        // Remote-replica choice is a pure function of (seed, block,
+        // reader) — NOT a draw from the shared placement RNG. Reads must
+        // not advance that stream: the chain cache elides reads, and an
+        // elided stateful draw would diverge every later placement
+        // between cache-on and cache-off runs, breaking their replica
+        // layouts (and thus fault outcomes) apart.
         let preferred = if live_replicas.contains(&reader) {
             reader
         } else {
-            let mut rng = self.rng.lock();
-            *live_replicas.choose(&mut *rng).expect("non-empty")
+            let pick = rcmp_model::rng::derive_indexed(
+                self.cfg.seed,
+                "dfs-read-pick",
+                (loc.id.0 << 8) ^ u64::from(reader.raw()),
+            ) as usize
+                % live_replicas.len();
+            live_replicas[pick]
         };
         let mut candidates = vec![preferred];
         candidates.extend(live_replicas.into_iter().filter(|&n| n != preferred));
@@ -764,18 +808,48 @@ impl Dfs {
     /// or `None` when the node stores nothing corruptible.
     pub fn corrupt_replica_on(&self, node: NodeId) -> Option<BlockId> {
         let store = self.store(node)?;
-        store
+        let victim = store
             .block_ids()
             .into_iter()
             .rev()
-            .find(|&id| store.corrupt(id))
+            .find(|&id| store.corrupt(id))?;
+        self.invalidate_cached_block(victim);
+        Some(victim)
     }
 
     /// Fault injection: corrupts a specific block replica on `node`.
     /// Returns false when that node does not store the block (or the
     /// payload is empty).
     pub fn corrupt_block_replica(&self, id: BlockId, node: NodeId) -> bool {
-        self.store(node).is_some_and(|s| s.corrupt(id))
+        let hit = self.store(node).is_some_and(|s| s.corrupt(id));
+        if hit {
+            self.invalidate_cached_block(id);
+        }
+        hit
+    }
+
+    /// Drops the chain-cache entry covering `id`, modelling injected
+    /// corruption as node-local damage that reaches the in-memory copy
+    /// too: the next read takes the DFS path, hits the corrupt replica,
+    /// and flows through the same verify/demote/recover machinery as a
+    /// cache-off run — keeping chaos replays byte-identical either way.
+    fn invalidate_cached_block(&self, id: BlockId) {
+        let Some(cache) = &self.chain_cache else {
+            return;
+        };
+        let covering = {
+            let ns = self.namespace.read();
+            ns.iter().find_map(|(path, meta)| {
+                meta.partitions.iter().find_map(|p| {
+                    p.blocks()
+                        .any(|b| b.id == id)
+                        .then(|| (path.clone(), p.id))
+                })
+            })
+        };
+        if let Some((path, pid)) = covering {
+            cache.invalidate_partition(&path, pid);
+        }
     }
 
     /// Reads a whole partition (all segments concatenated).
@@ -917,6 +991,9 @@ impl Dfs {
             (was, Arc::clone(&slot.store))
         };
         store.wipe();
+        if let Some(cache) = &self.chain_cache {
+            cache.invalidate_node(node);
+        }
         if !was_alive {
             return report;
         }

@@ -29,6 +29,7 @@
 //! clock performance at cluster scale is the job of `rcmp-sim`.
 
 pub mod block;
+pub mod chain_cache;
 pub mod namespace;
 pub mod placement;
 pub mod report;
@@ -38,6 +39,7 @@ pub mod topology;
 mod dfs;
 
 pub use block::{BlockInfo, BlockLocation};
+pub use chain_cache::{ChainCache, ChainCacheStats};
 pub use dfs::{Dfs, DfsConfig};
 pub use namespace::{FileMeta, PartitionMeta, SegmentMeta};
 pub use placement::PlacementPolicy;

@@ -83,11 +83,16 @@ impl Cluster {
             topology,
             store_shards: cfg.shuffle.store_shards,
         };
-        let dfs = Dfs::new_traced(dfs_cfg, tracer.clone()).with_obs(
+        let mut dfs = Dfs::new_traced(dfs_cfg, tracer.clone()).with_obs(
             &metrics,
             profiler.clone(),
             recorder.clone(),
         );
+        if cfg.chain_cache.enabled {
+            dfs = dfs.with_chain_cache(Arc::new(
+                rcmp_dfs::ChainCache::new(cfg.chain_cache.budget).with_obs(&metrics),
+            ));
+        }
         // The authoritative membership record both backends schedule
         // against: same node→rack layout as the DFS placement topology.
         let membership = match &dfs.config().topology {

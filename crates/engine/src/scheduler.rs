@@ -13,7 +13,8 @@
 use crate::task::{MapTask, ReduceTask};
 use rcmp_model::{NodeId, PlacementKernel, Result};
 use rcmp_policy::{
-    FnReduceTasks, KernelTopology, MapTaskSet, Membership, PolicyCtx, SliceTopology, WaveAssignment,
+    CacheAffinity, FnReduceTasks, KernelTopology, MapTaskSet, Membership, PolicyCtx, SliceTopology,
+    WaveAssignment,
 };
 
 pub use rcmp_policy::ReduceAssignment;
@@ -71,20 +72,29 @@ pub fn assign_map_waves(
 /// Like [`assign_map_waves`] but through the configured placement
 /// kernel, with per-node capacity and rack hints drawn from a
 /// membership snapshot (aligned position-for-position with `live`).
+///
+/// `cached` is the chain-cache affinity map, aligned with `tasks`:
+/// `cached[t]` names the node holding task `t`'s input partition in
+/// memory, if any. Only the `Stable` kernel consults it; pass an empty
+/// slice when the cache is off (every kernel then behaves exactly as
+/// before the cache existed).
 pub fn assign_map_waves_kernel(
     tasks: Vec<MapTask>,
     live: &[NodeId],
     slots: u32,
     kernel: PlacementKernel,
     membership: &Membership,
+    cached: &[Option<NodeId>],
     ctx: PolicyCtx<'_>,
 ) -> Result<Waves<MapTask>> {
     let raw: Vec<u32> = live.iter().map(|n| n.raw()).collect();
     let caps = membership.caps_for(&raw);
     let racks = membership.racks_for(&raw);
     let topo = KernelTopology::uniform(live, slots, &caps, &racks);
-    let assignment =
-        rcmp_policy::assign_map_waves_kernel(&topo, &MapTaskSlice(&tasks), kernel, ctx)?;
+    let set = CacheAffinity::new(MapTaskSlice(&tasks), |t: usize| {
+        cached.get(t).copied().flatten()
+    });
+    let assignment = rcmp_policy::assign_map_waves_kernel(&topo, &set, kernel, ctx)?;
     Ok(resolve(assignment, tasks))
 }
 
@@ -288,6 +298,7 @@ mod tests {
             1,
             PlacementKernel::Default,
             &m,
+            &[],
             PolicyCtx::disabled(),
         )
         .unwrap();
@@ -310,6 +321,7 @@ mod tests {
             1,
             PlacementKernel::CapacityWeighted,
             &m,
+            &[],
             PolicyCtx::disabled(),
         )
         .unwrap();
@@ -324,6 +336,29 @@ mod tests {
             .filter(|(n, _)| *n == NodeId(1))
             .count();
         assert_eq!(on_big, 6);
+    }
+
+    #[test]
+    fn stable_kernel_follows_cache_affinity() {
+        let m = Membership::uniform(4);
+        // Every block's DFS replica sits on node 0, but each task's
+        // partition is cached on its "own" node.
+        let tasks: Vec<MapTask> = (0..4).map(|i| map_task(i, &[0])).collect();
+        let cached: Vec<Option<NodeId>> = (0..4).map(|i| Some(NodeId(i))).collect();
+        let waves = assign_map_waves_kernel(
+            tasks,
+            &nodes(4),
+            1,
+            PlacementKernel::Stable,
+            &m,
+            &cached,
+            PolicyCtx::disabled(),
+        )
+        .unwrap();
+        assert_eq!(waves.len(), 1);
+        for (node, task) in &waves[0] {
+            assert_eq!(*node, NodeId(task.id.index), "task follows its cached copy");
+        }
     }
 
     #[test]

@@ -36,12 +36,12 @@ use crate::task::{MapTask, ReduceTask};
 use crate::udf::Combiner;
 use bytes::Bytes;
 use parking_lot::Mutex;
-use rcmp_dfs::{LossReport, PlacementPolicy};
+use rcmp_dfs::{ChainCache, LossReport, PlacementPolicy};
 use rcmp_exec::{BackendExecutor, SessionExecutor, SlotOutcome, SlotTask, TaskCtx, WaveSpec};
 use rcmp_model::rng::derive_indexed;
 use rcmp_model::{
-    Error, HashPartitioner, JobId, MapTaskId, NodeId, PartitionId, Record, RecordReader,
-    RecordWriter, ReduceTaskId, Result, SplitId, SplitPartitioner, TaskId, TenantId,
+    Error, HashPartitioner, JobId, MapTaskId, NodeId, PartitionId, PlacementKernel, Record,
+    RecordReader, RecordWriter, ReduceTaskId, Result, SplitId, SplitPartitioner, TaskId, TenantId,
 };
 use rcmp_obs::{
     Counter, EventCode, FaultKind, FlightRecorder, Histogram, Phase, PhaseKind, PhaseProfiler,
@@ -55,6 +55,27 @@ use std::time::Instant;
 /// Maximum phase-recovery iterations before declaring the job stuck
 /// (defensive; real scenarios converge in a handful).
 const MAX_RECOVERY_ROUNDS: u32 = 1000;
+
+/// RAII pin on one file's chain-cache entries: held for the duration of
+/// a job run so the input partitions its mappers read cannot be evicted
+/// by the same run's staged output, released on every exit path.
+struct ChainCachePin {
+    cache: Arc<ChainCache>,
+    path: String,
+}
+
+impl ChainCachePin {
+    fn new(cache: Arc<ChainCache>, path: String) -> Self {
+        cache.pin_file(&path);
+        Self { cache, path }
+    }
+}
+
+impl Drop for ChainCachePin {
+    fn drop(&mut self) {
+        self.cache.unpin_file(&self.path);
+    }
+}
 
 // Shuffle-attempt and task-retry budgets live in
 // `ClusterConfig::retry` (`rcmp_model::RetryPolicy`), together with the
@@ -181,7 +202,23 @@ impl<'a> JobTracker<'a> {
             u64::from(run.spec.job.0) | (u64::from(run.mode.is_recompute()) << 32),
         );
         let open = self.tracer.open();
+        // Pin the input file's cached partitions for the duration of the
+        // run: memory pressure from this job's own staged output must
+        // not evict the very partitions its mappers are still reading.
+        let _input_pin = self
+            .cluster
+            .dfs()
+            .chain_cache()
+            .map(|cache| ChainCachePin::new(cache.clone(), run.spec.input.clone()));
         let result = self.run_inner(run, seq, open.id);
+        if result.is_err() {
+            // A failed/cancelled run never publishes partial output: drop
+            // anything its reducers staged (the DFS restart path will
+            // delete and rewrite the file anyway).
+            if let Some(cache) = self.cluster.dfs().chain_cache() {
+                cache.abort(&run.spec.output);
+            }
+        }
         self.recorder
             .record(EventCode::JobEnd, None, seq, u64::from(result.is_ok()));
         let slots = self.cluster.config().slots;
@@ -337,12 +374,35 @@ impl<'a> JobTracker<'a> {
                     self.check_inputs_available(spec, &pending_maps)?;
                     let live = self.live_or_fail()?;
                     let membership = self.cluster.membership();
+                    // Partition-stable placement: under the `stable`
+                    // kernel, route each map task to the node whose chain
+                    // cache holds its input partition in memory (job i's
+                    // reducer output read by job i+1's mappers). A holder
+                    // that is no longer live yields no affinity and the
+                    // kernel degrades to replica locality.
+                    let cached: Vec<Option<NodeId>> =
+                        if self.cluster.config().placement == PlacementKernel::Stable {
+                            match self.cluster.dfs().chain_cache() {
+                                Some(cache) => pending_maps
+                                    .iter()
+                                    .map(|t| {
+                                        cache
+                                            .holder(&spec.input, t.key.pid)
+                                            .filter(|h| live.contains(h))
+                                    })
+                                    .collect(),
+                                None => Vec::new(),
+                            }
+                        } else {
+                            Vec::new()
+                        };
                     let waves = assign_map_waves_kernel(
                         pending_maps.clone(),
                         &live,
                         self.cluster.config().slots.map,
                         self.cluster.config().placement,
                         &membership,
+                        &cached,
                         PolicyCtx::new(&self.tracer, Some(job_span)),
                     )?;
                     let mut interrupted = false;
@@ -598,6 +658,12 @@ impl<'a> JobTracker<'a> {
 
         if !run.persist_map_outputs {
             self.cluster.map_outputs().clear_job(spec.job);
+        }
+        // The job converged: atomically admit its staged reducer outputs
+        // into the chain cache (control thread, ascending partition
+        // order — admission never depends on worker interleaving).
+        if let Some(cache) = self.cluster.dfs().chain_cache() {
+            cache.commit(&spec.output);
         }
         report.map_waves = map_wave_counter;
         report.reduce_waves = reduce_wave_counter;
@@ -906,7 +972,32 @@ impl<'a> JobTracker<'a> {
         wave_idx: u32,
     ) -> std::result::Result<TaskRecord, Error> {
         let t0 = Instant::now();
-        let (data, source) = self.cluster.dfs().read_block(&task.block, node)?;
+        // Inter-job chain cache first: serve the input chunk from memory
+        // when the previous job's reducer output is still resident and
+        // its hash matches this block's fingerprint. Any miss — budget
+        // spill, invalidation, recomputed partition — falls through to
+        // the verified DFS read below.
+        let cached = self.cluster.dfs().chain_cache().and_then(|cache| {
+            let lookup_started = Instant::now();
+            let hit = cache.get_chunk(
+                &spec.input,
+                task.key.pid,
+                task.key.block_idx as usize,
+                task.block.content_hash,
+                node,
+            );
+            if hit.is_some() {
+                self.profiler.add_ns(
+                    PhaseKind::ChainCacheRead,
+                    lookup_started.elapsed().as_nanos() as u64,
+                );
+            }
+            hit
+        });
+        let (data, source) = match cached {
+            Some(hit) => hit,
+            None => self.cluster.dfs().read_block(&task.block, node)?,
+        };
         let input_bytes = data.len() as u64;
         let hp = HashPartitioner::new(spec.num_reducers);
         let sp = split_plan
@@ -1380,6 +1471,18 @@ impl<'a> JobTracker<'a> {
             let loss = self.cluster.fail_node(node);
             return ReduceOutcome::Torn { task, loss };
         }
+        // Stage whole-reducer output in the chain cache alongside the
+        // durable DFS write (write-behind keeps lineage intact: every
+        // byte is still checksummed + replicated on disk). Split outputs
+        // are never cached — a split writes only a segment of the
+        // partition, and the cache is keyed by whole partitions.
+        // `Bytes` clones are refcount bumps, so staging is free.
+        let stage = self
+            .cluster
+            .dfs()
+            .chain_cache()
+            .filter(|_| task.id.split.is_none())
+            .map(|cache| (cache.clone(), chunks.clone()));
         match self.cluster.dfs().write_partition_chunks(
             &spec.output,
             task.id.partition,
@@ -1387,7 +1490,11 @@ impl<'a> JobTracker<'a> {
             node,
             placement,
         ) {
-            Ok(()) => {}
+            Ok(()) => {
+                if let Some((cache, staged)) = stage {
+                    cache.stage(&spec.output, task.id.partition, node, &staged);
+                }
+            }
             Err(_) => return ReduceOutcome::Retry(task.id),
         }
         let io = IoBytes {

@@ -161,6 +161,12 @@ pub enum PlacementKernel {
     /// waves) in proportion to its capacity weight from the membership
     /// record, so big nodes pull more work per round.
     CapacityWeighted,
+    /// Partition-stable chain placement (M3R-style): a node first claims
+    /// the map tasks whose input partition it holds in the inter-job
+    /// [`ChainCacheConfig`] cache from the previous job, then falls back
+    /// to the `Default` locality chain. With no cached affinity
+    /// information it behaves exactly like `Default`.
+    Stable,
 }
 
 impl PlacementKernel {
@@ -177,7 +183,7 @@ impl PlacementKernel {
     }
 
     /// Parses a kernel spec (`default` | `rack` | `delay:<rounds>` |
-    /// `capacity`).
+    /// `capacity` | `stable`).
     pub fn parse(spec: &str) -> Option<Self> {
         let spec = spec.trim();
         if spec.eq_ignore_ascii_case("default") {
@@ -188,6 +194,9 @@ impl PlacementKernel {
         }
         if spec.eq_ignore_ascii_case("capacity") {
             return Some(Self::CapacityWeighted);
+        }
+        if spec.eq_ignore_ascii_case("stable") {
+            return Some(Self::Stable);
         }
         let rest = spec
             .strip_prefix("delay:")
@@ -204,7 +213,57 @@ impl PlacementKernel {
             Self::RackAware => "rack".into(),
             Self::Delay { rounds } => format!("delay:{rounds}"),
             Self::CapacityWeighted => "capacity".into(),
+            Self::Stable => "stable".into(),
         }
+    }
+}
+
+/// Memory-budgeted inter-job block cache (the M3R-style fast path over
+/// RCMP's persisted lineage): job *i*'s reducer outputs stay resident in
+/// node memory so job *i+1*'s mappers read them without a DFS
+/// round-trip, while every block is still written through to the DFS
+/// (checksummed, replicated) so recomputation lineage is untouched.
+///
+/// The cache is a pure read-through overlay: turning it on or off never
+/// changes job output bytes, only where the fault-free read comes from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChainCacheConfig {
+    /// Whether the inter-job cache is active. Disabled by default: every
+    /// read goes to the DFS exactly as before this option existed.
+    pub enabled: bool,
+    /// Total bytes of reducer output the cache may keep resident across
+    /// the cluster. Partitions that don't fit are spilled through to the
+    /// DFS only (they were persisted anyway); a budget smaller than one
+    /// partition degrades to pure spill-through, i.e. today's behaviour.
+    pub budget: ByteSize,
+}
+
+impl Default for ChainCacheConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            budget: ByteSize::ZERO,
+        }
+    }
+}
+
+impl ChainCacheConfig {
+    /// An enabled cache with the given byte budget.
+    pub fn enabled(budget: ByteSize) -> Self {
+        Self {
+            enabled: true,
+            budget,
+        }
+    }
+
+    /// Sanity-checks the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.enabled && self.budget.is_zero() {
+            return Err(Error::Config(
+                "chain cache budget must be positive when enabled".into(),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -442,6 +501,9 @@ pub struct ClusterConfig {
     /// Which placement kernel the scheduler assigns waves with.
     #[serde(default)]
     pub placement: PlacementKernel,
+    /// Memory-budgeted inter-job block cache (disabled by default).
+    #[serde(default)]
+    pub chain_cache: ChainCacheConfig,
 }
 
 impl ClusterConfig {
@@ -458,6 +520,7 @@ impl ClusterConfig {
             shuffle: ShuffleConfig::default(),
             retry: RetryPolicy::default(),
             placement: PlacementKernel::default(),
+            chain_cache: ChainCacheConfig::default(),
         }
     }
 
@@ -474,6 +537,7 @@ impl ClusterConfig {
             shuffle: ShuffleConfig::default(),
             retry: RetryPolicy::default(),
             placement: PlacementKernel::default(),
+            chain_cache: ChainCacheConfig::default(),
         }
     }
 
@@ -490,6 +554,7 @@ impl ClusterConfig {
             shuffle: ShuffleConfig::default(),
             retry: RetryPolicy::default(),
             placement: PlacementKernel::default(),
+            chain_cache: ChainCacheConfig::default(),
         }
     }
 
@@ -521,6 +586,7 @@ impl ClusterConfig {
             return Err(Error::Config("store shards must be at least 1".into()));
         }
         self.retry.validate()?;
+        self.chain_cache.validate()?;
         Ok(())
     }
 
@@ -667,6 +733,11 @@ mod tests {
             PlacementKernel::parse("capacity"),
             Some(PlacementKernel::CapacityWeighted)
         );
+        assert_eq!(
+            PlacementKernel::parse("stable"),
+            Some(PlacementKernel::Stable)
+        );
+        assert_eq!(PlacementKernel::Stable.label(), "stable");
         assert_eq!(PlacementKernel::parse("delay:soon"), None);
         assert_eq!(PlacementKernel::parse("anywhere"), None);
         assert_eq!(PlacementKernel::Delay { rounds: 3 }.label(), "delay:3");
@@ -674,6 +745,17 @@ mod tests {
             ClusterConfig::small_test(2).placement,
             PlacementKernel::Default
         );
+    }
+
+    #[test]
+    fn chain_cache_validation() {
+        assert!(ChainCacheConfig::default().validate().is_ok());
+        assert!(!ChainCacheConfig::default().enabled);
+        assert!(ChainCacheConfig::enabled(ByteSize::mib(8)).validate().is_ok());
+        assert!(ChainCacheConfig::enabled(ByteSize::ZERO).validate().is_err());
+        let mut c = ClusterConfig::small_test(4);
+        c.chain_cache = ChainCacheConfig::enabled(ByteSize::ZERO);
+        assert!(c.validate().is_err());
     }
 
     #[test]

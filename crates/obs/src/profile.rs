@@ -49,11 +49,14 @@ pub enum PhaseKind {
     ReactorPoll,
     /// Reactor time workers spent parked waiting for ready tasks.
     ReactorPark,
+    /// Map input served from the in-memory inter-job chain cache
+    /// (replaces a `DfsRead` on a cache hit).
+    ChainCacheRead,
 }
 
 impl PhaseKind {
     /// Every phase, in the fixed schema order breakdowns use.
-    pub const ALL: [PhaseKind; 14] = [
+    pub const ALL: [PhaseKind; 15] = [
         PhaseKind::MapCompute,
         PhaseKind::Combine,
         PhaseKind::MapOutputWrite,
@@ -68,6 +71,7 @@ impl PhaseKind {
         PhaseKind::RetryBackoff,
         PhaseKind::ReactorPoll,
         PhaseKind::ReactorPark,
+        PhaseKind::ChainCacheRead,
     ];
 
     /// Stable snake_case name used in breakdowns and JSON.
@@ -87,6 +91,7 @@ impl PhaseKind {
             PhaseKind::RetryBackoff => "retry_backoff",
             PhaseKind::ReactorPoll => "reactor_poll",
             PhaseKind::ReactorPark => "reactor_park",
+            PhaseKind::ChainCacheRead => "chain_cache_read",
         }
     }
 

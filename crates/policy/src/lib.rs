@@ -67,7 +67,7 @@ pub use fair::{jain_index, DrrArbiter, Grant, TenantShare};
 pub use membership::{Membership, NodeInfo, NodeStatus};
 pub use mitigation::{choose_mitigation, HotspotMitigation, MitigationChoice, SplitPolicy};
 pub use plan::RecomputePlan;
-pub use tasks::{FnMapTasks, FnReduceTasks, MapTaskSet, ReduceTaskSet};
+pub use tasks::{CacheAffinity, FnMapTasks, FnReduceTasks, MapTaskSet, ReduceTaskSet};
 pub use topology::{rack_aware_order, KernelTopology, RackTopology, SliceTopology, TopologyView};
 pub use waves::{
     assign_map_waves, assign_map_waves_kernel, assign_reduce_waves, assign_reduce_waves_kernel,

@@ -168,6 +168,13 @@ where
 /// * [`PlacementKernel::CapacityWeighted`] — node `i` claims
 ///   [`TopologyView::capacity_at`]`(i)` tasks per round and packs
 ///   `slots × capacity` tasks per wave.
+/// * [`PlacementKernel::Stable`] — partition-stable chain placement: a
+///   node first claims a task whose input partition it holds in the
+///   inter-job chain cache ([`MapTaskSet::cache_affine`]), then falls
+///   back to the `Default` chain; its steal fallback prefers tasks no
+///   node has an in-memory claim on, so one straggler doesn't eat
+///   another node's cached partition. With no affinity info (cache off,
+///   cold, or invalidated) it is byte-identical to `Default`.
 ///
 /// Errors with [`Error::NoLiveNodes`] when the topology has no
 /// survivors left to place on.
@@ -236,6 +243,23 @@ where
                                 None
                             }
                         })
+                        .unwrap_or(0);
+                    claim(&mut queues, &mut pending, i, pos);
+                }
+            }
+        }
+        PlacementKernel::Stable => {
+            while !pending.is_empty() {
+                for (i, &n) in live.iter().enumerate() {
+                    if pending.is_empty() {
+                        break;
+                    }
+                    let pos = pending
+                        .iter()
+                        .position(|&t| tasks.cache_affine(t, n))
+                        .or_else(|| pending.iter().position(|&t| tasks.is_primary_holder(t, n)))
+                        .or_else(|| pending.iter().position(|&t| tasks.holds_replica(t, n)))
+                        .or_else(|| pending.iter().position(|&t| !tasks.has_cache_affinity(t)))
                         .unwrap_or(0);
                     claim(&mut queues, &mut pending, i, pos);
                 }
@@ -486,6 +510,74 @@ mod tests {
         for &(node, task) in &waves[0] {
             assert_eq!(layout[task][0], node, "each task on its primary holder");
         }
+    }
+
+    #[test]
+    fn stable_kernel_without_affinity_matches_default() {
+        let layout: Vec<Vec<u32>> = vec![vec![1, 0], vec![0, 1], vec![2], vec![3], vec![0]];
+        let live = nodes(4);
+        let topo = SliceTopology::uniform(&live, 2);
+        let default = assign_map_waves_kernel(
+            &topo,
+            &layout_tasks(&layout),
+            PlacementKernel::Default,
+            PolicyCtx::disabled(),
+        )
+        .unwrap();
+        let stable = assign_map_waves_kernel(
+            &topo,
+            &layout_tasks(&layout),
+            PlacementKernel::Stable,
+            PolicyCtx::disabled(),
+        )
+        .unwrap();
+        assert_eq!(default, stable);
+    }
+
+    #[test]
+    fn stable_kernel_follows_cache_affinity_over_dfs_primary() {
+        // Every task's DFS primary sits on node 0 (the hot-spot shape),
+        // but each task's partition is cached on its "own" node: the
+        // stable kernel must follow memory, not the disk replica.
+        let layout: Vec<Vec<u32>> = (0..4).map(|_| vec![0u32]).collect();
+        let cached: Vec<u32> = vec![0, 1, 2, 3];
+        let tasks = crate::tasks::CacheAffinity::new(layout_tasks(&layout), |t: usize| {
+            Some(cached[t])
+        });
+        let live = nodes(4);
+        let topo = SliceTopology::uniform(&live, 1);
+        let waves =
+            assign_map_waves_kernel(&topo, &tasks, PlacementKernel::Stable, PolicyCtx::disabled())
+                .unwrap();
+        assert_eq!(waves.len(), 1);
+        for &(node, task) in &waves[0] {
+            assert_eq!(cached[task], node, "task {task} must run on its cache holder");
+        }
+    }
+
+    #[test]
+    fn stable_steal_prefers_unclaimed_tasks() {
+        // Node 0 holds nothing; tasks 0/1 are cached on node 1, tasks
+        // 2/3 are cached nowhere. Node 0's steals must take the
+        // unclaimed tasks, leaving both cached partitions to their
+        // holder.
+        let layout: Vec<Vec<u32>> = (0..4).map(|_| Vec::new()).collect();
+        let cached: Vec<Option<u32>> = vec![Some(1), Some(1), None, None];
+        let tasks = crate::tasks::CacheAffinity::new(layout_tasks(&layout), |t: usize| cached[t]);
+        let live = nodes(2);
+        let topo = SliceTopology::uniform(&live, 2);
+        let waves =
+            assign_map_waves_kernel(&topo, &tasks, PlacementKernel::Stable, PolicyCtx::disabled())
+                .unwrap();
+        let placed: std::collections::HashMap<usize, u32> = waves
+            .iter()
+            .flatten()
+            .map(|&(n, t)| (t, n))
+            .collect();
+        assert_eq!(placed[&2], 0, "node 0 steals the unclaimed tasks first");
+        assert_eq!(placed[&3], 0);
+        assert_eq!(placed[&0], 1);
+        assert_eq!(placed[&1], 1);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::state::{Node, SimState};
 use crate::workload::WorkloadCfg;
 use rcmp_core::strategy::{HotspotMitigation, SplitPolicy, Strategy};
 use rcmp_model::rng::derive_indexed;
-use rcmp_model::{PlacementKernel, RetryPolicy};
+use rcmp_model::{ChainCacheConfig, PlacementKernel, RetryPolicy};
 use rcmp_policy::{choose_mitigation, AdaptivePolicy, FaultObserver, Membership};
 use std::collections::BTreeSet;
 
@@ -60,6 +60,10 @@ pub struct ChainSimConfig {
     /// Optional initial membership (racks, heterogeneous capacities).
     /// `None` = uniform over `wl.nodes`.
     pub membership: Option<Membership>,
+    /// Inter-job chain cache, mirroring `ClusterConfig::chain_cache`:
+    /// when enabled, each job's reducer outputs stay memory-resident
+    /// (within the budget) for the next job's mappers.
+    pub chain_cache: ChainCacheConfig,
 }
 
 impl ChainSimConfig {
@@ -73,6 +77,7 @@ impl ChainSimConfig {
             seed: 0,
             placement: PlacementKernel::Default,
             membership: None,
+            chain_cache: ChainCacheConfig::default(),
         }
     }
 
@@ -98,6 +103,12 @@ impl ChainSimConfig {
     /// heterogeneous) instead of a uniform one. Must cover `wl.nodes`.
     pub fn with_membership(mut self, membership: Membership) -> Self {
         self.membership = Some(membership);
+        self
+    }
+
+    /// Enables the inter-job chain cache with the given byte budget.
+    pub fn with_chain_cache(mut self, budget: rcmp_model::ByteSize) -> Self {
+        self.chain_cache = ChainCacheConfig::enabled(budget);
         self
     }
 }
@@ -137,6 +148,9 @@ impl<'a> Runner<'a> {
         let mut state = SimState::new(&cfg.wl);
         if let Some(m) = &cfg.membership {
             state.set_membership(m.clone());
+        }
+        if cfg.chain_cache.enabled {
+            state.enable_chain_cache(cfg.chain_cache.budget.as_u64());
         }
         Self {
             cfg,

@@ -12,6 +12,11 @@ use serde::{Deserialize, Serialize};
 pub struct HwProfile {
     /// Sequential disk read bandwidth per node, bytes/s.
     pub disk_read_bw: f64,
+    /// Memory read bandwidth per node, bytes/s — the rate a mapper
+    /// decodes a chain-cached partition at (no disk, no seek penalty).
+    /// Only exercised when the chain cache is enabled.
+    #[serde(default = "default_mem_read_bw")]
+    pub mem_read_bw: f64,
     /// Sequential disk write bandwidth per node, bytes/s.
     pub disk_write_bw: f64,
     /// Seek-penalty coefficient: with `c` concurrent streams on one
@@ -48,11 +53,19 @@ pub struct HwProfile {
 
 const MB: f64 = 1024.0 * 1024.0;
 
+/// DDR3-era single-stream copy rate; deliberately conservative so the
+/// cache's win comes from skipping disk + network, not from an
+/// optimistic memory figure.
+fn default_mem_read_bw() -> f64 {
+    6000.0 * MB
+}
+
 impl HwProfile {
     /// STIC-like: one SATA HDD per node, 10 GbE, 8 cores.
     pub fn stic() -> Self {
         Self {
             disk_read_bw: 110.0 * MB,
+            mem_read_bw: default_mem_read_bw(),
             disk_write_bw: 90.0 * MB,
             seek_alpha: 0.35,
             seek_window: 8,
@@ -72,6 +85,7 @@ impl HwProfile {
     pub fn dco() -> Self {
         Self {
             disk_read_bw: 140.0 * MB,
+            mem_read_bw: default_mem_read_bw(),
             disk_write_bw: 120.0 * MB,
             seek_alpha: 0.35,
             seek_window: 8,

@@ -123,10 +123,15 @@ impl JobSim {
         replication: u32,
         persist: bool,
     ) -> Result<SimJobReport> {
-        // A restarted job discards partial results (§V-A).
+        // A restarted job discards partial results (§V-A) — including
+        // any chain-cached copies of the discarded output (the engine's
+        // `delete_file` invalidation hook).
         state.clear_job_outputs(job);
         if let Some(f) = state.files.get_mut(&job) {
             f.partitions.clear();
+        }
+        if let Some(c) = state.chain_cache.as_mut() {
+            c.invalidate_file(job);
         }
         self.run(state, job, None, replication, persist)
     }
@@ -206,6 +211,19 @@ impl JobSim {
         // ---------------- map phase -------------------------------------
         let mut map_phase = 0.0f64;
         let noncol = self.noncollocated;
+        // Chain-cache affinity: which node holds each task's input
+        // partition in memory. Consulted for *scheduling* only under the
+        // `Stable` kernel (mirroring the engine tracker); consulted for
+        // *reads* whenever the cache is on.
+        let cache_src: Vec<Option<Node>> = to_run
+            .iter()
+            .map(|&i| {
+                state
+                    .cache_holder(input_file, all_tasks[i].pid)
+                    .filter(|&h| state.is_alive(h) && !noncol)
+            })
+            .collect();
+        let stable = self.placement == PlacementKernel::Stable;
         let waves = assign_map_waves_kernel(
             to_run.len(),
             &live,
@@ -214,17 +232,22 @@ impl JobSim {
             &membership,
             |ti, n| !noncol && all_tasks[to_run[ti]].holders.first() == Some(&n),
             |ti, n| !noncol && all_tasks[to_run[ti]].holders.contains(&n),
+            |ti| if stable { cache_src[ti] } else { None },
             ctx,
         )?;
         report.map_waves = waves.len() as u32;
         for wave in &waves {
-            // Source per task: own node if it holds a live replica,
-            // else rotate over the live holders so concurrent remote
-            // readers of one partition spread across its replicas.
-            let assignments: Vec<(Node, &MapTaskSim, Node)> = wave
+            // Source per task: the chain-cache holder's memory when the
+            // partition is cached; else own node if it holds a live
+            // replica; else rotate over the live holders so concurrent
+            // remote readers of one partition spread across its replicas.
+            let assignments: Vec<(Node, &MapTaskSim, Node, bool)> = wave
                 .iter()
                 .map(|&(node, ti)| {
                     let t = &all_tasks[to_run[ti]];
+                    if let Some(h) = cache_src[ti] {
+                        return (node, t, h, true);
+                    }
                     let src =
                         if !self.noncollocated && t.holders.contains(&node) && state.is_alive(node)
                         {
@@ -242,19 +265,22 @@ impl JobSim {
                             );
                             live_holders[t.blk as usize % live_holders.len()]
                         };
-                    (node, t, src)
+                    (node, t, src, false)
                 })
                 .collect();
             // Per-node stream counts this wave. Collocated clusters
             // share one disk per node between input reads and map-output
             // writes; the non-collocated deployment has distinct storage
             // and compute tiers, so the two kinds of streams never
-            // contend with each other.
+            // contend with each other. Cached reads come from memory and
+            // never touch the source disk.
             let mut read_streams: BTreeMap<Node, usize> = BTreeMap::new();
             let mut write_streams: BTreeMap<Node, usize> = BTreeMap::new();
             let mut net_out: BTreeMap<Node, usize> = BTreeMap::new();
-            for (node, _, src) in &assignments {
-                *read_streams.entry(*src).or_insert(0) += 1;
+            for (node, _, src, from_cache) in &assignments {
+                if !from_cache {
+                    *read_streams.entry(*src).or_insert(0) += 1;
+                }
                 *write_streams.entry(*node).or_insert(0) += 1;
                 if self.noncollocated || src != node {
                     *net_out.entry(*src).or_insert(0) += 1;
@@ -277,9 +303,21 @@ impl JobSim {
                     }
             };
             let mut wave_tasks: Vec<WaveTask> = Vec::with_capacity(assignments.len());
-            for (node, t, src) in &assignments {
-                let read_bw = hw.disk_stream_bw(hw.disk_read_bw, read_contention(*src));
-                let mut read_time = t.bytes as f64 / read_bw;
+            for (node, t, src, from_cache) in &assignments {
+                let mut read_time = if *from_cache {
+                    // Memory-resident partition: zero disk work, zero
+                    // re-decode — the M3R fast path. A non-holder reader
+                    // still crosses the network.
+                    report.cache_hits += 1;
+                    report.cache_read_bytes += t.bytes;
+                    if src == node {
+                        report.cache_hits_local += 1;
+                    }
+                    t.bytes as f64 / hw.mem_read_bw
+                } else {
+                    let read_bw = hw.disk_stream_bw(hw.disk_read_bw, read_contention(*src));
+                    t.bytes as f64 / read_bw
+                };
                 if self.noncollocated || src != node {
                     let net_bw = hw.nic_stream_bw(net_out.get(src).copied().unwrap_or(1).max(1));
                     read_time = read_time.max(t.bytes as f64 / net_bw);
@@ -419,6 +457,11 @@ impl JobSim {
 
         let mut reduce_phase = 0.0f64;
         let mut new_segments: BTreeMap<u32, Vec<Segment>> = BTreeMap::new();
+        // Writer of each whole-partition reduce task: the chain cache
+        // only admits whole reducer outputs (mirroring the engine's
+        // `split.is_none()` staging guard).
+        let whole_outputs = recompute.is_none_or(|r| r.split_factor() <= 1);
+        let mut cache_writers: BTreeMap<u32, Node> = BTreeMap::new();
         for (w, wave) in r_waves.iter().enumerate() {
             // Wave-level serving load per source disk: every task
             // fetches `frac(m)` of its volume from node m.
@@ -497,6 +540,9 @@ impl JobSim {
                 shuffle_max = shuffle_max.max(fetch_vol + slow_delay);
 
                 // Placement of the output.
+                if whole_outputs {
+                    cache_writers.insert(pid, node);
+                }
                 let seg_holders = self.place_output(state, node, replication, recompute);
                 for holders in seg_holders {
                     new_segments
@@ -542,6 +588,17 @@ impl JobSim {
                 first.bytes += total % n;
             }
             state.rewrite_partition(job, pid, segs);
+        }
+        // Write-behind done: admit this run's whole reducer outputs into
+        // the chain cache (ascending partition order, the consuming run's
+        // input file pinned — the same commit the engine tracker performs
+        // at successful job completion).
+        if let Some(cache) = state.chain_cache.as_mut() {
+            for (&pid, &node) in &cache_writers {
+                let bytes = by_partition.get(&pid).copied().unwrap_or(0);
+                cache.stage(job, pid, node, bytes);
+            }
+            cache.commit(job, Some(input_file));
         }
 
         if !persist {

@@ -51,6 +51,16 @@ pub struct SimJobReport {
     /// Per-reduce-task durations (seconds).
     pub reducer_durations: Vec<f64>,
     pub io: SimIo,
+    /// Chain-cache hits (map inputs served from memory), total and
+    /// node-local; zero when the cache is off. Mirrors the engine's
+    /// `cache.hits` / `cache.hits_local` counters.
+    #[serde(default)]
+    pub cache_hits: u64,
+    #[serde(default)]
+    pub cache_hits_local: u64,
+    /// Bytes served out of the chain cache instead of the DFS.
+    #[serde(default)]
+    pub cache_read_bytes: u64,
     /// True for recomputation runs.
     pub recompute: bool,
     /// Speculative-execution statistics (zero unless enabled).

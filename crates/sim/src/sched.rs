@@ -5,8 +5,8 @@
 use crate::state::Node;
 use rcmp_model::{PlacementKernel, Result};
 use rcmp_policy::{
-    FnMapTasks, FnReduceTasks, KernelTopology, Membership, PolicyCtx, ReduceAssignment,
-    SliceTopology,
+    CacheAffinity, FnMapTasks, FnReduceTasks, KernelTopology, Membership, PolicyCtx,
+    ReduceAssignment, SliceTopology,
 };
 
 /// Assigns tasks with Hadoop's slot-pull semantics: nodes claim tasks in
@@ -55,8 +55,13 @@ where
 /// plumbing `rcmp-engine`'s scheduler does, so both backends hand the
 /// policy kernel byte-identical inputs. `PlacementKernel::Default`
 /// reproduces [`assign_map_waves`] exactly.
+/// `cached` is the chain-cache affinity map: `cached(t)` names the node
+/// holding task `t`'s input partition in memory, if any. Only the
+/// `Stable` kernel consults it; pass `|_| None` when the cache is off
+/// (every kernel then behaves exactly as before the cache existed) —
+/// the same contract as the engine scheduler's `cached` slice.
 #[allow(clippy::too_many_arguments)]
-pub fn assign_map_waves_kernel<P, Q>(
+pub fn assign_map_waves_kernel<P, Q, C>(
     num_tasks: usize,
     live: &[Node],
     slots: u32,
@@ -64,16 +69,18 @@ pub fn assign_map_waves_kernel<P, Q>(
     membership: &Membership,
     primary: Q,
     prefers: P,
+    cached: C,
     ctx: PolicyCtx<'_>,
 ) -> Result<Vec<Vec<(Node, usize)>>>
 where
     P: Fn(usize, Node) -> bool,
     Q: Fn(usize, Node) -> bool,
+    C: Fn(usize) -> Option<Node>,
 {
     let caps = membership.caps_for(live);
     let racks = membership.racks_for(live);
     let topo = KernelTopology::uniform(live, slots, &caps, &racks);
-    let tasks = FnMapTasks::new(num_tasks, primary, prefers);
+    let tasks = CacheAffinity::new(FnMapTasks::new(num_tasks, primary, prefers), cached);
     rcmp_policy::assign_map_waves_kernel(&topo, &tasks, kernel, ctx)
 }
 
@@ -190,6 +197,7 @@ mod tests {
             &m,
             |_, _| false,
             |_, n| n == 1,
+            |_| None,
             PolicyCtx::disabled(),
         )
         .unwrap();
@@ -209,6 +217,7 @@ mod tests {
             &m,
             |_, _| false,
             |_, _| false,
+            |_| None,
             PolicyCtx::disabled(),
         )
         .unwrap();

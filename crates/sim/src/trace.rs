@@ -369,6 +369,9 @@ mod tests {
             mapper_durations: vec![1.0, 1.5, 0.5],
             reducer_durations: vec![2.0, 2.5],
             io: SimIo::default(),
+            cache_hits: 0,
+            cache_hits_local: 0,
+            cache_read_bytes: 0,
             recompute,
             speculation: Default::default(),
         }

@@ -19,6 +19,7 @@ fn test_cluster(nodes: u32) -> Cluster {
         shuffle: Default::default(),
         retry: Default::default(),
         placement: Default::default(),
+        chain_cache: Default::default(),
         seed: 42,
     };
     Cluster::new(cfg)

@@ -28,6 +28,7 @@ fn cluster() -> Cluster {
         shuffle: Default::default(),
         retry: Default::default(),
         placement: Default::default(),
+        chain_cache: Default::default(),
         seed: 7,
     })
 }
@@ -121,6 +122,7 @@ fn main() {
             shuffle: Default::default(),
             retry: Default::default(),
             placement: Default::default(),
+            chain_cache: Default::default(),
             seed: 7,
         });
         let mut gen = DataGenConfig::test("input", 1, 4_000);

@@ -29,6 +29,7 @@ fn main() {
         shuffle: Default::default(),
         retry: Default::default(),
         placement: Default::default(),
+        chain_cache: Default::default(),
         seed: 1,
     });
 

@@ -36,6 +36,7 @@ fn main() {
         shuffle: Default::default(),
         retry: Default::default(),
         placement: Default::default(),
+        chain_cache: Default::default(),
         seed: 7,
     });
     // Replicate the input everywhere so every map read is served by a

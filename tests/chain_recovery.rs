@@ -27,6 +27,7 @@ fn cluster(nodes: u32) -> Cluster {
         shuffle: Default::default(),
         retry: Default::default(),
         placement: Default::default(),
+        chain_cache: Default::default(),
         seed: 7,
     })
 }

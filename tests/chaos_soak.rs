@@ -11,7 +11,10 @@ use proptest::prelude::*;
 use rcmp::core::{ChainDriver, Strategy};
 use rcmp::engine::failure::{Fault, FaultTrigger};
 use rcmp::engine::{Cluster, RandomizedInjector, ScriptedInjector, TriggerPoint};
-use rcmp::model::{ClusterConfig, Error, ExecutorConfig, NodeId, PlacementKernel, SlotConfig};
+use rcmp::model::{
+    ByteSize, ChainCacheConfig, ClusterConfig, Error, ExecutorConfig, NodeId, PlacementKernel,
+    SlotConfig,
+};
 use rcmp::workloads::checksum::{digest_file, OutputDigest};
 use rcmp::workloads::{generate_input, ChainBuilder, DataGenConfig};
 use std::sync::Arc;
@@ -24,6 +27,10 @@ fn cluster() -> Cluster {
 }
 
 fn cluster_with(executor: ExecutorConfig) -> Cluster {
+    cluster_cached(executor, ChainCacheConfig::default())
+}
+
+fn cluster_cached(executor: ExecutorConfig, chain_cache: ChainCacheConfig) -> Cluster {
     Cluster::new(ClusterConfig {
         nodes: NODES,
         slots: SlotConfig::ONE_ONE,
@@ -33,7 +40,12 @@ fn cluster_with(executor: ExecutorConfig) -> Cluster {
         executor,
         shuffle: Default::default(),
         retry: Default::default(),
-        placement: PlacementKernel::from_env_or_default(),
+        placement: if chain_cache.enabled {
+            PlacementKernel::Stable
+        } else {
+            PlacementKernel::from_env_or_default()
+        },
+        chain_cache,
         seed: 23,
     })
 }
@@ -106,6 +118,98 @@ proptest! {
             }
         }
     }
+}
+
+/// Golden digest computed once: the cached soaks below compare against
+/// the same cache-off oracle on every case, so there is no reason to
+/// re-derive it 60 times.
+fn golden_once() -> &'static OutputDigest {
+    static GOLDEN: std::sync::OnceLock<OutputDigest> = std::sync::OnceLock::new();
+    GOLDEN.get_or_init(golden)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 60,
+        max_shrink_iters: 0,
+        ..ProptestConfig::default()
+    })]
+
+    /// The cached chain under chaos (ISSUE 10): 60 randomized fault
+    /// schedules over the 7-job chain with the inter-job cache on and
+    /// the `stable` kernel routing mappers to cached partitions. The
+    /// binary contract is unchanged from the cache-off soak — exact
+    /// golden digest or a typed recovery error — because kills, drains
+    /// and corruption all invalidate cached partitions and fall back
+    /// to the persisted DFS path.
+    #[test]
+    fn cached_chaos_schedule_converges_or_fails_typed(chaos_seed in 0u64..1_000_000) {
+        let expected = golden_once();
+        let cl = cluster_cached(
+            ExecutorConfig::from_env_or_default(),
+            ChainCacheConfig::enabled(ByteSize::mib(64)),
+        );
+        let chain = setup(&cl);
+        let injector = Arc::new(
+            RandomizedInjector::new(chaos_seed, NODES)
+                .kill_probability(0.08)
+                .fault_probability(0.25)
+                .max_kills(2)
+                .max_other_faults(6),
+        );
+        match ChainDriver::new(&cl, Strategy::rcmp_split(3))
+            .with_injector(injector)
+            .run(&chain.jobs)
+        {
+            Ok(_) => {
+                let digest = digest_file(cl.dfs(), chain.final_output(), cl.live_nodes()[0])
+                    .unwrap()
+                    .0;
+                prop_assert_eq!(&digest, expected, "seed {} produced wrong output", chaos_seed);
+            }
+            Err(Error::RecoveryExhausted { .. }) => {}
+            Err(Error::DataLoss { ref path, .. }) if path == "input" => {}
+            Err(e) => {
+                return Err(TestCaseError::fail(format!(
+                    "seed {chaos_seed}: expected success or RecoveryExhausted, got {e}"
+                )));
+            }
+        }
+    }
+}
+
+/// A budget smaller than any single partition can never admit anything:
+/// every committed job spills straight through to the DFS, zero hits,
+/// and the chain behaves exactly like the cache-off build — same
+/// golden digest, reads served from disk. This is the degradation
+/// floor the config documents: sizing the budget wrong costs the
+/// speedup, never correctness.
+#[test]
+fn tiny_budget_degrades_to_pure_spill_through() {
+    let expected = golden_once();
+    let cl = cluster_cached(
+        ExecutorConfig::from_env_or_default(),
+        // 1 KiB budget vs ≈300 KiB partitions: nothing ever fits.
+        ChainCacheConfig::enabled(ByteSize::kib(1)),
+    );
+    let chain = setup(&cl);
+    ChainDriver::new(&cl, Strategy::rcmp_no_split())
+        .run(&chain.jobs)
+        .unwrap();
+    let snap = cl.metrics().snapshot();
+    assert_eq!(
+        snap.counter("cache.hits").unwrap_or(0),
+        0,
+        "a sub-partition budget must never admit, hence never hit"
+    );
+    assert!(
+        snap.counter("cache.spills").unwrap_or(0) > 0,
+        "every commit must be recorded as a spill"
+    );
+    let digest = digest_file(cl.dfs(), chain.final_output(), cl.live_nodes()[0])
+        .unwrap()
+        .0;
+    assert_eq!(&digest, expected, "spill-through changed the output");
 }
 
 /// Runs the chain once under `exec` with a randomized fault schedule,
@@ -355,6 +459,7 @@ fn permanent_shuffle_flake_exhausts_retry_budget() {
         shuffle: Default::default(),
         retry: Default::default(),
         placement: PlacementKernel::from_env_or_default(),
+        chain_cache: Default::default(),
         seed: 23,
     });
     let mut gen = DataGenConfig::test("input", 1, 4_000);
@@ -397,6 +502,7 @@ fn failed_run_traces_every_injected_fault() {
         shuffle: Default::default(),
         retry: Default::default(),
         placement: PlacementKernel::from_env_or_default(),
+        chain_cache: Default::default(),
         seed: 23,
     });
     let mut gen = DataGenConfig::test("input", 1, 4_000);
@@ -472,6 +578,7 @@ fn unrecoverable_input_exhausts_chain_restart_budget() {
         shuffle: Default::default(),
         retry: Default::default(),
         placement: PlacementKernel::from_env_or_default(),
+        chain_cache: Default::default(),
         seed: 23,
     });
     generate_input(cl.dfs(), &DataGenConfig::test("input", NODES, 15_000)).unwrap();
@@ -717,6 +824,7 @@ fn every_placement_kernel_converges_chaos_chain_to_golden() {
             shuffle: Default::default(),
             retry: Default::default(),
             placement: kernel,
+            chain_cache: Default::default(),
             seed: 23,
         });
         let chain = setup(&cl);

@@ -24,6 +24,7 @@ fn cluster(nodes: u32, slots: SlotConfig) -> Cluster {
         shuffle: Default::default(),
         retry: Default::default(),
         placement: PlacementKernel::from_env_or_default(),
+        chain_cache: Default::default(),
     })
 }
 

@@ -74,6 +74,7 @@ fn engine_run(
         shuffle: Default::default(),
         retry: Default::default(),
         placement: Default::default(),
+        chain_cache: Default::default(),
     });
     generate_input(cl.dfs(), &DataGenConfig::test("input", 4, 20_000)).unwrap();
     let chain = ChainBuilder::new(1, 4).build();
@@ -127,6 +128,7 @@ fn crash_run(
         shuffle: Default::default(),
         retry: Default::default(),
         placement: Default::default(),
+        chain_cache: Default::default(),
     });
     generate_input(cl.dfs(), &DataGenConfig::test("input", 4, 33_000)).unwrap();
     let chain = ChainBuilder::new(1, 4).build();

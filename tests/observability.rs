@@ -34,6 +34,7 @@ fn cluster(max_recovery_attempts: u32) -> Cluster {
         shuffle: Default::default(),
         retry: Default::default(),
         placement: Default::default(),
+        chain_cache: Default::default(),
         seed: 7,
     })
 }

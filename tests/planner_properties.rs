@@ -26,6 +26,7 @@ fn setup() -> (Cluster, rcmp::workloads::ChainSpec, JobGraph) {
         shuffle: Default::default(),
         retry: Default::default(),
         placement: Default::default(),
+        chain_cache: Default::default(),
         seed: 77,
     });
     generate_input(cluster.dfs(), &DataGenConfig::test("input", NODES, 12_000)).unwrap();

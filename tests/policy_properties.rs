@@ -204,19 +204,21 @@ proptest! {
     fn kernel_map_waves_agree_across_membership_churn(
         nodes in 2u32..10,
         slots in 1u32..4,
-        kernel_sel in 0u8..4,
+        kernel_sel in 0u8..5,
         delay_rounds in 0u32..4,
         churn in prop::collection::vec((0u8..5, 0u32..64), 1usize..12),
         raw_layout in prop::collection::vec(
             prop::collection::vec(0u32..16, 0usize..4),
             0usize..40,
         ),
+        cache_sel in prop::collection::vec((any::<bool>(), 0u32..16), 0usize..40),
     ) {
         let kernel = match kernel_sel {
             0 => PlacementKernel::Default,
             1 => PlacementKernel::RackAware,
             2 => PlacementKernel::Delay { rounds: delay_rounds },
-            _ => PlacementKernel::CapacityWeighted,
+            3 => PlacementKernel::CapacityWeighted,
+            _ => PlacementKernel::Stable,
         };
         let mut m = Membership::with_racks(nodes, 1 + nodes / 3);
 
@@ -243,8 +245,18 @@ proptest! {
                 .enumerate()
                 .map(|(i, hs)| map_task(i, hs))
                 .collect();
+            // Chain-cache affinity, identical on both sides (only the
+            // Stable kernel reads it).
+            let cached: Vec<Option<u32>> = (0..layout.len())
+                .map(|t| match cache_sel.get(t) {
+                    Some(&(true, n)) => Some(n % m.len() as u32),
+                    _ => None,
+                })
+                .collect();
+            let cached_eng: Vec<Option<NodeId>> =
+                cached.iter().map(|o| o.map(NodeId)).collect();
             let eng = eng::assign_map_waves_kernel(
-                eng_tasks, &live_eng, slots, kernel, m, PolicyCtx::disabled(),
+                eng_tasks, &live_eng, slots, kernel, m, &cached_eng, PolicyCtx::disabled(),
             );
             let sim = sim::assign_map_waves_kernel(
                 layout.len(),
@@ -254,6 +266,7 @@ proptest! {
                 m,
                 |t, n| layout[t].first() == Some(&n),
                 |t, n| layout[t].contains(&n),
+                |t| cached.get(t).copied().flatten(),
                 PolicyCtx::disabled(),
             );
             match (eng, sim) {

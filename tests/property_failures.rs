@@ -26,6 +26,7 @@ fn cluster() -> Cluster {
         shuffle: Default::default(),
         retry: Default::default(),
         placement: Default::default(),
+        chain_cache: Default::default(),
         seed: 11,
     })
 }

@@ -35,6 +35,7 @@ fn cluster(seed: u64, shuffle: ShuffleConfig, executor: ExecutorConfig) -> Clust
         shuffle,
         retry: Default::default(),
         placement: Default::default(),
+        chain_cache: Default::default(),
     })
 }
 

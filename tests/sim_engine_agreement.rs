@@ -29,6 +29,7 @@ fn engine_run() -> rcmp::engine::JobReport {
         shuffle: Default::default(),
         retry: Default::default(),
         placement: Default::default(),
+        chain_cache: Default::default(),
     });
     let cfg = DataGenConfig {
         value_size: 100,
@@ -135,6 +136,7 @@ fn recompute_fractions_agree() {
         shuffle: Default::default(),
         retry: Default::default(),
         placement: Default::default(),
+        chain_cache: Default::default(),
     });
     let cfg = DataGenConfig {
         value_size: 100,
